@@ -1,0 +1,282 @@
+// Package adsketch implements All-Distances Sketches (ADS) and the
+// Historic Inverse Probability (HIP) estimators of
+//
+//	Edith Cohen. "All-Distances Sketches, Revisited: HIP Estimators for
+//	Massive Graphs Analysis." PODS 2014 (arXiv:1306.3284).
+//
+// An All-Distances Sketch of a node v is a small weighted sample of the
+// nodes reachable from v, biased toward closer nodes: node j enters
+// ADS(v) with probability ~ k/π_vj, where π_vj is j's rank in v's
+// nearest-neighbor order.  Sketches for all nodes are computed in
+// near-linear time, and a large class of distance-based statistics —
+// neighborhood cardinalities n_d(v), closeness and distance-decay
+// centralities C_{α,β}(v), arbitrary Q_g(v) = Σ_j g(j, d_vj) — are
+// estimated from a node's sketch alone, with coefficient of variation at
+// most 1/sqrt(2(k-1)) for the HIP estimators.
+//
+// The package is a facade over the internal implementation:
+//
+//   - graphs: compact CSR graphs, deterministic generators, edge-list I/O;
+//   - sketches: bottom-k, k-mins and k-partition ADS, built by
+//     PrunedDijkstra (Algorithm 1), unweighted DP rounds, or LocalUpdates
+//     (Algorithm 2), over full-precision or base-b ranks, with uniform or
+//     weighted (Section 9) nodes;
+//   - estimators: basic (Section 4) and HIP (Section 5) cardinality
+//     estimators, the permutation estimator (Section 5.4), the size-only
+//     estimator (Section 8), and query-time α/β centrality kernels;
+//   - streams: ADS over data streams under both time semantics (Section
+//     3.1), HyperLogLog and the HIP distinct counter on the same sketch
+//     (Section 6 / Algorithm 3), Morris approximate counters with weighted
+//     updates and merge (Section 7);
+//   - analysis: closeness/harmonic/decay centralities, distance
+//     distributions and effective diameters via ANF/HyperANF-style
+//     register DP (Appendix B.1).
+//
+// # Quick start
+//
+//	g := adsketch.PreferentialAttachment(10000, 5, 1)
+//	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42},
+//	    adsketch.AlgoPrunedDijkstra)
+//	if err != nil { ... }
+//	c := adsketch.NewCentrality(set)
+//	fmt.Println(c.NeighborhoodSize(0, 3)) // ~|N_3(0)|
+//	fmt.Println(c.Closeness(0))           // ~1/Σ_j d(0,j)
+//
+// All randomness is deterministic in the Options.Seed, and sketches built
+// with the same seed are coordinated (Section 2), which enables
+// cross-sketch operations such as Jaccard similarity of neighborhoods.
+package adsketch
+
+import (
+	"io"
+
+	"adsketch/internal/anf"
+	"adsketch/internal/centrality"
+	"adsketch/internal/core"
+	"adsketch/internal/graph"
+	"adsketch/internal/hll"
+	"adsketch/internal/rank"
+	"adsketch/internal/sketch"
+	"adsketch/internal/stream"
+)
+
+// Graph is a compact immutable graph in CSR form.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph with n nodes.
+func NewGraphBuilder(n int, directed bool) *GraphBuilder {
+	return graph.NewBuilder(n, directed)
+}
+
+// ReadEdgeList parses a "u v [w]" edge list (see graph.ReadEdgeList).
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, directed)
+}
+
+// WriteEdgeList writes a graph as an edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Deterministic graph generators (see package graph for details).
+var (
+	Path                   = graph.Path
+	Cycle                  = graph.Cycle
+	Grid                   = graph.Grid
+	Complete               = graph.Complete
+	Star                   = graph.Star
+	RandomTree             = graph.RandomTree
+	GNP                    = graph.GNP
+	PreferentialAttachment = graph.PreferentialAttachment
+	WattsStrogatz          = graph.WattsStrogatz
+	WithRandomWeights      = graph.WithRandomWeights
+)
+
+// Flavor selects the MinHash sampling scheme underlying the sketches.
+type Flavor = sketch.Flavor
+
+// Sketch flavors (Section 2 of the paper).
+const (
+	BottomK    = sketch.BottomK
+	KMins      = sketch.KMins
+	KPartition = sketch.KPartition
+)
+
+// Options configures sketch construction.
+type Options = core.Options
+
+// Algorithm selects a construction algorithm (Section 3).
+type Algorithm = core.Algorithm
+
+// Construction algorithms.
+const (
+	AlgoPrunedDijkstra         = core.AlgoPrunedDijkstra
+	AlgoDP                     = core.AlgoDP
+	AlgoLocalUpdates           = core.AlgoLocalUpdates
+	AlgoBruteForce             = core.AlgoBruteForce
+	AlgoPrunedDijkstraParallel = core.AlgoPrunedDijkstraParallel
+)
+
+// Set holds the sketches of all nodes of one graph.
+type Set = core.Set
+
+// NodeSketch is the per-node query interface shared by all flavors.
+type NodeSketch = core.Sketch
+
+// Build computes the forward ADS of every node of g.  For backward
+// sketches on directed graphs, pass g.Transpose().
+func Build(g *Graph, o Options, algo Algorithm) (*Set, error) {
+	return core.BuildSet(g, o, algo)
+}
+
+// BuildWeighted computes bottom-k sketches under non-uniform node weights
+// beta (Section 9) with exponential ranks; estimates are then of weighted
+// cardinalities.
+func BuildWeighted(g *Graph, k int, seed uint64, beta []float64) (*core.WeightedSet, error) {
+	return core.BuildWeightedSet(g, k, seed, beta)
+}
+
+// BuildPriorityWeighted is BuildWeighted with Sequential Poisson (priority)
+// ranks, the Section 9 alternative weighted-sampling scheme.
+func BuildPriorityWeighted(g *Graph, k int, seed uint64, beta []float64) (*core.WeightedSet, error) {
+	return core.BuildPriorityWeightedSet(g, k, seed, beta)
+}
+
+// ApproxSet holds (1+ε)-approximate bottom-k sketches (Section 3), whose
+// construction performs at most log_{1+ε}(n·w_max/w_min) updates per
+// entry.
+type ApproxSet = core.ApproxSet
+
+// BuildApprox computes (1+ε)-approximate sketches with LocalUpdates.
+func BuildApprox(g *Graph, k int, seed uint64, eps float64) (*ApproxSet, error) {
+	return core.BuildApproxSet(g, k, seed, eps)
+}
+
+// WriteSketches serializes a sketch set (build once, query many).
+func WriteSketches(w io.Writer, set *Set) error { return core.WriteSet(w, set) }
+
+// ReadSketches deserializes a sketch set written by WriteSketches,
+// validating every sketch's structural invariants.
+func ReadSketches(r io.Reader) (*Set, error) { return core.ReadSet(r) }
+
+// NeighborhoodJaccard estimates the Jaccard similarity of N_da(a) and
+// N_db(b) from two coordinated bottom-k sketches (same build seed).
+func NeighborhoodJaccard(a *core.ADS, da float64, b *core.ADS, db float64) float64 {
+	return core.NeighborhoodJaccard(a, da, b, db)
+}
+
+// UnionNeighborhood estimates |∪_s N_d(s)| over seed nodes — the timed-
+// influence primitive — from coordinated bottom-k sketches.
+func UnionNeighborhood(set *Set, seeds []int32, d float64) float64 {
+	return core.UnionNeighborhoodEstimate(set, seeds, d)
+}
+
+// GreedyInfluenceSeeds greedily selects numSeeds nodes maximizing the
+// estimated union coverage |∪ N_d(s)|, evaluated purely on sketches.
+func GreedyInfluenceSeeds(set *Set, candidates []int32, numSeeds int, d float64) ([]int32, float64) {
+	return core.GreedyInfluenceSeeds(set, candidates, numSeeds, d)
+}
+
+// DistanceUpperBound returns a 2-hop-cover-style upper bound on the
+// distance between two sketch owners: the minimum of d(a,x)+d(x,b) over
+// nodes x sampled in both coordinated sketches (+Inf if none is shared).
+func DistanceUpperBound(a, b *core.ADS) float64 {
+	return core.DistanceUpperBound(a, b)
+}
+
+// HarmonicFromBalls derives HyperBall-style per-node harmonic centralities
+// from an ANF run with KeepBalls set.
+func HarmonicFromBalls(res *ANFResult) []float64 { return anf.HarmonicFromBalls(res) }
+
+// EstimateNeighborhoodHIP returns the HIP estimate of n_d(v) from a node
+// sketch.
+func EstimateNeighborhoodHIP(s NodeSketch, d float64) float64 {
+	return core.EstimateNeighborhoodHIP(s, d)
+}
+
+// HIPIndex is a prebuilt per-sketch query index (distance -> cumulative
+// adjusted weight) answering repeated neighborhood queries in O(log size).
+type HIPIndex = core.HIPIndex
+
+// NewHIPIndex builds the query index for a node sketch.
+func NewHIPIndex(s NodeSketch) *HIPIndex { return core.NewHIPIndex(s) }
+
+// EstimateQ returns the HIP estimate of Q_g(v) = Σ_j g(j, d_vj)
+// (equation (5) of the paper).
+func EstimateQ(s NodeSketch, g func(node int32, dist float64) float64) float64 {
+	return core.EstimateQ(s, g)
+}
+
+// EstimateCentrality returns the HIP estimate of C_{α,β}(v)
+// (equation (3) of the paper); α must be non-increasing, β >= 0.
+func EstimateCentrality(s NodeSketch, alpha func(float64) float64, beta func(int32) float64) float64 {
+	return core.EstimateCentrality(s, alpha, beta)
+}
+
+// Query-time centrality kernels.
+var (
+	KernelThreshold    = core.KernelThreshold
+	KernelReachability = core.KernelReachability
+	KernelExponential  = core.KernelExponential
+	KernelHarmonic     = core.KernelHarmonic
+	KernelIdentity     = core.KernelIdentity
+	UnitBeta           = core.UnitBeta
+)
+
+// Centrality answers closeness/harmonic/decay/custom centrality queries,
+// distance distributions, and top-N rankings from a sketch set.
+type Centrality = centrality.Estimator
+
+// NewCentrality wraps a sketch set for centrality queries.
+func NewCentrality(set *Set) *Centrality { return centrality.NewEstimator(set) }
+
+// Distinct counting on streams (Section 6).
+
+// DistinctCounter is a streaming approximate distinct counter.
+type DistinctCounter = stream.Distinct
+
+// NewHIPDistinct returns the paper's recommended distinct counter: HIP on
+// a HyperLogLog-shaped sketch (k-partition, base-2, 5-bit registers) —
+// Algorithm 3.  Memory is k registers plus one float; NRMSE ~0.87/sqrt(k).
+func NewHIPDistinct(k int, seed uint64) *hll.HIP {
+	return hll.NewHIP(k, rank.NewSource(seed))
+}
+
+// NewHyperLogLog returns the classic HyperLogLog counter (the Section 6
+// baseline), with raw and bias-corrected readouts.
+func NewHyperLogLog(k int, seed uint64) *hll.Sketch {
+	return hll.New(k, rank.NewSource(seed))
+}
+
+// NewBottomKDistinct returns the bottom-k HIP distinct counter
+// (full-precision ranks, exact up to k, NRMSE ~1/sqrt(2(k-1)) above).
+func NewBottomKDistinct(k int, seed uint64) *stream.BottomKCounter {
+	return stream.NewBottomKCounter(k, rank.NewSource(seed))
+}
+
+// Neighborhood function / distance distribution (Appendix B.1).
+
+// ANFOptions configures the neighborhood-function register DP.
+type ANFOptions = anf.Options
+
+// ANFResult is the output of NeighborhoodFunction.
+type ANFResult = anf.Result
+
+// ANF readouts.
+const (
+	ANFBasic = anf.Basic
+	ANFHIP   = anf.HIP
+)
+
+// NeighborhoodFunction estimates, for every hop count t, the number of
+// ordered pairs within distance t, HyperANF-style (k registers per node).
+func NeighborhoodFunction(g *Graph, o ANFOptions) (*ANFResult, error) {
+	return anf.Compute(g, o)
+}
+
+// EffectiveDiameter returns the q-effective diameter implied by an
+// estimated neighborhood function.
+func EffectiveDiameter(nf []float64, q float64) float64 {
+	return anf.EffectiveDiameter(nf, q)
+}

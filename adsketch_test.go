@@ -1,0 +1,240 @@
+package adsketch_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"adsketch"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := adsketch.PreferentialAttachment(500, 3, 1)
+	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42}, adsketch.AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NumNodes() != 500 {
+		t.Fatalf("NumNodes = %d", set.NumNodes())
+	}
+	c := adsketch.NewCentrality(set)
+	n3 := c.NeighborhoodSize(0, 3)
+	if n3 < 10 || n3 > 600 {
+		t.Errorf("n_3(0) = %g, implausible", n3)
+	}
+	if cl := c.Closeness(0); cl <= 0 {
+		t.Errorf("closeness = %g", cl)
+	}
+}
+
+func TestFacadeFlavorsAndAlgorithms(t *testing.T) {
+	g := adsketch.Grid(6, 6)
+	for _, fl := range []adsketch.Flavor{adsketch.BottomK, adsketch.KMins, adsketch.KPartition} {
+		for _, algo := range []adsketch.Algorithm{adsketch.AlgoPrunedDijkstra, adsketch.AlgoDP, adsketch.AlgoLocalUpdates, adsketch.AlgoBruteForce} {
+			set, err := adsketch.Build(g, adsketch.Options{K: 4, Flavor: fl, Seed: 3}, algo)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", fl, algo, err)
+			}
+			got := adsketch.EstimateNeighborhoodHIP(set.Sketch(0), 100)
+			if got < 5 || got > 150 {
+				t.Errorf("%v/%v: reachability estimate %g", fl, algo, got)
+			}
+		}
+	}
+}
+
+func TestFacadeEstimateQAndKernels(t *testing.T) {
+	g := adsketch.Path(30)
+	set, err := adsketch.Build(g, adsketch.Options{K: 8, Seed: 9}, adsketch.AlgoDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := set.Sketch(0)
+	sumDist := adsketch.EstimateQ(s, func(_ int32, d float64) float64 { return d })
+	viaKernel := adsketch.EstimateCentrality(s, adsketch.KernelIdentity, adsketch.UnitBeta)
+	if math.Abs(sumDist-viaKernel) > 1e-9 {
+		t.Errorf("EstimateQ %g != kernel path %g", sumDist, viaKernel)
+	}
+}
+
+func TestFacadeDistinctCounters(t *testing.T) {
+	var counters = map[string]adsketch.DistinctCounter{
+		"hip-hll":  adsketch.NewHIPDistinct(64, 5),
+		"bottom-k": adsketch.NewBottomKDistinct(64, 5),
+	}
+	for name, c := range counters {
+		for id := int64(0); id < 10000; id++ {
+			c.Add(id)
+			c.Add(id)
+		}
+		got := c.Estimate()
+		if math.Abs(got-10000)/10000 > 0.35 {
+			t.Errorf("%s: estimate %g for 10000 distinct", name, got)
+		}
+	}
+	h := adsketch.NewHyperLogLog(64, 5)
+	for id := int64(0); id < 10000; id++ {
+		h.Add(id)
+	}
+	if got := h.Estimate(); math.Abs(got-10000)/10000 > 0.5 {
+		t.Errorf("HLL estimate %g", got)
+	}
+}
+
+func TestFacadeWeighted(t *testing.T) {
+	g := adsketch.Cycle(50)
+	beta := make([]float64, 50)
+	for i := range beta {
+		beta[i] = 2
+	}
+	ws, err := adsketch.BuildWeighted(g, 8, 7, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total weight within the whole cycle is 100.
+	got := ws.Sketch(0).EstimateNeighborhoodWeight(100)
+	if math.Abs(got-100)/100 > 0.6 {
+		t.Errorf("weighted reachability = %g, want ~100", got)
+	}
+}
+
+func TestFacadeANF(t *testing.T) {
+	g := adsketch.Grid(10, 10)
+	res, err := adsketch.NeighborhoodFunction(g, adsketch.ANFOptions{K: 32, Seed: 4, Readout: adsketch.ANFHIP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plateau := res.NF[len(res.NF)-1]
+	if math.Abs(plateau-10000)/10000 > 0.25 {
+		t.Errorf("plateau %g, want ~10000 ordered pairs", plateau)
+	}
+	ed := adsketch.EffectiveDiameter(res.NF, 0.9)
+	if ed < 5 || ed > 18 {
+		t.Errorf("effective diameter %g for 10x10 grid", ed)
+	}
+}
+
+func TestFacadeEdgeListRoundTrip(t *testing.T) {
+	g := adsketch.GNP(40, 0.1, false, 2)
+	var sb strings.Builder
+	if err := adsketch.WriteEdgeList(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := adsketch.ReadEdgeList(strings.NewReader(sb.String()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestFacadeGraphBuilder(t *testing.T) {
+	b := adsketch.NewGraphBuilder(3, true)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 2)
+	g := b.Build()
+	set, err := adsketch.Build(g, adsketch.Options{K: 4, Seed: 1}, adsketch.AlgoLocalUpdates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 reaches all three nodes.
+	if got := adsketch.EstimateNeighborhoodHIP(set.Sketch(0), 10); got != 3 {
+		t.Errorf("reachable = %g, want exactly 3 (n<=k)", got)
+	}
+}
+
+func TestFacadeSerialization(t *testing.T) {
+	g := adsketch.GNP(80, 0.06, false, 12)
+	set, err := adsketch.Build(g, adsketch.Options{K: 6, Seed: 4}, adsketch.AlgoPrunedDijkstraParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := adsketch.WriteSketches(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := adsketch.ReadSketches(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		a := adsketch.EstimateNeighborhoodHIP(set.Sketch(v), 3)
+		b := adsketch.EstimateNeighborhoodHIP(got.Sketch(v), 3)
+		if a != b {
+			t.Fatalf("node %d: estimates differ after round trip: %g vs %g", v, a, b)
+		}
+	}
+}
+
+func TestFacadeInfluence(t *testing.T) {
+	g := adsketch.PreferentialAttachment(300, 3, 8)
+	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 2}, adsketch.AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := adsketch.UnionNeighborhood(set, []int32{0}, 2)
+	pair := adsketch.UnionNeighborhood(set, []int32{0, 100}, 2)
+	if pair < single {
+		t.Errorf("union coverage decreased when adding a seed: %g -> %g", single, pair)
+	}
+	seeds, cov := adsketch.GreedyInfluenceSeeds(set, nil, 2, 2)
+	if len(seeds) != 2 || cov <= 0 {
+		t.Errorf("greedy seeds = %v coverage %g", seeds, cov)
+	}
+}
+
+func TestFacadeApprox(t *testing.T) {
+	g := adsketch.WithRandomWeights(adsketch.GNP(80, 0.06, false, 31), 1, 5, 32)
+	set, err := adsketch.BuildApprox(g, 4, 9, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Epsilon() != 0.25 || set.K() != 4 {
+		t.Error("accessors")
+	}
+	est := adsketch.EstimateNeighborhoodHIP(set.Sketch(0), math.Inf(1))
+	if est <= 0 {
+		t.Errorf("approx estimate %g", est)
+	}
+}
+
+func TestFacadeHIPIndexAndDistanceBound(t *testing.T) {
+	g := adsketch.Grid(8, 8)
+	set, err := adsketch.Build(g, adsketch.Options{K: 8, Seed: 3}, adsketch.AlgoDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := adsketch.NewHIPIndex(set.Sketch(0))
+	if got, want := idx.Neighborhood(2), adsketch.EstimateNeighborhoodHIP(set.Sketch(0), 2); got != want {
+		t.Errorf("index %g vs direct %g", got, want)
+	}
+	// Undirected graph: forward sketches both ways bound the distance.
+	bound := adsketch.DistanceUpperBound(set.BottomK(0), set.BottomK(63))
+	if bound < 14 { // true distance corner-to-corner = 14
+		t.Errorf("bound %g below true distance 14", bound)
+	}
+}
+
+func TestFacadeHarmonicFromBalls(t *testing.T) {
+	g := adsketch.Cycle(40)
+	res, err := adsketch.NeighborhoodFunction(g, adsketch.ANFOptions{
+		K: 32, Seed: 2, Readout: adsketch.ANFHIP, KeepBalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := adsketch.HarmonicFromBalls(res)
+	if len(h) != 40 {
+		t.Fatalf("got %d centralities", len(h))
+	}
+	// All cycle nodes are symmetric; estimates should cluster.
+	var lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range h {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if hi > 3*lo {
+		t.Errorf("symmetric graph harmonic spread too wide: [%g, %g]", lo, hi)
+	}
+}

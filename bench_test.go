@@ -1,0 +1,418 @@
+// Benchmark harness: one benchmark per experiment in DESIGN.md, each
+// regenerating (a statistically thinned version of) the corresponding
+// paper artifact and reporting its headline quantities as custom metrics.
+// The full-resolution series (paper run counts) are produced by
+// cmd/figures; these benches use reduced run counts so `go test -bench=.`
+// finishes in minutes while still exhibiting every qualitative shape.
+//
+//	E1  BenchmarkFigure2*            Figure 2 panels
+//	E2  BenchmarkFigure3*            Figure 3 panels
+//	E3  BenchmarkADSSize             Lemma 2.2 sizes
+//	E4  BenchmarkHIPvsBasicVariance  Theorem 5.1 factor-2
+//	E5  BenchmarkHLLvsHIPConstants   Section 6 constants
+//	E6  BenchmarkBaseBTradeoff       Section 5.6 (1+b)/2 factor
+//	E8  BenchmarkSizeEstimator       Lemma 8.1
+//	E9  BenchmarkMorrisCounter       Section 7
+//	E10 BenchmarkQgHIPvsNaive        n/k-fold Q_g variance claim
+//	E11 BenchmarkBuilders            Section 3 construction costs
+//	E12 BenchmarkANF                 Appendix B.1 readouts
+//
+// (E7, the permutation-vs-HIP crossover, is part of the Figure 2 output.)
+package adsketch_test
+
+import (
+	"math"
+	"testing"
+
+	"adsketch"
+	"adsketch/internal/core"
+	"adsketch/internal/counter"
+	"adsketch/internal/graph"
+	"adsketch/internal/hll"
+	"adsketch/internal/rank"
+	"adsketch/internal/simulate"
+	"adsketch/internal/sketch"
+	"adsketch/internal/stats"
+	"adsketch/internal/stream"
+)
+
+// E1: Figure 2.  Reports the plateau NRMSE of each estimator and the
+// basic/HIP error ratio (paper: ~sqrt(2)).
+func benchFigure2(b *testing.B, k, maxn, runs int) {
+	var panel *stats.Panel
+	for i := 0; i < b.N; i++ {
+		panel = simulate.Figure2(simulate.Fig2Config{K: k, MaxN: maxn, Runs: runs, Seed: 42})
+	}
+	byName := map[string]*stats.Series{}
+	for _, s := range panel.Series {
+		byName[s.Name] = s
+	}
+	top := float64(maxn)
+	basic := byName[simulate.SeriesBottomBasic].Point(top).NRMSE()
+	hip := byName[simulate.SeriesBottomHIP].Point(top).NRMSE()
+	b.ReportMetric(basic, "basic-NRMSE")
+	b.ReportMetric(hip, "HIP-NRMSE")
+	b.ReportMetric(basic/hip, "basic/HIP")
+	b.ReportMetric(byName[simulate.SeriesPerm].Point(top).NRMSE(), "perm-NRMSE")
+	b.ReportMetric(byName[simulate.SeriesKPartBasic].Point(top).NRMSE(), "kpart-NRMSE")
+	b.ReportMetric(sketch.BasicCV(k), "ref-basic-CV")
+	b.ReportMetric(sketch.HIPCV(k), "ref-HIP-CV")
+}
+
+func BenchmarkFigure2_K5(b *testing.B)  { benchFigure2(b, 5, 10000, 200) }
+func BenchmarkFigure2_K10(b *testing.B) { benchFigure2(b, 10, 10000, 150) }
+func BenchmarkFigure2_K50(b *testing.B) { benchFigure2(b, 50, 50000, 60) }
+
+// E2: Figure 3.  Reports plateau NRMSE of HLL raw/corrected/HIP.
+func benchFigure3(b *testing.B, k, maxn, runs int) {
+	var panel *stats.Panel
+	for i := 0; i < b.N; i++ {
+		panel = simulate.Figure3(simulate.Fig3Config{K: k, MaxN: maxn, Runs: runs, Seed: 5})
+	}
+	byName := map[string]*stats.Series{}
+	for _, s := range panel.Series {
+		byName[s.Name] = s
+	}
+	top := float64(maxn)
+	b.ReportMetric(byName[simulate.SeriesHLLRaw].Point(top).NRMSE(), "HLLraw-NRMSE")
+	b.ReportMetric(byName[simulate.SeriesHLL].Point(top).NRMSE(), "HLL-NRMSE")
+	b.ReportMetric(byName[simulate.SeriesHIP].Point(top).NRMSE(), "HIP-NRMSE")
+	b.ReportMetric(sketch.HIPBaseBCV(k, 2), "ref-HIP-analysis")
+}
+
+func BenchmarkFigure3_K16(b *testing.B) { benchFigure3(b, 16, 200000, 250) }
+func BenchmarkFigure3_K32(b *testing.B) { benchFigure3(b, 32, 200000, 250) }
+func BenchmarkFigure3_K64(b *testing.B) { benchFigure3(b, 64, 200000, 150) }
+
+// E3: Lemma 2.2 expected ADS size.  Reports worst relative deviation.
+func BenchmarkADSSize(b *testing.B) {
+	var rows []simulate.SizeRow
+	for i := 0; i < b.N; i++ {
+		rows = simulate.SizeTable([]int{1, 5, 10, 50}, []int{1000, 10000}, 200, 3)
+	}
+	worst := 0.0
+	for _, r := range rows {
+		if rel := math.Abs(r.Measured-r.Expected) / r.Expected; rel > worst {
+			worst = rel
+		}
+	}
+	b.ReportMetric(worst, "worst-rel-dev")
+}
+
+// E4: Theorem 5.1 — HIP variance is half the basic estimator's.
+func BenchmarkHIPvsBasicVariance(b *testing.B) {
+	const k, n, runs = 10, 3000, 400
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		hip := stats.NewErrAccum(n)
+		basic := stats.NewErrAccum(n)
+		for run := 0; run < runs; run++ {
+			src := rank.NewSource(uint64(run)*40503 + 1)
+			sb := core.NewStreamBuilder(0, k)
+			for id := int64(0); id < n; id++ {
+				sb.Offer(int32(id), float64(id), src.Rank(id))
+			}
+			hip.Add(sb.HIPEstimate())
+			basic.Add(sb.BasicEstimate())
+		}
+		v1, v2 := basic.NRMSE(), hip.NRMSE()
+		ratio = (v1 * v1) / (v2 * v2)
+	}
+	b.ReportMetric(ratio, "basic/HIP-variance")
+}
+
+// E5: Section 6 NRMSE constants.
+func BenchmarkHLLvsHIPConstants(b *testing.B) {
+	var rows []simulate.ConstantRow
+	for i := 0; i < b.N; i++ {
+		rows = simulate.HLLConstantsTable([]int{16, 32, 64}, 100000, 250, 13)
+	}
+	for _, r := range rows {
+		switch r.K {
+		case 16:
+			b.ReportMetric(r.HIPConst, "HIP-const-k16")
+			b.ReportMetric(r.HLLConst, "HLL-const-k16")
+		case 64:
+			b.ReportMetric(r.HIPConst, "HIP-const-k64")
+			b.ReportMetric(r.HLLConst, "HLL-const-k64")
+			b.ReportMetric(r.Ratio, "HLL/HIP-k64")
+		}
+	}
+}
+
+// E6: Section 5.6 base-b trade-off; reports NRMSE/analysis ratios.
+func BenchmarkBaseBTradeoff(b *testing.B) {
+	var rows []simulate.BaseBRow
+	for i := 0; i < b.N; i++ {
+		rows = simulate.BaseBTable([]int{16, 64}, []float64{0, math.Sqrt2, 2}, 20000, 200, 11)
+	}
+	for _, r := range rows {
+		if r.K != 16 {
+			continue
+		}
+		name := "full"
+		if r.Base == 2 {
+			name = "base2"
+		} else if r.Base != 0 {
+			name = "sqrt2"
+		}
+		b.ReportMetric(r.NRMSE/r.Analysis, "meas/analysis-"+name)
+	}
+}
+
+// E8: Lemma 8.1 size-only estimator — bias and error vs HIP at n=1000.
+func BenchmarkSizeEstimator(b *testing.B) {
+	const k, n, runs = 10, 1000, 600
+	var sizeAcc, hipAcc *stats.ErrAccum
+	for i := 0; i < b.N; i++ {
+		sizeAcc = stats.NewErrAccum(n)
+		hipAcc = stats.NewErrAccum(n)
+		for run := 0; run < runs; run++ {
+			src := rank.NewSource(uint64(run)*7919 + 5)
+			sb := core.NewStreamBuilder(0, k)
+			for id := int64(0); id < n; id++ {
+				sb.Offer(int32(id), float64(id), src.Rank(id))
+			}
+			sizeAcc.Add(sb.SizeEstimate())
+			hipAcc.Add(sb.HIPEstimate())
+		}
+	}
+	b.ReportMetric(sizeAcc.Bias(), "size-est-bias")
+	b.ReportMetric(sizeAcc.NRMSE(), "size-est-NRMSE")
+	b.ReportMetric(hipAcc.NRMSE(), "HIP-NRMSE")
+}
+
+// E9: Section 7 Morris counters — bias and CV per base.
+func BenchmarkMorrisCounter(b *testing.B) {
+	const n, runs = 10000, 400
+	bases := []float64{2, 1.5, 1.0625}
+	names := []string{"b2", "b1.5", "b1.0625"}
+	for i := 0; i < b.N; i++ {
+		for j, base := range bases {
+			acc := stats.NewErrAccum(n)
+			for run := 0; run < runs; run++ {
+				m := counter.New(base, uint64(run)*6700417+1)
+				for x := 0; x < n; x++ {
+					m.Increment()
+				}
+				acc.Add(m.Estimate())
+			}
+			if i == 0 {
+				b.ReportMetric(acc.NRMSE(), "NRMSE-"+names[j])
+				b.ReportMetric(math.Sqrt((base-1)/2), "ref-"+names[j])
+			}
+		}
+	}
+}
+
+// E10: the up-to-(n/k)-fold Q_g variance claim for concentrated g.
+func BenchmarkQgHIPvsNaive(b *testing.B) {
+	const k, n, runs = 8, 2000, 300
+	gfun := func(dist float64) float64 { return math.Exp(-dist / 5) }
+	exact := 0.0
+	for i := 0; i < n; i++ {
+		exact += gfun(float64(i))
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		hipAcc := stats.NewErrAccum(exact)
+		naiveAcc := stats.NewErrAccum(exact)
+		for run := 0; run < runs; run++ {
+			src := rank.NewSource(uint64(run)*71 + 19)
+			sb := core.NewStreamBuilder(0, k)
+			for id := int64(0); id < n; id++ {
+				sb.Offer(int32(id), float64(id), src.Rank(id))
+			}
+			hipAcc.Add(core.EstimateQ(sb.ADS(), func(_ int32, d float64) float64 { return gfun(d) }))
+			mh := sketch.NewBottomK(k)
+			for id := int64(0); id < n; id++ {
+				mh.AddFrom(src, id)
+			}
+			sum := 0.0
+			for _, e := range mh.Entries() {
+				sum += gfun(float64(e.ID))
+			}
+			naiveAcc.Add(mh.Estimate() * sum / float64(mh.Len()))
+		}
+		r := naiveAcc.NRMSE() / hipAcc.NRMSE()
+		ratio = r * r
+	}
+	b.ReportMetric(ratio, "naive/HIP-variance")
+	b.ReportMetric(float64(n)/float64(k), "n/k")
+}
+
+// E11: Section 3 construction algorithms on representative graphs.
+func benchBuilder(b *testing.B, g *graph.Graph, algo adsketch.Algorithm, k int) {
+	b.ReportAllocs()
+	var set *adsketch.Set
+	for i := 0; i < b.N; i++ {
+		var err error
+		set, err = adsketch.Build(g, adsketch.Options{K: k, Seed: 42}, algo)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(set.TotalEntries())/float64(g.NumNodes()), "entries/node")
+	perEdge := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(g.NumArcs())
+	b.ReportMetric(perEdge, "ns/arc")
+}
+
+func BenchmarkBuilders(b *testing.B) {
+	graphs := map[string]*graph.Graph{
+		"ba-5k":   graph.PreferentialAttachment(5000, 4, 7),
+		"grid-70": graph.Grid(70, 70),
+		"gnp-5k":  graph.GNP(5000, 0.002, false, 7),
+		"wgnp-2k": graph.WithRandomWeights(graph.GNP(2000, 0.005, false, 8), 1, 4, 9),
+	}
+	algos := map[string]adsketch.Algorithm{
+		"PrunedDijkstra": adsketch.AlgoPrunedDijkstra,
+		"DP":             adsketch.AlgoDP,
+		"LocalUpdates":   adsketch.AlgoLocalUpdates,
+	}
+	for gname, g := range graphs {
+		for aname, algo := range algos {
+			if algo == adsketch.AlgoDP && g.Weighted() {
+				continue
+			}
+			for _, k := range []int{4, 16} {
+				b.Run(gname+"/"+aname+"/k="+itoa(k), func(b *testing.B) {
+					benchBuilder(b, g, algo, k)
+				})
+			}
+		}
+	}
+}
+
+// E12: Appendix B.1 neighborhood function readouts.
+func BenchmarkANF(b *testing.B) {
+	g := graph.WattsStrogatz(3000, 6, 0.05, 17)
+	exact := graph.NeighborhoodFunction(g)
+	plateau := float64(exact[len(exact)-1])
+	for _, mode := range []adsketch.ANFOptions{
+		{K: 64, Seed: 4, Readout: adsketch.ANFBasic},
+		{K: 64, Seed: 4, Readout: adsketch.ANFHIP},
+	} {
+		mode := mode
+		b.Run(mode.Readout.String(), func(b *testing.B) {
+			var res *adsketch.ANFResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = adsketch.NeighborhoodFunction(g, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.NF[len(res.NF)-1]/plateau-1, "plateau-rel-err")
+			b.ReportMetric(adsketch.EffectiveDiameter(res.NF, 0.9), "eff-diameter")
+		})
+	}
+}
+
+// Micro-benchmarks: per-element costs of the hot paths.
+
+func BenchmarkStreamOfferPerElement(b *testing.B) {
+	src := rank.NewSource(1)
+	sb := core.NewStreamBuilder(0, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Offer(int32(i), float64(i), src.Rank(int64(i)))
+	}
+}
+
+func BenchmarkHIPDistinctAdd(b *testing.B) {
+	h := hll.NewHIP(64, rank.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(int64(i))
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	s := hll.New(64, rank.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(int64(i))
+	}
+}
+
+func BenchmarkMorrisIncrement(b *testing.B) {
+	m := counter.New(1.0625, 1)
+	for i := 0; i < b.N; i++ {
+		m.Increment()
+	}
+}
+
+func BenchmarkCentralityQuery(b *testing.B) {
+	g := graph.PreferentialAttachment(5000, 4, 7)
+	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42}, adsketch.AlgoPrunedDijkstra)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := adsketch.NewCentrality(set)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Closeness(int32(i % 5000))
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// Parallel builder scaling (Appendix B.4): identical output, lower wall
+// clock on multi-core machines.
+func BenchmarkParallelBuilder(b *testing.B) {
+	g := graph.PreferentialAttachment(5000, 4, 7)
+	for _, algo := range []adsketch.Algorithm{adsketch.AlgoPrunedDijkstra, adsketch.AlgoPrunedDijkstraParallel} {
+		algo := algo
+		b.Run(algo.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42}, algo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// HIPIndex accelerates repeated neighborhood queries.
+func BenchmarkHIPIndexQuery(b *testing.B) {
+	g := graph.PreferentialAttachment(2000, 4, 7)
+	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42}, adsketch.AlgoPrunedDijkstra)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := adsketch.NewHIPIndex(set.Sketch(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Neighborhood(float64(i % 7))
+	}
+}
+
+// Distinct counters on a heavy-tailed (Zipf) stream: throughput per event.
+func BenchmarkDistinctCountersZipf(b *testing.B) {
+	counters := map[string]stream.Distinct{
+		"hip-hll":  adsketch.NewHIPDistinct(64, 5),
+		"bottom-k": adsketch.NewBottomKDistinct(64, 5),
+	}
+	for name, c := range counters {
+		c := c
+		b.Run(name, func(b *testing.B) {
+			z := stream.NewZipf(1000000, 1.1, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Add(z.Next())
+			}
+		})
+	}
+}

@@ -1,0 +1,292 @@
+// adstool builds All-Distances Sketches for an edge-list graph and answers
+// centrality queries from them.
+//
+// Usage:
+//
+//	adstool gen   -type ba -n 10000 -m 5 -seed 1 > graph.txt
+//	adstool stats -graph graph.txt
+//	adstool build -graph graph.txt -k 16 -seed 42 -save sketches.ads
+//	adstool query -graph graph.txt -sketches sketches.ads -node 17 -d 3
+//	adstool top   -graph graph.txt -k 16 -seed 42 -top 10
+//	adstool influence -graph graph.txt -k 16 -seeds 3 -d 2
+//
+// Graphs are whitespace edge lists ("u v" or "u v w" per line, '#'
+// comments); "-" reads stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"adsketch"
+	"adsketch/internal/graph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = runGen(args)
+	case "stats":
+		err = runStats(args)
+	case "build":
+		err = runBuild(args)
+	case "query":
+		err = runQuery(args)
+	case "top":
+		err = runTop(args)
+	case "influence":
+		err = runInfluence(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adstool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: adstool {gen|stats|build|query|top|influence} [flags]")
+	os.Exit(2)
+}
+
+func loadGraph(path string, directed bool) (*adsketch.Graph, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return adsketch.ReadEdgeList(r, directed)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	typ := fs.String("type", "ba", "graph type: ba, gnp, grid, ws, tree")
+	n := fs.Int("n", 1000, "nodes")
+	m := fs.Int("m", 3, "edges per node (ba) / lattice degree (ws)")
+	p := fs.Float64("p", 0.01, "edge probability (gnp) / rewiring (ws)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	fs.Parse(args)
+	var g *adsketch.Graph
+	switch *typ {
+	case "ba":
+		g = adsketch.PreferentialAttachment(*n, *m, *seed)
+	case "gnp":
+		g = adsketch.GNP(*n, *p, false, *seed)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g = adsketch.Grid(side, side)
+	case "ws":
+		g = adsketch.WattsStrogatz(*n, *m, *p, *seed)
+	case "tree":
+		g = adsketch.RandomTree(*n, *seed)
+	default:
+		return fmt.Errorf("unknown graph type %q", *typ)
+	}
+	return adsketch.WriteEdgeList(os.Stdout, g)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	path := fs.String("graph", "-", "edge list path")
+	directed := fs.Bool("directed", false, "treat edges as directed")
+	fs.Parse(args)
+	g, err := loadGraph(*path, *directed)
+	if err != nil {
+		return err
+	}
+	_, comps := graph.ConnectedComponents(g)
+	fmt.Printf("nodes      %d\n", g.NumNodes())
+	fmt.Printf("edges      %d\n", g.NumEdges())
+	fmt.Printf("directed   %v\n", g.Directed())
+	fmt.Printf("weighted   %v\n", g.Weighted())
+	fmt.Printf("components %d\n", comps)
+	return nil
+}
+
+func buildFlags(fs *flag.FlagSet) (path *string, directed *bool, k *int, seed *uint64, flavor, algo *string) {
+	path = fs.String("graph", "-", "edge list path")
+	directed = fs.Bool("directed", false, "treat edges as directed")
+	k = fs.Int("k", 16, "sketch parameter")
+	seed = fs.Uint64("seed", 42, "rank seed")
+	flavor = fs.String("flavor", "bottomk", "bottomk, kmins, kpartition")
+	algo = fs.String("algo", "dijkstra", "dijkstra, dp, local, brute")
+	return
+}
+
+func parseOpts(k int, seed uint64, flavor string) (adsketch.Options, error) {
+	o := adsketch.Options{K: k, Seed: seed}
+	switch flavor {
+	case "bottomk":
+		o.Flavor = adsketch.BottomK
+	case "kmins":
+		o.Flavor = adsketch.KMins
+	case "kpartition":
+		o.Flavor = adsketch.KPartition
+	default:
+		return o, fmt.Errorf("unknown flavor %q", flavor)
+	}
+	return o, nil
+}
+
+func parseAlgo(name string) (adsketch.Algorithm, error) {
+	switch name {
+	case "dijkstra":
+		return adsketch.AlgoPrunedDijkstra, nil
+	case "dp":
+		return adsketch.AlgoDP, nil
+	case "local":
+		return adsketch.AlgoLocalUpdates, nil
+	case "brute":
+		return adsketch.AlgoBruteForce, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	path, directed, k, seed, flavor, algo := buildFlags(fs)
+	save := fs.String("save", "", "write the sketch set to this file")
+	fs.Parse(args)
+	g, err := loadGraph(*path, *directed)
+	if err != nil {
+		return err
+	}
+	o, err := parseOpts(*k, *seed, *flavor)
+	if err != nil {
+		return err
+	}
+	a, err := parseAlgo(*algo)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	set, err := adsketch.Build(g, o, a)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("built %v sketches for %d nodes in %v\n",
+		set.Options().Flavor, g.NumNodes(), elapsed.Round(time.Millisecond))
+	fmt.Printf("total entries %d (%.1f per node; Lemma 2.2 predicts ~k(1+ln n-ln k))\n",
+		set.TotalEntries(), float64(set.TotalEntries())/float64(g.NumNodes()))
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := adsketch.WriteSketches(f, set); err != nil {
+			return err
+		}
+		fmt.Printf("sketches saved to %s\n", *save)
+	}
+	return nil
+}
+
+// loadOrBuild returns sketches from -sketches when given, else builds.
+func loadOrBuild(sketchPath string, g *adsketch.Graph, k int, seed uint64, flavor, algo string) (*adsketch.Set, error) {
+	if sketchPath != "" {
+		f, err := os.Open(sketchPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return adsketch.ReadSketches(f)
+	}
+	o, err := parseOpts(k, seed, flavor)
+	if err != nil {
+		return nil, err
+	}
+	a, err := parseAlgo(algo)
+	if err != nil {
+		return nil, err
+	}
+	return adsketch.Build(g, o, a)
+}
+
+func runInfluence(args []string) error {
+	fs := flag.NewFlagSet("influence", flag.ExitOnError)
+	path, directed, k, seed, flavor, algo := buildFlags(fs)
+	seeds := fs.Int("seeds", 3, "number of influence seeds to pick")
+	d := fs.Float64("d", 2, "influence radius")
+	sketchPath := fs.String("sketches", "", "load sketches from file instead of building")
+	fs.Parse(args)
+	g, err := loadGraph(*path, *directed)
+	if err != nil {
+		return err
+	}
+	set, err := loadOrBuild(*sketchPath, g, *k, *seed, *flavor, *algo)
+	if err != nil {
+		return err
+	}
+	chosen, coverage := adsketch.GreedyInfluenceSeeds(set, nil, *seeds, *d)
+	fmt.Printf("greedy %d-seed set for radius %g: %v\n", *seeds, *d, chosen)
+	fmt.Printf("estimated union coverage: %.1f nodes (%.1f%% of graph)\n",
+		coverage, 100*coverage/float64(g.NumNodes()))
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	path, directed, k, seed, flavor, algo := buildFlags(fs)
+	node := fs.Int("node", 0, "query node")
+	d := fs.Float64("d", 2, "query distance")
+	sketchPath := fs.String("sketches", "", "load sketches from file instead of building")
+	fs.Parse(args)
+	g, err := loadGraph(*path, *directed)
+	if err != nil {
+		return err
+	}
+	set, err := loadOrBuild(*sketchPath, g, *k, *seed, *flavor, *algo)
+	if err != nil {
+		return err
+	}
+	o := set.Options()
+	v := int32(*node)
+	c := adsketch.NewCentrality(set)
+	fmt.Printf("node %d (k=%d, %v):\n", v, *k, o.Flavor)
+	fmt.Printf("  |N_%g|      %.1f\n", *d, c.NeighborhoodSize(v, *d))
+	fmt.Printf("  reachable   %.1f\n", c.Reachable(v))
+	fmt.Printf("  closeness   %.4e\n", c.Closeness(v))
+	fmt.Printf("  harmonic    %.1f\n", c.Harmonic(v))
+	fmt.Printf("  exp-decay   %.1f\n", c.ExponentialDecay(v))
+	return nil
+}
+
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	path, directed, k, seed, flavor, algo := buildFlags(fs)
+	top := fs.Int("top", 10, "ranking size")
+	sketchPath := fs.String("sketches", "", "load sketches from file instead of building")
+	fs.Parse(args)
+	g, err := loadGraph(*path, *directed)
+	if err != nil {
+		return err
+	}
+	set, err := loadOrBuild(*sketchPath, g, *k, *seed, *flavor, *algo)
+	if err != nil {
+		return err
+	}
+	c := adsketch.NewCentrality(set)
+	fmt.Printf("top %d by estimated closeness:\n", *top)
+	for i, r := range c.TopCloseness(*top) {
+		fmt.Printf("%3d. node %-8d %.4e\n", i+1, r.Node, r.Score)
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+// figures regenerates every table and figure of the paper's evaluation as
+// tab-separated series on stdout.
+//
+// Usage:
+//
+//	figures fig2    -k 10 -runs 500 -maxn 10000 -metric nrmse
+//	figures fig3    -k 16 -runs 5000 -maxn 1000000 -metric mre
+//	figures size    -runs 400
+//	figures baseb   -runs 300
+//	figures hllconst -runs 500
+//	figures anf     -n 2000 -k 64
+//
+// The paper's exact parameters are the defaults for fig2/fig3 panel rows
+// when -k is given (runs per Figure 2: k=5:1000, k=10:500, k=50:250 with
+// maxn 10000/10000/50000; Figure 3: k=16/32:5000 runs, k=64:2000, maxn
+// 10^6).  Smaller -runs values reproduce the same curves with more noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"adsketch"
+	"adsketch/internal/graph"
+	"adsketch/internal/simulate"
+	"adsketch/internal/sketch"
+	"adsketch/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig2":
+		err = runFig2(args)
+	case "fig3":
+		err = runFig3(args)
+	case "size":
+		err = runSize(args)
+	case "baseb":
+		err = runBaseB(args)
+	case "hllconst":
+		err = runHLLConst(args)
+	case "anf":
+		err = runANF(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: figures {fig2|fig3|size|baseb|hllconst|anf} [flags]")
+	os.Exit(2)
+}
+
+func metricFlag(fs *flag.FlagSet) *string {
+	return fs.String("metric", "nrmse", "nrmse, mre, or bias")
+}
+
+func parseMetric(s string) (stats.Metric, error) {
+	switch s {
+	case "nrmse":
+		return stats.NRMSE, nil
+	case "mre":
+		return stats.MRE, nil
+	case "bias":
+		return stats.Bias, nil
+	}
+	return 0, fmt.Errorf("unknown metric %q", s)
+}
+
+// paper defaults for Figure 2 rows.
+func fig2Defaults(k int) (runs, maxn int) {
+	switch k {
+	case 5:
+		return 1000, 10000
+	case 10:
+		return 500, 10000
+	case 50:
+		return 250, 50000
+	}
+	return 500, 10000
+}
+
+func runFig2(args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
+	k := fs.Int("k", 10, "sketch parameter (paper: 5, 10, 50)")
+	runs := fs.Int("runs", 0, "randomizations (0 = paper default for k)")
+	maxn := fs.Int("maxn", 0, "max cardinality (0 = paper default for k)")
+	seed := fs.Uint64("seed", 42, "base seed")
+	metric := metricFlag(fs)
+	fs.Parse(args)
+	m, err := parseMetric(*metric)
+	if err != nil {
+		return err
+	}
+	dr, dn := fig2Defaults(*k)
+	if *runs == 0 {
+		*runs = dr
+	}
+	if *maxn == 0 {
+		*maxn = dn
+	}
+	panel := simulate.Figure2(simulate.Fig2Config{
+		K: *k, MaxN: *maxn, Runs: *runs, Seed: *seed,
+	})
+	if err := panel.WriteTSV(os.Stdout, m); err != nil {
+		return err
+	}
+	fmt.Printf("# reference: basic CV UB = %.4f, HIP CV UB = %.4f, basic MRE UB = %.4f, HIP MRE UB = %.4f\n",
+		sketch.BasicCV(*k), sketch.HIPCV(*k), sketch.BasicMRE(*k), sketch.HIPMRE(*k))
+	return nil
+}
+
+func runFig3(args []string) error {
+	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+	k := fs.Int("k", 16, "registers (paper: 16, 32, 64)")
+	runs := fs.Int("runs", 0, "randomizations (0 = paper default for k)")
+	maxn := fs.Int("maxn", 1000000, "max cardinality")
+	seed := fs.Uint64("seed", 5, "base seed")
+	metric := metricFlag(fs)
+	fs.Parse(args)
+	m, err := parseMetric(*metric)
+	if err != nil {
+		return err
+	}
+	if *runs == 0 {
+		if *k >= 64 {
+			*runs = 2000
+		} else {
+			*runs = 5000
+		}
+	}
+	panel := simulate.Figure3(simulate.Fig3Config{
+		K: *k, MaxN: *maxn, Runs: *runs, Seed: *seed,
+	})
+	if err := panel.WriteTSV(os.Stdout, m); err != nil {
+		return err
+	}
+	fmt.Printf("# reference: HIP base-2 CV analysis = %.4f\n", sketch.HIPBaseBCV(*k, 2))
+	return nil
+}
+
+func runSize(args []string) error {
+	fs := flag.NewFlagSet("size", flag.ExitOnError)
+	runs := fs.Int("runs", 400, "randomizations")
+	seed := fs.Uint64("seed", 3, "base seed")
+	fs.Parse(args)
+	rows := simulate.SizeTable(
+		[]int{1, 5, 10, 50},
+		[]int{100, 1000, 10000, 100000},
+		*runs, *seed)
+	fmt.Println("# Lemma 2.2: expected bottom-k ADS size = k + k(H_n - H_k)")
+	fmt.Println("k\tn\tmeasured\texpected\trel.err")
+	for _, r := range rows {
+		fmt.Printf("%d\t%d\t%.2f\t%.2f\t%+.3f%%\n",
+			r.K, r.N, r.Measured, r.Expected, 100*(r.Measured-r.Expected)/r.Expected)
+	}
+	return nil
+}
+
+func runBaseB(args []string) error {
+	fs := flag.NewFlagSet("baseb", flag.ExitOnError)
+	runs := fs.Int("runs", 300, "randomizations")
+	n := fs.Int("n", 20000, "plateau cardinality")
+	seed := fs.Uint64("seed", 11, "base seed")
+	fs.Parse(args)
+	rows := simulate.BaseBTable(
+		[]int{16, 64},
+		[]float64{0, math.Pow(2, 0.25), math.Sqrt2, 2},
+		*n, *runs, *seed)
+	fmt.Println("# Section 5.6: HIP CV with base-b ranks ~ sqrt((1+b)/(4(k-1)))")
+	fmt.Println("k\tbase\tNRMSE\tanalysis\tratio")
+	for _, r := range rows {
+		base := "full"
+		if r.Base != 0 {
+			base = fmt.Sprintf("%.4g", r.Base)
+		}
+		fmt.Printf("%d\t%s\t%.4f\t%.4f\t%.3f\n",
+			r.K, base, r.NRMSE, r.Analysis, r.NRMSE/r.Analysis)
+	}
+	return nil
+}
+
+func runHLLConst(args []string) error {
+	fs := flag.NewFlagSet("hllconst", flag.ExitOnError)
+	runs := fs.Int("runs", 500, "randomizations")
+	n := fs.Int("n", 100000, "plateau cardinality")
+	seed := fs.Uint64("seed", 13, "base seed")
+	fs.Parse(args)
+	rows := simulate.HLLConstantsTable([]int{16, 32, 64}, *n, *runs, *seed)
+	fmt.Println("# Section 6: NRMSE constants (x sqrt(k)); paper: HLL ~1.08, HIP ~0.866, ratio ~1.25")
+	fmt.Println("k\tHLLxsqrt(k)\tHIPxsqrt(k)\tratio")
+	for _, r := range rows {
+		fmt.Printf("%d\t%.3f\t%.3f\t%.3f\n", r.K, r.HLLConst, r.HIPConst, r.Ratio)
+	}
+	return nil
+}
+
+func runANF(args []string) error {
+	fs := flag.NewFlagSet("anf", flag.ExitOnError)
+	n := fs.Int("n", 2000, "nodes")
+	k := fs.Int("k", 64, "registers per node")
+	seed := fs.Uint64("seed", 17, "seed")
+	fs.Parse(args)
+	g := adsketch.WattsStrogatz(*n, 6, 0.05, *seed)
+	exact := graph.NeighborhoodFunction(g)
+	basic, err := adsketch.NeighborhoodFunction(g, adsketch.ANFOptions{K: *k, Seed: *seed, Readout: adsketch.ANFBasic})
+	if err != nil {
+		return err
+	}
+	hip, err := adsketch.NeighborhoodFunction(g, adsketch.ANFOptions{K: *k, Seed: *seed, Readout: adsketch.ANFHIP})
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Appendix B.1: neighborhood function, basic vs HIP readout")
+	fmt.Println("hops\texact\tbasic\tHIP")
+	for t := range exact {
+		b, h := last(basic.NF, t), last(hip.NF, t)
+		fmt.Printf("%d\t%d\t%.0f\t%.0f\n", t, exact[t], b, h)
+	}
+	fmt.Printf("# effective diameter (0.9): exact %.2f, basic %.2f, HIP %.2f\n",
+		graph.EffectiveDiameter(exact, 0.9),
+		adsketch.EffectiveDiameter(basic.NF, 0.9),
+		adsketch.EffectiveDiameter(hip.NF, 0.9))
+	return nil
+}
+
+func last(nf []float64, t int) float64 {
+	if t >= len(nf) {
+		t = len(nf) - 1
+	}
+	return nf[t]
+}

@@ -1,0 +1,68 @@
+package adsketch_test
+
+import (
+	"fmt"
+
+	"adsketch"
+)
+
+// Build sketches for a small graph and estimate a neighborhood size.
+func ExampleBuild() {
+	g := adsketch.Grid(20, 20)
+	set, err := adsketch.Build(g, adsketch.Options{K: 64, Seed: 42}, adsketch.AlgoPrunedDijkstra)
+	if err != nil {
+		panic(err)
+	}
+	// Exact |N_2(center)| on a grid interior is 13 (the radius-2 diamond).
+	est := adsketch.EstimateNeighborhoodHIP(set.Sketch(210), 2)
+	fmt.Printf("|N_2| estimate within 25%% of 13: %v\n", est > 13*0.75 && est < 13*1.25)
+	// Output:
+	// |N_2| estimate within 25% of 13: true
+}
+
+// Estimate a distance-decay centrality with a query-time kernel and a
+// metadata filter chosen after the sketches were built.
+func ExampleEstimateCentrality() {
+	g := adsketch.Star(100) // hub 0 with 99 leaves
+	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 7}, adsketch.AlgoDP)
+	if err != nil {
+		panic(err)
+	}
+	onlyEvenLeaves := func(v int32) float64 {
+		if v != 0 && v%2 == 0 {
+			return 1
+		}
+		return 0
+	}
+	est := adsketch.EstimateCentrality(set.Sketch(0), adsketch.KernelThreshold(1), onlyEvenLeaves)
+	fmt.Printf("even leaves within 1 hop of the hub: estimate in [30,70]: %v\n", est > 30 && est < 70)
+	// Output:
+	// even leaves within 1 hop of the hub: estimate in [30,70]: true
+}
+
+// Count distinct elements of a stream with the HIP counter (Algorithm 3).
+func ExampleNewHIPDistinct() {
+	c := adsketch.NewHIPDistinct(64, 1)
+	for id := int64(0); id < 100000; id++ {
+		c.Add(id)
+		c.Add(id) // duplicates never change the estimate
+	}
+	est := c.Estimate()
+	fmt.Printf("100k distinct, estimate within 25%%: %v\n", est > 75000 && est < 125000)
+	// Output:
+	// 100k distinct, estimate within 25%: true
+}
+
+// Compare two nodes' neighborhoods with coordinated sketches.
+func ExampleNeighborhoodJaccard() {
+	g := adsketch.Complete(50)
+	set, err := adsketch.Build(g, adsketch.Options{K: 8, Seed: 3}, adsketch.AlgoPrunedDijkstra)
+	if err != nil {
+		panic(err)
+	}
+	// In a complete graph every 1-hop neighborhood is the whole node set.
+	j := adsketch.NeighborhoodJaccard(set.BottomK(4), 1, set.BottomK(9), 1)
+	fmt.Printf("identical neighborhoods: Jaccard = %.0f\n", j)
+	// Output:
+	// identical neighborhoods: Jaccard = 1
+}

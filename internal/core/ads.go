@@ -1,0 +1,377 @@
+// Package core implements All-Distances Sketches (ADS) — the paper's
+// primary contribution — in the three flavors of Section 2 (bottom-k,
+// k-mins, k-partition), the construction algorithms of Section 3
+// (PrunedDijkstra, DP, LocalUpdates), and the estimators built on them:
+// the basic MinHash-extraction estimators of Section 4, the Historic
+// Inverse Probability (HIP) estimators of Section 5 with full-precision or
+// base-b ranks, the permutation estimator of Section 5.4, the size-only
+// estimator of Section 8, and the non-uniform node-weight extension of
+// Section 9.
+//
+// # Canonical node order
+//
+// The paper defines the ADS with respect to unique distances, achieved by
+// tie-breaking (Section 2, Appendix B.3).  This package uses the total
+// order (distance, node ID): node u precedes node w with respect to source
+// v when d_vu < d_vw, or d_vu = d_vw and u < w.  The tie-break is
+// independent of the random ranks, which is exactly what the HIP
+// conditioning argument (Lemma 5.1) requires; any fixed rank-independent
+// tie-break yields the same estimator guarantees.
+//
+// Φ_<j(v) below always refers to the set of nodes that strictly precede j
+// in this order, and the Dijkstra rank π_vj is j's 1-based position in it.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adsketch/internal/sketch"
+)
+
+// Entry is one ADS record: a sampled node, its distance from the ADS owner,
+// and its rank.  For base-b sketches Rank holds the rounded rank.
+type Entry struct {
+	Node int32
+	Dist float64
+	Rank float64
+}
+
+// before reports whether entry a precedes entry b in the canonical
+// (distance, node ID) order.
+func (a Entry) before(b Entry) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Node < b.Node
+}
+
+// WeightedEntry is an ADS entry with its HIP adjusted weight a_vj = 1/τ_vj
+// (Section 5): an unbiased estimate of j's presence in the distance
+// relation of the owner.
+type WeightedEntry struct {
+	Node   int32
+	Dist   float64
+	Weight float64
+}
+
+// Sketch is the query interface shared by the three ADS flavors.  The HIP
+// estimators (and everything built on them) work identically across
+// flavors; only the inclusion probabilities differ (Sections 5.1 and 5.2).
+type Sketch interface {
+	// K is the sketch parameter controlling size/accuracy.
+	K() int
+	// Flavor identifies the sampling scheme.
+	Flavor() sketch.Flavor
+	// Size is the number of stored entries.
+	Size() int
+	// Node is the owner node of the sketch.
+	Node() int32
+	// EstimateNeighborhood returns the basic (Section 4) estimate of
+	// n_d = |N_d(owner)|, obtained by extracting the MinHash sketch of
+	// N_d from the ADS and applying the flavor's basic estimator.
+	EstimateNeighborhood(d float64) float64
+	// HIPEntries returns every stored node with its distance and HIP
+	// adjusted weight, ordered by the canonical order.  Summing weights
+	// over Dist <= d gives the HIP estimate of n_d; weighting by
+	// g(node, dist) gives the Q_g estimator (equation (5)).
+	HIPEntries() []WeightedEntry
+}
+
+// ADS is a bottom-k All-Distances Sketch (Section 2, equation (4)):
+// node j is included iff r(j) < k-th smallest rank among nodes preceding j
+// in the canonical order.  Entries are stored in canonical order.
+type ADS struct {
+	k       int
+	node    int32
+	entries []Entry
+}
+
+var _ Sketch = (*ADS)(nil)
+
+// NewADS returns an empty bottom-k ADS owned by node.
+func NewADS(node int32, k int) *ADS {
+	if k < 1 {
+		panic("core: k must be >= 1")
+	}
+	return &ADS{k: k, node: node}
+}
+
+// K returns the sketch parameter.
+func (a *ADS) K() int { return a.k }
+
+// Flavor returns sketch.BottomK.
+func (a *ADS) Flavor() sketch.Flavor { return sketch.BottomK }
+
+// Node returns the owner node.
+func (a *ADS) Node() int32 { return a.node }
+
+// Size returns the number of entries.
+func (a *ADS) Size() int { return len(a.entries) }
+
+// Entries returns the entries in canonical order.  The slice aliases
+// internal storage and must not be modified.
+func (a *ADS) Entries() []Entry { return a.entries }
+
+// SizeWithin returns |{entries with Dist <= d}|, the input of the size-only
+// estimator (Section 8).
+func (a *ADS) SizeWithin(d float64) int {
+	return sort.Search(len(a.entries), func(i int) bool { return a.entries[i].Dist > d })
+}
+
+// thresholdBefore returns the k-th smallest rank among the first m entries
+// (1 if m < k).  Because the ADS contains every node of Φ_<j that passed
+// its own threshold, and those are exactly the candidates with the k
+// smallest ranks, this equals kth_r(Φ_<j ∩ ADS) from Lemma 5.1.
+func thresholdBefore(entries []Entry, m, k int) float64 {
+	if m < k {
+		return 1
+	}
+	// Maintain the k smallest among entries[:m].  m is small in practice
+	// (entries are logarithmic); a max-heap over k slots keeps this cheap.
+	h := newMaxHeap(k)
+	for i := 0; i < m; i++ {
+		h.offer(entries[i].Rank)
+	}
+	return h.max()
+}
+
+// AppendInOrder appends an entry that is known to (a) come after all
+// current entries in canonical order and (b) satisfy the inclusion
+// condition.  Builders that generate candidates in canonical order
+// (PrunedDijkstra, DP, the stream builder) use Offer instead, which checks
+// the condition; AppendInOrder is the raw primitive.
+func (a *ADS) AppendInOrder(e Entry) {
+	if n := len(a.entries); n > 0 && !a.entries[n-1].before(e) {
+		panic(fmt.Sprintf("core: AppendInOrder out of order: %+v after %+v", e, a.entries[n-1]))
+	}
+	a.entries = append(a.entries, e)
+}
+
+// Offer presents a candidate that comes after all current entries in
+// canonical order, inserts it if it passes the bottom-k inclusion test
+// (rank strictly below the k-th smallest rank so far), and reports whether
+// it was inserted.
+func (a *ADS) Offer(e Entry) bool {
+	if e.Rank >= a.Threshold() {
+		return false
+	}
+	a.AppendInOrder(e)
+	return true
+}
+
+// Threshold returns the k-th smallest rank over all current entries (1 if
+// fewer than k).  A future candidate (which necessarily comes later in
+// canonical order) is included iff its rank is strictly below this value.
+func (a *ADS) Threshold() float64 {
+	return thresholdBefore(a.entries, len(a.entries), a.k)
+}
+
+// MinHashWithin extracts the bottom-k MinHash sketch of N_d(owner): the k
+// smallest ranks among entries with Dist <= d, ascending.  If fewer than k
+// nodes are within distance d the returned slice is shorter and the
+// neighborhood cardinality is its exact length (Section 2: the ADS
+// "contains" a MinHash sketch of every neighborhood).
+func (a *ADS) MinHashWithin(d float64) []float64 {
+	m := a.SizeWithin(d)
+	h := newMaxHeap(a.k)
+	for i := 0; i < m; i++ {
+		h.offer(a.entries[i].Rank)
+	}
+	out := h.sorted()
+	return out
+}
+
+// EstimateNeighborhood returns the basic bottom-k estimate of n_d
+// (Section 4.2): exact count when fewer than k entries are within d,
+// otherwise (k-1)/τ_k over the extracted MinHash sketch.
+func (a *ADS) EstimateNeighborhood(d float64) float64 {
+	mh := a.MinHashWithin(d)
+	if len(mh) < a.k {
+		return float64(len(mh))
+	}
+	return sketch.BottomKEstimate(a.k, mh[a.k-1])
+}
+
+// HIPEntries returns the entries with their HIP adjusted weights
+// (Lemma 5.1): scanning in canonical order, τ_vj is the k-th smallest rank
+// among prior entries (1 for the first k), and a_vj = 1/τ_vj.
+//
+// The same code serves full-precision and base-b sketches: with rounded
+// ranks the k-th smallest prior rounded rank is itself a grid value t, and
+// P(rounded rank of j < t) = t exactly (Section 5.6), so the inverse
+// probability is again 1/threshold.
+func (a *ADS) HIPEntries() []WeightedEntry {
+	out := make([]WeightedEntry, len(a.entries))
+	h := newMaxHeap(a.k)
+	for i, e := range a.entries {
+		tau := 1.0
+		if h.size() >= a.k {
+			tau = h.max()
+		}
+		out[i] = WeightedEntry{Node: e.Node, Dist: e.Dist, Weight: 1 / tau}
+		h.offer(e.Rank)
+	}
+	return out
+}
+
+// Validate checks the structural invariants: canonical order and the
+// inclusion condition (each entry's rank strictly below the k-th smallest
+// rank among prior entries).  It returns the first violation found.
+func (a *ADS) Validate() error {
+	h := newMaxHeap(a.k)
+	for i, e := range a.entries {
+		if i > 0 && !a.entries[i-1].before(e) {
+			return fmt.Errorf("core: ADS(%d) entries %d,%d out of canonical order", a.node, i-1, i)
+		}
+		if h.size() >= a.k && e.Rank >= h.max() {
+			return fmt.Errorf("core: ADS(%d) entry %d (node %d, rank %g) fails inclusion test against threshold %g",
+				a.node, i, e.Node, e.Rank, h.max())
+		}
+		h.offer(e.Rank)
+	}
+	if len(a.entries) > 0 {
+		if a.entries[0].Node != a.node || a.entries[0].Dist != 0 {
+			return fmt.Errorf("core: ADS(%d) does not start with the owner at distance 0", a.node)
+		}
+	}
+	return nil
+}
+
+// maxHeap keeps the k smallest values offered, exposing their maximum (the
+// k-th smallest overall).
+type maxHeap struct {
+	k int
+	v []float64
+}
+
+func newMaxHeap(k int) *maxHeap { return &maxHeap{k: k, v: make([]float64, 0, k)} }
+
+// reset empties the heap for reuse, keeping its storage.
+func (h *maxHeap) reset() { h.v = h.v[:0] }
+
+func (h *maxHeap) size() int { return len(h.v) }
+
+// max returns the largest retained value (the k-th smallest offered); the
+// caller must ensure the heap is non-empty.
+func (h *maxHeap) max() float64 { return h.v[0] }
+
+func (h *maxHeap) offer(x float64) {
+	if len(h.v) < h.k {
+		h.v = append(h.v, x)
+		i := len(h.v) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h.v[p] >= h.v[i] {
+				break
+			}
+			h.v[p], h.v[i] = h.v[i], h.v[p]
+			i = p
+		}
+		return
+	}
+	if x >= h.v[0] {
+		return
+	}
+	h.v[0] = x
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.v) && h.v[l] > h.v[big] {
+			big = l
+		}
+		if r < len(h.v) && h.v[r] > h.v[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.v[i], h.v[big] = h.v[big], h.v[i]
+		i = big
+	}
+}
+
+// sorted returns the retained values in ascending order.
+func (h *maxHeap) sorted() []float64 {
+	out := append([]float64(nil), h.v...)
+	sort.Float64s(out)
+	return out
+}
+
+// sumWithin sums HIP weights over entries with Dist <= d.
+func sumWithin(entries []WeightedEntry, d float64) float64 {
+	sum := 0.0
+	for _, e := range entries {
+		if e.Dist > d {
+			break
+		}
+		sum += e.Weight
+	}
+	return sum
+}
+
+// EstimateNeighborhoodHIP returns the HIP estimate of n_d for any flavor:
+// the sum of adjusted weights of entries within distance d (Section 5).
+func EstimateNeighborhoodHIP(s Sketch, d float64) float64 {
+	return sumWithin(s.HIPEntries(), d)
+}
+
+// EstimateQ returns the HIP estimate (equation (5)) of
+// Q_g = Σ_{j reachable} g(j, d_vj): the adjusted-weight-weighted sum of g
+// over the sketch.  g must be nonnegative for the variance guarantees of
+// Corollary 5.3 to apply; unbiasedness holds for any g.
+func EstimateQ(s Sketch, g func(node int32, dist float64) float64) float64 {
+	sum := 0.0
+	for _, e := range s.HIPEntries() {
+		sum += e.Weight * g(e.Node, e.Dist)
+	}
+	return sum
+}
+
+// EstimateCentrality returns the HIP estimate (equation (3)) of the
+// distance-decaying, metadata-weighted centrality
+// C_{α,β} = Σ_j α(d_vj)·β(j), for a non-increasing kernel α and node
+// weighting/filter β chosen at query time.
+func EstimateCentrality(s Sketch, alpha func(dist float64) float64, beta func(node int32) float64) float64 {
+	return EstimateQ(s, func(node int32, dist float64) float64 {
+		return alpha(dist) * beta(node)
+	})
+}
+
+// Closeness kernels from Section 1.
+
+// KernelThreshold returns α(x) = 1 for x <= d, else 0 (neighborhood
+// cardinality).
+func KernelThreshold(d float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x <= d {
+			return 1
+		}
+		return 0
+	}
+}
+
+// KernelReachability is α(x) ≡ 1 (count of reachable nodes).
+func KernelReachability(x float64) float64 { return 1 }
+
+// KernelExponential returns α(x) = 2^{-x} (exponentially attenuated
+// centrality, Dangalchev).
+func KernelExponential(x float64) float64 { return math.Exp2(-x) }
+
+// KernelHarmonic returns α(x) = 1/x for x > 0 and 0 at x = 0 (harmonic
+// centrality).
+func KernelHarmonic(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// KernelIdentity returns α(x) = x; with it, EstimateCentrality estimates
+// the sum of distances, the inverse of classic closeness centrality.
+func KernelIdentity(x float64) float64 { return x }
+
+// UnitBeta is the β ≡ 1 node weighting.
+func UnitBeta(int32) float64 { return 1 }

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"adsketch/internal/graph"
+	"adsketch/internal/rank"
+	"adsketch/internal/sketch"
+)
+
+// Options configures ADS construction for a graph.
+type Options struct {
+	// K is the sketch parameter (>= 1).
+	K int
+	// Flavor selects bottom-k, k-mins, or k-partition.
+	Flavor sketch.Flavor
+	// Seed determines the shared random permutation(s); sketches built
+	// with the same seed are coordinated.
+	Seed uint64
+	// BaseB, when > 1, rounds ranks down to powers b^-h (Sections 2 and
+	// 5.6), trading estimator variance (factor (1+b)/2) for compact rank
+	// representation.  Zero means full-precision ranks.
+	BaseB float64
+}
+
+func (o Options) validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("core: Options.K = %d, must be >= 1", o.K)
+	}
+	if o.BaseB != 0 && o.BaseB <= 1 {
+		return fmt.Errorf("core: Options.BaseB = %g, must be > 1 (or 0 for full ranks)", o.BaseB)
+	}
+	return nil
+}
+
+// Source returns the rank source the options define.
+func (o Options) Source() rank.Source { return rank.NewSource(o.Seed) }
+
+// rankFn returns the rank function for permutation perm (only k-mins uses
+// perm > 0), with base-b rounding applied when configured.
+func (o Options) rankFn(perm int) func(int32) float64 {
+	src := o.Source()
+	base := func(v int32) float64 { return src.Rank(int64(v)) }
+	if o.Flavor == sketch.KMins {
+		base = func(v int32) float64 { return src.RankAt(perm, int64(v)) }
+	}
+	if o.BaseB > 1 {
+		d := rank.NewBaseB(o.BaseB)
+		inner := base
+		return func(v int32) float64 { return d.Round(inner(v)) }
+	}
+	return base
+}
+
+// Algorithm selects an ADS construction algorithm (Section 3).
+type Algorithm int
+
+// Construction algorithms.
+const (
+	// AlgoPrunedDijkstra is Algorithm 1: one pruned Dijkstra per node in
+	// increasing rank order, on the transpose graph.  Works on weighted
+	// and unweighted graphs.
+	AlgoPrunedDijkstra Algorithm = iota
+	// AlgoDP is the node-centric dynamic-programming (Bellman–Ford round)
+	// computation for unweighted graphs; entries are inserted in
+	// increasing distance.
+	AlgoDP
+	// AlgoLocalUpdates is Algorithm 2: node-centric message passing for
+	// weighted graphs, with synchronized rounds bounded by the hop
+	// diameter; entries may be inserted out of distance order and are
+	// cleaned up.
+	AlgoLocalUpdates
+	// AlgoBruteForce derives each node's sketch directly from the exact
+	// nearest-neighbor order.  Quadratic; the reference the fast
+	// algorithms are tested against.
+	AlgoBruteForce
+	// AlgoPrunedDijkstraParallel is the Appendix B.4 batch-parallel
+	// variant of Algorithm 1: rank-ordered batches of candidates run
+	// their pruned Dijkstras concurrently and are reconciled per batch.
+	// Identical output to AlgoPrunedDijkstra.
+	AlgoPrunedDijkstraParallel
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoPrunedDijkstra:
+		return "PrunedDijkstra"
+	case AlgoDP:
+		return "DP"
+	case AlgoLocalUpdates:
+		return "LocalUpdates"
+	case AlgoBruteForce:
+		return "BruteForce"
+	case AlgoPrunedDijkstraParallel:
+		return "PrunedDijkstraParallel"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Set holds the sketches of all nodes of one graph, built with shared
+// (coordinated) ranks.
+type Set struct {
+	opts     Options
+	sketches []Sketch
+}
+
+// Options returns the build options.
+func (s *Set) Options() Options { return s.opts }
+
+// NumNodes returns the number of sketches.
+func (s *Set) NumNodes() int { return len(s.sketches) }
+
+// Sketch returns node v's sketch.
+func (s *Set) Sketch(v int32) Sketch { return s.sketches[v] }
+
+// BottomK returns node v's sketch as a bottom-k ADS; it panics if the set
+// was built with a different flavor.
+func (s *Set) BottomK(v int32) *ADS { return s.sketches[v].(*ADS) }
+
+// TotalEntries returns the summed entry count over all sketches — the
+// quantity Lemma 2.2 predicts as ~n·k(1 + ln n - ln k) for bottom-k.
+func (s *Set) TotalEntries() int {
+	n := 0
+	for _, sk := range s.sketches {
+		n += sk.Size()
+	}
+	return n
+}
+
+// BuildSet computes the (forward) ADS of every node of g using the chosen
+// algorithm.  For directed graphs pass g for forward sketches (distances
+// measured from the sketch owner) or g.Transpose() for backward sketches.
+func BuildSet(g *graph.Graph, o Options, algo Algorithm) (*Set, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if algo == AlgoDP && g.Weighted() {
+		return nil, fmt.Errorf("core: the DP builder requires an unweighted graph; use LocalUpdates or PrunedDijkstra")
+	}
+	runner, err := runnerFor(g, algo)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	set := &Set{opts: o, sketches: make([]Sketch, n)}
+	switch o.Flavor {
+	case sketch.BottomK:
+		lists := runner(runSpec{k: o.K, rank: o.rankFn(0)})
+		for v := 0; v < n; v++ {
+			a := NewADS(int32(v), o.K)
+			a.entries = lists[v]
+			set.sketches[v] = a
+		}
+	case sketch.KMins:
+		perRun := parallelRuns(o.K, func(h int) [][]Entry {
+			return runner(runSpec{k: 1, rank: o.rankFn(h)})
+		})
+		for v := 0; v < n; v++ {
+			a := NewKMinsADS(int32(v), o.K)
+			for h := 0; h < o.K; h++ {
+				a.perms[h] = perRun[h][v]
+			}
+			set.sketches[v] = a
+		}
+	case sketch.KPartition:
+		src := o.Source()
+		perRun := parallelRuns(o.K, func(b int) [][]Entry {
+			return runner(runSpec{
+				k:    1,
+				rank: o.rankFn(0),
+				include: func(v int32) bool {
+					return src.Bucket(int64(v), o.K) == b
+				},
+			})
+		})
+		for v := 0; v < n; v++ {
+			a := NewKPartitionADS(int32(v), o.K)
+			for b := 0; b < o.K; b++ {
+				a.buckets[b] = perRun[b][v]
+			}
+			set.sketches[v] = a
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown flavor %v", o.Flavor)
+	}
+	return set, nil
+}
+
+// runSpec describes one elementary construction pass: a bottom-k sample
+// under a single rank function, optionally restricted to candidate nodes
+// (the k-partition buckets).  All three flavors reduce to such passes.
+type runSpec struct {
+	k       int
+	rank    func(int32) float64
+	include func(int32) bool // nil means every node is a candidate
+}
+
+func (s runSpec) candidate(v int32) bool {
+	return s.include == nil || s.include(v)
+}
+
+// runner is an algorithm bound to a graph: it executes one pass and
+// returns, for every node, its entry list in canonical order.
+type runner func(runSpec) [][]Entry
+
+func runnerFor(g *graph.Graph, algo Algorithm) (runner, error) {
+	switch algo {
+	case AlgoPrunedDijkstra:
+		return func(s runSpec) [][]Entry { return prunedDijkstraRun(g, s) }, nil
+	case AlgoDP:
+		return func(s runSpec) [][]Entry { return dpRun(g, s) }, nil
+	case AlgoLocalUpdates:
+		return func(s runSpec) [][]Entry { return localUpdatesRun(g, s) }, nil
+	case AlgoBruteForce:
+		return func(s runSpec) [][]Entry { return bruteForceRun(g, s) }, nil
+	case AlgoPrunedDijkstraParallel:
+		return func(s runSpec) [][]Entry { return prunedDijkstraParallelRun(g, s, 0, 0) }, nil
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+}
+
+// parallelRuns executes fn(0..k-1) across GOMAXPROCS workers.
+func parallelRuns(k int, fn func(int) [][]Entry) [][][]Entry {
+	out := make([][][]Entry, k)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for i := 0; i < k; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < k; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// bruteForceRun derives each node's entry list directly from the exact
+// nearest-neighbor order (the definitional construction).  O(n·m) and
+// simple; used as ground truth.
+func bruteForceRun(g *graph.Graph, s runSpec) [][]Entry {
+	n := g.NumNodes()
+	lists := make([][]Entry, n)
+	for v := 0; v < n; v++ {
+		order := graph.NearestOrder(g, int32(v))
+		h := newMaxHeap(s.k)
+		for _, nd := range order {
+			if !s.candidate(nd.Node) {
+				continue
+			}
+			r := s.rank(nd.Node)
+			if h.size() >= s.k && r >= h.max() {
+				continue
+			}
+			lists[v] = append(lists[v], Entry{Node: nd.Node, Dist: nd.Dist, Rank: r})
+			h.offer(r)
+		}
+	}
+	return lists
+}
+
+// partialADS is the under-construction entry list of one node, kept in
+// canonical order so "how many entries precede (d, node)" is a binary
+// search.
+type partialADS []Entry
+
+// countBefore returns the number of entries that precede e canonically.
+func (p partialADS) countBefore(e Entry) int {
+	return sort.Search(len(p), func(i int) bool { return !p[i].before(e) })
+}
+
+// insertAt inserts e at position i.
+func (p *partialADS) insertAt(i int, e Entry) {
+	*p = append(*p, Entry{})
+	copy((*p)[i+1:], (*p)[i:])
+	(*p)[i] = e
+}
+
+// prunedDijkstraRun is Algorithm 1 generalized to one runSpec pass.
+// Candidates are processed in increasing rank order; each runs a pruned
+// Dijkstra on the transpose graph, so that reaching v at distance d means
+// d = d(v -> candidate) in g.  A visited node v inserts the candidate
+// exactly when fewer than k current entries precede it canonically (all
+// current entries have strictly smaller rank, having been processed
+// earlier), and prunes otherwise.
+//
+// Ties in rank values (possible with base-b rounding) are handled by
+// processing equal-rank candidates as a group whose insertions are
+// buffered and applied per node in canonical order when the group
+// finishes.  Under the strict-inequality inclusion rule an equal-rank
+// entry blocks a candidate exactly when it canonically precedes it, so
+// each buffered insertion is re-validated at flush time against both the
+// pre-group entries (strictly smaller rank) and the group insertions
+// already accepted at that node (equal rank, canonically earlier); the
+// test in both cases is "fewer than k canonically-earlier entries".
+// Pruning during the traversal uses only pre-group entries, which prunes
+// slightly less than possible but never incorrectly.
+func prunedDijkstraRun(g *graph.Graph, s runSpec) [][]Entry {
+	n := g.NumNodes()
+	lists := make([]partialADS, n)
+	// Sort candidates by (rank, node) for determinism.
+	cands := make([]int32, 0, n)
+	for v := int32(0); int(v) < n; v++ {
+		if s.candidate(v) {
+			cands = append(cands, v)
+		}
+	}
+	ranks := make([]float64, n)
+	for _, v := range cands {
+		ranks[v] = s.rank(v)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if ranks[cands[i]] != ranks[cands[j]] {
+			return ranks[cands[i]] < ranks[cands[j]]
+		}
+		return cands[i] < cands[j]
+	})
+	tr := g.Transpose()
+	vis := graph.NewVisitor(tr)
+	type pending struct {
+		v int32
+		e Entry
+	}
+	var buffer []pending
+	flush := func() {
+		// Apply buffered insertions of an equal-rank group per node in
+		// canonical order, re-validating each against the entries present
+		// at its position (pre-group entries plus already-accepted group
+		// members, all of which canonically precede it and have rank <=
+		// the group rank).
+		sort.Slice(buffer, func(i, j int) bool {
+			if buffer[i].v != buffer[j].v {
+				return buffer[i].v < buffer[j].v
+			}
+			return buffer[i].e.before(buffer[j].e)
+		})
+		for _, p := range buffer {
+			pos := lists[p.v].countBefore(p.e)
+			if pos < s.k {
+				lists[p.v].insertAt(pos, p.e)
+			}
+		}
+		buffer = buffer[:0]
+	}
+	for i, u := range cands {
+		if i > 0 && ranks[cands[i-1]] != ranks[u] {
+			flush()
+		}
+		ru := ranks[u]
+		vis.Run(u, func(v int32, d float64) bool {
+			e := Entry{Node: u, Dist: d, Rank: ru}
+			if lists[v].countBefore(e) >= s.k {
+				return false // prune: k closer entries with smaller rank
+			}
+			buffer = append(buffer, pending{v: v, e: e})
+			return true
+		})
+		// Full-precision ranks are unique, so the common case flushes
+		// after every candidate (group size 1).
+	}
+	flush()
+	out := make([][]Entry, n)
+	for v := range lists {
+		out[v] = lists[v]
+	}
+	return out
+}

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"adsketch/internal/graph"
+	"adsketch/internal/sketch"
+)
+
+// equalSketches compares two sketches of the same flavor entry by entry.
+func equalSketches(t *testing.T, label string, a, b Sketch) {
+	t.Helper()
+	switch x := a.(type) {
+	case *ADS:
+		y := b.(*ADS)
+		equalEntryLists(t, label, x.Entries(), y.Entries())
+	case *KMinsADS:
+		y := b.(*KMinsADS)
+		for h := 0; h < x.K(); h++ {
+			equalEntryLists(t, fmt.Sprintf("%s perm %d", label, h), x.Perm(h), y.Perm(h))
+		}
+	case *KPartitionADS:
+		y := b.(*KPartitionADS)
+		for bk := 0; bk < x.K(); bk++ {
+			equalEntryLists(t, fmt.Sprintf("%s bucket %d", label, bk), x.Bucket(bk), y.Bucket(bk))
+		}
+	default:
+		t.Fatalf("%s: unknown sketch type %T", label, a)
+	}
+}
+
+func equalEntryLists(t *testing.T, label string, a, b []Entry) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d entries\n%v\n%v", label, len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || a[i].Rank != b[i].Rank ||
+			!almostEqual(a[i].Dist, b[i].Dist) {
+			t.Fatalf("%s: entry %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+a+b)
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path":          graph.Path(40),
+		"cycle":         graph.Cycle(37),
+		"grid":          graph.Grid(7, 8),
+		"gnp":           graph.GNP(120, 0.04, false, 5),
+		"gnp-directed":  graph.GNP(100, 0.05, true, 6),
+		"ba":            graph.PreferentialAttachment(150, 3, 7),
+		"tree":          graph.RandomTree(90, 8),
+		"disconnected":  graph.GNP(80, 0.01, false, 9),
+		"star":          graph.Star(30),
+		"two-node":      graph.Path(2),
+		"singleton":     graph.Path(1),
+		"complete-tiny": graph.Complete(6),
+	}
+}
+
+func weightedTestGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"wpath":         graph.WithRandomWeights(graph.Path(30), 1, 4, 11),
+		"wgrid":         graph.WithRandomWeights(graph.Grid(6, 6), 0.5, 2, 12),
+		"wgnp":          graph.WithRandomWeights(graph.GNP(80, 0.06, false, 13), 1, 10, 14),
+		"wgnp-directed": graph.WithRandomWeights(graph.GNP(70, 0.07, true, 15), 1, 3, 16),
+		"wba":           graph.WithRandomWeights(graph.PreferentialAttachment(90, 2, 17), 1, 2, 18),
+	}
+}
+
+func allFlavors() []sketch.Flavor {
+	return []sketch.Flavor{sketch.BottomK, sketch.KMins, sketch.KPartition}
+}
+
+// TestBuildersAgreeUnweighted checks that PrunedDijkstra, DP, LocalUpdates
+// and the brute-force reference produce identical sketch sets on unweighted
+// graphs, for every flavor.
+func TestBuildersAgreeUnweighted(t *testing.T) {
+	for name, g := range testGraphs() {
+		for _, fl := range allFlavors() {
+			for _, k := range []int{1, 3, 8} {
+				o := Options{K: k, Flavor: fl, Seed: 42}
+				ref, err := BuildSet(g, o, AlgoBruteForce)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, algo := range []Algorithm{AlgoPrunedDijkstra, AlgoDP, AlgoLocalUpdates} {
+					got, err := BuildSet(g, o, algo)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for v := int32(0); int(v) < g.NumNodes(); v++ {
+						label := fmt.Sprintf("%s/%v/k=%d/%v/node %d", name, fl, k, algo, v)
+						equalSketches(t, label, ref.Sketch(v), got.Sketch(v))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildersAgreeWeighted checks PrunedDijkstra and LocalUpdates against
+// brute force on weighted graphs.
+func TestBuildersAgreeWeighted(t *testing.T) {
+	for name, g := range weightedTestGraphs() {
+		for _, fl := range allFlavors() {
+			o := Options{K: 4, Flavor: fl, Seed: 99}
+			ref, err := BuildSet(g, o, AlgoBruteForce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, algo := range []Algorithm{AlgoPrunedDijkstra, AlgoLocalUpdates} {
+				got, err := BuildSet(g, o, algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := int32(0); int(v) < g.NumNodes(); v++ {
+					label := fmt.Sprintf("%s/%v/%v/node %d", name, fl, algo, v)
+					equalSketches(t, label, ref.Sketch(v), got.Sketch(v))
+				}
+			}
+		}
+	}
+}
+
+// TestBuildersAgreeBaseB checks that base-b rounding (which introduces rank
+// ties) still yields identical structures across builders.
+func TestBuildersAgreeBaseB(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnp":  graph.GNP(100, 0.05, false, 21),
+		"grid": graph.Grid(6, 7),
+		"wgnp": graph.WithRandomWeights(graph.GNP(70, 0.06, false, 22), 1, 5, 23),
+	}
+	for name, g := range graphs {
+		for _, b := range []float64{2, 1.2} {
+			o := Options{K: 4, Flavor: sketch.BottomK, Seed: 77, BaseB: b}
+			ref, err := BuildSet(g, o, AlgoBruteForce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			algos := []Algorithm{AlgoPrunedDijkstra, AlgoLocalUpdates}
+			if !g.Weighted() {
+				algos = append(algos, AlgoDP)
+			}
+			for _, algo := range algos {
+				got, err := BuildSet(g, o, algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := int32(0); int(v) < g.NumNodes(); v++ {
+					label := fmt.Sprintf("%s/b=%g/%v/node %d", name, b, algo, v)
+					equalSketches(t, label, ref.Sketch(v), got.Sketch(v))
+				}
+			}
+		}
+	}
+}
+
+// TestBuiltSketchesValid validates the structural invariants of everything
+// the builders produce.
+func TestBuiltSketchesValid(t *testing.T) {
+	g := graph.GNP(150, 0.04, false, 31)
+	for _, fl := range allFlavors() {
+		set, err := BuildSet(g, Options{K: 5, Flavor: fl, Seed: 1}, AlgoPrunedDijkstra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int32(0); int(v) < g.NumNodes(); v++ {
+			var err error
+			switch s := set.Sketch(v).(type) {
+			case *ADS:
+				err = s.Validate()
+			case *KMinsADS:
+				err = s.Validate()
+			case *KPartitionADS:
+				err = s.Validate()
+			}
+			if err != nil {
+				t.Fatalf("%v node %d: %v", fl, v, err)
+			}
+		}
+	}
+}
+
+// TestBottomKADSContainsKNearest checks the definitional property that the
+// k closest nodes always belong to the bottom-k ADS.
+func TestBottomKADSContainsKNearest(t *testing.T) {
+	g := graph.PreferentialAttachment(200, 3, 44)
+	const k = 6
+	set, err := BuildSet(g, Options{K: k, Flavor: sketch.BottomK, Seed: 8}, AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int32{0, 50, 199} {
+		order := graph.NearestOrder(g, v)
+		ads := set.BottomK(v)
+		members := map[int32]bool{}
+		for _, e := range ads.Entries() {
+			members[e.Node] = true
+		}
+		for i := 0; i < k && i < len(order); i++ {
+			if !members[order[i].Node] {
+				t.Errorf("node %d: %d-th nearest (%d) missing from ADS", v, i, order[i].Node)
+			}
+		}
+	}
+}
+
+// TestADSEntryDistancesAreShortestPaths checks that stored distances equal
+// true shortest-path distances.
+func TestADSEntryDistancesAreShortestPaths(t *testing.T) {
+	g := graph.WithRandomWeights(graph.GNP(90, 0.07, true, 55), 1, 6, 56)
+	set, err := BuildSet(g, Options{K: 4, Flavor: sketch.BottomK, Seed: 3}, AlgoLocalUpdates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		dist := graph.Dijkstra(g, v)
+		for _, e := range set.BottomK(v).Entries() {
+			if !almostEqual(e.Dist, dist[e.Node]) {
+				t.Fatalf("node %d entry %d: dist %g, true %g", v, e.Node, e.Dist, dist[e.Node])
+			}
+		}
+	}
+}
+
+// TestDirectedForwardBackward: building on the transpose gives the
+// backward sketches (distance measured toward the owner).
+func TestDirectedForwardBackward(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 3)
+	g := b.Build()
+	fwd, err := BuildSet(g, Options{K: 3, Flavor: sketch.BottomK, Seed: 4}, AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := BuildSet(g.Transpose(), Options{K: 3, Flavor: sketch.BottomK, Seed: 4}, AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward ADS(0) reaches 0,1,2; backward ADS(0) sees only 0.
+	if fwd.BottomK(0).Size() != 3 {
+		t.Errorf("forward ADS(0) size = %d, want 3", fwd.BottomK(0).Size())
+	}
+	if bwd.BottomK(0).Size() != 1 {
+		t.Errorf("backward ADS(0) size = %d, want 1", bwd.BottomK(0).Size())
+	}
+	// Backward ADS(2) sees all three with distances 5, 3, 0.
+	be := bwd.BottomK(2).Entries()
+	if len(be) != 3 || be[0].Dist != 0 || be[1].Dist != 3 || be[2].Dist != 5 {
+		t.Errorf("backward ADS(2) entries = %v", be)
+	}
+}
+
+func TestBuildSetErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := BuildSet(g, Options{K: 0, Flavor: sketch.BottomK}, AlgoDP); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := BuildSet(g, Options{K: 2, Flavor: sketch.BottomK, BaseB: 0.5}, AlgoDP); err == nil {
+		t.Error("BaseB=0.5 accepted")
+	}
+	wg := graph.WithRandomWeights(g, 1, 2, 1)
+	if _, err := BuildSet(wg, Options{K: 2, Flavor: sketch.BottomK}, AlgoDP); err == nil {
+		t.Error("DP on weighted graph accepted")
+	}
+	if _, err := BuildSet(g, Options{K: 2, Flavor: sketch.Flavor(9)}, AlgoDP); err == nil {
+		t.Error("unknown flavor accepted")
+	}
+	if _, err := BuildSet(g, Options{K: 2, Flavor: sketch.BottomK}, Algorithm(9)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		AlgoPrunedDijkstra: "PrunedDijkstra",
+		AlgoDP:             "DP",
+		AlgoLocalUpdates:   "LocalUpdates",
+		AlgoBruteForce:     "BruteForce",
+		Algorithm(9):       "Algorithm(9)",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestSetAccessors(t *testing.T) {
+	g := graph.Path(10)
+	o := Options{K: 2, Flavor: sketch.BottomK, Seed: 5}
+	set, err := BuildSet(g, o, AlgoDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NumNodes() != 10 {
+		t.Errorf("NumNodes = %d", set.NumNodes())
+	}
+	if set.Options() != o {
+		t.Error("Options not retained")
+	}
+	total := 0
+	for v := int32(0); v < 10; v++ {
+		total += set.Sketch(v).Size()
+	}
+	if set.TotalEntries() != total {
+		t.Errorf("TotalEntries = %d, want %d", set.TotalEntries(), total)
+	}
+}
+
+// TestCoordination: sketches from the same seed sample the same low-rank
+// nodes, enabling similarity estimation across nodes.
+func TestCoordination(t *testing.T) {
+	g := graph.Complete(30)
+	o := Options{K: 5, Flavor: sketch.BottomK, Seed: 10}
+	set, err := BuildSet(g, o, AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a complete graph all nodes share the same neighborhood at d=1, so
+	// every ADS must sample the same k+? low-rank nodes at distance <= 1
+	// (the k globally smallest ranks, plus the owner).
+	src := o.Source()
+	globalBest := map[int32]bool{}
+	type nr struct {
+		n int32
+		r float64
+	}
+	var all []nr
+	for v := int32(0); v < 30; v++ {
+		all = append(all, nr{v, src.Rank(int64(v))})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].r < all[i].r {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		globalBest[all[i].n] = true
+	}
+	for v := int32(0); v < 30; v++ {
+		sampled := map[int32]bool{}
+		for _, e := range set.BottomK(v).Entries() {
+			sampled[e.Node] = true
+		}
+		for n := range globalBest {
+			if !sampled[n] {
+				t.Errorf("node %d: globally smallest-rank node %d missing (coordination broken)", v, n)
+			}
+		}
+	}
+}
+
+func TestBuildersHandleMultiEdges(t *testing.T) {
+	// Parallel edges and self-loops must not break any builder.
+	b := graph.NewBuilder(5, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1) // parallel
+	b.AddWeightedEdge(1, 2, 1)
+	b.AddWeightedEdge(1, 2, 3) // parallel, heavier
+	b.AddEdge(3, 3)            // self loop
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	o := Options{K: 2, Flavor: sketch.BottomK, Seed: 13}
+	ref, err := BuildSet(g, o, AlgoBruteForce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoPrunedDijkstra, AlgoLocalUpdates, AlgoPrunedDijkstraParallel} {
+		got, err := BuildSet(g, o, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int32(0); int(v) < g.NumNodes(); v++ {
+			equalSketches(t, fmt.Sprintf("multi-edge %v node %d", algo, v), ref.Sketch(v), got.Sketch(v))
+		}
+	}
+}
+
+func TestBuildersEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0, false).Build()
+	for _, algo := range []Algorithm{AlgoPrunedDijkstra, AlgoDP, AlgoLocalUpdates, AlgoBruteForce, AlgoPrunedDijkstraParallel} {
+		for _, fl := range allFlavors() {
+			set, err := BuildSet(g, Options{K: 2, Flavor: fl, Seed: 1}, algo)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", algo, fl, err)
+			}
+			if set.NumNodes() != 0 || set.TotalEntries() != 0 {
+				t.Errorf("%v/%v: nonempty result on empty graph", algo, fl)
+			}
+		}
+	}
+}
+
+func graphPathForTest(n int) *graph.Graph { return graph.Path(n) }

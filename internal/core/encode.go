@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"adsketch/internal/sketch"
+)
+
+// Binary persistence for sketch sets.  Building sketches is the expensive
+// step (one near-linear pass over the graph); queries are cheap.  The
+// format lets a pipeline build once and serve many query processes:
+//
+//	magic "ADSK" | version u32 | k u32 | flavor u32 | seed u64 |
+//	baseB f64 | numNodes u32 | per node: sketch payload
+//
+// Bottom-k payload: entry count u32, then (node i32, dist f64, rank f64)
+// triples.  k-mins and k-partition payloads repeat that per permutation /
+// bucket.  All integers are little-endian.
+
+const (
+	encodeMagic   = "ADSK"
+	encodeVersion = 1
+)
+
+// WriteSet serializes a sketch set.
+func WriteSet(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(encodeMagic); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint32(encodeVersion),
+		uint32(s.opts.K),
+		uint32(s.opts.Flavor),
+		s.opts.Seed,
+		math.Float64bits(s.opts.BaseB),
+		uint32(len(s.sketches)),
+	}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, sk := range s.sketches {
+		switch x := sk.(type) {
+		case *ADS:
+			if err := writeEntries(bw, x.entries); err != nil {
+				return err
+			}
+		case *KMinsADS:
+			for _, p := range x.perms {
+				if err := writeEntries(bw, p); err != nil {
+					return err
+				}
+			}
+		case *KPartitionADS:
+			for _, p := range x.buckets {
+				if err := writeEntries(bw, p); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("core: cannot encode sketch type %T", sk)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeEntries(w io.Writer, entries []Entry) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := binary.Write(w, binary.LittleEndian, e.Node); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(e.Dist)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(e.Rank)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSet deserializes a sketch set written by WriteSet, validating the
+// structural invariants of every sketch.
+func ReadSet(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading sketch file magic: %w", err)
+	}
+	if string(magic) != encodeMagic {
+		return nil, fmt.Errorf("core: not a sketch file (magic %q)", magic)
+	}
+	var version, k, flavor, numNodes uint32
+	var seed, baseBits uint64
+	for _, p := range []any{&version, &k, &flavor, &seed, &baseBits, &numNodes} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("core: reading sketch file header: %w", err)
+		}
+	}
+	if version != encodeVersion {
+		return nil, fmt.Errorf("core: sketch file version %d, want %d", version, encodeVersion)
+	}
+	o := Options{
+		K:      int(k),
+		Flavor: sketch.Flavor(flavor),
+		Seed:   seed,
+		BaseB:  math.Float64frombits(baseBits),
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if numNodes > 1<<30 {
+		return nil, fmt.Errorf("core: implausible node count %d", numNodes)
+	}
+	set := &Set{opts: o, sketches: make([]Sketch, numNodes)}
+	for v := uint32(0); v < numNodes; v++ {
+		switch o.Flavor {
+		case sketch.BottomK:
+			entries, err := readEntries(br, int32(v))
+			if err != nil {
+				return nil, err
+			}
+			a := NewADS(int32(v), o.K)
+			a.entries = entries
+			if err := a.Validate(); err != nil {
+				return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
+			}
+			set.sketches[v] = a
+		case sketch.KMins:
+			a := NewKMinsADS(int32(v), o.K)
+			for h := 0; h < o.K; h++ {
+				entries, err := readEntries(br, int32(v))
+				if err != nil {
+					return nil, err
+				}
+				a.perms[h] = entries
+			}
+			if err := a.Validate(); err != nil {
+				return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
+			}
+			set.sketches[v] = a
+		case sketch.KPartition:
+			a := NewKPartitionADS(int32(v), o.K)
+			for bkt := 0; bkt < o.K; bkt++ {
+				entries, err := readEntries(br, int32(v))
+				if err != nil {
+					return nil, err
+				}
+				a.buckets[bkt] = entries
+			}
+			if err := a.Validate(); err != nil {
+				return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
+			}
+			set.sketches[v] = a
+		default:
+			return nil, fmt.Errorf("core: sketch file has unknown flavor %d", flavor)
+		}
+	}
+	return set, nil
+}
+
+func readEntries(r io.Reader, owner int32) ([]Entry, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("core: implausible entry count %d for node %d", n, owner)
+	}
+	entries := make([]Entry, n)
+	for i := range entries {
+		var node int32
+		var dist, rank uint64
+		if err := binary.Read(r, binary.LittleEndian, &node); err != nil {
+			return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &dist); err != nil {
+			return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+			return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+		}
+		entries[i] = Entry{Node: node, Dist: math.Float64frombits(dist), Rank: math.Float64frombits(rank)}
+	}
+	return entries, nil
+}

@@ -1,0 +1,644 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"adsketch/internal/graph"
+	"adsketch/internal/rank"
+	"adsketch/internal/sketch"
+	"adsketch/internal/stats"
+)
+
+// streamSketch builds a flavor sketch over n elements in arrival order.
+func streamSketch(fl sketch.Flavor, k, n int, seed uint64) Sketch {
+	src := rank.NewSource(seed)
+	switch fl {
+	case sketch.BottomK:
+		b := NewStreamBuilder(0, k)
+		for i := int64(0); i < int64(n); i++ {
+			b.Offer(int32(i), float64(i), src.Rank(i))
+		}
+		return b.ADS()
+	case sketch.KMins:
+		a := NewKMinsADS(0, k)
+		for i := int64(0); i < int64(n); i++ {
+			for h := 0; h < k; h++ {
+				a.OfferAt(h, Entry{Node: int32(i), Dist: float64(i), Rank: src.RankAt(h, i)})
+			}
+		}
+		return a
+	case sketch.KPartition:
+		a := NewKPartitionADS(0, k)
+		for i := int64(0); i < int64(n); i++ {
+			b := src.Bucket(i, k)
+			a.OfferAt(b, Entry{Node: int32(i), Dist: float64(i), Rank: src.Rank(i)})
+		}
+		return a
+	}
+	panic("unknown flavor")
+}
+
+// TestHIPUnbiasedAllFlavors checks E[HIP estimate] = n for each flavor.
+func TestHIPUnbiasedAllFlavors(t *testing.T) {
+	const k, n, runs = 8, 600, 400
+	for _, fl := range []sketch.Flavor{sketch.BottomK, sketch.KMins, sketch.KPartition} {
+		acc := stats.NewErrAccum(n)
+		for run := 0; run < runs; run++ {
+			s := streamSketch(fl, k, n, uint64(run)*1315423911+7)
+			acc.Add(EstimateNeighborhoodHIP(s, n))
+		}
+		if bias := acc.Bias(); math.Abs(bias) > 0.03 {
+			t.Errorf("%v HIP bias = %+.3f, want ~0", fl, bias)
+		}
+	}
+}
+
+// TestHIPCVMatchesTheory: the bottom-k HIP CV should track the Theorem 5.1
+// bound 1/sqrt(2(k-1)) for n >> k and never exceed it materially.
+func TestHIPCVMatchesTheory(t *testing.T) {
+	const n, runs = 2000, 500
+	for _, k := range []int{4, 8, 16} {
+		acc := stats.NewErrAccum(n)
+		for run := 0; run < runs; run++ {
+			s := streamSketch(sketch.BottomK, k, n, uint64(run)*2654435761+13)
+			acc.Add(EstimateNeighborhoodHIP(s, n))
+		}
+		bound := sketch.HIPCV(k)
+		got := acc.NRMSE()
+		if got > 1.15*bound {
+			t.Errorf("k=%d: HIP NRMSE %g exceeds bound %g", k, got, bound)
+		}
+		if got < 0.6*bound {
+			t.Errorf("k=%d: HIP NRMSE %g suspiciously below theory %g", k, got, bound)
+		}
+	}
+}
+
+// TestHIPHalvesBasicVariance is the headline claim (Theorem 5.1): HIP has
+// about half the variance of the basic bottom-k estimator for n >> k, i.e.
+// a factor-sqrt(2) lower NRMSE.
+func TestHIPHalvesBasicVariance(t *testing.T) {
+	const k, n, runs = 10, 3000, 600
+	hip := stats.NewErrAccum(n)
+	basic := stats.NewErrAccum(n)
+	for run := 0; run < runs; run++ {
+		s := streamSketch(sketch.BottomK, k, n, uint64(run)*40503+1).(*ADS)
+		hip.Add(EstimateNeighborhoodHIP(s, n))
+		basic.Add(s.EstimateNeighborhood(n))
+	}
+	ratio := basic.NRMSE() / hip.NRMSE()
+	if ratio < 1.25 || ratio > 1.6 {
+		t.Errorf("basic/HIP NRMSE ratio = %g, want ~sqrt(2)=1.414", ratio)
+	}
+}
+
+// TestHIPExactForSmallN: for n <= k the estimate is exact with zero
+// variance.
+func TestHIPExactForSmallN(t *testing.T) {
+	const k = 16
+	for n := 1; n <= k; n++ {
+		s := streamSketch(sketch.BottomK, k, n, 99)
+		if got := EstimateNeighborhoodHIP(s, float64(n)); got != float64(n) {
+			t.Errorf("n=%d: HIP = %g, want exact", n, got)
+		}
+	}
+}
+
+// TestHIPPrefixEstimates: the HIP estimate at distance d estimates n_d for
+// every prefix, not just the full set.
+func TestHIPPrefixEstimates(t *testing.T) {
+	const k, n, runs = 8, 1000, 300
+	checkpoints := []int{50, 200, 500, 999}
+	accs := make([]*stats.ErrAccum, len(checkpoints))
+	for i, c := range checkpoints {
+		accs[i] = stats.NewErrAccum(float64(c + 1))
+	}
+	for run := 0; run < runs; run++ {
+		s := streamSketch(sketch.BottomK, k, n, uint64(run)*31+5)
+		for i, c := range checkpoints {
+			accs[i].Add(EstimateNeighborhoodHIP(s, float64(c)))
+		}
+	}
+	for i, c := range checkpoints {
+		if bias := accs[i].Bias(); math.Abs(bias) > 0.05 {
+			t.Errorf("checkpoint %d: bias %+.3f", c, bias)
+		}
+		if nrmse := accs[i].NRMSE(); nrmse > 1.3*sketch.HIPCV(k) {
+			t.Errorf("checkpoint %d: NRMSE %g above bound %g", c, nrmse, 1.3*sketch.HIPCV(k))
+		}
+	}
+}
+
+// TestKMinsHIPAgainstBruteProbability cross-checks equation (7) against a
+// direct computation of the running per-permutation minima.
+func TestKMinsHIPAgainstBruteProbability(t *testing.T) {
+	const k, n = 4, 200
+	src := rank.NewSource(3)
+	a := NewKMinsADS(0, k)
+	for i := int64(0); i < n; i++ {
+		for h := 0; h < k; h++ {
+			a.OfferAt(h, Entry{Node: int32(i), Dist: float64(i), Rank: src.RankAt(h, i)})
+		}
+	}
+	ws := a.HIPEntries()
+	// Recompute tau for each sampled node directly from the definition.
+	mins := make([]float64, k)
+	for h := range mins {
+		mins[h] = 1
+	}
+	wi := 0
+	for i := int64(0); i < n; i++ {
+		inSketch := false
+		for h := 0; h < k; h++ {
+			if src.RankAt(h, i) < mins[h] {
+				inSketch = true
+			}
+		}
+		if inSketch {
+			prod := 1.0
+			for _, m := range mins {
+				prod *= 1 - m
+			}
+			tau := 1 - prod
+			if wi >= len(ws) || ws[wi].Node != int32(i) {
+				t.Fatalf("HIP entry %d: expected node %d, got %+v", wi, i, ws[wi])
+			}
+			if math.Abs(ws[wi].Weight-1/tau) > 1e-9 {
+				t.Fatalf("node %d: weight %g, want %g", i, ws[wi].Weight, 1/tau)
+			}
+			wi++
+		}
+		for h := 0; h < k; h++ {
+			if r := src.RankAt(h, i); r < mins[h] {
+				mins[h] = r
+			}
+		}
+	}
+	if wi != len(ws) {
+		t.Fatalf("HIP produced %d entries, definition gives %d", len(ws), wi)
+	}
+}
+
+// TestKPartitionHIPAgainstBruteProbability cross-checks equation (8).
+func TestKPartitionHIPAgainstBruteProbability(t *testing.T) {
+	const k, n = 4, 200
+	src := rank.NewSource(4)
+	a := NewKPartitionADS(0, k)
+	for i := int64(0); i < n; i++ {
+		a.OfferAt(src.Bucket(i, k), Entry{Node: int32(i), Dist: float64(i), Rank: src.Rank(i)})
+	}
+	ws := a.HIPEntries()
+	mins := make([]float64, k)
+	for b := range mins {
+		mins[b] = 1
+	}
+	wi := 0
+	for i := int64(0); i < n; i++ {
+		b := src.Bucket(i, k)
+		if src.Rank(i) < mins[b] {
+			sum := 0.0
+			for _, m := range mins {
+				sum += m
+			}
+			tau := sum / k
+			if ws[wi].Node != int32(i) {
+				t.Fatalf("entry %d: node %d, want %d", wi, ws[wi].Node, i)
+			}
+			if math.Abs(ws[wi].Weight-1/tau) > 1e-9 {
+				t.Fatalf("node %d: weight %g, want %g", i, ws[wi].Weight, 1/tau)
+			}
+			wi++
+			mins[b] = src.Rank(i)
+		}
+	}
+	if wi != len(ws) {
+		t.Fatalf("HIP produced %d entries, definition gives %d", len(ws), wi)
+	}
+}
+
+// TestQgOnGraphUnbiased: HIP Q_g estimation on a real graph against exact
+// values, averaged over rank randomizations.
+func TestQgOnGraphUnbiased(t *testing.T) {
+	g := graph.PreferentialAttachment(300, 3, 77)
+	gfun := func(node int32, dist float64) float64 {
+		return 1 / (1 + dist) // distance-decaying statistic
+	}
+	exact := 0.0
+	for _, nd := range graph.NearestOrder(g, 0) {
+		exact += gfun(nd.Node, nd.Dist)
+	}
+	const runs = 250
+	acc := stats.NewErrAccum(exact)
+	for run := 0; run < runs; run++ {
+		set, err := BuildSet(g, Options{K: 8, Flavor: sketch.BottomK, Seed: uint64(run) + 1}, AlgoDP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(EstimateQ(set.Sketch(0), gfun))
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.05 {
+		t.Errorf("Q_g bias = %+.3f, want ~0", bias)
+	}
+}
+
+// TestCentralityOnGraph: harmonic and closeness-style centralities from the
+// sketch against exact values.
+func TestCentralityOnGraph(t *testing.T) {
+	g := graph.GNP(250, 0.03, false, 88)
+	exactHarmonic := graph.HarmonicCentrality(g, 5)
+	const runs = 250
+	acc := stats.NewErrAccum(exactHarmonic)
+	for run := 0; run < runs; run++ {
+		set, err := BuildSet(g, Options{K: 8, Flavor: sketch.BottomK, Seed: uint64(run) + 500}, AlgoDP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(EstimateCentrality(set.Sketch(5), KernelHarmonic, UnitBeta))
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.05 {
+		t.Errorf("harmonic centrality bias = %+.3f", bias)
+	}
+	if nrmse := acc.NRMSE(); nrmse > 0.35 {
+		t.Errorf("harmonic centrality NRMSE = %g, too high", nrmse)
+	}
+}
+
+// TestBetaFilteredCentrality: the β filter applied at query time — the
+// flexibility HIP provides that the pre-HIP estimators lacked (Section 1).
+func TestBetaFilteredCentrality(t *testing.T) {
+	g := graph.PreferentialAttachment(300, 2, 99)
+	// β selects nodes with even ID.
+	beta := func(n int32) float64 {
+		if n%2 == 0 {
+			return 1
+		}
+		return 0
+	}
+	const d = 3
+	exact := 0.0
+	for _, nd := range graph.NearestOrder(g, 7) {
+		if nd.Dist <= d {
+			exact += beta(nd.Node)
+		}
+	}
+	const runs = 300
+	acc := stats.NewErrAccum(exact)
+	for run := 0; run < runs; run++ {
+		set, err := BuildSet(g, Options{K: 8, Flavor: sketch.BottomK, Seed: uint64(run) + 900}, AlgoDP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(EstimateCentrality(set.Sketch(7), KernelThreshold(d), beta))
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.06 {
+		t.Errorf("filtered centrality bias = %+.3f (exact %g)", bias, exact)
+	}
+}
+
+// TestPermutationEstimatorExactPhase: while s <= k the estimate is exact.
+func TestPermutationEstimatorExactPhase(t *testing.T) {
+	p := NewPermutationEstimator(100, 5)
+	sigmas := []int{42, 17, 99, 3, 71}
+	for i, s := range sigmas {
+		if !p.Offer(s) {
+			t.Fatalf("offer %d rejected in exact phase", s)
+		}
+		if got := p.Estimate(); got != float64(i+1) {
+			t.Fatalf("estimate after %d = %g, want %d", i+1, got, i+1)
+		}
+	}
+}
+
+// TestPermutationEstimatorUnbiased: mean over random permutations.
+func TestPermutationEstimatorUnbiased(t *testing.T) {
+	const n, k, runs = 1000, 10, 400
+	for _, card := range []int{50, 300, 800, 1000} {
+		acc := stats.NewErrAccum(float64(card))
+		for run := 0; run < runs; run++ {
+			rng := rank.NewRNG(uint64(run)*97 + 11)
+			perm := rng.Perm(n)
+			p := NewPermutationEstimator(n, k)
+			for i := 0; i < card; i++ {
+				p.Offer(perm[i] + 1)
+			}
+			acc.Add(p.Estimate())
+		}
+		if bias := acc.Bias(); math.Abs(bias) > 0.05 {
+			t.Errorf("cardinality %d: bias %+.3f", card, bias)
+		}
+	}
+}
+
+// TestPermutationBeatsHIPAtHighFraction (Section 5.4/Figure 2): for
+// cardinalities above ~0.2n the permutation estimator has lower error.
+func TestPermutationBeatsHIPAtHighFraction(t *testing.T) {
+	const n, k, runs = 2000, 10, 300
+	card := int(0.8 * n)
+	permAcc := stats.NewErrAccum(float64(card))
+	hipAcc := stats.NewErrAccum(float64(card))
+	for run := 0; run < runs; run++ {
+		rng := rank.NewRNG(uint64(run)*193 + 7)
+		perm := rng.Perm(n)
+		p := NewPermutationEstimator(n, k)
+		src := rank.NewSource(uint64(run)*193 + 7)
+		b := NewStreamBuilder(0, k)
+		for i := 0; i < card; i++ {
+			p.Offer(perm[i] + 1)
+			b.Offer(int32(i), float64(i), src.Rank(int64(i)))
+		}
+		permAcc.Add(p.Estimate())
+		hipAcc.Add(b.HIPEstimate())
+	}
+	if permAcc.NRMSE() >= hipAcc.NRMSE() {
+		t.Errorf("at 0.8n: permutation NRMSE %g not below HIP %g",
+			permAcc.NRMSE(), hipAcc.NRMSE())
+	}
+}
+
+func TestPermutationEstimatorSaturation(t *testing.T) {
+	p := NewPermutationEstimator(50, 3)
+	// Offer ranks 1..3 -> saturated.
+	for _, s := range []int{2, 1, 3} {
+		p.Offer(s)
+	}
+	if !p.Saturated() {
+		t.Fatal("sketch with ranks {1,2,3} should be saturated")
+	}
+	// Correction: sHat=3, estimate = 3*4/3-1 = 3.
+	if got := p.Estimate(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("saturated estimate = %g, want 3", got)
+	}
+	if p.Offer(10) {
+		t.Error("update accepted after saturation")
+	}
+}
+
+func TestPermutationEstimatorPanics(t *testing.T) {
+	check := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	check("bad n", func() { NewPermutationEstimator(0, 1) })
+	check("rank out of range", func() { NewPermutationEstimator(5, 2).Offer(6) })
+	check("duplicate rank", func() {
+		p := NewPermutationEstimator(5, 2)
+		p.Offer(3)
+		p.Offer(3)
+	})
+}
+
+// TestSizeEstimateRecurrence: E_s values satisfy the Lemma 8.1 boundary
+// cases and closed form.
+func TestSizeEstimateRecurrence(t *testing.T) {
+	if got := SizeEstimate(3, 2); got != 2 {
+		t.Errorf("s<k: got %g, want 2", got)
+	}
+	if got := SizeEstimate(3, 3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("s=k: got %g, want 3", got)
+	}
+	// k=1: E_s = 2^s - 1.
+	for s := 1; s <= 10; s++ {
+		want := math.Pow(2, float64(s)) - 1
+		if got := SizeEstimate(1, s); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("k=1 s=%d: got %g, want %g", s, got, want)
+		}
+	}
+	// Closed form for k=4, s=7: 4*(1.25)^4 - 1.
+	want := 4*math.Pow(1.25, 4) - 1
+	if got := SizeEstimate(4, 7); math.Abs(got-want) > 1e-12 {
+		t.Errorf("k=4 s=7: got %g, want %g", got, want)
+	}
+}
+
+// TestSizeEstimateUnbiased: E[E_s] = n over the randomness of the ranks.
+func TestSizeEstimateUnbiased(t *testing.T) {
+	const k, runs = 5, 4000
+	for _, n := range []int{3, 5, 8, 20, 60} {
+		var sum float64
+		for run := 0; run < runs; run++ {
+			src := rank.NewSource(uint64(run)*6364136223846793005 + uint64(n))
+			b := NewStreamBuilder(0, k)
+			for i := int64(0); i < int64(n); i++ {
+				b.Offer(int32(i), float64(i), src.Rank(i))
+			}
+			sum += SizeEstimate(k, b.ADS().Size())
+		}
+		mean := sum / runs
+		// The estimator is unbiased but heavy-tailed; tolerance is loose.
+		if math.Abs(mean-float64(n))/float64(n) > 0.15 {
+			t.Errorf("n=%d: mean size-estimate %g", n, mean)
+		}
+	}
+}
+
+func TestSizeEstimatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	SizeEstimate(0, 3)
+}
+
+// TestWeightedADSUnbiased (Section 9): HIP over exponential ranks
+// estimates weighted neighborhood cardinalities without bias.
+func TestWeightedADSUnbiased(t *testing.T) {
+	g := graph.GNP(200, 0.04, false, 111)
+	beta := make([]float64, g.NumNodes())
+	rng := rank.NewRNG(7)
+	for i := range beta {
+		beta[i] = 0.5 + 2*rng.Float64()
+	}
+	const d = 3
+	exact := ExactNeighborhoodWeight(g, 9, d, beta)
+	const runs = 300
+	acc := stats.NewErrAccum(exact)
+	for run := 0; run < runs; run++ {
+		set, err := BuildWeightedSet(g, 8, uint64(run)+3000, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(set.Sketch(9).EstimateNeighborhoodWeight(d))
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.05 {
+		t.Errorf("weighted neighborhood bias = %+.3f (exact %g)", bias, exact)
+	}
+	if nrmse := acc.NRMSE(); nrmse > 2.5*sketch.HIPCV(8) {
+		t.Errorf("weighted NRMSE = %g, far above HIP bound %g", nrmse, sketch.HIPCV(8))
+	}
+}
+
+// TestWeightedADSFavorsHeavyNodes: heavier nodes appear more often.
+func TestWeightedADSFavorsHeavyNodes(t *testing.T) {
+	g := graph.Complete(60)
+	beta := make([]float64, 60)
+	for i := range beta {
+		beta[i] = 0.1
+	}
+	beta[42] = 50 // one very heavy node
+	counts := 0
+	const runs = 100
+	for run := 0; run < runs; run++ {
+		set, err := BuildWeightedSet(g, 4, uint64(run)+12, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range set.Sketch(0).Entries() {
+			if e.Node == 42 {
+				counts++
+			}
+		}
+	}
+	if counts < runs*9/10 {
+		t.Errorf("heavy node sampled in only %d/%d runs", counts, runs)
+	}
+}
+
+func TestBuildWeightedSetErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := BuildWeightedSet(g, 0, 1, []float64{1, 1, 1, 1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := BuildWeightedSet(g, 2, 1, []float64{1, 1}); err == nil {
+		t.Error("short beta accepted")
+	}
+	if _, err := BuildWeightedSet(g, 2, 1, []float64{1, -1, 1, 1}); err == nil {
+		t.Error("negative beta accepted")
+	}
+}
+
+func TestWeightedOfferPanicsOnBadBeta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("beta=0 did not panic")
+		}
+	}()
+	NewWeightedADS(0, 2).Offer(Entry{Node: 0, Dist: 0, Rank: 1}, 0)
+}
+
+// TestNoTieADSUnbiased: the Appendix A estimator is unbiased on grouped
+// distances.
+func TestNoTieADSUnbiased(t *testing.T) {
+	// 10 groups of 40 nodes each, same distance within a group.
+	const k, runs = 6, 600
+	const groups, per = 10, 40
+	n := groups * per
+	acc := stats.NewErrAccum(float64(n))
+	var sizeSum float64
+	for run := 0; run < runs; run++ {
+		src := rank.NewSource(uint64(run)*52391 + 3)
+		a := NewNoTieADS(0, k)
+		id := int32(0)
+		for gi := 0; gi < groups; gi++ {
+			nodes := make([]int32, per)
+			for j := range nodes {
+				nodes[j] = id
+				id++
+			}
+			a.OfferGroup(float64(gi), nodes, func(v int32) float64 { return src.Rank(int64(v)) })
+		}
+		acc.Add(a.EstimateNeighborhood(float64(groups)))
+		sizeSum += float64(a.Size())
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.05 {
+		t.Errorf("no-tie estimator bias = %+.3f", bias)
+	}
+	// Size advantage: at most k entries per distinct distance.
+	if sizeSum/runs > float64(groups*k) {
+		t.Errorf("mean no-tie size %g exceeds k per group", sizeSum/runs)
+	}
+	// CV within the Appendix A bound 1/sqrt(k-2) (loosely checked).
+	if acc.NRMSE() > 1.4*sketch.BasicCV(k) {
+		t.Errorf("no-tie NRMSE = %g above bound %g", acc.NRMSE(), sketch.BasicCV(k))
+	}
+}
+
+func TestNoTieADSOrderPanics(t *testing.T) {
+	a := NewNoTieADS(0, 2)
+	a.OfferGroup(1, []int32{0, 1}, func(v int32) float64 { return float64(v+1) / 10 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing group distance did not panic")
+		}
+	}()
+	a.OfferGroup(1, []int32{2}, func(v int32) float64 { return 0.5 })
+}
+
+// TestQgHIPBeatsNaive (the up-to-(n/k)-fold claim): for a statistic
+// concentrated on close nodes, HIP beats the "MinHash sketch of all
+// reachable nodes" subset-sum estimator by a large factor.
+func TestQgHIPBeatsNaive(t *testing.T) {
+	const k, n, runs = 8, 2000, 300
+	// g decays sharply: only the ~20 closest nodes matter.
+	gfun := func(dist float64) float64 { return math.Exp(-dist / 5) }
+	exact := 0.0
+	for i := 0; i < n; i++ {
+		exact += gfun(float64(i))
+	}
+	hipAcc := stats.NewErrAccum(exact)
+	naiveAcc := stats.NewErrAccum(exact)
+	for run := 0; run < runs; run++ {
+		seed := uint64(run)*71 + 19
+		src := rank.NewSource(seed)
+		b := NewStreamBuilder(0, k)
+		for i := int64(0); i < n; i++ {
+			b.Offer(int32(i), float64(i), src.Rank(i))
+		}
+		hipAcc.Add(EstimateQ(b.ADS(), func(_ int32, dist float64) float64 { return gfun(dist) }))
+
+		// Naive: bottom-k MinHash of all n elements (with distances);
+		// estimate = cardinality-estimate x mean g over the k samples.
+		mh := sketch.NewBottomK(k)
+		for i := int64(0); i < n; i++ {
+			mh.AddFrom(src, i)
+		}
+		sum := 0.0
+		for _, e := range mh.Entries() {
+			sum += gfun(float64(e.ID)) // element ID doubles as its distance
+		}
+		naiveAcc.Add(mh.Estimate() * sum / float64(mh.Len()))
+	}
+	ratio := naiveAcc.NRMSE() / hipAcc.NRMSE()
+	if ratio < 3 {
+		t.Errorf("naive/HIP NRMSE ratio = %g, expected a large factor for concentrated g", ratio)
+	}
+}
+
+// TestPriorityWeightedADSUnbiased: the Section 9 Sequential Poisson
+// alternative must also be unbiased for weighted neighborhood sizes.
+func TestPriorityWeightedADSUnbiased(t *testing.T) {
+	g := graph.GNP(200, 0.04, false, 112)
+	beta := make([]float64, g.NumNodes())
+	rng := rank.NewRNG(8)
+	for i := range beta {
+		beta[i] = 0.5 + 2*rng.Float64()
+	}
+	const d = 3
+	exact := ExactNeighborhoodWeight(g, 9, d, beta)
+	const runs = 300
+	acc := stats.NewErrAccum(exact)
+	for run := 0; run < runs; run++ {
+		set, err := BuildPriorityWeightedSet(g, 8, uint64(run)+7000, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(set.Sketch(9).EstimateNeighborhoodWeight(d))
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.05 {
+		t.Errorf("priority weighted bias = %+.3f (exact %g)", bias, exact)
+	}
+}
+
+func TestWeightSchemeString(t *testing.T) {
+	if ExponentialWeights.String() != "exponential" || PriorityWeights.String() != "priority" {
+		t.Error("scheme names")
+	}
+	if WeightScheme(9).String() != "WeightScheme(9)" {
+		t.Error("unknown scheme formatting")
+	}
+}

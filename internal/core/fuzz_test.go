@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"adsketch/internal/graph"
+	"adsketch/internal/sketch"
+)
+
+// FuzzReadSet: arbitrary bytes must never panic the sketch-set decoder; it
+// either errors or yields a set whose sketches all pass validation (the
+// decoder validates internally, so success implies structural soundness).
+func FuzzReadSet(f *testing.F) {
+	// Seed with a genuine encoding and a few mutations.
+	g := graph.Path(10)
+	set, err := BuildSet(g, Options{K: 2, Flavor: sketch.BottomK, Seed: 1}, AlgoDP)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{1, 4, 8, len(valid) / 2} {
+		if cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0xff
+	f.Add(mut)
+	f.Add([]byte("ADSK"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for v := 0; v < got.NumNodes(); v++ {
+			s := got.Sketch(int32(v))
+			// Reading the HIP entries of whatever decoded must not panic.
+			_ = s.HIPEntries()
+		}
+	})
+}

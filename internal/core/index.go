@@ -1,0 +1,77 @@
+package core
+
+import "sort"
+
+// HIPIndex is a prebuilt query index over a sketch's HIP entries: distances
+// and prefix sums of adjusted weights.  Repeated neighborhood queries cost
+// one binary search instead of re-deriving the adjusted weights, which
+// matters when a sketch serves many query distances (distance
+// distributions, percentile scans, interactive exploration).
+//
+// This realizes the compression remark of Section 5: "for each unique
+// distance d in ADS(i) we associate an adjusted weight equal to the sum of
+// the adjusted weights of included nodes with distance d" — the index
+// stores exactly that distance -> cumulative weight mapping.
+type HIPIndex struct {
+	dists []float64 // unique entry distances, ascending
+	cum   []float64 // cum[i]: total adjusted weight at distance <= dists[i]
+}
+
+// NewHIPIndex builds the index for a sketch of any flavor.
+func NewHIPIndex(s Sketch) *HIPIndex {
+	entries := s.HIPEntries()
+	idx := &HIPIndex{}
+	total := 0.0
+	for i := 0; i < len(entries); {
+		d := entries[i].Dist
+		for i < len(entries) && entries[i].Dist == d {
+			total += entries[i].Weight
+			i++
+		}
+		idx.dists = append(idx.dists, d)
+		idx.cum = append(idx.cum, total)
+	}
+	return idx
+}
+
+// Neighborhood returns the HIP estimate of n_d: the cumulative adjusted
+// weight at distance <= d.
+func (x *HIPIndex) Neighborhood(d float64) float64 {
+	i := sort.SearchFloat64s(x.dists, d)
+	// SearchFloat64s returns the first index with dists[i] >= d; include
+	// an exact match.
+	if i < len(x.dists) && x.dists[i] == d {
+		return x.cum[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return x.cum[i-1]
+}
+
+// Total returns the estimate of the number of reachable nodes.
+func (x *HIPIndex) Total() float64 {
+	if len(x.cum) == 0 {
+		return 0
+	}
+	return x.cum[len(x.cum)-1]
+}
+
+// Distances returns the unique entry distances, ascending (the points at
+// which the neighborhood estimate steps).
+func (x *HIPIndex) Distances() []float64 { return x.dists }
+
+// QuantileDistance returns the smallest indexed distance d whose estimated
+// neighborhood reaches fraction q of the total — the sketch analogue of a
+// distance percentile (e.g. the median distance to reachable nodes).
+func (x *HIPIndex) QuantileDistance(q float64) float64 {
+	if len(x.cum) == 0 {
+		return 0
+	}
+	target := q * x.Total()
+	i := sort.Search(len(x.cum), func(i int) bool { return x.cum[i] >= target })
+	if i == len(x.cum) {
+		i = len(x.cum) - 1
+	}
+	return x.dists[i]
+}

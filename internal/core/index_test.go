@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adsketch/internal/graph"
+	"adsketch/internal/rank"
+)
+
+func buildIndexedADS(seed uint64, n int) (*ADS, *HIPIndex) {
+	src := rank.NewSource(seed)
+	b := NewStreamBuilder(0, 8)
+	for i := int64(0); i < int64(n); i++ {
+		// Repeated distances to exercise the unique-distance grouping.
+		b.Offer(int32(i), float64(i/3), src.Rank(i))
+	}
+	a := b.ADS()
+	return a, NewHIPIndex(a)
+}
+
+func TestHIPIndexMatchesDirectEstimates(t *testing.T) {
+	a, idx := buildIndexedADS(5, 600)
+	for _, d := range []float64{-1, 0, 0.5, 1, 7, 33.3, 100, 199, 1e9} {
+		want := EstimateNeighborhoodHIP(a, d)
+		got := idx.Neighborhood(d)
+		if math.Abs(want-got) > 1e-9 {
+			t.Errorf("d=%g: index %g, direct %g", d, got, want)
+		}
+	}
+	if math.Abs(idx.Total()-EstimateNeighborhoodHIP(a, math.Inf(1))) > 1e-9 {
+		t.Error("Total mismatch")
+	}
+}
+
+func TestHIPIndexProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, dRaw uint16) bool {
+		a, idx := buildIndexedADS(seed, 200)
+		d := float64(dRaw) / 100
+		return math.Abs(idx.Neighborhood(d)-EstimateNeighborhoodHIP(a, d)) < 1e-9
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHIPIndexEmpty(t *testing.T) {
+	idx := NewHIPIndex(NewADS(0, 3))
+	if idx.Total() != 0 || idx.Neighborhood(5) != 0 || idx.QuantileDistance(0.5) != 0 {
+		t.Error("empty index should report zeros")
+	}
+	if len(idx.Distances()) != 0 {
+		t.Error("empty index has distances")
+	}
+}
+
+func TestHIPIndexMonotone(t *testing.T) {
+	_, idx := buildIndexedADS(9, 500)
+	prev := -1.0
+	for _, d := range idx.Distances() {
+		cur := idx.Neighborhood(d)
+		if cur <= prev {
+			t.Fatal("cumulative weights not strictly increasing at step points")
+		}
+		prev = cur
+	}
+}
+
+func TestHIPIndexQuantile(t *testing.T) {
+	_, idx := buildIndexedADS(11, 400)
+	med := idx.QuantileDistance(0.5)
+	// The estimate at the median distance covers at least half the total.
+	if idx.Neighborhood(med) < 0.5*idx.Total() {
+		t.Errorf("median distance %g covers %g of %g", med, idx.Neighborhood(med), idx.Total())
+	}
+	// Quantiles are monotone in q.
+	if idx.QuantileDistance(0.1) > idx.QuantileDistance(0.9) {
+		t.Error("quantiles not monotone")
+	}
+	// q=1 lands on the last distance.
+	if got := idx.QuantileDistance(1); got != idx.Distances()[len(idx.Distances())-1] {
+		t.Errorf("q=1 distance %g", got)
+	}
+}
+
+// Property test: builders agree on random small graphs with random seeds
+// (complements the fixed-seed agreement table).
+func TestBuildersAgreePropertyRandom(t *testing.T) {
+	if err := quick.Check(func(gSeed, rSeed uint64, nRaw, pRaw uint8) bool {
+		n := 10 + int(nRaw)%60
+		p := 0.02 + float64(pRaw%50)/500
+		g := graph.GNP(n, p, false, gSeed)
+		o := Options{K: 3, Flavor: 0, Seed: rSeed}
+		ref, err := BuildSet(g, o, AlgoBruteForce)
+		if err != nil {
+			return false
+		}
+		for _, algo := range []Algorithm{AlgoPrunedDijkstra, AlgoDP, AlgoLocalUpdates, AlgoPrunedDijkstraParallel} {
+			got, err := BuildSet(g, o, algo)
+			if err != nil {
+				return false
+			}
+			for v := int32(0); int(v) < n; v++ {
+				a := ref.BottomK(v).Entries()
+				b := got.BottomK(v).Entries()
+				if len(a) != len(b) {
+					return false
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

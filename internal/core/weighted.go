@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"adsketch/internal/graph"
+	"adsketch/internal/rank"
+)
+
+// Section 9: non-uniform node weights.  To estimate weighted neighborhood
+// cardinalities n_d(v) = Σ_{j: d_vj <= d} β(j) and weighted centralities
+// C_{α,β} with the same CV guarantees as the uniform case, the ADS is
+// computed over exponentially distributed ranks r(j) ~ Exp(β(j)): nodes
+// with larger weight get stochastically smaller ranks and correspondingly
+// higher inclusion probabilities.
+//
+// The HIP machinery carries over with one change: conditioned on the ranks
+// of preceding nodes, node j enters the sketch iff its rank is below the
+// k-th smallest preceding rank τ, which for an Exp(β_j) rank happens with
+// probability 1 - exp(-β_j·τ).  The adjusted weight of an entry is then
+// β_j / (1 - exp(-β_j·τ)), an unbiased estimate of j's contribution β_j.
+
+// WeightScheme selects how node weights bias the ranks (Section 9).
+type WeightScheme int
+
+// Weighted sampling schemes.
+const (
+	// ExponentialWeights draws r(i) ~ Exp(β(i)) — weighted sampling "with
+	// replacement" semantics; inclusion probability of an entry given
+	// threshold τ is 1 - exp(-β·τ).
+	ExponentialWeights WeightScheme = iota
+	// PriorityWeights uses r(i) = r'(i)/β(i) (Sequential Poisson /
+	// priority sampling); inclusion probability given threshold τ is
+	// min(1, β·τ).
+	PriorityWeights
+)
+
+func (w WeightScheme) String() string {
+	switch w {
+	case ExponentialWeights:
+		return "exponential"
+	case PriorityWeights:
+		return "priority"
+	}
+	return fmt.Sprintf("WeightScheme(%d)", int(w))
+}
+
+// WeightedADS is a bottom-k ADS over weight-biased ranks.  Entries are in
+// canonical order; Rank holds the biased rank.
+type WeightedADS struct {
+	k       int
+	node    int32
+	scheme  WeightScheme
+	entries []Entry
+	beta    []float64 // β of each entry, parallel to entries
+}
+
+// NewWeightedADS returns an empty weighted bottom-k ADS owned by node,
+// using exponential ranks.
+func NewWeightedADS(node int32, k int) *WeightedADS {
+	if k < 1 {
+		panic("core: k must be >= 1")
+	}
+	return &WeightedADS{k: k, node: node, scheme: ExponentialWeights}
+}
+
+// K returns the sketch parameter.
+func (a *WeightedADS) K() int { return a.k }
+
+// Node returns the owner.
+func (a *WeightedADS) Node() int32 { return a.node }
+
+// Size returns the number of entries.
+func (a *WeightedADS) Size() int { return len(a.entries) }
+
+// Entries returns the entries in canonical order.
+func (a *WeightedADS) Entries() []Entry { return a.entries }
+
+// Offer presents a candidate in canonical order with its exponential rank
+// and weight, inserting it if it passes the bottom-k test.  The supremum
+// of the exponential rank range is +Inf, so the first k candidates are
+// always accepted.
+func (a *WeightedADS) Offer(e Entry, beta float64) bool {
+	if beta <= 0 {
+		panic(fmt.Sprintf("core: node weight %g must be positive", beta))
+	}
+	h := newMaxHeap(a.k)
+	for _, x := range a.entries {
+		h.offer(x.Rank)
+	}
+	if h.size() >= a.k && e.Rank >= h.max() {
+		return false
+	}
+	a.entries = append(a.entries, e)
+	a.beta = append(a.beta, beta)
+	return true
+}
+
+// HIPEntries returns each entry with its adjusted weight β_j/p_j, where
+// p_j is the scheme's inclusion probability against τ_j, the k-th smallest
+// biased rank among preceding entries (+Inf for the first k, giving weight
+// exactly β_j): 1-exp(-β·τ) for exponential ranks, min(1, β·τ) for
+// priority ranks.  Summing weights over Dist <= d estimates the weighted
+// neighborhood cardinality.
+func (a *WeightedADS) HIPEntries() []WeightedEntry {
+	out := make([]WeightedEntry, len(a.entries))
+	h := newMaxHeap(a.k)
+	for i, e := range a.entries {
+		b := a.beta[i]
+		w := b
+		if h.size() >= a.k {
+			tau := h.max()
+			var p float64
+			if a.scheme == PriorityWeights {
+				p = math.Min(1, b*tau)
+			} else {
+				p = -math.Expm1(-b * tau) // 1 - e^{-βτ}
+			}
+			w = b / p
+		}
+		out[i] = WeightedEntry{Node: e.Node, Dist: e.Dist, Weight: w}
+		h.offer(e.Rank)
+	}
+	return out
+}
+
+// EstimateNeighborhoodWeight returns the HIP estimate of
+// Σ_{j: d_vj <= d} β(j).
+func (a *WeightedADS) EstimateNeighborhoodWeight(d float64) float64 {
+	return sumWithin(a.HIPEntries(), d)
+}
+
+// EstimateCentrality returns the HIP estimate of C_α over node weights:
+// Σ_j α(d_vj)·β(j) for a non-increasing kernel α.
+func (a *WeightedADS) EstimateCentrality(alpha func(float64) float64) float64 {
+	sum := 0.0
+	for _, e := range a.HIPEntries() {
+		sum += e.Weight * alpha(e.Dist)
+	}
+	return sum
+}
+
+// BuildWeightedSet computes the weighted bottom-k ADS of every node using
+// PrunedDijkstra with exponential ranks.  beta[v] is the weight of node v
+// and must be positive.
+func BuildWeightedSet(g *graph.Graph, k int, seed uint64, beta []float64) (*WeightedSet, error) {
+	return buildWeighted(g, k, seed, beta, ExponentialWeights)
+}
+
+// BuildPriorityWeightedSet is BuildWeightedSet with Sequential Poisson
+// (priority) ranks r(i) = r'(i)/β(i) — the Section 9 alternative.
+func BuildPriorityWeightedSet(g *graph.Graph, k int, seed uint64, beta []float64) (*WeightedSet, error) {
+	return buildWeighted(g, k, seed, beta, PriorityWeights)
+}
+
+func buildWeighted(g *graph.Graph, k int, seed uint64, beta []float64, scheme WeightScheme) (*WeightedSet, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1")
+	}
+	if len(beta) != g.NumNodes() {
+		return nil, fmt.Errorf("core: beta has %d weights for %d nodes", len(beta), g.NumNodes())
+	}
+	for v, b := range beta {
+		if b <= 0 {
+			return nil, fmt.Errorf("core: beta[%d] = %g, must be positive", v, b)
+		}
+	}
+	src := rank.NewSource(seed)
+	rk := func(v int32) float64 { return src.ExpRank(int64(v), beta[v]) }
+	if scheme == PriorityWeights {
+		rk = func(v int32) float64 { return src.PriorityRank(int64(v), beta[v]) }
+	}
+	lists := prunedDijkstraRun(g, runSpec{k: k, rank: rk})
+	set := &WeightedSet{k: k, sketches: make([]*WeightedADS, g.NumNodes())}
+	for v := range lists {
+		a := NewWeightedADS(int32(v), k)
+		a.scheme = scheme
+		a.entries = lists[v]
+		a.beta = make([]float64, len(lists[v]))
+		for i, e := range lists[v] {
+			a.beta[i] = beta[e.Node]
+		}
+		set.sketches[v] = a
+	}
+	return set, nil
+}
+
+// WeightedSet holds the weighted sketches of all nodes of one graph.
+type WeightedSet struct {
+	k        int
+	sketches []*WeightedADS
+}
+
+// K returns the sketch parameter.
+func (s *WeightedSet) K() int { return s.k }
+
+// Sketch returns node v's weighted ADS.
+func (s *WeightedSet) Sketch(v int32) *WeightedADS { return s.sketches[v] }
+
+// ExactNeighborhoodWeight computes Σ_{j: d_vj <= d} β(j) exactly (ground
+// truth for tests and benchmarks).
+func ExactNeighborhoodWeight(g *graph.Graph, v int32, d float64, beta []float64) float64 {
+	sum := 0.0
+	for _, nd := range graph.NearestOrder(g, v) {
+		if nd.Dist > d {
+			break
+		}
+		sum += beta[nd.Node]
+	}
+	return sum
+}

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: arbitrary input must either parse into a graph whose
+// round trip is stable, or return an error — never panic.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n0 1 2.5\n"))
+	f.Add([]byte("0 1 2 3\n"))
+	f.Add([]byte("a b\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("9999999999999 1\n"))
+	f.Add([]byte("0 1 -5\n"))
+	f.Add([]byte("% note\n\n3 3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data), false)
+		if err != nil {
+			return
+		}
+		// A parsed graph must survive write + re-read unchanged.
+		var sb strings.Builder
+		if err := WriteEdgeList(&sb, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadEdgeList(strings.NewReader(sb.String()), false)
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				g.NumNodes(), g.NumArcs(), g2.NumNodes(), g2.NumArcs())
+		}
+	})
+}

@@ -1,0 +1,423 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.NumArcs() != 6 {
+		t.Errorf("NumArcs = %d, want 6 (undirected stores both)", g.NumArcs())
+	}
+	if g.Directed() || g.Weighted() {
+		t.Error("graph should be undirected, unweighted")
+	}
+	ns, ws := g.Neighbors(1)
+	if len(ns) != 2 || ns[0] != 0 || ns[1] != 2 {
+		t.Errorf("Neighbors(1) = %v, want [0 2]", ns)
+	}
+	if ws != nil {
+		t.Error("unweighted graph returned weights")
+	}
+	if g.OutDegree(0) != 1 || g.OutDegree(1) != 2 {
+		t.Error("wrong degrees")
+	}
+}
+
+func TestBuilderDirectedWeighted(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(0, 2, 1.5)
+	b.AddWeightedEdge(2, 1, 0.5)
+	g := b.Build()
+	if !g.Directed() || !g.Weighted() {
+		t.Fatal("flags wrong")
+	}
+	if g.NumEdges() != 3 || g.NumArcs() != 3 {
+		t.Errorf("edges=%d arcs=%d", g.NumEdges(), g.NumArcs())
+	}
+	ns, ws := g.Neighbors(0)
+	if len(ns) != 2 || ns[0] != 1 || ns[1] != 2 {
+		t.Errorf("Neighbors(0) = %v", ns)
+	}
+	if ws[0] != 2.5 || ws[1] != 1.5 {
+		t.Errorf("weights = %v", ws)
+	}
+	if d := g.OutDegree(1); d != 0 {
+		t.Errorf("OutDegree(1) = %d, want 0", d)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	check := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	check("out of range", func() { NewBuilder(2, false).AddEdge(0, 2) })
+	check("negative node", func() { NewBuilder(2, false).AddEdge(-1, 0) })
+	check("zero weight", func() { NewBuilder(2, false).AddWeightedEdge(0, 1, 0) })
+	check("negative n", func() { NewBuilder(-1, false) })
+}
+
+func TestForEachArc(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 3)
+	g := b.Build()
+	total := 0.0
+	arcs := 0
+	g.ForEachArc(func(u, v int32, w float64) {
+		total += w
+		arcs++
+	})
+	if arcs != 2 || total != 5 {
+		t.Errorf("arcs=%d total=%g", arcs, total)
+	}
+}
+
+func TestTransposeDirected(t *testing.T) {
+	b := NewBuilder(4, true)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(0, 2, 3)
+	b.AddWeightedEdge(2, 3, 4)
+	g := b.Build()
+	tr := g.Transpose()
+	ns, ws := tr.Neighbors(1)
+	if len(ns) != 1 || ns[0] != 0 || ws[0] != 2 {
+		t.Errorf("transpose Neighbors(1) = %v %v", ns, ws)
+	}
+	ns, _ = tr.Neighbors(3)
+	if len(ns) != 1 || ns[0] != 2 {
+		t.Errorf("transpose Neighbors(3) = %v", ns)
+	}
+	if tr.NumArcs() != g.NumArcs() {
+		t.Error("transpose changed arc count")
+	}
+	// Transposing twice recovers the original arc multiset.
+	tt := tr.Transpose()
+	want := map[[2]int32]float64{}
+	g.ForEachArc(func(u, v int32, w float64) { want[[2]int32{u, v}] = w })
+	tt.ForEachArc(func(u, v int32, w float64) {
+		if want[[2]int32{u, v}] != w {
+			t.Errorf("double transpose lost arc (%d,%d,%g)", u, v, w)
+		}
+		delete(want, [2]int32{u, v})
+	})
+	if len(want) != 0 {
+		t.Errorf("double transpose missing arcs: %v", want)
+	}
+}
+
+func TestTransposeUndirectedIsSelf(t *testing.T) {
+	g := Path(5)
+	if g.Transpose() != g {
+		t.Error("undirected transpose should return the receiver")
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := Path(5)
+	d := BFS(g, 0)
+	for i := 0; i < 5; i++ {
+		if d[i] != int32(i) {
+			t.Errorf("BFS dist[%d] = %d, want %d", i, d[i], i)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(4, true)
+	b.AddEdge(0, 1)
+	// 2, 3 isolated from 0.
+	b.AddEdge(2, 3)
+	g := b.Build()
+	d := BFS(g, 0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Errorf("unreachable nodes should be -1, got %v", d)
+	}
+	if d[1] != 1 {
+		t.Errorf("d[1] = %d", d[1])
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnweighted(t *testing.T) {
+	g := GNP(200, 0.03, false, 7)
+	for _, src := range []int32{0, 17, 99} {
+		bd := BFS(g, src)
+		dd := Dijkstra(g, src)
+		for v := range bd {
+			if bd[v] < 0 {
+				if !math.IsInf(dd[v], 1) {
+					t.Fatalf("node %d: BFS unreachable but Dijkstra %g", v, dd[v])
+				}
+				continue
+			}
+			if dd[v] != float64(bd[v]) {
+				t.Fatalf("node %d: BFS %d vs Dijkstra %g", v, bd[v], dd[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Diamond where the long direct edge loses to the two-hop path.
+	b := NewBuilder(4, true)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(1, 3, 1)
+	b.AddWeightedEdge(0, 3, 5)
+	b.AddWeightedEdge(0, 2, 2)
+	g := b.Build()
+	d := Dijkstra(g, 0)
+	want := []float64{0, 1, 2, 2}
+	for v, w := range want {
+		if d[v] != w {
+			t.Errorf("d[%d] = %g, want %g", v, d[v], w)
+		}
+	}
+}
+
+func TestDistancesUnifiedView(t *testing.T) {
+	g := Path(4)
+	d := Distances(g, 1)
+	want := []float64{1, 0, 1, 2}
+	for v, w := range want {
+		if d[v] != w {
+			t.Errorf("d[%d] = %g, want %g", v, d[v], w)
+		}
+	}
+	b := NewBuilder(2, true)
+	b.AddEdge(0, 1)
+	d = Distances(b.Build(), 1)
+	if !math.IsInf(d[0], 1) {
+		t.Errorf("unreachable should be +Inf, got %g", d[0])
+	}
+}
+
+func TestVisitAscendingOrderAndPrune(t *testing.T) {
+	g := Path(6)
+	var order []int32
+	var dists []float64
+	VisitAscending(g, 2, func(v int32, d float64) bool {
+		order = append(order, v)
+		dists = append(dists, d)
+		return true
+	})
+	if len(order) != 6 {
+		t.Fatalf("visited %d nodes, want 6", len(order))
+	}
+	for i := 1; i < len(dists); i++ {
+		if dists[i] < dists[i-1] {
+			t.Fatal("distances not non-decreasing")
+		}
+	}
+	if order[0] != 2 || dists[0] != 0 {
+		t.Errorf("first visit = (%d,%g), want (2,0)", order[0], dists[0])
+	}
+
+	// Pruning at node 3 must stop the rightward expansion past it.
+	var visited []int32
+	VisitAscending(g, 2, func(v int32, d float64) bool {
+		visited = append(visited, v)
+		return v != 3
+	})
+	for _, v := range visited {
+		if v > 3 {
+			t.Errorf("node %d visited despite pruning at 3", v)
+		}
+	}
+}
+
+func TestVisitorReuse(t *testing.T) {
+	g := GNP(300, 0.02, false, 3)
+	vis := NewVisitor(g)
+	for _, src := range []int32{0, 5, 250} {
+		want := Distances(g, src)
+		got := make([]float64, g.NumNodes())
+		for i := range got {
+			got[i] = Infinity
+		}
+		vis.Run(src, func(v int32, d float64) bool {
+			got[v] = d
+			return true
+		})
+		for v := range want {
+			if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+				t.Fatalf("src %d node %d: visitor %g, Distances %g", src, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestNearestOrder(t *testing.T) {
+	g := Path(5)
+	order := NearestOrder(g, 2)
+	if order[0].Node != 2 || order[0].Dist != 0 {
+		t.Fatalf("first = %+v", order[0])
+	}
+	// Ties at distance 1 (nodes 1,3) broken by ID; distance 2 (0,4) likewise.
+	wantNodes := []int32{2, 1, 3, 0, 4}
+	for i, w := range wantNodes {
+		if order[i].Node != w {
+			t.Errorf("order[%d] = %d, want %d", i, order[i].Node, w)
+		}
+	}
+}
+
+func TestNeighborhoodSize(t *testing.T) {
+	g := Path(7)
+	if got := NeighborhoodSize(g, 3, 0); got != 1 {
+		t.Errorf("n_0 = %d, want 1", got)
+	}
+	if got := NeighborhoodSize(g, 3, 2); got != 5 {
+		t.Errorf("n_2 = %d, want 5", got)
+	}
+	if got := NeighborhoodSize(g, 3, 100); got != 7 {
+		t.Errorf("n_100 = %d, want 7", got)
+	}
+}
+
+func TestNeighborhoodFunctionPath(t *testing.T) {
+	g := Path(4)
+	nf := NeighborhoodFunction(g)
+	// Pairs within 0 hops: 4 (self). 1 hop: +6 ordered. 2: +4. 3: +2.
+	want := []int64{4, 10, 14, 16}
+	if len(nf) != len(want) {
+		t.Fatalf("nf = %v, want %v", nf, want)
+	}
+	for i := range want {
+		if nf[i] != want[i] {
+			t.Errorf("nf[%d] = %d, want %d", i, nf[i], want[i])
+		}
+	}
+}
+
+func TestEffectiveDiameter(t *testing.T) {
+	nf := []int64{4, 10, 14, 16}
+	if got := EffectiveDiameter(nf, 1.0); got != 3 {
+		t.Errorf("q=1 diameter = %g, want 3", got)
+	}
+	if got := EffectiveDiameter(nf, 0.25); got != 0 {
+		t.Errorf("q=0.25 diameter = %g, want 0", got)
+	}
+	got := EffectiveDiameter(nf, 0.75)
+	// target = 12, between nf[1]=10 and nf[2]=14 -> 1.5
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("q=0.75 diameter = %g, want 1.5", got)
+	}
+	if got := EffectiveDiameter(nil, 0.9); got != 0 {
+		t.Errorf("empty nf diameter = %g", got)
+	}
+}
+
+func TestClosenessAndHarmonic(t *testing.T) {
+	g := Path(3)
+	// From node 0: distances 1,2 -> closeness 1/3, harmonic 1.5.
+	if got := Closeness(g, 0); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("closeness = %g, want 1/3", got)
+	}
+	if got := HarmonicCentrality(g, 0); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("harmonic = %g, want 1.5", got)
+	}
+	// From the center: distances 1,1 -> closeness 1/2, harmonic 2.
+	if got := Closeness(g, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("center closeness = %g, want 0.5", got)
+	}
+	lone := NewBuilder(1, false).Build()
+	if got := Closeness(lone, 0); got != 0 {
+		t.Errorf("singleton closeness = %g, want 0", got)
+	}
+}
+
+func TestReachableCount(t *testing.T) {
+	b := NewBuilder(5, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	if got := ReachableCount(g, 0); got != 3 {
+		t.Errorf("reachable from 0 = %d, want 3", got)
+	}
+	if got := ReachableCount(g, 4); got != 1 {
+		t.Errorf("reachable from 4 = %d, want 1", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(6, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	comp, c := ConnectedComponents(g)
+	if c != 3 {
+		t.Fatalf("components = %d, want 3", c)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Error("3,4 should share a separate component")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Error("5 should be alone")
+	}
+}
+
+func TestConnectedComponentsDirectedWeak(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 1)
+	g := b.Build()
+	_, c := ConnectedComponents(g)
+	if c != 1 {
+		t.Errorf("weak components = %d, want 1", c)
+	}
+}
+
+func TestAllDistances(t *testing.T) {
+	g := Cycle(5)
+	m := AllDistances(g)
+	if m[0][2] != 2 || m[0][3] != 2 || m[0][4] != 1 {
+		t.Errorf("cycle distances wrong: %v", m[0])
+	}
+	for v := range m {
+		if m[v][v] != 0 {
+			t.Errorf("self distance %d = %g", v, m[v][v])
+		}
+	}
+}
+
+func TestDistanceCDF(t *testing.T) {
+	g := Path(4)
+	ds := []float64{0, 1, 2, 3}
+	got := DistanceCDF(g, ds)
+	want := []int64{4, 10, 14, 16} // matches NeighborhoodFunction
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CDF[%g] = %d, want %d", ds[i], got[i], want[i])
+		}
+	}
+	// Weighted: two nodes at distance 2.5.
+	b := NewBuilder(2, false)
+	b.AddWeightedEdge(0, 1, 2.5)
+	wg := b.Build()
+	got = DistanceCDF(wg, []float64{1, 2.5, 3})
+	if got[0] != 2 || got[1] != 4 || got[2] != 4 {
+		t.Errorf("weighted CDF = %v", got)
+	}
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list: one edge per line as
+// "u v" or "u v w", with '#' or '%' comment lines ignored.  Node IDs must be
+// non-negative integers; the node count is one more than the largest ID
+// seen.  The directed flag controls how edges are interpreted.
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	type line struct {
+		u, v int32
+		w    float64
+		hasW bool
+	}
+	var lines []line
+	maxID := int64(-1)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v [w]', got %q", lineNo, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil || u < 0 {
+			return nil, fmt.Errorf("graph: line %d: bad source node %q", lineNo, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: bad target node %q", lineNo, fields[1])
+		}
+		ln := line{u: int32(u), v: int32(v)}
+		if len(fields) == 3 {
+			w, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
+			}
+			ln.w, ln.hasW = w, true
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		lines = append(lines, ln)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	b := NewBuilder(int(maxID+1), directed)
+	for _, ln := range lines {
+		if ln.hasW {
+			b.AddWeightedEdge(ln.u, ln.v, ln.w)
+		} else {
+			b.AddEdge(ln.u, ln.v)
+		}
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph as an edge list readable by ReadEdgeList.
+// Undirected edges are written once (u <= v).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d directed=%v weighted=%v\n",
+		g.NumNodes(), g.NumEdges(), g.Directed(), g.Weighted()); err != nil {
+		return err
+	}
+	var failed error
+	selfSeen := make(map[int32]int)
+	g.ForEachArc(func(u, v int32, wt float64) {
+		if failed != nil {
+			return
+		}
+		if !g.Directed() && u > v {
+			return
+		}
+		if !g.Directed() && u == v {
+			// An undirected self-loop is stored as two arcs; emit one
+			// line per pair.
+			selfSeen[u]++
+			if selfSeen[u]%2 == 0 {
+				return
+			}
+		}
+		var err error
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", u, v, wt)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+		if err != nil {
+			failed = err
+		}
+	})
+	if failed != nil {
+		return failed
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,191 @@
+// Package hll implements the HyperLogLog approximate distinct counter of
+// Flajolet, Fusy, Gandouet and Meunier (2007) — the state-of-the-art
+// baseline the paper compares against in Section 6 — and the paper's HIP
+// estimator layered on the very same sketch (Algorithm 3).
+//
+// The HLL sketch is a k-partition MinHash sketch with base-2 ranks: k
+// 5-bit registers, register i holding the maximum over its bucket of
+// ceil(-log2 r(v)), saturating at 31.  The classic estimators read the
+// registers at query time (raw harmonic-mean estimate plus bias
+// corrections); the HIP estimator instead accumulates inverse update
+// probabilities as the sketch is built, which is unbiased, needs no
+// corrections, and has NRMSE ~ 0.866/sqrt(k) versus ~ 1.04-1.08/sqrt(k)
+// for corrected HLL.
+package hll
+
+import (
+	"fmt"
+	"math"
+
+	"adsketch/internal/rank"
+)
+
+// RegisterCap is the saturation value of a 5-bit HLL register.
+const RegisterCap = 31
+
+// Sketch is a HyperLogLog register array.
+type Sketch struct {
+	k   int
+	m   []uint8
+	src rank.Source
+}
+
+// New returns an empty HLL sketch with k registers (k >= 2) drawing
+// hashes from src.
+func New(k int, src rank.Source) *Sketch {
+	if k < 2 {
+		panic(fmt.Sprintf("hll: k = %d, need >= 2", k))
+	}
+	return &Sketch{k: k, m: make([]uint8, k), src: src}
+}
+
+// K returns the number of registers.
+func (s *Sketch) K() int { return s.k }
+
+// Registers returns the register values (aliases internal storage).
+func (s *Sketch) Registers() []uint8 { return s.m }
+
+// observe computes the (bucket, capped exponent) pair of an element.
+func (s *Sketch) observe(id int64) (int, uint8) {
+	b := s.src.Bucket(id, s.k)
+	h := rank.Base2Exponent(rank.Hash64(s.src.Seed()^0x1f3d5b79a2c4e688, uint64(id)))
+	if h > RegisterCap {
+		h = RegisterCap
+	}
+	return b, uint8(h)
+}
+
+// Add folds an element into the sketch and reports whether a register
+// grew.  Re-occurrences never modify the sketch.
+func (s *Sketch) Add(id int64) bool {
+	b, h := s.observe(id)
+	if h > s.m[b] {
+		s.m[b] = h
+		return true
+	}
+	return false
+}
+
+// Merge folds another sketch (same k, same source) into s, giving the
+// sketch of the union.
+func (s *Sketch) Merge(o *Sketch) {
+	if o.k != s.k {
+		panic("hll: merging sketches with different k")
+	}
+	for i, v := range o.m {
+		if v > s.m[i] {
+			s.m[i] = v
+		}
+	}
+}
+
+// alpha returns the bias-correction constant alpha_m of [Flajolet et al.].
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	}
+	if m >= 128 {
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+	// Below 16 registers the asymptotic constant is a reasonable fallback;
+	// the original analysis starts at m = 16.
+	return 0.7213 / (1 + 1.079/float64(m))
+}
+
+// RawEstimate returns the uncorrected HLL estimate
+// alpha_m * m^2 / sum_i 2^{-M[i]} ("HLLraw" in Figure 3).
+func (s *Sketch) RawEstimate() float64 {
+	sum := 0.0
+	for _, v := range s.m {
+		sum += math.Exp2(-float64(v))
+	}
+	m := float64(s.k)
+	return alpha(s.k) * m * m / sum
+}
+
+// Estimate returns the bias-corrected HLL estimate from the original
+// paper's pseudocode: linear counting when the raw estimate is small and
+// empty registers exist.  (The large-range correction of the 32-bit
+// original is unnecessary with 64-bit hashing.)
+func (s *Sketch) Estimate() float64 {
+	e := s.RawEstimate()
+	m := float64(s.k)
+	if e <= 2.5*m {
+		zeros := 0
+		for _, v := range s.m {
+			if v == 0 {
+				zeros++
+			}
+		}
+		if zeros > 0 {
+			return m * math.Log(m/float64(zeros))
+		}
+	}
+	return e
+}
+
+// HIP is the Section 6 / Algorithm 3 counter: the HLL sketch augmented
+// with one approximate register c accumulating HIP adjusted weights.  Each
+// time a register grows, the update had probability
+// tau = (1/k) * sum over unsaturated registers of 2^{-M[i]}
+// (a fresh element lands in bucket i with probability 1/k and exceeds M[i]
+// with probability 2^{-M[i]}), so c grows by 1/tau.
+//
+// Note the printed Algorithm 3 adds (sum 2^{-M[i]})^{-1}, omitting the 1/k
+// bucket-choice factor; the text's derivation (and unbiasedness, which the
+// tests verify) requires the k/sum form used here.
+type HIP struct {
+	sketch *Sketch
+	count  float64
+}
+
+// NewHIP returns a HIP counter over a fresh HLL sketch with k registers.
+func NewHIP(k int, src rank.Source) *HIP {
+	return &HIP{sketch: New(k, src)}
+}
+
+// K returns the number of registers.
+func (h *HIP) K() int { return h.sketch.K() }
+
+// Sketch returns the underlying register array (shared, not a copy).
+func (h *HIP) Sketch() *Sketch { return h.sketch }
+
+// Add folds an element in, updating the HIP count when the sketch is
+// modified, and reports whether it was.
+func (h *HIP) Add(id int64) bool {
+	b, x := h.sketch.observe(id)
+	if x <= h.sketch.m[b] {
+		return false
+	}
+	sum := 0.0
+	for _, v := range h.sketch.m {
+		if v < RegisterCap {
+			sum += math.Exp2(-float64(v))
+		}
+	}
+	if sum > 0 {
+		h.count += float64(h.sketch.k) / sum
+	}
+	h.sketch.m[b] = x
+	return true
+}
+
+// Estimate returns the running HIP distinct-count estimate.  It is
+// unbiased until every register saturates (after which the sketch cannot
+// change and the estimate, like HLL's, stops growing).
+func (h *HIP) Estimate() float64 { return h.count }
+
+// Saturated reports whether every register has reached the cap.
+func (h *HIP) Saturated() bool {
+	for _, v := range h.sketch.m {
+		if v < RegisterCap {
+			return false
+		}
+	}
+	return true
+}

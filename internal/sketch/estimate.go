@@ -1,0 +1,111 @@
+package sketch
+
+import "math"
+
+// Basic cardinality estimators of Section 4 as standalone functions over
+// rank values, so they can be applied both to MinHash sketches and to the
+// per-distance MinHash views extracted from an All-Distances Sketch.
+
+// KMinsEstimate returns the Section 4.1 estimator (k-1)/sum(-ln(1-x_i))
+// over the k per-permutation minimum ranks (1 for an empty permutation).
+// Unbiased for k > 1; CV = 1/sqrt(k-2) for k > 2.
+func KMinsEstimate(mins []float64) float64 {
+	k := len(mins)
+	sum := 0.0
+	for _, x := range mins {
+		sum += -math.Log1p(-x)
+	}
+	if sum == 0 {
+		return 0
+	}
+	if k == 1 {
+		// MLE; biased, provided for completeness.
+		return 1 / sum
+	}
+	return float64(k-1) / sum
+}
+
+// BottomKEstimate returns the Section 4.2 estimator given the number of
+// elements seen (or stored, if that is all that is known) and the k-th
+// smallest rank tau.  When fewer than k elements exist the count itself is
+// exact and should be returned by the caller; this function implements the
+// saturated case (k-1)/tau.
+func BottomKEstimate(k int, tau float64) float64 {
+	if tau <= 0 {
+		return math.Inf(1)
+	}
+	return float64(k-1) / tau
+}
+
+// KPartitionEstimate returns the Section 4.3 estimator over per-bucket
+// minimum ranks (1 for empty buckets): with k' nonempty buckets,
+// k'(k'-1)/sum_{nonempty}(-ln(1-x_t)).  Zero when k' <= 1.
+func KPartitionEstimate(mins []float64) float64 {
+	kPrime := 0
+	sum := 0.0
+	for _, x := range mins {
+		if x < 1 {
+			kPrime++
+			sum += -math.Log1p(-x)
+		}
+	}
+	if kPrime <= 1 || sum == 0 {
+		return 0
+	}
+	return float64(kPrime) * float64(kPrime-1) / sum
+}
+
+// Reference error constants from the paper, used as the analytic overlay
+// curves in Figure 2 and in assertions that measured error matches theory.
+
+// BasicCV returns 1/sqrt(k-2), the CV of the basic k-mins estimator and the
+// first-order bound for the basic bottom-k estimator (Section 4).
+func BasicCV(k int) float64 {
+	if k <= 2 {
+		return math.Inf(1)
+	}
+	return 1 / math.Sqrt(float64(k-2))
+}
+
+// HIPCV returns 1/sqrt(2(k-1)), the first-order CV bound of the bottom-k
+// HIP estimator (Theorem 5.1).
+func HIPCV(k int) float64 {
+	if k <= 1 {
+		return math.Inf(1)
+	}
+	return 1 / math.Sqrt(2*float64(k-1))
+}
+
+// BasicMRE returns sqrt(2/(pi(k-2))), the paper's reference mean relative
+// error of the basic k-mins estimator.
+func BasicMRE(k int) float64 {
+	if k <= 2 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(2 / (math.Pi * float64(k-2)))
+}
+
+// HIPMRE returns sqrt(1/(pi(k-1))), the paper's reference MRE for HIP.
+func HIPMRE(k int) float64 {
+	if k <= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(1 / (math.Pi * float64(k-1)))
+}
+
+// HIPBaseBCV returns sqrt((1+b)/(4(k-1))), the Section 5.6 back-of-the-
+// envelope CV of HIP with base-b ranks (b=1 recovers the full-rank bound).
+func HIPBaseBCV(k int, b float64) float64 {
+	if k <= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt((1 + b) / (4 * float64(k-1)))
+}
+
+// HLLCV returns 1.08/sqrt(k), the approximate NRMSE of bias-corrected
+// HyperLogLog quoted in Section 6.
+func HLLCV(k int) float64 { return 1.08 / math.Sqrt(float64(k)) }
+
+// HIPOnHLLCV returns sqrt(3/(4k)) ~ 0.866/sqrt(k), the Section 6 NRMSE of
+// the HIP estimator on the HyperLogLog (k-partition, base-2) sketch.
+func HIPOnHLLCV(k int) float64 { return math.Sqrt(3 / (4 * float64(k))) }

@@ -1,0 +1,51 @@
+package sketch
+
+// Similarity estimation from coordinated bottom-k sketches (the application
+// that coordination enables, Section 1 and [Cohen et al. 2013]).  Because
+// sketches of different sets share one permutation, the bottom-k sketch of
+// a union is computable from the two sketches, and the fraction of the
+// union's low-rank sample that lands in both sets estimates the Jaccard
+// coefficient.
+
+// Jaccard estimates |A ∩ B| / |A ∪ B| from two coordinated bottom-k
+// sketches.  It uses the k smallest ranks of the union; each is a uniform
+// sample of the union and is a member of the intersection exactly when it
+// appears in both sketches.
+func Jaccard(a, b *BottomKSketch) float64 {
+	if a.K() != b.K() {
+		panic("sketch: Jaccard over sketches with different k")
+	}
+	union := a.Clone()
+	union.Merge(b)
+	if union.Len() == 0 {
+		return 0
+	}
+	inA := make(map[int64]bool, a.Len())
+	for _, e := range a.Entries() {
+		inA[e.ID] = true
+	}
+	inB := make(map[int64]bool, b.Len())
+	for _, e := range b.Entries() {
+		inB[e.ID] = true
+	}
+	both := 0
+	for _, e := range union.Entries() {
+		if inA[e.ID] && inB[e.ID] {
+			both++
+		}
+	}
+	return float64(both) / float64(union.Len())
+}
+
+// UnionEstimate estimates |A ∪ B| from two coordinated bottom-k sketches by
+// applying the basic bottom-k estimator to the merged sketch.
+func UnionEstimate(a, b *BottomKSketch) float64 {
+	union := a.Clone()
+	union.Merge(b)
+	return union.Estimate()
+}
+
+// IntersectionEstimate estimates |A ∩ B| as Jaccard x UnionEstimate.
+func IntersectionEstimate(a, b *BottomKSketch) float64 {
+	return Jaccard(a, b) * UnionEstimate(a, b)
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Series is a named error curve: one ErrAccum per evaluation point, used to
+// assemble a panel of Figure 2 or Figure 3.  Points are keyed by the x value
+// (neighborhood size or cardinality).
+type Series struct {
+	Name   string
+	points map[float64]*ErrAccum
+}
+
+// NewSeries returns an empty series with the given name.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, points: make(map[float64]*ErrAccum)}
+}
+
+// At returns the accumulator for x with the given truth, creating it on
+// first use.  The truth must be consistent across calls for the same x.
+func (s *Series) At(x, truth float64) *ErrAccum {
+	if p, ok := s.points[x]; ok {
+		return p
+	}
+	p := NewErrAccum(truth)
+	s.points[x] = p
+	return p
+}
+
+// Add records one estimate at x against truth.
+func (s *Series) Add(x, truth, est float64) { s.At(x, truth).Add(est) }
+
+// Xs returns the sorted evaluation points.
+func (s *Series) Xs() []float64 {
+	xs := make([]float64, 0, len(s.points))
+	for x := range s.points {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Point returns the accumulator at x (nil if absent).
+func (s *Series) Point(x float64) *ErrAccum { return s.points[x] }
+
+// Merge folds another series (same name/points) into s.
+func (s *Series) Merge(o *Series) {
+	for x, p := range o.points {
+		if mine, ok := s.points[x]; ok {
+			mine.Merge(p)
+		} else {
+			cp := *p
+			s.points[x] = &cp
+		}
+	}
+}
+
+// Panel is a collection of series over a shared x axis, i.e. one sub-plot of
+// a paper figure.
+type Panel struct {
+	Title  string
+	Series []*Series
+}
+
+// NewPanel returns an empty panel.
+func NewPanel(title string) *Panel { return &Panel{Title: title} }
+
+// AddSeries appends a series to the panel and returns it.
+func (p *Panel) AddSeries(name string) *Series {
+	s := NewSeries(name)
+	p.Series = append(p.Series, s)
+	return s
+}
+
+// Metric selects which error statistic a rendering reports.
+type Metric int
+
+// Metrics supported by Panel renderings.
+const (
+	NRMSE Metric = iota // sqrt(mean squared error)/truth
+	MRE                 // mean absolute error/truth
+	Bias                // mean signed error/truth
+)
+
+func (m Metric) String() string {
+	switch m {
+	case NRMSE:
+		return "NRMSE"
+	case MRE:
+		return "MRE"
+	case Bias:
+		return "Bias"
+	}
+	return "?"
+}
+
+func (m Metric) of(e *ErrAccum) float64 {
+	switch m {
+	case NRMSE:
+		return e.NRMSE()
+	case MRE:
+		return e.MRE()
+	case Bias:
+		return e.Bias()
+	}
+	return 0
+}
+
+// xsUnion returns the sorted union of x points across all series.
+func (p *Panel) xsUnion() []float64 {
+	set := make(map[float64]struct{})
+	for _, s := range p.Series {
+		for x := range s.points {
+			set[x] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// WriteTSV renders the panel as a tab-separated table: one row per x point,
+// one column per series, in the spirit of the gnuplot data behind the
+// paper's figures.
+func (p *Panel) WriteTSV(w io.Writer, m Metric) error {
+	if _, err := fmt.Fprintf(w, "# %s (%s)\n", p.Title, m); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(w, "size"); err != nil {
+		return err
+	}
+	for _, s := range p.Series {
+		if _, err := fmt.Fprintf(w, "\t%s", s.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, x := range p.xsUnion() {
+		if _, err := fmt.Fprintf(w, "%g", x); err != nil {
+			return err
+		}
+		for _, s := range p.Series {
+			if e := s.Point(x); e != nil {
+				if _, err := fmt.Fprintf(w, "\t%.6f", m.of(e)); err != nil {
+					return err
+				}
+			} else if _, err := fmt.Fprint(w, "\t"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicSmall(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {-3, 0}, {1, 1}, {2, 1.5}, {3, 1.5 + 1.0/3},
+		{4, 25.0 / 12}, {10, 2.9289682539682538},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %.15f, want %.15f", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicAsymptoticContinuity(t *testing.T) {
+	// The exact and asymptotic branches must agree around the switch point.
+	exact := 0.0
+	for i := 1; i <= 10000; i++ {
+		exact += 1 / float64(i)
+		if i >= 250 && i <= 1000 {
+			if got := Harmonic(i); math.Abs(got-exact) > 1e-10 {
+				t.Fatalf("Harmonic(%d) = %.14f, exact %.14f", i, got, exact)
+			}
+		}
+	}
+}
+
+func TestHarmonicMonotone(t *testing.T) {
+	if err := quick.Check(func(a uint16) bool {
+		n := int(a)
+		return Harmonic(n+1) > Harmonic(n)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedBottomKADSSize(t *testing.T) {
+	// n <= k: all nodes included.
+	if got := ExpectedBottomKADSSize(3, 5); got != 3 {
+		t.Errorf("size(n=3,k=5) = %g, want 3", got)
+	}
+	// k=1: H_n.
+	if got, want := ExpectedBottomKADSSize(100, 1), Harmonic(100); math.Abs(got-want) > 1e-12 {
+		t.Errorf("size(n=100,k=1) = %g, want H_100 = %g", got, want)
+	}
+	// Approximation quality k(1+ln n-ln k) for n >> k.
+	got := ExpectedBottomKADSSize(100000, 16)
+	approx := 16 * (1 + math.Log(100000) - math.Log(16))
+	if math.Abs(got-approx) > 0.6 {
+		t.Errorf("size(1e5,16) = %g, approx %g: gap too large", got, approx)
+	}
+}
+
+func TestExpectedKPartitionADSSize(t *testing.T) {
+	if got := ExpectedKPartitionADSSize(0, 4); got != 0 {
+		t.Errorf("size(0,4) = %g, want 0", got)
+	}
+	if got, want := ExpectedKPartitionADSSize(100, 1), Harmonic(100); got != want {
+		t.Errorf("k=1 partition size = %g, want %g", got, want)
+	}
+	got := ExpectedKPartitionADSSize(64000, 64)
+	want := 64 * Harmonic(1000)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("size(64000,64) = %g, want %g", got, want)
+	}
+}
+
+func TestAccumBasics(t *testing.T) {
+	var a Accum
+	if a.Mean() != 0 || a.Var() != 0 || a.N() != 0 {
+		t.Fatal("zero-value Accum not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d, want 8", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", a.Mean())
+	}
+	if math.Abs(a.Var()-4) > 1e-12 {
+		t.Errorf("Var = %g, want 4", a.Var())
+	}
+	if math.Abs(a.Std()-2) > 1e-12 {
+		t.Errorf("Std = %g, want 2", a.Std())
+	}
+	if math.Abs(a.CV()-0.4) > 1e-12 {
+		t.Errorf("CV = %g, want 0.4", a.CV())
+	}
+	if math.Abs(a.SampleVar()-32.0/7) > 1e-12 {
+		t.Errorf("SampleVar = %g, want %g", a.SampleVar(), 32.0/7)
+	}
+}
+
+func TestAccumMergeMatchesSequential(t *testing.T) {
+	if err := quick.Check(func(xs []float64, split uint8) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				xs[i] = float64(i)
+			}
+		}
+		var all, a, b Accum
+		cut := 0
+		if len(xs) > 0 {
+			cut = int(split) % (len(xs) + 1)
+		}
+		for i, x := range xs {
+			all.Add(x)
+			if i < cut {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-9*(1+math.Abs(all.Mean())) &&
+			math.Abs(a.Var()-all.Var()) < 1e-6*(1+all.Var())
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrAccum(t *testing.T) {
+	e := NewErrAccum(10)
+	e.Add(8)  // err -2
+	e.Add(12) // err +2
+	e.Add(10) // err 0
+	if e.N() != 3 {
+		t.Errorf("N = %d", e.N())
+	}
+	if got := e.Bias(); math.Abs(got) > 1e-15 {
+		t.Errorf("Bias = %g, want 0", got)
+	}
+	wantNRMSE := math.Sqrt(8.0/3) / 10
+	if got := e.NRMSE(); math.Abs(got-wantNRMSE) > 1e-12 {
+		t.Errorf("NRMSE = %g, want %g", got, wantNRMSE)
+	}
+	wantMRE := (4.0 / 3) / 10
+	if got := e.MRE(); math.Abs(got-wantMRE) > 1e-12 {
+		t.Errorf("MRE = %g, want %g", got, wantMRE)
+	}
+}
+
+func TestErrAccumEmptyAndZeroTruth(t *testing.T) {
+	e := NewErrAccum(0)
+	e.Add(5)
+	if e.NRMSE() != 0 || e.MRE() != 0 || e.Bias() != 0 {
+		t.Error("zero-truth accumulator should report 0 metrics")
+	}
+	f := NewErrAccum(3)
+	if f.NRMSE() != 0 || f.MRE() != 0 {
+		t.Error("empty accumulator should report 0 metrics")
+	}
+}
+
+func TestErrAccumMerge(t *testing.T) {
+	a, b, all := NewErrAccum(5), NewErrAccum(5), NewErrAccum(5)
+	for i, x := range []float64{4, 5, 6, 7, 3, 5.5} {
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if math.Abs(a.NRMSE()-all.NRMSE()) > 1e-12 || math.Abs(a.MRE()-all.MRE()) > 1e-12 {
+		t.Error("merged ErrAccum differs from sequential")
+	}
+}
+
+func TestSeriesAndPanel(t *testing.T) {
+	p := NewPanel("test panel")
+	s1 := p.AddSeries("alpha")
+	s2 := p.AddSeries("beta")
+	s1.Add(1, 10, 9)
+	s1.Add(1, 10, 11)
+	s1.Add(2, 20, 22)
+	s2.Add(2, 20, 18)
+	xs := s1.Xs()
+	if len(xs) != 2 || xs[0] != 1 || xs[1] != 2 {
+		t.Fatalf("Xs = %v", xs)
+	}
+	if got := s1.Point(1).NRMSE(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("NRMSE at 1 = %g, want 0.1", got)
+	}
+
+	var sb strings.Builder
+	if err := p.WriteTSV(&sb, NRMSE); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"alpha", "beta", "test panel", "NRMSE", "0.100000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TSV output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesMerge(t *testing.T) {
+	a, b := NewSeries("x"), NewSeries("x")
+	a.Add(1, 10, 9)
+	b.Add(1, 10, 11)
+	b.Add(2, 20, 20)
+	a.Merge(b)
+	if a.Point(1).N() != 2 {
+		t.Errorf("merged point n = %d, want 2", a.Point(1).N())
+	}
+	if a.Point(2) == nil || a.Point(2).N() != 1 {
+		t.Error("merge did not copy new point")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if NRMSE.String() != "NRMSE" || MRE.String() != "MRE" || Bias.String() != "Bias" {
+		t.Error("Metric.String mismatch")
+	}
+	if Metric(99).String() != "?" {
+		t.Error("unknown metric should stringify to ?")
+	}
+}

@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"adsketch/internal/rank"
+)
+
+// HIP distinct counters over the three MinHash sketch flavors (Section 6).
+// Each maintains only the MinHash sketch plus one running count; when an
+// element modifies the sketch, the count grows by the inverse of the
+// modification probability given the pre-update sketch state.  All are
+// unbiased, and re-occurrences of an element never change sketch or count.
+
+// Distinct is the interface shared by the streaming distinct counters in
+// this package and package hll.
+type Distinct interface {
+	// Add folds an element in, reporting whether the sketch changed.
+	Add(id int64) bool
+	// Estimate returns the current distinct-count estimate.
+	Estimate() float64
+}
+
+// BottomKCounter is the bottom-k HIP distinct counter: a bottom-k MinHash
+// sketch plus the HIP register.  Memory is O(k); the retained ADS entries
+// of FirstOccurrenceADS are not kept.
+type BottomKCounter struct {
+	k     int
+	src   rank.Source
+	ranks []float64 // k smallest ranks, ascending
+	count float64
+}
+
+var _ Distinct = (*BottomKCounter)(nil)
+
+// NewBottomKCounter returns an empty counter.
+func NewBottomKCounter(k int, src rank.Source) *BottomKCounter {
+	if k < 1 {
+		panic(fmt.Sprintf("stream: k = %d, need >= 1", k))
+	}
+	return &BottomKCounter{k: k, src: src}
+}
+
+// Add implements Distinct.
+func (c *BottomKCounter) Add(id int64) bool {
+	r := c.src.Rank(id)
+	tau := 1.0
+	if len(c.ranks) >= c.k {
+		tau = c.ranks[c.k-1]
+	}
+	if r >= tau {
+		return false
+	}
+	i := sort.SearchFloat64s(c.ranks, r)
+	if i < len(c.ranks) && c.ranks[i] == r {
+		return false // re-occurrence
+	}
+	c.count += 1 / tau
+	c.ranks = append(c.ranks, 0)
+	copy(c.ranks[i+1:], c.ranks[i:])
+	c.ranks[i] = r
+	if len(c.ranks) > c.k {
+		c.ranks = c.ranks[:c.k]
+	}
+	return true
+}
+
+// Estimate implements Distinct.
+func (c *BottomKCounter) Estimate() float64 { return c.count }
+
+// KMinsCounter is the k-mins HIP distinct counter: k independent minimum
+// ranks plus the HIP register.  The update probability of a fresh element
+// is 1 - Π_h (1 - min_h) (equation (7) with the whole prefix as Φ).
+type KMinsCounter struct {
+	k     int
+	src   rank.Source
+	mins  []float64
+	count float64
+}
+
+var _ Distinct = (*KMinsCounter)(nil)
+
+// NewKMinsCounter returns an empty counter.
+func NewKMinsCounter(k int, src rank.Source) *KMinsCounter {
+	if k < 1 {
+		panic(fmt.Sprintf("stream: k = %d, need >= 1", k))
+	}
+	mins := make([]float64, k)
+	for i := range mins {
+		mins[i] = 1
+	}
+	return &KMinsCounter{k: k, src: src, mins: mins}
+}
+
+// Add implements Distinct.
+func (c *KMinsCounter) Add(id int64) bool {
+	updated := false
+	tau := 1.0
+	prod := 1.0
+	for _, m := range c.mins {
+		prod *= 1 - m
+	}
+	tau = 1 - prod
+	for h := 0; h < c.k; h++ {
+		if r := c.src.RankAt(h, id); r < c.mins[h] {
+			c.mins[h] = r
+			updated = true
+		}
+	}
+	if updated {
+		c.count += 1 / tau
+	}
+	return updated
+}
+
+// Estimate implements Distinct.
+func (c *KMinsCounter) Estimate() float64 { return c.count }
+
+// KPartitionCounter is the k-partition HIP distinct counter with
+// full-precision ranks; the base-2 register variant (HyperLogLog layout)
+// lives in package hll.  The update probability of a fresh element is
+// (1/k) Σ_b min_b (equation (8)).
+type KPartitionCounter struct {
+	k     int
+	src   rank.Source
+	mins  []float64
+	sum   float64
+	count float64
+}
+
+var _ Distinct = (*KPartitionCounter)(nil)
+
+// NewKPartitionCounter returns an empty counter.
+func NewKPartitionCounter(k int, src rank.Source) *KPartitionCounter {
+	if k < 1 {
+		panic(fmt.Sprintf("stream: k = %d, need >= 1", k))
+	}
+	mins := make([]float64, k)
+	for i := range mins {
+		mins[i] = 1
+	}
+	return &KPartitionCounter{k: k, src: src, mins: mins, sum: float64(k)}
+}
+
+// Add implements Distinct.
+func (c *KPartitionCounter) Add(id int64) bool {
+	b := c.src.Bucket(id, c.k)
+	r := c.src.Rank(id)
+	if r >= c.mins[b] {
+		return false
+	}
+	tau := c.sum / float64(c.k)
+	c.count += 1 / tau
+	c.sum += r - c.mins[b]
+	c.mins[b] = r
+	return true
+}
+
+// Estimate implements Distinct.
+func (c *KPartitionCounter) Estimate() float64 { return c.count }

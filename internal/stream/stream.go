@@ -1,0 +1,232 @@
+// Package stream implements All-Distances Sketches over data streams
+// (Section 3.1) and streaming distinct counters built on them.
+//
+// A stream is a sequence of (element, time) entries.  Two time semantics
+// replace graph distance:
+//
+//   - first occurrence: the "distance" of an element is the elapsed time
+//     from the start of the stream to its first occurrence, emphasizing
+//     early elements.  Elements arrive in increasing distance, so the ADS
+//     is maintained exactly like a neighborhood scan (FirstOccurrenceADS).
+//
+//   - recency: the "distance" is the elapsed time from the most recent
+//     occurrence to the current time, emphasizing recent elements
+//     (appropriate for time-decaying statistics).  Entries arrive in
+//     decreasing distance, so every new entry is inserted and older
+//     entries are cleaned up (RecencyADS).
+//
+// The HIP distinct counters of Section 6 for bottom-k, k-mins, and
+// k-partition MinHash sketches are also here; the HyperLogLog-specific
+// variants live in package hll.
+package stream
+
+import (
+	"sort"
+
+	"adsketch/internal/core"
+	"adsketch/internal/rank"
+)
+
+// FirstOccurrenceADS maintains a bottom-k ADS of the distinct elements of a
+// stream keyed by elapsed time from the stream start to each element's
+// first occurrence (Section 3.1, case (i)).  It is equivalent to keeping a
+// bottom-k MinHash sketch of the prefix and recording every entry that
+// modified it.
+type FirstOccurrenceADS struct {
+	k       int
+	src     rank.Source
+	entries []core.Entry // canonical order: increasing time
+	ranks   []float64    // k smallest ranks, ascending
+	hip     float64      // running HIP distinct count
+}
+
+// NewFirstOccurrenceADS returns an empty sketch with parameter k using the
+// given rank source.
+func NewFirstOccurrenceADS(k int, src rank.Source) *FirstOccurrenceADS {
+	if k < 1 {
+		panic("stream: k must be >= 1")
+	}
+	return &FirstOccurrenceADS{k: k, src: src}
+}
+
+// K returns the sketch parameter.
+func (s *FirstOccurrenceADS) K() int { return s.k }
+
+// Size returns the number of retained entries.
+func (s *FirstOccurrenceADS) Size() int { return len(s.entries) }
+
+// Entries returns the retained (element, first-occurrence-time) entries in
+// time order.  Node holds the element ID truncated to int32 domain use;
+// use EntriesRaw for the original IDs when they exceed int32.
+func (s *FirstOccurrenceADS) Entries() []core.Entry { return s.entries }
+
+// threshold returns the current k-th smallest rank (1 if fewer than k).
+func (s *FirstOccurrenceADS) threshold() float64 {
+	if len(s.ranks) < s.k {
+		return 1
+	}
+	return s.ranks[s.k-1]
+}
+
+// Process feeds one stream entry (element id at time t) and reports whether
+// the sketch was modified.  Times must be non-decreasing.
+func (s *FirstOccurrenceADS) Process(id int64, t float64) bool {
+	r := s.src.Rank(id)
+	tau := s.threshold()
+	if r >= tau {
+		return false
+	}
+	// Membership test: a re-occurrence of a retained element has a rank
+	// already stored (ranks are unique per element).
+	i := sort.SearchFloat64s(s.ranks, r)
+	if i < len(s.ranks) && s.ranks[i] == r {
+		return false
+	}
+	s.hip += 1 / tau
+	s.ranks = append(s.ranks, 0)
+	copy(s.ranks[i+1:], s.ranks[i:])
+	s.ranks[i] = r
+	if len(s.ranks) > s.k {
+		s.ranks = s.ranks[:s.k]
+	}
+	s.entries = append(s.entries, core.Entry{Node: int32(id), Dist: t, Rank: r})
+	return true
+}
+
+// DistinctCount returns the running HIP estimate of the number of distinct
+// elements seen so far.
+func (s *FirstOccurrenceADS) DistinctCount() float64 { return s.hip }
+
+// EstimateWithin returns the HIP estimate of the number of distinct
+// elements whose first occurrence was at time <= t.  Entries that later
+// fell out of the bottom-k still contributed their adjusted weight when
+// accepted, so this uses the retained entries' weights only, recomputed by
+// a canonical scan (matching the ADS HIP estimator).
+func (s *FirstOccurrenceADS) EstimateWithin(t float64) float64 {
+	a := core.NewADS(-1, s.k)
+	sum := 0.0
+	for _, e := range s.entries {
+		if e.Dist > t {
+			break
+		}
+		tau := a.Threshold()
+		if e.Rank < tau {
+			sum += 1 / tau
+			a.AppendInOrder(core.Entry{Node: e.Node, Dist: e.Dist, Rank: e.Rank})
+		}
+	}
+	return sum
+}
+
+// RecencyADS maintains a bottom-k ADS of distinct stream elements keyed by
+// recency (Section 3.1, case (ii)): the distance of an element is T - t of
+// its most recent occurrence, for a horizon T beyond the end of the
+// stream.  Newest entries always enter; stale entries for the same element
+// are replaced; entries whose rank stopped beating the threshold of closer
+// (more recent) entries are cleaned up.
+type RecencyADS struct {
+	k       int
+	horizon float64
+	src     rank.Source
+	entries []core.Entry // ascending distance T - t (most recent first)
+	now     float64
+}
+
+// NewRecencyADS returns an empty recency sketch.  horizon must exceed every
+// timestamp the stream will carry.
+func NewRecencyADS(k int, horizon float64, src rank.Source) *RecencyADS {
+	if k < 1 {
+		panic("stream: k must be >= 1")
+	}
+	return &RecencyADS{k: k, horizon: horizon, src: src}
+}
+
+// K returns the sketch parameter.
+func (s *RecencyADS) K() int { return s.k }
+
+// Size returns the number of retained entries.
+func (s *RecencyADS) Size() int { return len(s.entries) }
+
+// Process feeds one stream entry.  Times must be non-decreasing and below
+// the horizon.
+func (s *RecencyADS) Process(id int64, t float64) {
+	if t >= s.horizon {
+		panic("stream: timestamp at or beyond the recency horizon")
+	}
+	if t < s.now {
+		panic("stream: timestamps must be non-decreasing")
+	}
+	s.now = t
+	d := s.horizon - t
+	r := s.src.Rank(id)
+	// Drop a previous occurrence of the same element (it is farther).
+	for i, e := range s.entries {
+		if e.Node == int32(id) {
+			copy(s.entries[i:], s.entries[i+1:])
+			s.entries = s.entries[:len(s.entries)-1]
+			break
+		}
+	}
+	// The newest entry has the smallest distance: prepend, then clean up
+	// the suffix by the bottom-k rule (scan in increasing distance,
+	// dropping entries whose rank is not below the k-th smallest rank of
+	// strictly closer retained entries).
+	s.entries = append([]core.Entry{{Node: int32(id), Dist: d, Rank: r}}, s.entries...)
+	kept := s.entries[:1]
+	ranks := []float64{r}
+	for _, e := range s.entries[1:] {
+		tau := 1.0
+		if len(ranks) >= s.k {
+			tau = ranks[s.k-1]
+		}
+		if e.Rank >= tau {
+			continue
+		}
+		i := sort.SearchFloat64s(ranks, e.Rank)
+		ranks = append(ranks, 0)
+		copy(ranks[i+1:], ranks[i:])
+		ranks[i] = e.Rank
+		if len(ranks) > s.k {
+			ranks = ranks[:s.k]
+		}
+		kept = append(kept, e)
+	}
+	s.entries = kept
+}
+
+// EstimateRecent returns the HIP estimate of the number of distinct
+// elements whose most recent occurrence is within the last window time
+// units (relative to the time of the last processed entry).
+func (s *RecencyADS) EstimateRecent(window float64) float64 {
+	cutoff := s.horizon - s.now + window
+	a := core.NewADS(-1, s.k)
+	sum := 0.0
+	for _, e := range s.entries {
+		tau := a.Threshold()
+		if e.Rank >= tau {
+			continue
+		}
+		if e.Dist <= cutoff {
+			sum += 1 / tau
+		}
+		a.AppendInOrder(core.Entry{Node: e.Node, Dist: e.Dist, Rank: e.Rank})
+	}
+	return sum
+}
+
+// Validate checks the bottom-k invariant over the retained entries.
+func (s *RecencyADS) Validate() error {
+	a := core.NewADS(-1, s.k)
+	for _, e := range s.entries {
+		if e.Rank < a.Threshold() {
+			a.AppendInOrder(e)
+		} else {
+			return errInvalid{e}
+		}
+	}
+	return nil
+}
+
+type errInvalid struct{ e core.Entry }
+
+func (e errInvalid) Error() string { return "stream: entry violates bottom-k invariant" }

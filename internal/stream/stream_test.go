@@ -1,0 +1,260 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"adsketch/internal/rank"
+	"adsketch/internal/sketch"
+	"adsketch/internal/stats"
+)
+
+func TestFirstOccurrenceDuplicatesIgnored(t *testing.T) {
+	src := rank.NewSource(1)
+	s := NewFirstOccurrenceADS(4, src)
+	for id := int64(0); id < 50; id++ {
+		t0 := float64(id * 3)
+		s.Process(id, t0)
+		// Re-occurrences of earlier elements, interleaved in time order.
+		if id > 0 {
+			s.Process(id-1, t0+1)
+		}
+		if id > 1 {
+			s.Process(id-2, t0+2)
+		}
+	}
+	// Same sketch as a single pass over the 50 distinct elements.
+	ref := NewFirstOccurrenceADS(4, src)
+	for id := int64(0); id < 50; id++ {
+		ref.Process(id, float64(id*3))
+	}
+	if s.Size() != ref.Size() || s.DistinctCount() != ref.DistinctCount() {
+		t.Errorf("duplicates changed the sketch: size %d vs %d, count %g vs %g",
+			s.Size(), ref.Size(), s.DistinctCount(), ref.DistinctCount())
+	}
+}
+
+func TestFirstOccurrenceHIPUnbiased(t *testing.T) {
+	const k, n, runs = 8, 1000, 400
+	acc := stats.NewErrAccum(n)
+	for run := 0; run < runs; run++ {
+		s := NewFirstOccurrenceADS(k, rank.NewSource(uint64(run)*613+5))
+		for id := int64(0); id < n; id++ {
+			s.Process(id, float64(id))
+		}
+		acc.Add(s.DistinctCount())
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.03 {
+		t.Errorf("bias = %+.3f", bias)
+	}
+	if nrmse := acc.NRMSE(); nrmse > 1.25*sketch.HIPCV(k) {
+		t.Errorf("NRMSE = %g above HIP bound %g", nrmse, sketch.HIPCV(k))
+	}
+}
+
+func TestFirstOccurrenceEstimateWithin(t *testing.T) {
+	src := rank.NewSource(9)
+	s := NewFirstOccurrenceADS(6, src)
+	for id := int64(0); id < 500; id++ {
+		s.Process(id, float64(id))
+	}
+	// The full-window estimate equals the running count.
+	if got := s.EstimateWithin(1e18); math.Abs(got-s.DistinctCount()) > 1e-9 {
+		t.Errorf("EstimateWithin(inf) = %g, count = %g", got, s.DistinctCount())
+	}
+	// Prefix estimates are unbiased over runs.
+	const runs = 300
+	acc := stats.NewErrAccum(101)
+	for run := 0; run < runs; run++ {
+		st := NewFirstOccurrenceADS(6, rank.NewSource(uint64(run)*733+1))
+		for id := int64(0); id < 500; id++ {
+			st.Process(id, float64(id))
+		}
+		acc.Add(st.EstimateWithin(100))
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.07 {
+		t.Errorf("prefix estimate bias = %+.3f", bias)
+	}
+	if s.K() != 6 {
+		t.Error("K accessor")
+	}
+	if len(s.Entries()) != s.Size() {
+		t.Error("Entries/Size mismatch")
+	}
+}
+
+func TestRecencyADSBasics(t *testing.T) {
+	src := rank.NewSource(2)
+	s := NewRecencyADS(4, 1e6, src)
+	for id := int64(0); id < 200; id++ {
+		s.Process(id, float64(id))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The most recent element is always retained (smallest distance).
+	if s.entries[0].Node != 199 {
+		t.Errorf("most recent entry is %d, want 199", s.entries[0].Node)
+	}
+	if s.K() != 4 {
+		t.Error("K accessor")
+	}
+}
+
+func TestRecencyADSReoccurrenceMoves(t *testing.T) {
+	src := rank.NewSource(3)
+	s := NewRecencyADS(4, 1e6, src)
+	for id := int64(0); id < 50; id++ {
+		s.Process(id, float64(id))
+	}
+	// Element 0 re-occurs much later: must be retained as most recent.
+	s.Process(0, 1000)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.entries[0].Node != 0 {
+		t.Errorf("re-occurred element not at front: %v", s.entries[0])
+	}
+	// No duplicate entry for element 0.
+	count := 0
+	for _, e := range s.entries {
+		if e.Node == 0 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("element 0 appears %d times", count)
+	}
+}
+
+func TestRecencyADSWindowEstimateUnbiased(t *testing.T) {
+	// Stream 1000 distinct elements at times 0..999; window w covers the
+	// last w+1 of them.
+	const k, n, runs = 8, 1000, 300
+	const window = 99.5 // covers 100 elements
+	acc := stats.NewErrAccum(100)
+	for run := 0; run < runs; run++ {
+		s := NewRecencyADS(k, 1e9, rank.NewSource(uint64(run)*389+7))
+		for id := int64(0); id < n; id++ {
+			s.Process(id, float64(id))
+		}
+		acc.Add(s.EstimateRecent(window))
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.07 {
+		t.Errorf("window estimate bias = %+.3f", bias)
+	}
+}
+
+func TestRecencyADSPanics(t *testing.T) {
+	src := rank.NewSource(4)
+	check := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	check("bad k", func() { NewRecencyADS(0, 10, src) })
+	check("beyond horizon", func() {
+		s := NewRecencyADS(2, 10, src)
+		s.Process(1, 11)
+	})
+	check("time going backwards", func() {
+		s := NewRecencyADS(2, 100, src)
+		s.Process(1, 5)
+		s.Process(2, 4)
+	})
+	check("first-occurrence bad k", func() { NewFirstOccurrenceADS(0, src) })
+}
+
+func TestRecencyADSSizeStaysLogarithmic(t *testing.T) {
+	src := rank.NewSource(8)
+	s := NewRecencyADS(4, 1e9, src)
+	for id := int64(0); id < 5000; id++ {
+		s.Process(id, float64(id))
+	}
+	// Expected size ~ k(1 + ln(n) - ln(k)) ~ 4(1+8.5-1.4) ~ 33.
+	if s.Size() > 80 {
+		t.Errorf("recency ADS size %d looks unbounded", s.Size())
+	}
+}
+
+func testCounterUnbiased(t *testing.T, name string, k, n, runs int, mk func(src rank.Source) Distinct, cvBound float64) {
+	t.Helper()
+	acc := stats.NewErrAccum(float64(n))
+	for run := 0; run < runs; run++ {
+		c := mk(rank.NewSource(uint64(run)*104729 + 11))
+		for id := int64(0); id < int64(n); id++ {
+			c.Add(id)
+			c.Add(id) // immediate duplicate must be a no-op
+		}
+		acc.Add(c.Estimate())
+	}
+	if bias := acc.Bias(); math.Abs(bias) > 0.04 {
+		t.Errorf("%s bias = %+.3f", name, bias)
+	}
+	if nrmse := acc.NRMSE(); nrmse > cvBound {
+		t.Errorf("%s NRMSE = %g above %g", name, nrmse, cvBound)
+	}
+}
+
+func TestBottomKCounter(t *testing.T) {
+	testCounterUnbiased(t, "bottom-k", 16, 2000, 400, func(src rank.Source) Distinct {
+		return NewBottomKCounter(16, src)
+	}, 1.2*sketch.HIPCV(16))
+}
+
+func TestKMinsCounter(t *testing.T) {
+	testCounterUnbiased(t, "k-mins", 16, 2000, 400, func(src rank.Source) Distinct {
+		return NewKMinsCounter(16, src)
+	}, 1.25*sketch.HIPCV(16))
+}
+
+func TestKPartitionCounter(t *testing.T) {
+	testCounterUnbiased(t, "k-partition", 16, 2000, 400, func(src rank.Source) Distinct {
+		return NewKPartitionCounter(16, src)
+	}, 1.25*sketch.HIPCV(16))
+}
+
+func TestCountersExactSmall(t *testing.T) {
+	src := rank.NewSource(77)
+	// Bottom-k counts exactly while below k.
+	c := NewBottomKCounter(32, src)
+	for id := int64(0); id < 20; id++ {
+		c.Add(id)
+	}
+	if c.Estimate() != 20 {
+		t.Errorf("bottom-k small estimate = %g, want exactly 20", c.Estimate())
+	}
+}
+
+func TestCounterConstructorPanics(t *testing.T) {
+	src := rank.NewSource(1)
+	for name, fn := range map[string]func(){
+		"bottom-k":    func() { NewBottomKCounter(0, src) },
+		"k-mins":      func() { NewKMinsCounter(0, src) },
+		"k-partition": func() { NewKPartitionCounter(0, src) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s k=0 did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRecencyWindowZeroCoversNewestOnly(t *testing.T) {
+	s := NewRecencyADS(4, 1e6, rank.NewSource(6))
+	for id := int64(0); id < 100; id++ {
+		s.Process(id, float64(id))
+	}
+	// A window of zero covers only elements at exactly the current time.
+	got := s.EstimateRecent(0)
+	if got != 1 {
+		t.Errorf("zero-window estimate = %g, want 1 (the newest element)", got)
+	}
+}
