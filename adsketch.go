@@ -34,17 +34,31 @@
 //
 // # Quick start
 //
-//	g := adsketch.PreferentialAttachment(10000, 5, 1)
-//	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42},
-//	    adsketch.AlgoPrunedDijkstra)
-//	if err != nil { ... }
-//	c := adsketch.NewCentrality(set)
-//	fmt.Println(c.NeighborhoodSize(0, 3)) // ~|N_3(0)|
-//	fmt.Println(c.Closeness(0))           // ~1/Σ_j d(0,j)
+// Build composes the whole design space through functional options, and
+// Engine serves batch queries from cached per-node indices:
 //
-// All randomness is deterministic in the Options.Seed, and sketches built
-// with the same seed are coordinated (Section 2), which enables
-// cross-sketch operations such as Jaccard similarity of neighborhoods.
+//	g := adsketch.PreferentialAttachment(10000, 5, 1)
+//	set, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(42))
+//	if err != nil { ... }
+//	eng, err := adsketch.NewEngine(set)
+//	if err != nil { ... }
+//	sizes, _ := eng.NeighborhoodSizes(ctx, 3, 0, 123) // ~|N_3(0)|, ~|N_3(123)|
+//	cl, _ := eng.Closeness(ctx, 0)                    // ~1/Σ_j d(0,j)
+//	top, _ := eng.TopCloseness(ctx, 10)
+//
+// All randomness is deterministic in the seed, and sketches built with
+// the same seed are coordinated (Section 2), which enables cross-sketch
+// operations such as Jaccard similarity of neighborhoods.
+//
+// # Deprecated constructors
+//
+// Until this release, each corner of the design space had its own
+// constructor (Build with an Options struct and positional algorithm,
+// BuildWeighted, BuildPriorityWeighted, BuildApprox).  Those remain as
+// thin deprecated shims for one release — see BuildWithOptions and
+// friends — and every one of them is reproduced bit-for-bit by Build with
+// the equivalent options (the shims and Build share the same internal
+// construction paths).  See README.md for the migration table.
 package adsketch
 
 import (
@@ -103,7 +117,11 @@ const (
 	KPartition = sketch.KPartition
 )
 
-// Options configures sketch construction.
+// Options configures sketch construction for the deprecated
+// BuildWithOptions entry point.
+//
+// Deprecated: pass functional options (WithK, WithSeed, WithFlavor,
+// WithBaseB) to Build instead.
 type Options = core.Options
 
 // Algorithm selects a construction algorithm (Section 3).
@@ -118,37 +136,63 @@ const (
 	AlgoPrunedDijkstraParallel = core.AlgoPrunedDijkstraParallel
 )
 
-// Set holds the sketches of all nodes of one graph.
+// Set holds the sketches of all nodes of one graph, built with uniform
+// (coordinated) ranks; it implements SketchSet and additionally supports
+// serialization and the coordinated cross-sketch operations.
 type Set = core.Set
+
+// WeightedSet holds the Section 9 weighted sketches of all nodes of one
+// graph; it implements SketchSet.
+type WeightedSet = core.WeightedSet
 
 // NodeSketch is the per-node query interface shared by all flavors.
 type NodeSketch = core.Sketch
 
-// Build computes the forward ADS of every node of g.  For backward
-// sketches on directed graphs, pass g.Transpose().
-func Build(g *Graph, o Options, algo Algorithm) (*Set, error) {
+// Ranked is one node with its centrality score, as returned by the
+// top-N queries of Engine and Centrality.
+type Ranked = centrality.Ranked
+
+// BuildWithOptions computes the forward ADS of every node of g from an
+// Options struct and a positional algorithm.  For backward sketches on
+// directed graphs, pass g.Transpose().
+//
+// Deprecated: use Build with functional options, which produces
+// bit-for-bit identical sketches:
+// Build(g, WithK(o.K), WithSeed(o.Seed), WithFlavor(o.Flavor),
+// WithBaseB(o.BaseB), WithAlgorithm(algo)).
+func BuildWithOptions(g *Graph, o Options, algo Algorithm) (*Set, error) {
 	return core.BuildSet(g, o, algo)
 }
 
 // BuildWeighted computes bottom-k sketches under non-uniform node weights
 // beta (Section 9) with exponential ranks; estimates are then of weighted
 // cardinalities.
-func BuildWeighted(g *Graph, k int, seed uint64, beta []float64) (*core.WeightedSet, error) {
+//
+// Deprecated: use Build(g, WithK(k), WithSeed(seed),
+// WithNodeWeights(beta)), which produces bit-for-bit identical sketches.
+func BuildWeighted(g *Graph, k int, seed uint64, beta []float64) (*WeightedSet, error) {
 	return core.BuildWeightedSet(g, k, seed, beta)
 }
 
 // BuildPriorityWeighted is BuildWeighted with Sequential Poisson (priority)
 // ranks, the Section 9 alternative weighted-sampling scheme.
-func BuildPriorityWeighted(g *Graph, k int, seed uint64, beta []float64) (*core.WeightedSet, error) {
+//
+// Deprecated: use Build(g, WithK(k), WithSeed(seed),
+// WithNodeWeights(beta), WithPriorityRanks()), which produces bit-for-bit
+// identical sketches.
+func BuildPriorityWeighted(g *Graph, k int, seed uint64, beta []float64) (*WeightedSet, error) {
 	return core.BuildPriorityWeightedSet(g, k, seed, beta)
 }
 
 // ApproxSet holds (1+ε)-approximate bottom-k sketches (Section 3), whose
 // construction performs at most log_{1+ε}(n·w_max/w_min) updates per
-// entry.
+// entry; it implements SketchSet.
 type ApproxSet = core.ApproxSet
 
 // BuildApprox computes (1+ε)-approximate sketches with LocalUpdates.
+//
+// Deprecated: use Build(g, WithK(k), WithSeed(seed), WithApproxEps(eps)),
+// which produces bit-for-bit identical sketches.
 func BuildApprox(g *Graph, k int, seed uint64, eps float64) (*ApproxSet, error) {
 	return core.BuildApproxSet(g, k, seed, eps)
 }
@@ -228,8 +272,10 @@ var (
 // distance distributions, and top-N rankings from a sketch set.
 type Centrality = centrality.Estimator
 
-// NewCentrality wraps a sketch set for centrality queries.
-func NewCentrality(set *Set) *Centrality { return centrality.NewEstimator(set) }
+// NewCentrality wraps a sketch set (of any kind) for per-call centrality
+// queries.  For batch or repeated queries prefer NewEngine, whose cached
+// indices avoid rescanning the sketches.
+func NewCentrality(set SketchSet) *Centrality { return centrality.NewEstimator(set) }
 
 // Distinct counting on streams (Section 6).
 

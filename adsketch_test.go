@@ -10,7 +10,7 @@ import (
 
 func TestFacadeQuickstart(t *testing.T) {
 	g := adsketch.PreferentialAttachment(500, 3, 1)
-	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42}, adsketch.AlgoPrunedDijkstra)
+	set, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,11 +31,13 @@ func TestFacadeFlavorsAndAlgorithms(t *testing.T) {
 	g := adsketch.Grid(6, 6)
 	for _, fl := range []adsketch.Flavor{adsketch.BottomK, adsketch.KMins, adsketch.KPartition} {
 		for _, algo := range []adsketch.Algorithm{adsketch.AlgoPrunedDijkstra, adsketch.AlgoDP, adsketch.AlgoLocalUpdates, adsketch.AlgoBruteForce} {
-			set, err := adsketch.Build(g, adsketch.Options{K: 4, Flavor: fl, Seed: 3}, algo)
+			set, err := adsketch.Build(g,
+				adsketch.WithK(4), adsketch.WithFlavor(fl), adsketch.WithSeed(3),
+				adsketch.WithAlgorithm(algo))
 			if err != nil {
 				t.Fatalf("%v/%v: %v", fl, algo, err)
 			}
-			got := adsketch.EstimateNeighborhoodHIP(set.Sketch(0), 100)
+			got := adsketch.EstimateNeighborhoodHIP(set.SketchOf(0), 100)
 			if got < 5 || got > 150 {
 				t.Errorf("%v/%v: reachability estimate %g", fl, algo, got)
 			}
@@ -45,11 +47,12 @@ func TestFacadeFlavorsAndAlgorithms(t *testing.T) {
 
 func TestFacadeEstimateQAndKernels(t *testing.T) {
 	g := adsketch.Path(30)
-	set, err := adsketch.Build(g, adsketch.Options{K: 8, Seed: 9}, adsketch.AlgoDP)
+	set, err := adsketch.Build(g, adsketch.WithK(8), adsketch.WithSeed(9),
+		adsketch.WithAlgorithm(adsketch.AlgoDP))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := set.Sketch(0)
+	s := set.SketchOf(0)
 	sumDist := adsketch.EstimateQ(s, func(_ int32, d float64) float64 { return d })
 	viaKernel := adsketch.EstimateCentrality(s, adsketch.KernelIdentity, adsketch.UnitBeta)
 	if math.Abs(sumDist-viaKernel) > 1e-9 {
@@ -87,14 +90,23 @@ func TestFacadeWeighted(t *testing.T) {
 	for i := range beta {
 		beta[i] = 2
 	}
-	ws, err := adsketch.BuildWeighted(g, 8, 7, beta)
+	set, err := adsketch.Build(g, adsketch.WithK(8), adsketch.WithSeed(7),
+		adsketch.WithNodeWeights(beta))
 	if err != nil {
 		t.Fatal(err)
+	}
+	ws, ok := set.(*adsketch.WeightedSet)
+	if !ok {
+		t.Fatalf("weighted build returned %T", set)
 	}
 	// Total weight within the whole cycle is 100.
 	got := ws.Sketch(0).EstimateNeighborhoodWeight(100)
 	if math.Abs(got-100)/100 > 0.6 {
 		t.Errorf("weighted reachability = %g, want ~100", got)
+	}
+	// The shared Sketch interface reports the same weighted estimate.
+	if via := set.SketchOf(0).EstimateNeighborhood(100); via != got {
+		t.Errorf("SketchOf path %g != weighted path %g", via, got)
 	}
 }
 
@@ -134,24 +146,30 @@ func TestFacadeGraphBuilder(t *testing.T) {
 	b.AddWeightedEdge(0, 1, 2)
 	b.AddWeightedEdge(1, 2, 2)
 	g := b.Build()
-	set, err := adsketch.Build(g, adsketch.Options{K: 4, Seed: 1}, adsketch.AlgoLocalUpdates)
+	set, err := adsketch.Build(g, adsketch.WithK(4), adsketch.WithSeed(1),
+		adsketch.WithAlgorithm(adsketch.AlgoLocalUpdates))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Node 0 reaches all three nodes.
-	if got := adsketch.EstimateNeighborhoodHIP(set.Sketch(0), 10); got != 3 {
+	if got := adsketch.EstimateNeighborhoodHIP(set.SketchOf(0), 10); got != 3 {
 		t.Errorf("reachable = %g, want exactly 3 (n<=k)", got)
 	}
 }
 
 func TestFacadeSerialization(t *testing.T) {
 	g := adsketch.GNP(80, 0.06, false, 12)
-	set, err := adsketch.Build(g, adsketch.Options{K: 6, Seed: 4}, adsketch.AlgoPrunedDijkstraParallel)
+	set, err := adsketch.Build(g, adsketch.WithK(6), adsketch.WithSeed(4),
+		adsketch.WithAlgorithm(adsketch.AlgoPrunedDijkstraParallel))
 	if err != nil {
 		t.Fatal(err)
 	}
+	uniform, ok := set.(*adsketch.Set)
+	if !ok {
+		t.Fatalf("uniform build returned %T", set)
+	}
 	var buf strings.Builder
-	if err := adsketch.WriteSketches(&buf, set); err != nil {
+	if err := adsketch.WriteSketches(&buf, uniform); err != nil {
 		t.Fatal(err)
 	}
 	got, err := adsketch.ReadSketches(strings.NewReader(buf.String()))
@@ -159,7 +177,7 @@ func TestFacadeSerialization(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := int32(0); int(v) < g.NumNodes(); v++ {
-		a := adsketch.EstimateNeighborhoodHIP(set.Sketch(v), 3)
+		a := adsketch.EstimateNeighborhoodHIP(set.SketchOf(v), 3)
 		b := adsketch.EstimateNeighborhoodHIP(got.Sketch(v), 3)
 		if a != b {
 			t.Fatalf("node %d: estimates differ after round trip: %g vs %g", v, a, b)
@@ -169,10 +187,11 @@ func TestFacadeSerialization(t *testing.T) {
 
 func TestFacadeInfluence(t *testing.T) {
 	g := adsketch.PreferentialAttachment(300, 3, 8)
-	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 2}, adsketch.AlgoPrunedDijkstra)
+	built, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
+	set := built.(*adsketch.Set)
 	single := adsketch.UnionNeighborhood(set, []int32{0}, 2)
 	pair := adsketch.UnionNeighborhood(set, []int32{0, 100}, 2)
 	if pair < single {
@@ -186,14 +205,19 @@ func TestFacadeInfluence(t *testing.T) {
 
 func TestFacadeApprox(t *testing.T) {
 	g := adsketch.WithRandomWeights(adsketch.GNP(80, 0.06, false, 31), 1, 5, 32)
-	set, err := adsketch.BuildApprox(g, 4, 9, 0.25)
+	built, err := adsketch.Build(g, adsketch.WithK(4), adsketch.WithSeed(9),
+		adsketch.WithApproxEps(0.25))
 	if err != nil {
 		t.Fatal(err)
+	}
+	set, ok := built.(*adsketch.ApproxSet)
+	if !ok {
+		t.Fatalf("approximate build returned %T", built)
 	}
 	if set.Epsilon() != 0.25 || set.K() != 4 {
 		t.Error("accessors")
 	}
-	est := adsketch.EstimateNeighborhoodHIP(set.Sketch(0), math.Inf(1))
+	est := adsketch.EstimateNeighborhoodHIP(set.SketchOf(0), math.Inf(1))
 	if est <= 0 {
 		t.Errorf("approx estimate %g", est)
 	}
@@ -201,12 +225,14 @@ func TestFacadeApprox(t *testing.T) {
 
 func TestFacadeHIPIndexAndDistanceBound(t *testing.T) {
 	g := adsketch.Grid(8, 8)
-	set, err := adsketch.Build(g, adsketch.Options{K: 8, Seed: 3}, adsketch.AlgoDP)
+	built, err := adsketch.Build(g, adsketch.WithK(8), adsketch.WithSeed(3),
+		adsketch.WithAlgorithm(adsketch.AlgoDP))
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx := adsketch.NewHIPIndex(set.Sketch(0))
-	if got, want := idx.Neighborhood(2), adsketch.EstimateNeighborhoodHIP(set.Sketch(0), 2); got != want {
+	set := built.(*adsketch.Set)
+	idx := adsketch.NewHIPIndex(set.SketchOf(0))
+	if got, want := idx.Neighborhood(2), adsketch.EstimateNeighborhoodHIP(set.SketchOf(0), 2); got != want {
 		t.Errorf("index %g vs direct %g", got, want)
 	}
 	// Undirected graph: forward sketches both ways bound the distance.

@@ -21,6 +21,7 @@
 package adsketch_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -244,10 +245,11 @@ func BenchmarkQgHIPvsNaive(b *testing.B) {
 // E11: Section 3 construction algorithms on representative graphs.
 func benchBuilder(b *testing.B, g *graph.Graph, algo adsketch.Algorithm, k int) {
 	b.ReportAllocs()
-	var set *adsketch.Set
+	var set adsketch.SketchSet
 	for i := 0; i < b.N; i++ {
 		var err error
-		set, err = adsketch.Build(g, adsketch.Options{K: k, Seed: 42}, algo)
+		set, err = adsketch.Build(g, adsketch.WithK(k), adsketch.WithSeed(42),
+			adsketch.WithAlgorithm(algo))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -344,7 +346,7 @@ func BenchmarkMorrisIncrement(b *testing.B) {
 
 func BenchmarkCentralityQuery(b *testing.B) {
 	g := graph.PreferentialAttachment(5000, 4, 7)
-	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42}, adsketch.AlgoPrunedDijkstra)
+	set, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(42))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -352,6 +354,31 @@ func BenchmarkCentralityQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Closeness(int32(i % 5000))
+	}
+}
+
+// Engine serving path: repeated closeness queries hit the cached HIP
+// indices instead of rescanning sketches (compare BenchmarkCentralityQuery).
+func BenchmarkEngineClosenessCached(b *testing.B) {
+	g := graph.PreferentialAttachment(5000, 4, 7)
+	set, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.TopCloseness(ctx, 1); err != nil { // warm every index
+		b.Fatal(err)
+	}
+	nodes := []int32{1, 17, 4999}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Closeness(ctx, nodes...); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -377,7 +404,8 @@ func BenchmarkParallelBuilder(b *testing.B) {
 		algo := algo
 		b.Run(algo.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42}, algo); err != nil {
+				if _, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(42),
+					adsketch.WithAlgorithm(algo)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -388,11 +416,11 @@ func BenchmarkParallelBuilder(b *testing.B) {
 // HIPIndex accelerates repeated neighborhood queries.
 func BenchmarkHIPIndexQuery(b *testing.B) {
 	g := graph.PreferentialAttachment(2000, 4, 7)
-	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42}, adsketch.AlgoPrunedDijkstra)
+	set, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(42))
 	if err != nil {
 		b.Fatal(err)
 	}
-	idx := adsketch.NewHIPIndex(set.Sketch(0))
+	idx := adsketch.NewHIPIndex(set.SketchOf(0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx.Neighborhood(float64(i % 7))

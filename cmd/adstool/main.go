@@ -15,10 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"adsketch"
@@ -119,79 +123,107 @@ func runStats(args []string) error {
 	return nil
 }
 
-func buildFlags(fs *flag.FlagSet) (path *string, directed *bool, k *int, seed *uint64, flavor, algo *string) {
+// buildFlags registers the sketch-construction flags shared by the
+// build/query/top/influence subcommands; the returned function resolves
+// them into the functional options of adsketch.Build.
+func buildFlags(fs *flag.FlagSet) (path *string, directed *bool, opts func() ([]adsketch.Option, error)) {
 	path = fs.String("graph", "-", "edge list path")
 	directed = fs.Bool("directed", false, "treat edges as directed")
-	k = fs.Int("k", 16, "sketch parameter")
-	seed = fs.Uint64("seed", 42, "rank seed")
-	flavor = fs.String("flavor", "bottomk", "bottomk, kmins, kpartition")
-	algo = fs.String("algo", "dijkstra", "dijkstra, dp, local, brute")
+	k := fs.Int("k", 16, "sketch parameter")
+	seed := fs.Uint64("seed", 42, "rank seed")
+	flavor := fs.String("flavor", "bottomk", "bottomk, kmins, kpartition")
+	algo := fs.String("algo", "dijkstra", "dijkstra, dp, local, brute, pardijkstra")
+	baseB := fs.Float64("baseb", 0, "base-b rank rounding (> 1; 0 = full precision)")
+	eps := fs.Float64("eps", -1, "(1+eps)-approximate construction (>= 0 enables)")
+	weights := fs.String("weights", "", "comma-separated per-node weights (Section 9)")
+	priority := fs.Bool("priority", false, "priority (Sequential Poisson) ranks for -weights")
+	parallel := fs.Int("parallel", 0, "construction workers (0 = GOMAXPROCS)")
+	opts = func() ([]adsketch.Option, error) {
+		out := []adsketch.Option{adsketch.WithK(*k), adsketch.WithSeed(*seed)}
+		switch *flavor {
+		case "bottomk":
+		case "kmins":
+			out = append(out, adsketch.WithFlavor(adsketch.KMins))
+		case "kpartition":
+			out = append(out, adsketch.WithFlavor(adsketch.KPartition))
+		default:
+			return nil, fmt.Errorf("unknown flavor %q", *flavor)
+		}
+		switch *algo {
+		case "dijkstra":
+		case "dp":
+			out = append(out, adsketch.WithAlgorithm(adsketch.AlgoDP))
+		case "local":
+			out = append(out, adsketch.WithAlgorithm(adsketch.AlgoLocalUpdates))
+		case "brute":
+			out = append(out, adsketch.WithAlgorithm(adsketch.AlgoBruteForce))
+		case "pardijkstra":
+			out = append(out, adsketch.WithAlgorithm(adsketch.AlgoPrunedDijkstraParallel))
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", *algo)
+		}
+		if *baseB != 0 {
+			out = append(out, adsketch.WithBaseB(*baseB))
+		}
+		if *eps >= 0 {
+			out = append(out, adsketch.WithApproxEps(*eps))
+		}
+		if *weights != "" {
+			var beta []float64
+			for _, f := range strings.Split(*weights, ",") {
+				w, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad -weights entry %q: %v", f, err)
+				}
+				beta = append(beta, w)
+			}
+			out = append(out, adsketch.WithNodeWeights(beta))
+		}
+		if *priority {
+			out = append(out, adsketch.WithPriorityRanks())
+		}
+		if *parallel != 0 {
+			out = append(out, adsketch.WithParallelism(*parallel))
+		}
+		return out, nil
+	}
 	return
-}
-
-func parseOpts(k int, seed uint64, flavor string) (adsketch.Options, error) {
-	o := adsketch.Options{K: k, Seed: seed}
-	switch flavor {
-	case "bottomk":
-		o.Flavor = adsketch.BottomK
-	case "kmins":
-		o.Flavor = adsketch.KMins
-	case "kpartition":
-		o.Flavor = adsketch.KPartition
-	default:
-		return o, fmt.Errorf("unknown flavor %q", flavor)
-	}
-	return o, nil
-}
-
-func parseAlgo(name string) (adsketch.Algorithm, error) {
-	switch name {
-	case "dijkstra":
-		return adsketch.AlgoPrunedDijkstra, nil
-	case "dp":
-		return adsketch.AlgoDP, nil
-	case "local":
-		return adsketch.AlgoLocalUpdates, nil
-	case "brute":
-		return adsketch.AlgoBruteForce, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
 func runBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	path, directed, k, seed, flavor, algo := buildFlags(fs)
+	path, directed, opts := buildFlags(fs)
 	save := fs.String("save", "", "write the sketch set to this file")
 	fs.Parse(args)
 	g, err := loadGraph(*path, *directed)
 	if err != nil {
 		return err
 	}
-	o, err := parseOpts(*k, *seed, *flavor)
-	if err != nil {
-		return err
-	}
-	a, err := parseAlgo(*algo)
+	bo, err := opts()
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	set, err := adsketch.Build(g, o, a)
+	set, err := adsketch.Build(g, bo...)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("built %v sketches for %d nodes in %v\n",
-		set.Options().Flavor, g.NumNodes(), elapsed.Round(time.Millisecond))
+	fmt.Printf("built sketches (k=%d) for %d nodes in %v\n",
+		set.K(), g.NumNodes(), elapsed.Round(time.Millisecond))
 	fmt.Printf("total entries %d (%.1f per node; Lemma 2.2 predicts ~k(1+ln n-ln k))\n",
 		set.TotalEntries(), float64(set.TotalEntries())/float64(g.NumNodes()))
 	if *save != "" {
+		uniform, ok := set.(*adsketch.Set)
+		if !ok {
+			return fmt.Errorf("-save supports uniform-rank sketch sets only (not weighted/approximate)")
+		}
 		f, err := os.Create(*save)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := adsketch.WriteSketches(f, set); err != nil {
+		if err := adsketch.WriteSketches(f, uniform); err != nil {
 			return err
 		}
 		fmt.Printf("sketches saved to %s\n", *save)
@@ -200,7 +232,7 @@ func runBuild(args []string) error {
 }
 
 // loadOrBuild returns sketches from -sketches when given, else builds.
-func loadOrBuild(sketchPath string, g *adsketch.Graph, k int, seed uint64, flavor, algo string) (*adsketch.Set, error) {
+func loadOrBuild(sketchPath string, g *adsketch.Graph, opts func() ([]adsketch.Option, error)) (adsketch.SketchSet, error) {
 	if sketchPath != "" {
 		f, err := os.Open(sketchPath)
 		if err != nil {
@@ -209,20 +241,16 @@ func loadOrBuild(sketchPath string, g *adsketch.Graph, k int, seed uint64, flavo
 		defer f.Close()
 		return adsketch.ReadSketches(f)
 	}
-	o, err := parseOpts(k, seed, flavor)
+	bo, err := opts()
 	if err != nil {
 		return nil, err
 	}
-	a, err := parseAlgo(algo)
-	if err != nil {
-		return nil, err
-	}
-	return adsketch.Build(g, o, a)
+	return adsketch.Build(g, bo...)
 }
 
 func runInfluence(args []string) error {
 	fs := flag.NewFlagSet("influence", flag.ExitOnError)
-	path, directed, k, seed, flavor, algo := buildFlags(fs)
+	path, directed, opts := buildFlags(fs)
 	seeds := fs.Int("seeds", 3, "number of influence seeds to pick")
 	d := fs.Float64("d", 2, "influence radius")
 	sketchPath := fs.String("sketches", "", "load sketches from file instead of building")
@@ -231,11 +259,15 @@ func runInfluence(args []string) error {
 	if err != nil {
 		return err
 	}
-	set, err := loadOrBuild(*sketchPath, g, *k, *seed, *flavor, *algo)
+	set, err := loadOrBuild(*sketchPath, g, opts)
 	if err != nil {
 		return err
 	}
-	chosen, coverage := adsketch.GreedyInfluenceSeeds(set, nil, *seeds, *d)
+	uniform, ok := set.(*adsketch.Set)
+	if !ok {
+		return fmt.Errorf("influence requires uniform-rank (coordinated) sketches")
+	}
+	chosen, coverage := adsketch.GreedyInfluenceSeeds(uniform, nil, *seeds, *d)
 	fmt.Printf("greedy %d-seed set for radius %g: %v\n", *seeds, *d, chosen)
 	fmt.Printf("estimated union coverage: %.1f nodes (%.1f%% of graph)\n",
 		coverage, 100*coverage/float64(g.NumNodes()))
@@ -244,8 +276,8 @@ func runInfluence(args []string) error {
 
 func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	path, directed, k, seed, flavor, algo := buildFlags(fs)
-	node := fs.Int("node", 0, "query node")
+	path, directed, opts := buildFlags(fs)
+	nodes := fs.String("node", "0", "query node(s), comma-separated")
 	d := fs.Float64("d", 2, "query distance")
 	sketchPath := fs.String("sketches", "", "load sketches from file instead of building")
 	fs.Parse(args)
@@ -253,25 +285,53 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	set, err := loadOrBuild(*sketchPath, g, *k, *seed, *flavor, *algo)
+	set, err := loadOrBuild(*sketchPath, g, opts)
 	if err != nil {
 		return err
 	}
-	o := set.Options()
-	v := int32(*node)
-	c := adsketch.NewCentrality(set)
-	fmt.Printf("node %d (k=%d, %v):\n", v, *k, o.Flavor)
-	fmt.Printf("  |N_%g|      %.1f\n", *d, c.NeighborhoodSize(v, *d))
-	fmt.Printf("  reachable   %.1f\n", c.Reachable(v))
-	fmt.Printf("  closeness   %.4e\n", c.Closeness(v))
-	fmt.Printf("  harmonic    %.1f\n", c.Harmonic(v))
-	fmt.Printf("  exp-decay   %.1f\n", c.ExponentialDecay(v))
+	var vs []int32
+	for _, f := range strings.Split(*nodes, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad -node entry %q: %v", f, err)
+		}
+		vs = append(vs, int32(v))
+	}
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	sizes, err := eng.NeighborhoodSizes(ctx, *d, vs...)
+	if err != nil {
+		return err
+	}
+	reach, err := eng.NeighborhoodSizes(ctx, math.Inf(1), vs...)
+	if err != nil {
+		return err
+	}
+	clos, err := eng.Closeness(ctx, vs...)
+	if err != nil {
+		return err
+	}
+	harm, err := eng.Harmonic(ctx, vs...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("k=%d, one batch per metric, %d cached indices:\n", set.K(), eng.CachedIndices())
+	for i, v := range vs {
+		fmt.Printf("node %d:\n", v)
+		fmt.Printf("  |N_%g|      %.1f\n", *d, sizes[i])
+		fmt.Printf("  reachable   %.1f\n", reach[i])
+		fmt.Printf("  closeness   %.4e\n", clos[i])
+		fmt.Printf("  harmonic    %.1f\n", harm[i])
+	}
 	return nil
 }
 
 func runTop(args []string) error {
 	fs := flag.NewFlagSet("top", flag.ExitOnError)
-	path, directed, k, seed, flavor, algo := buildFlags(fs)
+	path, directed, opts := buildFlags(fs)
 	top := fs.Int("top", 10, "ranking size")
 	sketchPath := fs.String("sketches", "", "load sketches from file instead of building")
 	fs.Parse(args)
@@ -279,13 +339,20 @@ func runTop(args []string) error {
 	if err != nil {
 		return err
 	}
-	set, err := loadOrBuild(*sketchPath, g, *k, *seed, *flavor, *algo)
+	set, err := loadOrBuild(*sketchPath, g, opts)
 	if err != nil {
 		return err
 	}
-	c := adsketch.NewCentrality(set)
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		return err
+	}
+	ranked, err := eng.TopCloseness(context.Background(), *top)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("top %d by estimated closeness:\n", *top)
-	for i, r := range c.TopCloseness(*top) {
+	for i, r := range ranked {
 		fmt.Printf("%3d. node %-8d %.4e\n", i+1, r.Node, r.Score)
 	}
 	return nil

@@ -9,6 +9,7 @@
 //	figures baseb   -runs 300
 //	figures hllconst -runs 500
 //	figures anf     -n 2000 -k 64
+//	figures graphq  -n 2000 -k 16 -d 3
 //
 // The paper's exact parameters are the defaults for fig2/fig3 panel rows
 // when -k is given (runs per Figure 2: k=5:1000, k=10:500, k=50:250 with
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -48,6 +50,8 @@ func main() {
 		err = runHLLConst(args)
 	case "anf":
 		err = runANF(args)
+	case "graphq":
+		err = runGraphQ(args)
 	default:
 		usage()
 	}
@@ -58,7 +62,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: figures {fig2|fig3|size|baseb|hllconst|anf} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: figures {fig2|fig3|size|baseb|hllconst|anf|graphq} [flags]")
 	os.Exit(2)
 }
 
@@ -240,4 +244,59 @@ func last(nf []float64, t int) float64 {
 		t = len(nf) - 1
 	}
 	return nf[t]
+}
+
+// runGraphQ measures per-node HIP estimate quality on a generated graph —
+// the graph-side counterpart of the Figure 2 cardinality panels: mean
+// relative error of |N_d(v)| and closeness over sampled nodes, served by
+// the batch Engine against exact traversal answers.
+func runGraphQ(args []string) error {
+	fs := flag.NewFlagSet("graphq", flag.ExitOnError)
+	n := fs.Int("n", 2000, "nodes (preferential attachment, m=4)")
+	k := fs.Int("k", 16, "sketch parameter")
+	d := fs.Float64("d", 3, "neighborhood radius")
+	seed := fs.Uint64("seed", 7, "seed")
+	sample := fs.Int("sample", 200, "sampled query nodes")
+	fs.Parse(args)
+	g := adsketch.PreferentialAttachment(*n, 4, *seed)
+	set, err := adsketch.Build(g, adsketch.WithK(*k), adsketch.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		return err
+	}
+	if *sample > *n {
+		*sample = *n
+	}
+	nodes := make([]int32, *sample)
+	for i := range nodes {
+		nodes[i] = int32(i * *n / *sample)
+	}
+	ctx := context.Background()
+	sizes, err := eng.NeighborhoodSizes(ctx, *d, nodes...)
+	if err != nil {
+		return err
+	}
+	clos, err := eng.Closeness(ctx, nodes...)
+	if err != nil {
+		return err
+	}
+	var mreN, mreC float64
+	for i, v := range nodes {
+		if exact := float64(graph.NeighborhoodSize(g, v, *d)); exact > 0 {
+			mreN += math.Abs(sizes[i]-exact) / exact
+		}
+		if exact := graph.Closeness(g, v); exact > 0 {
+			mreC += math.Abs(clos[i]-exact) / exact
+		}
+	}
+	mreN /= float64(len(nodes))
+	mreC /= float64(len(nodes))
+	fmt.Println("# per-node HIP estimate quality on a BA graph (batch Engine vs exact)")
+	fmt.Println("k\td\tsample\tMRE(|N_d|)\tMRE(closeness)\tref HIP CV")
+	fmt.Printf("%d\t%g\t%d\t%.4f\t%.4f\t%.4f\n",
+		*k, *d, len(nodes), mreN, mreC, sketch.HIPCV(*k))
+	return nil
 }

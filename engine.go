@@ -1,0 +1,153 @@
+package adsketch
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"adsketch/internal/core"
+	"adsketch/internal/query"
+)
+
+// Engine answers batch, context-aware queries over a sketch set.  It is
+// the serving layer for heavy query traffic: each node's HIP query index
+// (HIPIndex) is built lazily on first touch and cached, so repeated
+// queries against a node cost one binary search (neighborhood sizes) or
+// O(1) (closeness, harmonic) instead of re-deriving the sketch's adjusted
+// weights; batches are evaluated by a worker pool and honor context
+// cancellation.
+//
+// An Engine is safe for concurrent use by multiple goroutines.  The
+// estimates it returns are bit-for-bit identical to the per-call
+// estimators (Centrality, EstimateNeighborhoodHIP, EstimateQ) on the same
+// sketches.
+type Engine struct {
+	set     SketchSet
+	workers int
+	cache   *query.IndexCache
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine) error
+
+// WithQueryParallelism bounds the number of worker goroutines evaluating
+// one batch query.  0 (the default) means GOMAXPROCS.
+func WithQueryParallelism(workers int) EngineOption {
+	return func(e *Engine) error {
+		if workers < 0 {
+			return fmt.Errorf("%w: WithQueryParallelism(%d), workers must be >= 0 (0 = GOMAXPROCS)", ErrBadOption, workers)
+		}
+		e.workers = workers
+		return nil
+	}
+}
+
+// NewEngine wraps a sketch set (of any kind: uniform, weighted, or
+// approximate) for batch serving.
+func NewEngine(set SketchSet, opts ...EngineOption) (*Engine, error) {
+	e := &Engine{set: set}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("%w: nil EngineOption", ErrBadOption)
+		}
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	e.cache = query.NewIndexCache(set.NumNodes(), func(v int32) *core.HIPIndex {
+		return core.NewHIPIndex(set.SketchOf(v))
+	})
+	return e, nil
+}
+
+// Set returns the underlying sketch set.
+func (e *Engine) Set() SketchSet { return e.set }
+
+// Index returns node v's cached HIP query index, building it on first
+// use.  The index is immutable and safe to share.
+func (e *Engine) Index(v int32) (*HIPIndex, error) {
+	if err := query.CheckNodes(e.set.NumNodes(), []int32{v}); err != nil {
+		return nil, err
+	}
+	return e.cache.Get(v), nil
+}
+
+// CachedIndices returns how many per-node indices have been built so far.
+func (e *Engine) CachedIndices() int { return e.cache.Cached() }
+
+// batch evaluates f on the cached index of every queried node with the
+// engine's worker pool.  On error (including context cancellation) the
+// partial results are discarded.
+func (e *Engine) batch(ctx context.Context, nodes []int32, f func(*core.HIPIndex) float64) ([]float64, error) {
+	if err := query.CheckNodes(e.set.NumNodes(), nodes); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(nodes))
+	err := query.ForEach(ctx, e.workers, len(nodes), func(i int) error {
+		out[i] = f(e.cache.Get(nodes[i]))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Closeness returns the HIP estimate of the classic closeness centrality
+// 1/Σ_j d_vj for each queried node (0 for isolated nodes).
+func (e *Engine) Closeness(ctx context.Context, nodes ...int32) ([]float64, error) {
+	return e.batch(ctx, nodes, (*core.HIPIndex).Closeness)
+}
+
+// Harmonic returns the HIP estimate of Σ_{j != v} 1/d_vj for each queried
+// node.
+func (e *Engine) Harmonic(ctx context.Context, nodes ...int32) ([]float64, error) {
+	return e.batch(ctx, nodes, (*core.HIPIndex).Harmonic)
+}
+
+// NeighborhoodSizes returns the HIP estimate of n_d(v) = |N_d(v)| (or the
+// weighted cardinality, for weighted sets) for each queried node.
+func (e *Engine) NeighborhoodSizes(ctx context.Context, d float64, nodes ...int32) ([]float64, error) {
+	return e.batch(ctx, nodes, func(x *core.HIPIndex) float64 { return x.Neighborhood(d) })
+}
+
+// EstimateQBatch returns the HIP estimate of Q_g(v) = Σ_j g(j, d_vj)
+// (equation (5) of the paper) for each queried node.  g must be safe for
+// concurrent invocation.
+func (e *Engine) EstimateQBatch(ctx context.Context, g func(node int32, dist float64) float64, nodes ...int32) ([]float64, error) {
+	return e.batch(ctx, nodes, func(x *core.HIPIndex) float64 { return x.EstimateQ(g) })
+}
+
+// TopCloseness returns the estimated top-n nodes by closeness centrality,
+// highest first (ties broken by node ID), scoring every node of the set
+// with the worker pool.
+func (e *Engine) TopCloseness(ctx context.Context, n int) ([]Ranked, error) {
+	return e.topBy(ctx, n, (*core.HIPIndex).Closeness)
+}
+
+// TopHarmonic returns the estimated top-n nodes by harmonic centrality.
+func (e *Engine) TopHarmonic(ctx context.Context, n int) ([]Ranked, error) {
+	return e.topBy(ctx, n, (*core.HIPIndex).Harmonic)
+}
+
+func (e *Engine) topBy(ctx context.Context, n int, score func(*core.HIPIndex) float64) ([]Ranked, error) {
+	total := e.set.NumNodes()
+	all := make([]Ranked, total)
+	err := query.ForEach(ctx, e.workers, total, func(i int) error {
+		all[i] = Ranked{Node: int32(i), Score: score(e.cache.Get(int32(i)))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Node < all[j].Node
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n], nil
+}

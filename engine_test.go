@@ -1,0 +1,267 @@
+package adsketch_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"adsketch"
+)
+
+func buildEngine(t *testing.T, opts ...adsketch.EngineOption) (*adsketch.Graph, adsketch.SketchSet, *adsketch.Engine) {
+	t.Helper()
+	g := adsketch.PreferentialAttachment(400, 3, 6)
+	set, err := adsketch.Build(g, adsketch.WithK(8), adsketch.WithSeed(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := adsketch.NewEngine(set, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, set, eng
+}
+
+// Engine batch answers must be bit-for-bit identical to the per-call
+// estimators on the same sketches.
+func TestEngineMatchesPerCallEstimators(t *testing.T) {
+	_, set, eng := buildEngine(t)
+	c := adsketch.NewCentrality(set)
+	ctx := context.Background()
+	nodes := make([]int32, set.NumNodes())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+
+	clos, err := eng.Closeness(ctx, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harm, err := eng.Harmonic(ctx, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := eng.NeighborhoodSizes(ctx, 2, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qfun := func(node int32, dist float64) float64 { return math.Exp2(-dist) * float64(node%3) }
+	qs, err := eng.EstimateQBatch(ctx, qfun, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range nodes {
+		if got, want := clos[v], c.Closeness(v); got != want {
+			t.Fatalf("closeness(%d) = %v, per-call %v", v, got, want)
+		}
+		if got, want := harm[v], c.Harmonic(v); got != want {
+			t.Fatalf("harmonic(%d) = %v, per-call %v", v, got, want)
+		}
+		if got, want := sizes[v], adsketch.EstimateNeighborhoodHIP(set.SketchOf(v), 2); got != want {
+			t.Fatalf("|N_2(%d)| = %v, per-call %v", v, got, want)
+		}
+		if got, want := qs[v], adsketch.EstimateQ(set.SketchOf(v), qfun); got != want {
+			t.Fatalf("Q(%d) = %v, per-call %v", v, got, want)
+		}
+	}
+
+	top, err := eng.TopCloseness(ctx, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.TopCloseness(25)
+	if len(top) != len(want) {
+		t.Fatalf("TopCloseness returned %d entries, want %d", len(top), len(want))
+	}
+	for i := range top {
+		if top[i] != want[i] {
+			t.Fatalf("TopCloseness[%d] = %+v, per-call %+v", i, top[i], want[i])
+		}
+	}
+}
+
+// The Engine serves weighted and approximate sets through the same
+// interface.
+func TestEngineOverAllSetKinds(t *testing.T) {
+	g := adsketch.PreferentialAttachment(120, 3, 2)
+	beta := make([]float64, 120)
+	for i := range beta {
+		beta[i] = 1 + float64(i%4)
+	}
+	gw := adsketch.WithRandomWeights(adsketch.GNP(120, 0.05, false, 3), 1, 4, 4)
+	uniform, err := adsketch.Build(g, adsketch.WithK(6), adsketch.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := adsketch.Build(g, adsketch.WithK(6), adsketch.WithSeed(1), adsketch.WithNodeWeights(beta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := adsketch.Build(gw, adsketch.WithK(6), adsketch.WithSeed(1), adsketch.WithApproxEps(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, set := range map[string]adsketch.SketchSet{
+		"uniform": uniform, "weighted": weighted, "approx": approx,
+	} {
+		eng, err := adsketch.NewEngine(set)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := eng.NeighborhoodSizes(context.Background(), math.Inf(1), 0, 1, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, x := range got {
+			if x <= 0 {
+				t.Errorf("%s: estimate[%d] = %g", name, i, x)
+			}
+		}
+	}
+}
+
+func TestEngineBadInputs(t *testing.T) {
+	_, set, eng := buildEngine(t)
+	ctx := context.Background()
+	if _, err := eng.Closeness(ctx, int32(set.NumNodes())); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := eng.Closeness(ctx, -1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := adsketch.NewEngine(set, adsketch.WithQueryParallelism(-2)); !errors.Is(err, adsketch.ErrBadOption) {
+		t.Errorf("WithQueryParallelism(-2) error = %v, want ErrBadOption", err)
+	}
+	if _, err := adsketch.NewEngine(set, nil); !errors.Is(err, adsketch.ErrBadOption) {
+		t.Errorf("nil EngineOption error = %v, want ErrBadOption", err)
+	}
+	out, err := eng.Closeness(ctx) // empty batch
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch = (%v, %v)", out, err)
+	}
+}
+
+// Concurrent batch queries share the lazily built index cache; run with
+// -race to exercise the publication path.
+func TestEngineConcurrentQueries(t *testing.T) {
+	_, set, eng := buildEngine(t, adsketch.WithQueryParallelism(4))
+	c := adsketch.NewCentrality(set)
+	want := make([]float64, set.NumNodes())
+	for v := range want {
+		want[v] = c.Closeness(int32(v))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			nodes := make([]int32, 0, set.NumNodes())
+			for v := w % 3; v < set.NumNodes(); v += 1 + w%3 {
+				nodes = append(nodes, int32(v))
+			}
+			for rep := 0; rep < 5; rep++ {
+				got, err := eng.Closeness(ctx, nodes...)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i, v := range nodes {
+					if got[i] != want[v] {
+						t.Errorf("worker %d: closeness(%d) = %v, want %v", w, v, got[i], want[v])
+						return
+					}
+				}
+				if _, err := eng.TopCloseness(ctx, 5); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := eng.CachedIndices(); got != set.NumNodes() {
+		t.Errorf("CachedIndices = %d, want %d", got, set.NumNodes())
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	_, set, eng := buildEngine(t, adsketch.WithQueryParallelism(2))
+	nodes := make([]int32, set.NumNodes())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := eng.Closeness(ctx, nodes...); !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		if _, err := eng.TopCloseness(ctx, 3); !errors.Is(err, context.Canceled) {
+			t.Errorf("TopCloseness err = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("mid-batch", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var calls atomic.Int64
+		_, err := eng.EstimateQBatch(ctx, func(_ int32, _ float64) float64 {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+			return 1
+		}, nodes...)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	})
+}
+
+// A cold engine answers a single-node query without building every index
+// (laziness), then fills the cache on a full scan.
+func TestEngineLazyIndexing(t *testing.T) {
+	_, set, eng := buildEngine(t)
+	if got := eng.CachedIndices(); got != 0 {
+		t.Fatalf("fresh engine has %d cached indices", got)
+	}
+	if _, err := eng.Closeness(context.Background(), 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CachedIndices(); got != 1 {
+		t.Errorf("after one query: %d cached indices, want 1", got)
+	}
+	if _, err := eng.TopCloseness(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CachedIndices(); got != set.NumNodes() {
+		t.Errorf("after full scan: %d cached indices, want %d", got, set.NumNodes())
+	}
+	// The cached index answers repeated queries identically.
+	idx, err := eng.Index(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.Index(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Closeness() <= 0 || idx != again {
+		t.Error("Index(7) not cached or implausible")
+	}
+	if _, err := eng.Index(-1); err == nil {
+		t.Error("Index(-1) accepted")
+	}
+	if _, err := eng.Index(int32(set.NumNodes())); err == nil {
+		t.Error("Index out of range accepted")
+	}
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"adsketch"
@@ -18,48 +19,69 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 
 	// One near-linear pass builds coordinated bottom-k sketches for all
-	// nodes (Algorithm 1, PrunedDijkstra).
-	set, err := adsketch.Build(g, adsketch.Options{K: 16, Seed: 42}, adsketch.AlgoPrunedDijkstra)
+	// nodes (Algorithm 1, PrunedDijkstra — the defaults).
+	set, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(42))
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("sketches: k=%d, %d total entries (%.1f per node)\n\n",
-		set.Options().K, set.TotalEntries(), float64(set.TotalEntries())/float64(n))
+		set.K(), set.TotalEntries(), float64(set.TotalEntries())/float64(n))
 
-	c := adsketch.NewCentrality(set)
+	// The Engine serves batch queries from cached per-node HIP indices.
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	nodes := []int32{0, 123, 4567}
 
-	// Neighborhood cardinalities: HIP estimate vs exact BFS count.
+	// Neighborhood cardinalities: HIP estimate vs exact BFS count, one
+	// batch call per distance.
 	fmt.Println("neighborhood sizes |N_d(v)| (HIP estimate vs exact):")
-	for _, v := range []int32{0, 123, 4567} {
-		for _, d := range []float64{1, 2, 3} {
-			est := c.NeighborhoodSize(v, d)
+	for _, d := range []float64{1, 2, 3} {
+		ests, err := eng.NeighborhoodSizes(ctx, d, nodes...)
+		if err != nil {
+			panic(err)
+		}
+		for i, v := range nodes {
 			exact := graph.NeighborhoodSize(g, v, d)
 			fmt.Printf("  v=%-5d d=%g:  %8.1f  vs %6d  (%+.1f%%)\n",
-				v, d, est, exact, 100*(est-float64(exact))/float64(exact))
+				v, d, ests[i], exact, 100*(ests[i]-float64(exact))/float64(exact))
 		}
 	}
 
-	// Closeness centrality: 1/Σ d(v,j), estimated from the sketch.
+	// Closeness centrality: 1/Σ d(v,j), one batch call for all nodes.
 	fmt.Println("\ncloseness centrality (HIP estimate vs exact):")
-	for _, v := range []int32{0, 123, 4567} {
-		est := c.Closeness(v)
+	closeness, err := eng.Closeness(ctx, nodes...)
+	if err != nil {
+		panic(err)
+	}
+	for i, v := range nodes {
 		exact := graph.Closeness(g, v)
 		fmt.Printf("  v=%-5d:  %.3e  vs %.3e  (%+.1f%%)\n",
-			v, est, exact, 100*(est-exact)/exact)
+			v, closeness[i], exact, 100*(closeness[i]-exact)/exact)
 	}
 
-	// Harmonic centrality with a query-time kernel — no rebuild needed.
+	// Harmonic centrality from the same cached indices — no rebuild.
 	fmt.Println("\nharmonic centrality (HIP estimate vs exact):")
-	for _, v := range []int32{0, 123} {
-		est := c.Harmonic(v)
+	harmonic, err := eng.Harmonic(ctx, nodes[:2]...)
+	if err != nil {
+		panic(err)
+	}
+	for i, v := range nodes[:2] {
 		exact := graph.HarmonicCentrality(g, v)
 		fmt.Printf("  v=%-5d:  %8.1f  vs %8.1f  (%+.1f%%)\n",
-			v, est, exact, 100*(est-exact)/exact)
+			v, harmonic[i], exact, 100*(harmonic[i]-exact)/exact)
 	}
 
-	// Top-10 nodes by estimated closeness.
+	// Top-10 nodes by estimated closeness, scored by the worker pool.
 	fmt.Println("\ntop-10 nodes by estimated closeness:")
-	for i, r := range c.TopCloseness(10) {
+	top, err := eng.TopCloseness(ctx, 10)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range top {
 		fmt.Printf("  %2d. node %-5d score %.3e\n", i+1, r.Node, r.Score)
 	}
+	fmt.Printf("\n%d per-node indices now cached for repeated queries\n", eng.CachedIndices())
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"adsketch"
@@ -35,7 +36,7 @@ func main() {
 		}
 	}
 
-	set, err := adsketch.Build(g, adsketch.Options{K: 32, Seed: 5}, adsketch.AlgoPrunedDijkstra)
+	set, err := adsketch.Build(g, adsketch.WithK(32), adsketch.WithSeed(5))
 	if err != nil {
 		panic(err)
 	}
@@ -63,21 +64,32 @@ func main() {
 
 	// Query 2: exponentially-attenuated influence over active users only
 	// (α(x)=2^-x — Dangalchev's residual closeness, β = activity flag).
+	// Served as one Engine batch: Q_g with g(j,d) = 2^-d · active(j).
 	activeBeta := func(v int32) float64 {
 		if members[v].active {
 			return 1
 		}
 		return 0
 	}
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		panic(err)
+	}
+	users := []int32{10, 500, 2500}
+	ests, err := eng.EstimateQBatch(context.Background(), func(node int32, dist float64) float64 {
+		return kexp(dist) * activeBeta(node)
+	}, users...)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\nexponentially-attenuated influence over active users:")
-	for _, v := range []int32{10, 500, 2500} {
-		est := c.Custom(v, adsketch.KernelExponential, activeBeta)
+	for i, v := range users {
 		exact := 0.0
 		for _, nd := range graph.NearestOrder(g, v) {
 			exact += kexp(nd.Dist) * activeBeta(nd.Node)
 		}
 		fmt.Printf("  v=%-5d:  %7.1f  vs %7.1f  (%+.1f%%)\n",
-			v, est, exact, 100*(est-exact)/exact)
+			v, ests[i], exact, 100*(ests[i]-exact)/exact)
 	}
 
 	// Query 3: same sketches, different β — per-region reach of one user.

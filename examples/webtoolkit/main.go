@@ -22,15 +22,20 @@ func main() {
 	g := adsketch.GNP(4000, 0.0015, true, 21)
 	fmt.Printf("web graph: %d pages, %d links\n\n", g.NumNodes(), g.NumEdges())
 
-	opts := adsketch.Options{K: 16, Seed: 9}
-	fwd, err := adsketch.Build(g, opts, adsketch.AlgoPrunedDijkstra)
+	// Forward and backward sketches share one option set; the same seed
+	// keeps them coordinated.
+	opts := []adsketch.Option{adsketch.WithK(16), adsketch.WithSeed(9)}
+	fwdSet, err := adsketch.Build(g, opts...)
 	if err != nil {
 		panic(err)
 	}
-	bwd, err := adsketch.Build(g.Transpose(), opts, adsketch.AlgoPrunedDijkstra)
+	bwdSet, err := adsketch.Build(g.Transpose(), opts...)
 	if err != nil {
 		panic(err)
 	}
+	// The coordinated cross-sketch toolkit (serialization, Jaccard,
+	// distance bounds, influence) lives on the uniform-rank *Set.
+	fwd, bwd := fwdSet.(*adsketch.Set), bwdSet.(*adsketch.Set)
 
 	// Persistence round trip: serialize the forward set and reload it.
 	var buf bytes.Buffer

@@ -1,0 +1,3 @@
+module adsketch
+
+go 1.24

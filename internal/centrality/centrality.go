@@ -18,30 +18,38 @@ import (
 	"adsketch/internal/graph"
 )
 
+// Source is the narrow view of a sketch set the estimator queries: any
+// set kind (uniform, weighted, approximate) that exposes per-node
+// sketches through the shared query interface.
+type Source interface {
+	NumNodes() int
+	SketchOf(v int32) core.Sketch
+}
+
 // Estimator answers centrality queries from a prebuilt sketch set.
 type Estimator struct {
-	set *core.Set
+	set Source
 }
 
 // NewEstimator wraps a sketch set.
-func NewEstimator(set *core.Set) *Estimator { return &Estimator{set: set} }
+func NewEstimator(set Source) *Estimator { return &Estimator{set: set} }
 
 // Set returns the underlying sketch set.
-func (e *Estimator) Set() *core.Set { return e.set }
+func (e *Estimator) Set() Source { return e.set }
 
 // NeighborhoodSize estimates n_d(v) with the HIP estimator.
 func (e *Estimator) NeighborhoodSize(v int32, d float64) float64 {
-	return core.EstimateNeighborhoodHIP(e.set.Sketch(v), d)
+	return core.EstimateNeighborhoodHIP(e.set.SketchOf(v), d)
 }
 
 // Reachable estimates the number of nodes reachable from v (including v).
 func (e *Estimator) Reachable(v int32) float64 {
-	return core.EstimateCentrality(e.set.Sketch(v), core.KernelReachability, core.UnitBeta)
+	return core.EstimateCentrality(e.set.SketchOf(v), core.KernelReachability, core.UnitBeta)
 }
 
 // SumDistances estimates Σ_j d_vj over reachable nodes.
 func (e *Estimator) SumDistances(v int32) float64 {
-	return core.EstimateCentrality(e.set.Sketch(v), core.KernelIdentity, core.UnitBeta)
+	return core.EstimateCentrality(e.set.SketchOf(v), core.KernelIdentity, core.UnitBeta)
 }
 
 // Closeness estimates the classic closeness centrality 1/Σ_j d_vj.
@@ -56,19 +64,19 @@ func (e *Estimator) Closeness(v int32) float64 {
 
 // Harmonic estimates Σ_{j != v} 1/d_vj.
 func (e *Estimator) Harmonic(v int32) float64 {
-	return core.EstimateCentrality(e.set.Sketch(v), core.KernelHarmonic, core.UnitBeta)
+	return core.EstimateCentrality(e.set.SketchOf(v), core.KernelHarmonic, core.UnitBeta)
 }
 
 // ExponentialDecay estimates Σ_j 2^{-d_vj} (excluding v itself, which
 // contributes α(0)=1 and is subtracted).
 func (e *Estimator) ExponentialDecay(v int32) float64 {
-	c := core.EstimateCentrality(e.set.Sketch(v), core.KernelExponential, core.UnitBeta)
+	c := core.EstimateCentrality(e.set.SketchOf(v), core.KernelExponential, core.UnitBeta)
 	return c - 1 // the owner's own α(0)β(v) term
 }
 
 // Custom estimates C_{α,β}(v) for caller-supplied kernel and node filter.
 func (e *Estimator) Custom(v int32, alpha func(float64) float64, beta func(int32) float64) float64 {
-	return core.EstimateCentrality(e.set.Sketch(v), alpha, beta)
+	return core.EstimateCentrality(e.set.SketchOf(v), alpha, beta)
 }
 
 // DistanceDistribution estimates the graph's distance distribution: for
@@ -77,7 +85,7 @@ func (e *Estimator) Custom(v int32, alpha func(float64) float64, beta func(int32
 func (e *Estimator) DistanceDistribution(ds []float64) []float64 {
 	out := make([]float64, len(ds))
 	for v := int32(0); int(v) < e.set.NumNodes(); v++ {
-		entries := e.set.Sketch(v).HIPEntries()
+		entries := e.set.SketchOf(v).HIPEntries()
 		i := 0
 		sum := 0.0
 		for j, d := range ds {

@@ -38,10 +38,17 @@ func (s *ApproxSet) K() int { return s.k }
 // Epsilon returns the distance slack.
 func (s *ApproxSet) Epsilon() float64 { return s.eps }
 
+// NumNodes returns the number of sketches.
+func (s *ApproxSet) NumNodes() int { return len(s.sketches) }
+
 // Sketch returns node v's approximate sketch.  The entries satisfy the
 // relaxed invariant; HIP weights computed from them estimate cardinalities
 // of neighborhoods at distance known up to (1+ε).
 func (s *ApproxSet) Sketch(v int32) *ADS { return s.sketches[v] }
+
+// SketchOf returns node v's sketch through the flavor-agnostic query
+// interface shared by all set kinds.
+func (s *ApproxSet) SketchOf(v int32) Sketch { return s.sketches[v] }
 
 // TotalEntries sums entry counts.
 func (s *ApproxSet) TotalEntries() int {

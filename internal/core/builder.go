@@ -110,11 +110,19 @@ type Set struct {
 // Options returns the build options.
 func (s *Set) Options() Options { return s.opts }
 
+// K returns the sketch parameter.
+func (s *Set) K() int { return s.opts.K }
+
 // NumNodes returns the number of sketches.
 func (s *Set) NumNodes() int { return len(s.sketches) }
 
 // Sketch returns node v's sketch.
 func (s *Set) Sketch(v int32) Sketch { return s.sketches[v] }
+
+// SketchOf returns node v's sketch through the flavor-agnostic query
+// interface; it is the method shared by all set kinds (uniform, weighted,
+// approximate), allowing them to be used interchangeably by query layers.
+func (s *Set) SketchOf(v int32) Sketch { return s.sketches[v] }
 
 // BottomK returns node v's sketch as a bottom-k ADS; it panics if the set
 // was built with a different flavor.
@@ -134,13 +142,22 @@ func (s *Set) TotalEntries() int {
 // algorithm.  For directed graphs pass g for forward sketches (distances
 // measured from the sketch owner) or g.Transpose() for backward sketches.
 func BuildSet(g *graph.Graph, o Options, algo Algorithm) (*Set, error) {
+	return BuildSetParallel(g, o, algo, 0)
+}
+
+// BuildSetParallel is BuildSet with an explicit worker bound for the
+// parallel parts of the construction (the per-permutation / per-bucket
+// runs of k-mins and k-partition, and the batch-parallel Dijkstra).
+// workers <= 0 means GOMAXPROCS.  The output is identical for every
+// worker count.
+func BuildSetParallel(g *graph.Graph, o Options, algo Algorithm, workers int) (*Set, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
 	if algo == AlgoDP && g.Weighted() {
 		return nil, fmt.Errorf("core: the DP builder requires an unweighted graph; use LocalUpdates or PrunedDijkstra")
 	}
-	runner, err := runnerFor(g, algo)
+	runner, err := runnerFor(g, algo, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +172,7 @@ func BuildSet(g *graph.Graph, o Options, algo Algorithm) (*Set, error) {
 			set.sketches[v] = a
 		}
 	case sketch.KMins:
-		perRun := parallelRuns(o.K, func(h int) [][]Entry {
+		perRun := parallelRuns(o.K, workers, func(h int) [][]Entry {
 			return runner(runSpec{k: 1, rank: o.rankFn(h)})
 		})
 		for v := 0; v < n; v++ {
@@ -167,7 +184,7 @@ func BuildSet(g *graph.Graph, o Options, algo Algorithm) (*Set, error) {
 		}
 	case sketch.KPartition:
 		src := o.Source()
-		perRun := parallelRuns(o.K, func(b int) [][]Entry {
+		perRun := parallelRuns(o.K, workers, func(b int) [][]Entry {
 			return runner(runSpec{
 				k:    1,
 				rank: o.rankFn(0),
@@ -206,7 +223,7 @@ func (s runSpec) candidate(v int32) bool {
 // returns, for every node, its entry list in canonical order.
 type runner func(runSpec) [][]Entry
 
-func runnerFor(g *graph.Graph, algo Algorithm) (runner, error) {
+func runnerFor(g *graph.Graph, algo Algorithm, workers int) (runner, error) {
 	switch algo {
 	case AlgoPrunedDijkstra:
 		return func(s runSpec) [][]Entry { return prunedDijkstraRun(g, s) }, nil
@@ -217,15 +234,18 @@ func runnerFor(g *graph.Graph, algo Algorithm) (runner, error) {
 	case AlgoBruteForce:
 		return func(s runSpec) [][]Entry { return bruteForceRun(g, s) }, nil
 	case AlgoPrunedDijkstraParallel:
-		return func(s runSpec) [][]Entry { return prunedDijkstraParallelRun(g, s, 0, 0) }, nil
+		return func(s runSpec) [][]Entry { return prunedDijkstraParallelRun(g, s, 0, workers) }, nil
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %v", algo)
 }
 
-// parallelRuns executes fn(0..k-1) across GOMAXPROCS workers.
-func parallelRuns(k int, fn func(int) [][]Entry) [][][]Entry {
+// parallelRuns executes fn(0..k-1) across the given number of workers
+// (<= 0 means GOMAXPROCS).
+func parallelRuns(k, workers int, fn func(int) [][]Entry) [][][]Entry {
 	out := make([][][]Entry, k)
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > k {
 		workers = k
 	}

@@ -2,51 +2,74 @@ package core
 
 import "sort"
 
-// HIPIndex is a prebuilt query index over a sketch's HIP entries: distances
-// and prefix sums of adjusted weights.  Repeated neighborhood queries cost
-// one binary search instead of re-deriving the adjusted weights, which
-// matters when a sketch serves many query distances (distance
-// distributions, percentile scans, interactive exploration).
+// HIPIndex is a prebuilt query index over a sketch's HIP entries: the
+// entries themselves (with adjusted weights already derived) plus, per
+// unique distance, prefix sums of the adjusted weights and of the two
+// common centrality integrands (weight·distance and weight/distance).
+// Repeated neighborhood queries cost one binary search, and closeness /
+// harmonic queries cost O(1), instead of re-deriving the adjusted weights
+// on every call — which matters when a sketch serves many queries
+// (distance distributions, percentile scans, batch serving).
 //
 // This realizes the compression remark of Section 5: "for each unique
 // distance d in ADS(i) we associate an adjusted weight equal to the sum of
 // the adjusted weights of included nodes with distance d" — the index
 // stores exactly that distance -> cumulative weight mapping.
+//
+// All accumulations scan the entries in canonical order, so every readout
+// is bit-identical to the corresponding direct estimator (EstimateQ,
+// EstimateCentrality, EstimateNeighborhoodHIP) on the same sketch.
 type HIPIndex struct {
-	dists []float64 // unique entry distances, ascending
-	cum   []float64 // cum[i]: total adjusted weight at distance <= dists[i]
+	entries []WeightedEntry
+	dists   []float64 // unique entry distances, ascending
+	cum     []float64 // cum[i]: total adjusted weight at distance <= dists[i]
+	cumD    []float64 // prefix sums of weight * distance
+	cumH    []float64 // prefix sums of weight / distance (0 at distance 0)
 }
 
 // NewHIPIndex builds the index for a sketch of any flavor.
 func NewHIPIndex(s Sketch) *HIPIndex {
 	entries := s.HIPEntries()
-	idx := &HIPIndex{}
-	total := 0.0
+	idx := &HIPIndex{entries: entries}
+	total, totalD, totalH := 0.0, 0.0, 0.0
 	for i := 0; i < len(entries); {
 		d := entries[i].Dist
 		for i < len(entries) && entries[i].Dist == d {
 			total += entries[i].Weight
+			totalD += entries[i].Weight * entries[i].Dist
+			totalH += entries[i].Weight * KernelHarmonic(entries[i].Dist)
 			i++
 		}
 		idx.dists = append(idx.dists, d)
 		idx.cum = append(idx.cum, total)
+		idx.cumD = append(idx.cumD, totalD)
+		idx.cumH = append(idx.cumH, totalH)
 	}
 	return idx
+}
+
+// Entries returns the indexed HIP entries in canonical order.  The slice
+// aliases internal storage and must not be modified.
+func (x *HIPIndex) Entries() []WeightedEntry { return x.entries }
+
+// search returns the position of the last indexed distance <= d, or -1.
+func (x *HIPIndex) search(d float64) int {
+	i := sort.SearchFloat64s(x.dists, d)
+	// SearchFloat64s returns the first index with dists[i] >= d; include
+	// an exact match.
+	if i < len(x.dists) && x.dists[i] == d {
+		return i
+	}
+	return i - 1
 }
 
 // Neighborhood returns the HIP estimate of n_d: the cumulative adjusted
 // weight at distance <= d.
 func (x *HIPIndex) Neighborhood(d float64) float64 {
-	i := sort.SearchFloat64s(x.dists, d)
-	// SearchFloat64s returns the first index with dists[i] >= d; include
-	// an exact match.
-	if i < len(x.dists) && x.dists[i] == d {
+	if i := x.search(d); i >= 0 {
 		return x.cum[i]
 	}
-	if i == 0 {
-		return 0
-	}
-	return x.cum[i-1]
+	return 0
 }
 
 // Total returns the estimate of the number of reachable nodes.
@@ -55,6 +78,54 @@ func (x *HIPIndex) Total() float64 {
 		return 0
 	}
 	return x.cum[len(x.cum)-1]
+}
+
+// SumDistances returns the HIP estimate of Σ_j d_vj over reachable nodes
+// (the inverse of classic closeness centrality) — equal to
+// EstimateCentrality(s, KernelIdentity, UnitBeta) on the indexed sketch.
+func (x *HIPIndex) SumDistances() float64 {
+	if len(x.cumD) == 0 {
+		return 0
+	}
+	return x.cumD[len(x.cumD)-1]
+}
+
+// SumDistancesWithin returns the HIP estimate of Σ_{j: d_vj <= d} d_vj.
+func (x *HIPIndex) SumDistancesWithin(d float64) float64 {
+	if i := x.search(d); i >= 0 {
+		return x.cumD[i]
+	}
+	return 0
+}
+
+// Closeness returns the HIP estimate of 1/Σ_j d_vj (0 when the estimated
+// distance sum is 0, e.g. for an isolated node).
+func (x *HIPIndex) Closeness() float64 {
+	s := x.SumDistances()
+	if s <= 0 {
+		return 0
+	}
+	return 1 / s
+}
+
+// Harmonic returns the HIP estimate of Σ_{j != v} 1/d_vj — equal to
+// EstimateCentrality(s, KernelHarmonic, UnitBeta) on the indexed sketch.
+func (x *HIPIndex) Harmonic() float64 {
+	if len(x.cumH) == 0 {
+		return 0
+	}
+	return x.cumH[len(x.cumH)-1]
+}
+
+// EstimateQ returns the HIP estimate of Q_g = Σ_j g(j, d_vj) from the
+// cached entries, without re-deriving the adjusted weights — equal to
+// EstimateQ(s, g) on the indexed sketch.
+func (x *HIPIndex) EstimateQ(g func(node int32, dist float64) float64) float64 {
+	sum := 0.0
+	for _, e := range x.entries {
+		sum += e.Weight * g(e.Node, e.Dist)
+	}
+	return sum
 }
 
 // Distances returns the unique entry distances, ascending (the points at

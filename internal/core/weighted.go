@@ -6,6 +6,7 @@ import (
 
 	"adsketch/internal/graph"
 	"adsketch/internal/rank"
+	"adsketch/internal/sketch"
 )
 
 // Section 9: non-uniform node weights.  To estimate weighted neighborhood
@@ -65,14 +66,32 @@ func NewWeightedADS(node int32, k int) *WeightedADS {
 	return &WeightedADS{k: k, node: node, scheme: ExponentialWeights}
 }
 
+var _ Sketch = (*WeightedADS)(nil)
+
 // K returns the sketch parameter.
 func (a *WeightedADS) K() int { return a.k }
+
+// Flavor returns sketch.BottomK: a weighted ADS is a bottom-k sketch over
+// weight-biased ranks.
+func (a *WeightedADS) Flavor() sketch.Flavor { return sketch.BottomK }
 
 // Node returns the owner.
 func (a *WeightedADS) Node() int32 { return a.node }
 
 // Size returns the number of entries.
 func (a *WeightedADS) Size() int { return len(a.entries) }
+
+// Scheme returns the weighted sampling scheme the ranks were drawn under.
+func (a *WeightedADS) Scheme() WeightScheme { return a.scheme }
+
+// EstimateNeighborhood returns the HIP estimate of the weighted
+// neighborhood cardinality Σ_{j: d_vj <= d} β(j).  Under weight-biased
+// ranks the Section 4 basic estimator does not apply, so the HIP estimate
+// is the estimator for this flavor (Section 9); the method exists so
+// weighted sketches satisfy the shared Sketch query interface.
+func (a *WeightedADS) EstimateNeighborhood(d float64) float64 {
+	return a.EstimateNeighborhoodWeight(d)
+}
 
 // Entries returns the entries in canonical order.
 func (a *WeightedADS) Entries() []Entry { return a.entries }
@@ -195,8 +214,24 @@ type WeightedSet struct {
 // K returns the sketch parameter.
 func (s *WeightedSet) K() int { return s.k }
 
+// NumNodes returns the number of sketches.
+func (s *WeightedSet) NumNodes() int { return len(s.sketches) }
+
 // Sketch returns node v's weighted ADS.
 func (s *WeightedSet) Sketch(v int32) *WeightedADS { return s.sketches[v] }
+
+// SketchOf returns node v's sketch through the flavor-agnostic query
+// interface shared by all set kinds.
+func (s *WeightedSet) SketchOf(v int32) Sketch { return s.sketches[v] }
+
+// TotalEntries returns the summed entry count over all sketches.
+func (s *WeightedSet) TotalEntries() int {
+	n := 0
+	for _, sk := range s.sketches {
+		n += sk.Size()
+	}
+	return n
+}
 
 // ExactNeighborhoodWeight computes Σ_{j: d_vj <= d} β(j) exactly (ground
 // truth for tests and benchmarks).

@@ -1,0 +1,134 @@
+// Package query provides the serving-side machinery for batch sketch
+// queries: a concurrency-safe, lazily populated cache of per-node HIP
+// query indices, and a context-aware worker pool for evaluating batches
+// of per-node queries in parallel.
+//
+// The design target is the ROADMAP's heavy-query-traffic regime: building
+// a HIPIndex re-derives the adjusted weights of one sketch (a heap pass
+// over its entries), which is wasteful to repeat on every query.  The
+// cache pays that cost once per node, after which any number of
+// concurrent readers answer neighborhood / closeness / Q_g queries from
+// the immutable index in O(log size) or O(1).
+package query
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"adsketch/internal/core"
+)
+
+// IndexCache lazily builds and caches one immutable *core.HIPIndex per
+// node.  It is safe for concurrent use by multiple goroutines without
+// external locking: slots are filled with compare-and-swap, so two racing
+// readers may both build the same node's index, but exactly one result is
+// published and, the build being deterministic, both observe identical
+// values.
+type IndexCache struct {
+	build func(int32) *core.HIPIndex
+	slots []atomic.Pointer[core.HIPIndex]
+}
+
+// NewIndexCache returns an empty cache of n slots whose misses are filled
+// by build (which must be pure and safe for concurrent invocation).
+func NewIndexCache(n int, build func(int32) *core.HIPIndex) *IndexCache {
+	return &IndexCache{build: build, slots: make([]atomic.Pointer[core.HIPIndex], n)}
+}
+
+// Len returns the number of slots.
+func (c *IndexCache) Len() int { return len(c.slots) }
+
+// Cached returns the number of indices built so far (a point-in-time
+// snapshot under concurrency).
+func (c *IndexCache) Cached() int {
+	n := 0
+	for i := range c.slots {
+		if c.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns node v's index, building and publishing it on first use.
+func (c *IndexCache) Get(v int32) *core.HIPIndex {
+	if idx := c.slots[v].Load(); idx != nil {
+		return idx
+	}
+	idx := c.build(v)
+	if c.slots[v].CompareAndSwap(nil, idx) {
+		return idx
+	}
+	return c.slots[v].Load()
+}
+
+// ForEach evaluates fn(i) for every i in [0, n) across the given number
+// of workers (<= 0 means GOMAXPROCS), stopping early when ctx is
+// cancelled or any fn returns an error.  It returns the first error
+// observed (a context error when cancellation won the race).  Items are
+// claimed from a shared atomic counter, so the work distribution adapts
+// to uneven per-item cost.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		e := err
+		firstErr.CompareAndSwap(nil, &e)
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := ctx.Err(); err != nil {
+					record(err)
+					return
+				}
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					record(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// CheckNodes validates that every queried node is a legal index for a set
+// of n sketches.
+func CheckNodes(n int, nodes []int32) error {
+	for _, v := range nodes {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("query: node %d out of range [0, %d)", v, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"adsketch/internal/core"
+	"adsketch/internal/graph"
+	"adsketch/internal/sketch"
+)
+
+func testCache(t *testing.T) (*IndexCache, *core.Set) {
+	t.Helper()
+	g := graph.GNP(50, 0.1, false, 7)
+	set, err := core.BuildSet(g, core.Options{K: 4, Flavor: sketch.BottomK, Seed: 3}, core.AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewIndexCache(set.NumNodes(), func(v int32) *core.HIPIndex {
+		return core.NewHIPIndex(set.SketchOf(v))
+	}), set
+}
+
+func TestIndexCacheLazyAndStable(t *testing.T) {
+	c, set := testCache(t)
+	if c.Len() != set.NumNodes() || c.Cached() != 0 {
+		t.Fatalf("fresh cache: Len=%d Cached=%d", c.Len(), c.Cached())
+	}
+	first := c.Get(5)
+	if first == nil {
+		t.Fatal("nil index")
+	}
+	if c.Get(5) != first {
+		t.Error("second Get returned a different index")
+	}
+	if c.Cached() != 1 {
+		t.Errorf("Cached = %d, want 1", c.Cached())
+	}
+	if got, want := first.Total(), core.EstimateNeighborhoodHIP(set.SketchOf(5), 1e18); got != want {
+		t.Errorf("index total %v, direct estimate %v", got, want)
+	}
+}
+
+func TestIndexCacheConcurrent(t *testing.T) {
+	c, _ := testCache(t)
+	var wg sync.WaitGroup
+	got := make([]*core.HIPIndex, 32)
+	for w := range got {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := int32(0); int(v) < c.Len(); v++ {
+				idx := c.Get(v)
+				if v == 13 {
+					got[w] = idx
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < len(got); w++ {
+		if got[w] != got[0] {
+			t.Fatal("concurrent Gets observed different published indices")
+		}
+	}
+	if c.Cached() != c.Len() {
+		t.Errorf("Cached = %d, want %d", c.Cached(), c.Len())
+	}
+}
+
+func TestForEachVisitsEverything(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var visited [100]atomic.Int32
+		err := ForEach(context.Background(), workers, len(visited), func(i int) error {
+			visited[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visited {
+			if visited[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, visited[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := ForEach(context.Background(), 4, 1000, func(i int) error {
+		if calls.Add(1) == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := calls.Load(); n >= 1000 {
+		t.Errorf("no early stop: %d calls", n)
+	}
+}
+
+func TestForEachHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	err := ForEach(ctx, 2, 1<<20, func(i int) error {
+		if calls.Add(1) == 100 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 1<<20 {
+		t.Error("no early stop on cancellation")
+	}
+	// Zero items: just reports the context state.
+	if err := ForEach(ctx, 2, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("empty err = %v, want context.Canceled", err)
+	}
+	if err := ForEach(context.Background(), 2, 0, nil); err != nil {
+		t.Errorf("empty err = %v, want nil", err)
+	}
+}
+
+func TestCheckNodes(t *testing.T) {
+	if err := CheckNodes(10, []int32{0, 9}); err != nil {
+		t.Errorf("valid nodes rejected: %v", err)
+	}
+	if err := CheckNodes(10, []int32{10}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := CheckNodes(10, []int32{-1}); err == nil {
+		t.Error("negative node accepted")
+	}
+}

@@ -1,0 +1,320 @@
+package adsketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"adsketch/internal/core"
+)
+
+// Typed sentinel errors returned by Build and NewEngine.  Wrapped errors
+// carry the offending value; match with errors.Is.
+var (
+	// ErrBadOption reports a single option whose value is out of range
+	// (e.g. WithK(0), WithBaseB(1), a non-positive node weight).
+	ErrBadOption = errors.New("adsketch: bad option value")
+	// ErrIncompatibleOptions reports a combination of individually valid
+	// options that no sketch construction supports (e.g. node weights with
+	// base-b ranks).
+	ErrIncompatibleOptions = errors.New("adsketch: incompatible options")
+)
+
+// DefaultK is the sketch parameter used when WithK is not given.
+const DefaultK = 16
+
+// SketchSet is the unified result of Build: a per-node collection of
+// All-Distances Sketches queryable through the shared NodeSketch
+// interface, whatever the construction (uniform, weighted, approximate).
+// The dynamic type exposes construction-specific extras: *Set (uniform
+// ranks; serialization, coordinated cross-sketch operations),
+// *WeightedSet (Section 9 weighted ranks), *ApproxSet ((1+ε)-approximate
+// sketches, Section 3).
+type SketchSet interface {
+	// NumNodes returns the number of sketches (one per graph node).
+	NumNodes() int
+	// K returns the sketch parameter.
+	K() int
+	// SketchOf returns node v's sketch.
+	SketchOf(v int32) NodeSketch
+	// TotalEntries returns the summed entry count over all sketches.
+	TotalEntries() int
+}
+
+var (
+	_ SketchSet = (*Set)(nil)
+	_ SketchSet = (*WeightedSet)(nil)
+	_ SketchSet = (*ApproxSet)(nil)
+)
+
+// buildConfig is the resolved option state of one Build call.
+type buildConfig struct {
+	k           int
+	seed        uint64
+	flavor      Flavor
+	baseB       float64
+	algo        Algorithm
+	algoSet     bool
+	weights     []float64
+	priority    bool
+	approx      bool
+	eps         float64
+	parallelism int
+}
+
+// Option configures a Build call.  Options are applied in order; each
+// validates its own value, and Build validates the combination.
+type Option func(*buildConfig) error
+
+// WithK sets the sketch parameter k (>= 1), which trades space for
+// accuracy: HIP estimates have CV <= 1/sqrt(2(k-1)).  Default DefaultK.
+func WithK(k int) Option {
+	return func(c *buildConfig) error {
+		if k < 1 {
+			return fmt.Errorf("%w: WithK(%d), k must be >= 1", ErrBadOption, k)
+		}
+		c.k = k
+		return nil
+	}
+}
+
+// WithSeed sets the seed of the shared random permutation(s).  Sketch
+// sets built with the same seed are coordinated (Section 2), enabling
+// cross-sketch operations such as Jaccard similarity and union
+// cardinalities.  Default 0.
+func WithSeed(seed uint64) Option {
+	return func(c *buildConfig) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithFlavor selects the MinHash sampling scheme: BottomK (default),
+// KMins, or KPartition (Section 2).
+func WithFlavor(f Flavor) Option {
+	return func(c *buildConfig) error {
+		switch f {
+		case BottomK, KMins, KPartition:
+			c.flavor = f
+			return nil
+		}
+		return fmt.Errorf("%w: WithFlavor(%v), unknown flavor", ErrBadOption, f)
+	}
+}
+
+// WithAlgorithm selects the construction algorithm (Section 3).  Default
+// AlgoPrunedDijkstra.  Only AlgoLocalUpdates is compatible with
+// WithApproxEps, and only AlgoPrunedDijkstra with WithNodeWeights.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *buildConfig) error {
+		switch a {
+		case AlgoPrunedDijkstra, AlgoDP, AlgoLocalUpdates, AlgoBruteForce, AlgoPrunedDijkstraParallel:
+			c.algo = a
+			c.algoSet = true
+			return nil
+		}
+		return fmt.Errorf("%w: WithAlgorithm(%v), unknown algorithm", ErrBadOption, a)
+	}
+}
+
+// WithBaseB rounds ranks down to powers b^-h (Sections 2 and 5.6),
+// trading estimator variance (factor (1+b)/2) for compact rank
+// representation; b must be > 1.  Default: full-precision ranks.
+func WithBaseB(b float64) Option {
+	return func(c *buildConfig) error {
+		if !(b > 1) || math.IsInf(b, 1) {
+			return fmt.Errorf("%w: WithBaseB(%g), base must be a finite value > 1", ErrBadOption, b)
+		}
+		c.baseB = b
+		return nil
+	}
+}
+
+// WithNodeWeights builds the Section 9 weighted sketches: ranks are
+// biased by the positive per-node weights beta (len(beta) must equal the
+// graph's node count), and estimates become weighted cardinalities
+// Σ_{j: d_vj <= d} β(j).  Uses exponential ranks unless WithPriorityRanks
+// is also given.  Incompatible with WithFlavor (other than BottomK),
+// WithBaseB, WithApproxEps, and any WithAlgorithm other than
+// AlgoPrunedDijkstra.
+func WithNodeWeights(beta []float64) Option {
+	return func(c *buildConfig) error {
+		if len(beta) == 0 {
+			return fmt.Errorf("%w: WithNodeWeights with no weights", ErrBadOption)
+		}
+		c.weights = beta
+		return nil
+	}
+}
+
+// WithPriorityRanks switches weighted sketches from exponential ranks to
+// Sequential Poisson (priority) ranks r(i) = r'(i)/β(i), the Section 9
+// alternative weighted-sampling scheme.  Requires WithNodeWeights.
+func WithPriorityRanks() Option {
+	return func(c *buildConfig) error {
+		c.priority = true
+		return nil
+	}
+}
+
+// WithApproxEps builds (1+ε)-approximate bottom-k sketches (Section 3)
+// with the LocalUpdates scheme, bounding the updates per entry by
+// log_{1+ε}(n·w_max/w_min); eps must be >= 0 (0 recovers exact
+// LocalUpdates semantics).  Incompatible with WithFlavor (other than
+// BottomK), WithBaseB, WithNodeWeights, and any WithAlgorithm other than
+// AlgoLocalUpdates.
+func WithApproxEps(eps float64) Option {
+	return func(c *buildConfig) error {
+		if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 1) {
+			return fmt.Errorf("%w: WithApproxEps(%g), eps must be a finite value >= 0", ErrBadOption, eps)
+		}
+		c.approx = true
+		c.eps = eps
+		return nil
+	}
+}
+
+// WithParallelism bounds the number of worker goroutines used by the
+// parallel parts of the construction: the per-permutation and per-bucket
+// runs of k-mins / k-partition, and AlgoPrunedDijkstraParallel batches.
+// With workers > 1 and no explicit WithAlgorithm, a bottom-k build
+// selects AlgoPrunedDijkstraParallel (whose output is identical to the
+// sequential algorithm's).  0 (the default) means GOMAXPROCS; the built
+// sketches are identical for every parallelism level.  Asking for
+// workers > 1 where the construction has no parallel dimension — a
+// weighted or approximate build, or bottom-k with an explicitly
+// sequential algorithm — is rejected with ErrIncompatibleOptions rather
+// than silently running serially.
+func WithParallelism(workers int) Option {
+	return func(c *buildConfig) error {
+		if workers < 0 {
+			return fmt.Errorf("%w: WithParallelism(%d), workers must be >= 0 (0 = GOMAXPROCS)", ErrBadOption, workers)
+		}
+		c.parallelism = workers
+		return nil
+	}
+}
+
+// check validates the option combination against the target graph.
+func (c *buildConfig) check(g *Graph) error {
+	if c.approx {
+		if c.weights != nil {
+			return fmt.Errorf("%w: WithApproxEps and WithNodeWeights: approximate construction supports uniform node weights only", ErrIncompatibleOptions)
+		}
+		if c.flavor != BottomK {
+			return fmt.Errorf("%w: WithApproxEps requires the BottomK flavor, got %v", ErrIncompatibleOptions, flavorName(c.flavor))
+		}
+		if c.baseB != 0 {
+			return fmt.Errorf("%w: WithApproxEps and WithBaseB: approximate construction uses full-precision ranks", ErrIncompatibleOptions)
+		}
+		if c.algoSet && c.algo != AlgoLocalUpdates {
+			return fmt.Errorf("%w: WithApproxEps requires AlgoLocalUpdates, got %v", ErrIncompatibleOptions, c.algo)
+		}
+	}
+	if c.weights != nil {
+		if c.flavor != BottomK {
+			return fmt.Errorf("%w: WithNodeWeights requires the BottomK flavor, got %v", ErrIncompatibleOptions, flavorName(c.flavor))
+		}
+		if c.baseB != 0 {
+			return fmt.Errorf("%w: WithNodeWeights and WithBaseB: weighted ranks cannot be base-b rounded", ErrIncompatibleOptions)
+		}
+		if c.algoSet && c.algo != AlgoPrunedDijkstra {
+			return fmt.Errorf("%w: WithNodeWeights requires AlgoPrunedDijkstra, got %v", ErrIncompatibleOptions, c.algo)
+		}
+		if len(c.weights) != g.NumNodes() {
+			return fmt.Errorf("%w: WithNodeWeights has %d weights for %d nodes", ErrBadOption, len(c.weights), g.NumNodes())
+		}
+		for v, b := range c.weights {
+			if !(b > 0) || math.IsInf(b, 1) {
+				return fmt.Errorf("%w: WithNodeWeights: beta[%d] = %g, weights must be finite and positive", ErrBadOption, v, b)
+			}
+		}
+	}
+	if c.priority && c.weights == nil {
+		return fmt.Errorf("%w: WithPriorityRanks requires WithNodeWeights", ErrIncompatibleOptions)
+	}
+	if c.parallelism > 1 {
+		switch {
+		case c.approx:
+			return fmt.Errorf("%w: WithParallelism: the approximate construction is sequential", ErrIncompatibleOptions)
+		case c.weights != nil:
+			return fmt.Errorf("%w: WithParallelism: the weighted construction is sequential", ErrIncompatibleOptions)
+		case c.flavor == BottomK && c.algoSet && c.algo != AlgoPrunedDijkstraParallel:
+			return fmt.Errorf("%w: WithParallelism: a bottom-k build with %v is sequential; use AlgoPrunedDijkstraParallel or drop the option", ErrIncompatibleOptions, c.algo)
+		}
+	}
+	return nil
+}
+
+func flavorName(f Flavor) string {
+	switch f {
+	case BottomK:
+		return "BottomK"
+	case KMins:
+		return "KMins"
+	case KPartition:
+		return "KPartition"
+	}
+	return fmt.Sprintf("Flavor(%d)", int(f))
+}
+
+// Build computes the (forward) All-Distances Sketch of every node of g.
+// It is the single entry point over the paper's design space: flavor,
+// construction algorithm, base-b ranks, Section 9 node weights, and
+// (1+ε)-approximate construction all compose as options:
+//
+//	set, err := adsketch.Build(g)                                // bottom-k, k=16, PrunedDijkstra
+//	set, err := adsketch.Build(g, adsketch.WithK(64), adsketch.WithSeed(42))
+//	set, err := adsketch.Build(g, adsketch.WithFlavor(adsketch.KMins), adsketch.WithBaseB(2))
+//	set, err := adsketch.Build(g, adsketch.WithNodeWeights(beta)) // weighted cardinalities
+//	set, err := adsketch.Build(g, adsketch.WithApproxEps(0.25))   // (1+ε)-approximate
+//
+// For backward sketches on directed graphs, pass g.Transpose().  Invalid
+// option values return an error matching ErrBadOption; unsupported
+// combinations return one matching ErrIncompatibleOptions.  All
+// randomness is deterministic in the seed, and the result is bit-for-bit
+// identical to the corresponding legacy constructor under equal options.
+func Build(g *Graph, opts ...Option) (SketchSet, error) {
+	cfg := buildConfig{k: DefaultK, flavor: BottomK, algo: AlgoPrunedDijkstra}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("%w: nil Option", ErrBadOption)
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.check(g); err != nil {
+		return nil, err
+	}
+	switch {
+	case cfg.approx:
+		set, err := core.BuildApproxSet(g, cfg.k, cfg.seed, cfg.eps)
+		if err != nil {
+			return nil, err
+		}
+		return set, nil
+	case cfg.weights != nil:
+		build := core.BuildWeightedSet
+		if cfg.priority {
+			build = core.BuildPriorityWeightedSet
+		}
+		set, err := build(g, cfg.k, cfg.seed, cfg.weights)
+		if err != nil {
+			return nil, err
+		}
+		return set, nil
+	default:
+		if cfg.parallelism > 1 && !cfg.algoSet && cfg.flavor == BottomK {
+			// Honor the requested parallelism: the batch-parallel variant
+			// produces output identical to the sequential default.
+			cfg.algo = AlgoPrunedDijkstraParallel
+		}
+		o := core.Options{K: cfg.k, Flavor: cfg.flavor, Seed: cfg.seed, BaseB: cfg.baseB}
+		set, err := core.BuildSetParallel(g, o, cfg.algo, cfg.parallelism)
+		if err != nil {
+			return nil, err
+		}
+		return set, nil
+	}
+}

@@ -1,0 +1,279 @@
+package adsketch_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"adsketch"
+)
+
+func TestBuildOptionValidation(t *testing.T) {
+	g := adsketch.Cycle(10)
+	beta := make([]float64, 10)
+	for i := range beta {
+		beta[i] = 1
+	}
+	cases := []struct {
+		name string
+		opts []adsketch.Option
+		want error
+	}{
+		{"k zero", []adsketch.Option{adsketch.WithK(0)}, adsketch.ErrBadOption},
+		{"k negative", []adsketch.Option{adsketch.WithK(-3)}, adsketch.ErrBadOption},
+		{"base-b one", []adsketch.Option{adsketch.WithBaseB(1)}, adsketch.ErrBadOption},
+		{"base-b below one", []adsketch.Option{adsketch.WithBaseB(0.5)}, adsketch.ErrBadOption},
+		{"negative eps", []adsketch.Option{adsketch.WithApproxEps(-0.1)}, adsketch.ErrBadOption},
+		{"negative parallelism", []adsketch.Option{adsketch.WithParallelism(-1)}, adsketch.ErrBadOption},
+		{"unknown flavor", []adsketch.Option{adsketch.WithFlavor(adsketch.Flavor(99))}, adsketch.ErrBadOption},
+		{"unknown algorithm", []adsketch.Option{adsketch.WithAlgorithm(adsketch.Algorithm(99))}, adsketch.ErrBadOption},
+		{"empty weights", []adsketch.Option{adsketch.WithNodeWeights(nil)}, adsketch.ErrBadOption},
+		{"short weights", []adsketch.Option{adsketch.WithNodeWeights([]float64{1, 2})}, adsketch.ErrBadOption},
+		{"non-positive weight", []adsketch.Option{adsketch.WithNodeWeights(append([]float64{0}, beta[1:]...))}, adsketch.ErrBadOption},
+		{"nil option", []adsketch.Option{nil}, adsketch.ErrBadOption},
+		{"weights+kmins", []adsketch.Option{
+			adsketch.WithNodeWeights(beta), adsketch.WithFlavor(adsketch.KMins),
+		}, adsketch.ErrIncompatibleOptions},
+		{"weights+baseb", []adsketch.Option{
+			adsketch.WithNodeWeights(beta), adsketch.WithBaseB(2),
+		}, adsketch.ErrIncompatibleOptions},
+		{"weights+dp", []adsketch.Option{
+			adsketch.WithNodeWeights(beta), adsketch.WithAlgorithm(adsketch.AlgoDP),
+		}, adsketch.ErrIncompatibleOptions},
+		{"weights+approx", []adsketch.Option{
+			adsketch.WithNodeWeights(beta), adsketch.WithApproxEps(0.1),
+		}, adsketch.ErrIncompatibleOptions},
+		{"priority without weights", []adsketch.Option{
+			adsketch.WithPriorityRanks(),
+		}, adsketch.ErrIncompatibleOptions},
+		{"approx+kpartition", []adsketch.Option{
+			adsketch.WithApproxEps(0.1), adsketch.WithFlavor(adsketch.KPartition),
+		}, adsketch.ErrIncompatibleOptions},
+		{"approx+baseb", []adsketch.Option{
+			adsketch.WithApproxEps(0.1), adsketch.WithBaseB(2),
+		}, adsketch.ErrIncompatibleOptions},
+		{"approx+dijkstra", []adsketch.Option{
+			adsketch.WithApproxEps(0.1), adsketch.WithAlgorithm(adsketch.AlgoPrunedDijkstra),
+		}, adsketch.ErrIncompatibleOptions},
+		{"approx+parallelism", []adsketch.Option{
+			adsketch.WithApproxEps(0.1), adsketch.WithParallelism(3),
+		}, adsketch.ErrIncompatibleOptions},
+		{"weights+parallelism", []adsketch.Option{
+			adsketch.WithNodeWeights(beta), adsketch.WithParallelism(3),
+		}, adsketch.ErrIncompatibleOptions},
+		{"sequential algo+parallelism", []adsketch.Option{
+			adsketch.WithAlgorithm(adsketch.AlgoBruteForce), adsketch.WithParallelism(3),
+		}, adsketch.ErrIncompatibleOptions},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set, err := adsketch.Build(g, tc.opts...)
+			if set != nil || err == nil {
+				t.Fatalf("Build = (%v, %v), want error", set, err)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("error %q does not match %v", err, tc.want)
+			}
+			// The two sentinels are disjoint.
+			other := adsketch.ErrIncompatibleOptions
+			if tc.want == adsketch.ErrIncompatibleOptions {
+				other = adsketch.ErrBadOption
+			}
+			if errors.Is(err, other) {
+				t.Errorf("error %q matches both sentinels", err)
+			}
+		})
+	}
+}
+
+func TestBuildAcceptsCompatibleCombinations(t *testing.T) {
+	g := adsketch.Grid(5, 5)
+	beta := make([]float64, g.NumNodes())
+	for i := range beta {
+		beta[i] = float64(i + 1)
+	}
+	cases := [][]adsketch.Option{
+		nil, // all defaults
+		{adsketch.WithK(4), adsketch.WithFlavor(adsketch.KMins), adsketch.WithBaseB(2), adsketch.WithParallelism(2)},
+		{adsketch.WithFlavor(adsketch.KPartition), adsketch.WithAlgorithm(adsketch.AlgoBruteForce)},
+		{adsketch.WithNodeWeights(beta), adsketch.WithAlgorithm(adsketch.AlgoPrunedDijkstra)},
+		{adsketch.WithNodeWeights(beta), adsketch.WithPriorityRanks()},
+		{adsketch.WithApproxEps(0), adsketch.WithAlgorithm(adsketch.AlgoLocalUpdates)},
+		{adsketch.WithParallelism(4)}, // auto-selects the batch-parallel builder
+		{adsketch.WithAlgorithm(adsketch.AlgoPrunedDijkstraParallel), adsketch.WithParallelism(2)},
+	}
+	for i, opts := range cases {
+		set, err := adsketch.Build(g, opts...)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if set.NumNodes() != g.NumNodes() {
+			t.Errorf("case %d: NumNodes = %d", i, set.NumNodes())
+		}
+	}
+}
+
+// The new Build must reproduce each legacy constructor bit-for-bit under
+// equal options.
+
+func serialize(t *testing.T, set *adsketch.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := adsketch.WriteSketches(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBuildParityUniform(t *testing.T) {
+	g := adsketch.WithRandomWeights(adsketch.GNP(60, 0.08, false, 5), 1, 4, 6)
+	unweighted := adsketch.GNP(60, 0.08, false, 5)
+	cases := []struct {
+		name string
+		g    *adsketch.Graph
+		o    adsketch.Options
+		algo adsketch.Algorithm
+	}{
+		{"bottomk/dijkstra", g, adsketch.Options{K: 4, Seed: 9}, adsketch.AlgoPrunedDijkstra},
+		{"bottomk/parallel", g, adsketch.Options{K: 4, Seed: 9}, adsketch.AlgoPrunedDijkstraParallel},
+		{"bottomk/local", g, adsketch.Options{K: 4, Seed: 9}, adsketch.AlgoLocalUpdates},
+		{"bottomk/dp", unweighted, adsketch.Options{K: 4, Seed: 9}, adsketch.AlgoDP},
+		{"kmins/dijkstra", g, adsketch.Options{K: 3, Flavor: adsketch.KMins, Seed: 2}, adsketch.AlgoPrunedDijkstra},
+		{"kpartition/dijkstra", g, adsketch.Options{K: 3, Flavor: adsketch.KPartition, Seed: 2}, adsketch.AlgoPrunedDijkstra},
+		{"baseb/brute", g, adsketch.Options{K: 4, Seed: 7, BaseB: 2}, adsketch.AlgoBruteForce},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy, err := adsketch.BuildWithOptions(tc.g, tc.o, tc.algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := []adsketch.Option{
+				adsketch.WithK(tc.o.K), adsketch.WithSeed(tc.o.Seed),
+				adsketch.WithFlavor(tc.o.Flavor), adsketch.WithAlgorithm(tc.algo),
+			}
+			if tc.o.BaseB != 0 {
+				opts = append(opts, adsketch.WithBaseB(tc.o.BaseB))
+			}
+			built, err := adsketch.Build(tc.g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, ok := built.(*adsketch.Set)
+			if !ok {
+				t.Fatalf("Build returned %T, want *adsketch.Set", built)
+			}
+			if !bytes.Equal(serialize(t, legacy), serialize(t, set)) {
+				t.Error("serialized sketches differ between legacy and option-based Build")
+			}
+		})
+	}
+}
+
+func TestBuildParityParallelismInvariant(t *testing.T) {
+	g := adsketch.GNP(50, 0.1, false, 3)
+	base, err := adsketch.Build(g, adsketch.WithK(3), adsketch.WithSeed(1),
+		adsketch.WithFlavor(adsketch.KMins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		got, err := adsketch.Build(g, adsketch.WithK(3), adsketch.WithSeed(1),
+			adsketch.WithFlavor(adsketch.KMins), adsketch.WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serialize(t, base.(*adsketch.Set)), serialize(t, got.(*adsketch.Set))) {
+			t.Errorf("parallelism %d changed the built sketches", workers)
+		}
+	}
+	// A default bottom-k build with parallelism > 1 auto-selects the
+	// batch-parallel builder, whose output is identical to the serial one.
+	serial, err := adsketch.Build(g, adsketch.WithK(3), adsketch.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := adsketch.Build(g, adsketch.WithK(3), adsketch.WithSeed(1),
+		adsketch.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialize(t, serial.(*adsketch.Set)), serialize(t, parallel.(*adsketch.Set))) {
+		t.Error("auto-parallel bottom-k build differs from the serial default")
+	}
+}
+
+func TestBuildParityWeighted(t *testing.T) {
+	g := adsketch.PreferentialAttachment(80, 3, 4)
+	beta := make([]float64, 80)
+	for i := range beta {
+		beta[i] = 0.5 + float64(i%7)
+	}
+	for _, priority := range []bool{false, true} {
+		name := "exponential"
+		legacyBuild := adsketch.BuildWeighted
+		opts := []adsketch.Option{adsketch.WithK(5), adsketch.WithSeed(11), adsketch.WithNodeWeights(beta)}
+		if priority {
+			name = "priority"
+			legacyBuild = adsketch.BuildPriorityWeighted
+			opts = append(opts, adsketch.WithPriorityRanks())
+		}
+		t.Run(name, func(t *testing.T) {
+			legacy, err := legacyBuild(g, 5, 11, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			built, err := adsketch.Build(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws, ok := built.(*adsketch.WeightedSet)
+			if !ok {
+				t.Fatalf("Build returned %T, want *adsketch.WeightedSet", built)
+			}
+			for v := int32(0); int(v) < g.NumNodes(); v++ {
+				a, b := legacy.Sketch(v).Entries(), ws.Sketch(v).Entries()
+				if len(a) != len(b) {
+					t.Fatalf("node %d: %d vs %d entries", v, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("node %d entry %d: %+v vs %+v", v, i, a[i], b[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBuildParityApprox(t *testing.T) {
+	g := adsketch.WithRandomWeights(adsketch.GNP(70, 0.07, false, 21), 1, 5, 22)
+	legacy, err := adsketch.BuildApprox(g, 4, 13, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := adsketch.Build(g, adsketch.WithK(4), adsketch.WithSeed(13),
+		adsketch.WithApproxEps(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, ok := built.(*adsketch.ApproxSet)
+	if !ok {
+		t.Fatalf("Build returned %T, want *adsketch.ApproxSet", built)
+	}
+	if as.Epsilon() != legacy.Epsilon() || as.K() != legacy.K() {
+		t.Fatal("accessors differ")
+	}
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		a, b := legacy.Sketch(v).Entries(), as.Sketch(v).Entries()
+		if len(a) != len(b) {
+			t.Fatalf("node %d: %d vs %d entries", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d entry %d: %+v vs %+v", v, i, a[i], b[i])
+			}
+		}
+	}
+}
