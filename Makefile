@@ -1,0 +1,38 @@
+# Development entry points.  CI runs `make bench` as its perf smoke: one
+# iteration of every benchmark, with the Engine serving-path numbers
+# emitted as BENCH_engine.json to seed the performance trajectory.
+
+GO ?= go
+
+.PHONY: test race bench fuzz-smoke clean
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./ ./internal/query/
+
+# One pass over every benchmark (regression smoke, not measurement), then
+# the BenchmarkEngine*/BenchmarkSketchSet* lines rendered as JSON.  The
+# redirect (not a pipe) keeps `go test`'s exit status, so a crashing
+# benchmark fails the target — and CI.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . > bench.out || { cat bench.out; exit 1; }
+	cat bench.out
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark(Engine|SketchSet)/ { \
+	    if (n++) printf ",\n"; \
+	    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $$1, $$2, $$3 \
+	  } \
+	  END { print "\n]" }' bench.out > BENCH_engine.json
+	@cat BENCH_engine.json
+
+# A few seconds of coverage-guided fuzzing on the codec and graph-IO
+# parsers — enough to catch decoder regressions fast.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='FuzzReadSketchSet' -fuzztime=5s ./internal/core/
+	$(GO) test -run='^$$' -fuzz='FuzzReadSet$$' -fuzztime=5s ./internal/core/
+	$(GO) test -run='^$$' -fuzz='FuzzReadEdgeList' -fuzztime=5s ./internal/graph/
+
+clean:
+	rm -f bench.out

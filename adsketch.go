@@ -50,15 +50,21 @@
 // the same seed are coordinated (Section 2), which enables cross-sketch
 // operations such as Jaccard similarity of neighborhoods.
 //
-// # Deprecated constructors
+// # Serving queries over a wire
 //
-// Until this release, each corner of the design space had its own
-// constructor (Build with an Options struct and positional algorithm,
-// BuildWeighted, BuildPriorityWeighted, BuildApprox).  Those remain as
-// thin deprecated shims for one release — see BuildWithOptions and
-// friends — and every one of them is reproduced bit-for-bit by Build with
-// the equivalent options (the shims and Build share the same internal
-// construction paths).  See README.md for the migration table.
+// The Engine also dispatches a typed, JSON-serializable query protocol —
+// Request / Response via Engine.Do and Engine.DoBatch — and every sketch
+// set kind serializes through SketchSet.WriteTo / ReadSketchSet, so a
+// production process can build once, persist, and serve the protocol
+// over any transport.  cmd/adsserver is the reference HTTP server
+// (POST /v1/query); see README.md for the wire shapes.
+//
+// # Removed legacy constructors
+//
+// The pre-options constructors (BuildWithOptions, BuildWeighted,
+// BuildPriorityWeighted, BuildApprox) were deprecated for one release
+// and are now removed; each is reproduced bit-for-bit by Build with the
+// equivalent options.  See README.md for the migration table.
 package adsketch
 
 import (
@@ -117,13 +123,6 @@ const (
 	KPartition = sketch.KPartition
 )
 
-// Options configures sketch construction for the deprecated
-// BuildWithOptions entry point.
-//
-// Deprecated: pass functional options (WithK, WithSeed, WithFlavor,
-// WithBaseB) to Build instead.
-type Options = core.Options
-
 // Algorithm selects a construction algorithm (Section 3).
 type Algorithm = core.Algorithm
 
@@ -152,56 +151,32 @@ type NodeSketch = core.Sketch
 // top-N queries of Engine and Centrality.
 type Ranked = centrality.Ranked
 
-// BuildWithOptions computes the forward ADS of every node of g from an
-// Options struct and a positional algorithm.  For backward sketches on
-// directed graphs, pass g.Transpose().
-//
-// Deprecated: use Build with functional options, which produces
-// bit-for-bit identical sketches:
-// Build(g, WithK(o.K), WithSeed(o.Seed), WithFlavor(o.Flavor),
-// WithBaseB(o.BaseB), WithAlgorithm(algo)).
-func BuildWithOptions(g *Graph, o Options, algo Algorithm) (*Set, error) {
-	return core.BuildSet(g, o, algo)
-}
-
-// BuildWeighted computes bottom-k sketches under non-uniform node weights
-// beta (Section 9) with exponential ranks; estimates are then of weighted
-// cardinalities.
-//
-// Deprecated: use Build(g, WithK(k), WithSeed(seed),
-// WithNodeWeights(beta)), which produces bit-for-bit identical sketches.
-func BuildWeighted(g *Graph, k int, seed uint64, beta []float64) (*WeightedSet, error) {
-	return core.BuildWeightedSet(g, k, seed, beta)
-}
-
-// BuildPriorityWeighted is BuildWeighted with Sequential Poisson (priority)
-// ranks, the Section 9 alternative weighted-sampling scheme.
-//
-// Deprecated: use Build(g, WithK(k), WithSeed(seed),
-// WithNodeWeights(beta), WithPriorityRanks()), which produces bit-for-bit
-// identical sketches.
-func BuildPriorityWeighted(g *Graph, k int, seed uint64, beta []float64) (*WeightedSet, error) {
-	return core.BuildPriorityWeightedSet(g, k, seed, beta)
-}
-
 // ApproxSet holds (1+ε)-approximate bottom-k sketches (Section 3), whose
 // construction performs at most log_{1+ε}(n·w_max/w_min) updates per
 // entry; it implements SketchSet.
 type ApproxSet = core.ApproxSet
 
-// BuildApprox computes (1+ε)-approximate sketches with LocalUpdates.
-//
-// Deprecated: use Build(g, WithK(k), WithSeed(seed), WithApproxEps(eps)),
-// which produces bit-for-bit identical sketches.
-func BuildApprox(g *Graph, k int, seed uint64, eps float64) (*ApproxSet, error) {
-	return core.BuildApproxSet(g, k, seed, eps)
-}
+// SketchFormatVersion is the current sketch file format version written
+// by SketchSet.WriteTo and read back by ReadSketchSet.
+const SketchFormatVersion = core.EncodeVersion
 
-// WriteSketches serializes a sketch set (build once, query many).
+// ReadSketchSet deserializes a sketch set written by any SketchSet's
+// WriteTo method (build once, query many), validating every sketch's
+// structural invariants.  The dynamic type of the result is *Set,
+// *WeightedSet, or *ApproxSet according to the stored kind; legacy
+// version-1 files (WriteSketches) load as *Set.
+func ReadSketchSet(r io.Reader) (SketchSet, error) { return core.ReadSketchSet(r) }
+
+// WriteSketches serializes a uniform sketch set in the legacy version-1
+// format.
+//
+// Deprecated: use set.WriteTo(w), which writes the current versioned
+// format covering all three set kinds (uniform, weighted, approximate).
 func WriteSketches(w io.Writer, set *Set) error { return core.WriteSet(w, set) }
 
-// ReadSketches deserializes a sketch set written by WriteSketches,
-// validating every sketch's structural invariants.
+// ReadSketches deserializes a uniform sketch set.
+//
+// Deprecated: use ReadSketchSet, which restores any set kind.
 func ReadSketches(r io.Reader) (*Set, error) { return core.ReadSet(r) }
 
 // NeighborhoodJaccard estimates the Jaccard similarity of N_da(a) and

@@ -169,19 +169,34 @@ func TestFacadeSerialization(t *testing.T) {
 		t.Fatalf("uniform build returned %T", set)
 	}
 	var buf strings.Builder
-	if err := adsketch.WriteSketches(&buf, uniform); err != nil {
+	if _, err := set.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := adsketch.ReadSketches(strings.NewReader(buf.String()))
+	got, err := adsketch.ReadSketchSet(strings.NewReader(buf.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, ok := got.(*adsketch.Set); !ok {
+		t.Fatalf("ReadSketchSet returned %T, want *adsketch.Set", got)
+	}
 	for v := int32(0); int(v) < g.NumNodes(); v++ {
 		a := adsketch.EstimateNeighborhoodHIP(set.SketchOf(v), 3)
-		b := adsketch.EstimateNeighborhoodHIP(got.Sketch(v), 3)
+		b := adsketch.EstimateNeighborhoodHIP(got.SketchOf(v), 3)
 		if a != b {
 			t.Fatalf("node %d: estimates differ after round trip: %g vs %g", v, a, b)
 		}
+	}
+	// Legacy v1 files written by the deprecated WriteSketches still load.
+	var legacy strings.Builder
+	if err := adsketch.WriteSketches(&legacy, uniform); err != nil {
+		t.Fatal(err)
+	}
+	old, err := adsketch.ReadSketchSet(strings.NewReader(legacy.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.TotalEntries() != set.TotalEntries() {
+		t.Error("legacy v1 round trip lost entries")
 	}
 }
 

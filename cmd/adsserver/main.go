@@ -1,0 +1,71 @@
+// adsserver loads a sketch file (any kind: uniform, weighted, or
+// approximate — see adstool build -save) and serves the adsketch wire
+// query protocol over HTTP.  Build the sketches once, offline; serve
+// estimates forever after:
+//
+//	adstool gen -type ba -n 100000 -m 5 > graph.txt
+//	adstool build -graph graph.txt -k 16 -seed 42 -save sketches.ads
+//	adsserver -sketches sketches.ads -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/query — a single Request object, or an array of Requests
+//	                 for a batch; answers with the matching Response(s).
+//	GET  /healthz  — liveness: {"status":"ok"} once serving.
+//	GET  /statsz   — sketch-set metadata, index-cache/shard counters,
+//	                 and request counters.
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/query -d '{"closeness":{"nodes":[0,17]}}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"adsketch"
+)
+
+func main() {
+	fs := flag.NewFlagSet("adsserver", flag.ExitOnError)
+	sketchPath := fs.String("sketches", "", "sketch file to serve (required; see adstool build -save)")
+	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.Int("shards", 0, "index cache shards (0 = auto-size to GOMAXPROCS)")
+	parallel := fs.Int("parallel", 0, "worker goroutines per batch query (0 = GOMAXPROCS)")
+	fs.Parse(os.Args[1:])
+	if *sketchPath == "" {
+		fmt.Fprintln(os.Stderr, "adsserver: -sketches is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*sketchPath)
+	if err != nil {
+		log.Fatalf("adsserver: %v", err)
+	}
+	set, err := adsketch.ReadSketchSet(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("adsserver: loading %s: %v", *sketchPath, err)
+	}
+	eng, err := adsketch.NewEngine(set,
+		adsketch.WithShards(*shards),
+		adsketch.WithQueryParallelism(*parallel))
+	if err != nil {
+		log.Fatalf("adsserver: %v", err)
+	}
+	srv := newServer(eng, *sketchPath)
+	log.Printf("adsserver: serving %s (%s, %d nodes, k=%d, %d entries) on %s",
+		*sketchPath, srv.kind, set.NumNodes(), set.K(), set.TotalEntries(), *addr)
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.mux(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

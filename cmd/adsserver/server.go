@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"adsketch"
+)
+
+// maxBodyBytes bounds one request body; a batch of a few thousand
+// queries fits comfortably.
+const maxBodyBytes = 16 << 20
+
+// server is the HTTP face of one Engine.  It is deliberately thin: all
+// query semantics live in the adsketch protocol layer, so the handler
+// only decodes, dispatches, encodes, and counts.
+type server struct {
+	eng        *adsketch.Engine
+	sketchPath string
+	kind       string
+	start      time.Time
+
+	queries  atomic.Int64 // protocol requests evaluated (batch items count individually)
+	batches  atomic.Int64 // POST /v1/query calls
+	failures atomic.Int64 // requests answered with an error
+}
+
+func newServer(eng *adsketch.Engine, sketchPath string) *server {
+	kind := "uniform"
+	switch eng.Set().(type) {
+	case *adsketch.WeightedSet:
+		kind = "weighted"
+	case *adsketch.ApproxSet:
+		kind = "approximate"
+	}
+	return &server{eng: eng, sketchPath: sketchPath, kind: kind, start: time.Now()}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before writing the header, so an unencodable payload (e.g.
+	// a non-finite score from degenerate sketch data) surfaces as a 500
+	// instead of a silent empty 200.
+	payload, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("adsserver: encoding response: %v", err)
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(append(payload, '\n')); err != nil {
+		log.Printf("adsserver: writing response: %v", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps protocol errors to HTTP statuses: client mistakes are
+// 400, queries this sketch set cannot answer are 422, the rest is 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, adsketch.ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, adsketch.ErrUnsupportedQuery):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleQuery serves POST /v1/query.  The body is either one Request
+// object (answered with one Response) or a JSON array of Requests
+// (answered with an array of Responses in the same order; per-request
+// failures are reported in Response.Error without failing the batch).
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.batches.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.failures.Add(1)
+		status := http.StatusBadRequest
+		if errors.As(err, new(*http.MaxBytesError)) {
+			status = http.StatusRequestEntityTooLarge // split the batch
+		}
+		writeJSON(w, status, errorBody{Error: "reading body: " + err.Error()})
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var reqs []adsketch.Request
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			s.failures.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request batch: " + err.Error()})
+			return
+		}
+		s.queries.Add(int64(len(reqs)))
+		resps, err := s.eng.DoBatch(r.Context(), reqs)
+		if err != nil {
+			s.failures.Add(1)
+			writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+			return
+		}
+		for i := range resps {
+			if resps[i].Error != "" {
+				s.failures.Add(1)
+			}
+		}
+		writeJSON(w, http.StatusOK, resps)
+		return
+	}
+	var req adsketch.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: " + err.Error()})
+		return
+	}
+	s.queries.Add(1)
+	resp, err := s.eng.Do(r.Context(), req)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statszBody is the /statsz payload: what is being served, how the
+// sharded index cache is doing, and how much traffic has been answered.
+type statszBody struct {
+	Sketches      string  `json:"sketches"`
+	Kind          string  `json:"kind"`
+	FormatVersion int     `json:"format_version"`
+	Nodes         int     `json:"nodes"`
+	K             int     `json:"k"`
+	TotalEntries  int     `json:"total_entries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Cache adsketch.CacheStats `json:"cache"`
+
+	Batches  int64 `json:"batches"`
+	Queries  int64 `json:"queries"`
+	Failures int64 `json:"failures"`
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	set := s.eng.Set()
+	writeJSON(w, http.StatusOK, statszBody{
+		Sketches:      s.sketchPath,
+		Kind:          s.kind,
+		FormatVersion: adsketch.SketchFormatVersion,
+		Nodes:         set.NumNodes(),
+		K:             set.K(),
+		TotalEntries:  set.TotalEntries(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.eng.CacheStats(),
+		Batches:       s.batches.Load(),
+		Queries:       s.queries.Load(),
+		Failures:      s.failures.Load(),
+	})
+}

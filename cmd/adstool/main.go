@@ -7,6 +7,7 @@
 //	adstool stats -graph graph.txt
 //	adstool build -graph graph.txt -k 16 -seed 42 -save sketches.ads
 //	adstool query -graph graph.txt -sketches sketches.ads -node 17 -d 3
+//	adstool query -remote http://localhost:8080 -node 17 -d 3
 //	adstool top   -graph graph.txt -k 16 -seed 42 -top 10
 //	adstool influence -graph graph.txt -k 16 -seeds 3 -d 2
 //
@@ -15,11 +16,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -214,19 +218,16 @@ func runBuild(args []string) error {
 	fmt.Printf("total entries %d (%.1f per node; Lemma 2.2 predicts ~k(1+ln n-ln k))\n",
 		set.TotalEntries(), float64(set.TotalEntries())/float64(g.NumNodes()))
 	if *save != "" {
-		uniform, ok := set.(*adsketch.Set)
-		if !ok {
-			return fmt.Errorf("-save supports uniform-rank sketch sets only (not weighted/approximate)")
-		}
 		f, err := os.Create(*save)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := adsketch.WriteSketches(f, uniform); err != nil {
+		n, err := set.WriteTo(f)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("sketches saved to %s\n", *save)
+		fmt.Printf("sketches saved to %s (%d bytes, format v%d)\n", *save, n, adsketch.SketchFormatVersion)
 	}
 	return nil
 }
@@ -239,7 +240,7 @@ func loadOrBuild(sketchPath string, g *adsketch.Graph, opts func() ([]adsketch.O
 			return nil, err
 		}
 		defer f.Close()
-		return adsketch.ReadSketches(f)
+		return adsketch.ReadSketchSet(f)
 	}
 	bo, err := opts()
 	if err != nil {
@@ -280,14 +281,22 @@ func runQuery(args []string) error {
 	nodes := fs.String("node", "0", "query node(s), comma-separated")
 	d := fs.Float64("d", 2, "query distance")
 	sketchPath := fs.String("sketches", "", "load sketches from file instead of building")
+	remote := fs.String("remote", "", "query a running adsserver at this base URL instead of evaluating locally")
 	fs.Parse(args)
-	g, err := loadGraph(*path, *directed)
-	if err != nil {
-		return err
-	}
-	set, err := loadOrBuild(*sketchPath, g, opts)
-	if err != nil {
-		return err
+	if *remote != "" {
+		// Remote mode answers from the server's sketch file; refuse local
+		// graph/build flags rather than silently ignoring them.
+		var conflicting []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "remote", "node", "d":
+			default:
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			return fmt.Errorf("-remote queries the server's sketches; %s have no effect (drop them)", strings.Join(conflicting, ", "))
+		}
 	}
 	var vs []int32
 	for _, f := range strings.Split(*nodes, ",") {
@@ -297,36 +306,94 @@ func runQuery(args []string) error {
 		}
 		vs = append(vs, int32(v))
 	}
-	eng, err := adsketch.NewEngine(set)
-	if err != nil {
-		return err
+	// The four metric batches, as one protocol batch.  Locally they go
+	// through Engine.DoBatch; remotely the same values cross the wire to
+	// an adsserver, which answers from its own loaded sketch file.
+	// An infinite -d means "everything reachable", which the wire shape
+	// spells Unbounded (JSON cannot carry +Inf).
+	sizesQ := &adsketch.NeighborhoodQuery{Radius: *d, Nodes: vs}
+	if math.IsInf(*d, 1) {
+		sizesQ.Radius, sizesQ.Unbounded = 0, true
 	}
-	ctx := context.Background()
-	sizes, err := eng.NeighborhoodSizes(ctx, *d, vs...)
-	if err != nil {
-		return err
+	reqs := []adsketch.Request{
+		{ID: "sizes", Neighborhood: sizesQ},
+		{ID: "reach", Neighborhood: &adsketch.NeighborhoodQuery{Unbounded: true, Nodes: vs}},
+		{ID: "closeness", Closeness: &adsketch.ClosenessQuery{Nodes: vs}},
+		{ID: "harmonic", Harmonic: &adsketch.HarmonicQuery{Nodes: vs}},
 	}
-	reach, err := eng.NeighborhoodSizes(ctx, math.Inf(1), vs...)
-	if err != nil {
-		return err
+	var resps []adsketch.Response
+	if *remote != "" {
+		var err error
+		if resps, err = postQueryBatch(*remote, reqs); err != nil {
+			return err
+		}
+		fmt.Printf("remote %s, one request batch:\n", *remote)
+	} else {
+		g, err := loadGraph(*path, *directed)
+		if err != nil {
+			return err
+		}
+		set, err := loadOrBuild(*sketchPath, g, opts)
+		if err != nil {
+			return err
+		}
+		eng, err := adsketch.NewEngine(set)
+		if err != nil {
+			return err
+		}
+		if resps, err = eng.DoBatch(context.Background(), reqs); err != nil {
+			return err
+		}
+		fmt.Printf("k=%d, one batch per metric, %d cached indices:\n", set.K(), eng.CachedIndices())
 	}
-	clos, err := eng.Closeness(ctx, vs...)
-	if err != nil {
-		return err
+	byID := make(map[string]adsketch.Response, len(resps))
+	for _, r := range resps {
+		if r.Error != "" {
+			return fmt.Errorf("query %s: %s", r.ID, r.Error)
+		}
+		byID[r.ID] = r
 	}
-	harm, err := eng.Harmonic(ctx, vs...)
-	if err != nil {
-		return err
+	for _, id := range []string{"sizes", "reach", "closeness", "harmonic"} {
+		if len(byID[id].Scores) != len(vs) {
+			return fmt.Errorf("query %s: got %d scores for %d nodes", id, len(byID[id].Scores), len(vs))
+		}
 	}
-	fmt.Printf("k=%d, one batch per metric, %d cached indices:\n", set.K(), eng.CachedIndices())
 	for i, v := range vs {
 		fmt.Printf("node %d:\n", v)
-		fmt.Printf("  |N_%g|      %.1f\n", *d, sizes[i])
-		fmt.Printf("  reachable   %.1f\n", reach[i])
-		fmt.Printf("  closeness   %.4e\n", clos[i])
-		fmt.Printf("  harmonic    %.1f\n", harm[i])
+		fmt.Printf("  |N_%g|      %.1f\n", *d, byID["sizes"].Scores[i])
+		fmt.Printf("  reachable   %.1f\n", byID["reach"].Scores[i])
+		fmt.Printf("  closeness   %.4e\n", byID["closeness"].Scores[i])
+		fmt.Printf("  harmonic    %.1f\n", byID["harmonic"].Scores[i])
 	}
 	return nil
+}
+
+// postQueryBatch sends a protocol batch to an adsserver and decodes the
+// responses.
+func postQueryBatch(base string, reqs []adsketch.Request) ([]adsketch.Response, error) {
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimSuffix(base, "/") + "/v1/query"
+	client := &http.Client{Timeout: 60 * time.Second}
+	httpResp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, httpResp.Status, strings.TrimSpace(string(payload)))
+	}
+	var resps []adsketch.Response
+	if err := json.Unmarshal(payload, &resps); err != nil {
+		return nil, fmt.Errorf("%s: decoding responses: %v", url, err)
+	}
+	return resps, nil
 }
 
 func runTop(args []string) error {

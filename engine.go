@@ -3,7 +3,7 @@ package adsketch
 import (
 	"context"
 	"fmt"
-	"sort"
+	"math"
 
 	"adsketch/internal/core"
 	"adsketch/internal/query"
@@ -15,15 +15,19 @@ import (
 // queries against a node cost one binary search (neighborhood sizes) or
 // O(1) (closeness, harmonic) instead of re-deriving the sketch's adjusted
 // weights; batches are evaluated by a worker pool and honor context
-// cancellation.
+// cancellation.  The cache is sharded (WithShards) so concurrent batches
+// do not contend on one structure.
 //
-// An Engine is safe for concurrent use by multiple goroutines.  The
-// estimates it returns are bit-for-bit identical to the per-call
-// estimators (Centrality, EstimateNeighborhoodHIP, EstimateQ) on the same
-// sketches.
+// Engine.Do / Engine.DoBatch dispatch the typed wire protocol (Request /
+// Response); the named methods below are thin wrappers over the same
+// dispatch, so a query served over a transport is bit-for-bit identical
+// to the direct method call.  An Engine is safe for concurrent use by
+// multiple goroutines, and its estimates equal the per-call estimators
+// (Centrality, EstimateNeighborhoodHIP, EstimateQ) on the same sketches.
 type Engine struct {
 	set     SketchSet
 	workers int
+	shards  int
 	cache   *query.IndexCache
 }
 
@@ -42,6 +46,19 @@ func WithQueryParallelism(workers int) EngineOption {
 	}
 }
 
+// WithShards sets the number of index-cache shards.  Concurrent batch
+// queries touch per-shard slot arrays and counters, so more shards mean
+// less contention; the default (0) sizes the shard count to GOMAXPROCS.
+func WithShards(n int) EngineOption {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("%w: WithShards(%d), shards must be >= 0 (0 = auto)", ErrBadOption, n)
+		}
+		e.shards = n
+		return nil
+	}
+}
+
 // NewEngine wraps a sketch set (of any kind: uniform, weighted, or
 // approximate) for batch serving.
 func NewEngine(set SketchSet, opts ...EngineOption) (*Engine, error) {
@@ -54,7 +71,7 @@ func NewEngine(set SketchSet, opts ...EngineOption) (*Engine, error) {
 			return nil, err
 		}
 	}
-	e.cache = query.NewIndexCache(set.NumNodes(), func(v int32) *core.HIPIndex {
+	e.cache = query.NewIndexCache(set.NumNodes(), e.shards, func(v int32) *core.HIPIndex {
 		return core.NewHIPIndex(set.SketchOf(v))
 	})
 	return e, nil
@@ -75,12 +92,20 @@ func (e *Engine) Index(v int32) (*HIPIndex, error) {
 // CachedIndices returns how many per-node indices have been built so far.
 func (e *Engine) CachedIndices() int { return e.cache.Cached() }
 
+// CacheStats is a point-in-time snapshot of the Engine's index-cache
+// counters, shaped for JSON serving.
+type CacheStats = query.CacheStats
+
+// CacheStats snapshots the index-cache counters (shards, built indices,
+// hits, misses) — the payload of the adsserver /statsz endpoint.
+func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
 // batch evaluates f on the cached index of every queried node with the
 // engine's worker pool.  On error (including context cancellation) the
 // partial results are discarded.
 func (e *Engine) batch(ctx context.Context, nodes []int32, f func(*core.HIPIndex) float64) ([]float64, error) {
 	if err := query.CheckNodes(e.set.NumNodes(), nodes); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	out := make([]float64, len(nodes))
 	err := query.ForEach(ctx, e.workers, len(nodes), func(i int) error {
@@ -96,24 +121,43 @@ func (e *Engine) batch(ctx context.Context, nodes []int32, f func(*core.HIPIndex
 // Closeness returns the HIP estimate of the classic closeness centrality
 // 1/Σ_j d_vj for each queried node (0 for isolated nodes).
 func (e *Engine) Closeness(ctx context.Context, nodes ...int32) ([]float64, error) {
-	return e.batch(ctx, nodes, (*core.HIPIndex).Closeness)
+	resp, err := e.Do(ctx, Request{Closeness: &ClosenessQuery{Nodes: nodes}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Scores, nil
 }
 
 // Harmonic returns the HIP estimate of Σ_{j != v} 1/d_vj for each queried
 // node.
 func (e *Engine) Harmonic(ctx context.Context, nodes ...int32) ([]float64, error) {
-	return e.batch(ctx, nodes, (*core.HIPIndex).Harmonic)
+	resp, err := e.Do(ctx, Request{Harmonic: &HarmonicQuery{Nodes: nodes}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Scores, nil
 }
 
 // NeighborhoodSizes returns the HIP estimate of n_d(v) = |N_d(v)| (or the
-// weighted cardinality, for weighted sets) for each queried node.
+// weighted cardinality, for weighted sets) for each queried node.  An
+// infinite d counts everything reachable.
 func (e *Engine) NeighborhoodSizes(ctx context.Context, d float64, nodes ...int32) ([]float64, error) {
-	return e.batch(ctx, nodes, func(x *core.HIPIndex) float64 { return x.Neighborhood(d) })
+	q := &NeighborhoodQuery{Radius: d, Nodes: nodes}
+	if math.IsInf(d, 1) {
+		q.Radius, q.Unbounded = 0, true
+	}
+	resp, err := e.Do(ctx, Request{Neighborhood: q})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Scores, nil
 }
 
 // EstimateQBatch returns the HIP estimate of Q_g(v) = Σ_j g(j, d_vj)
 // (equation (5) of the paper) for each queried node.  g must be safe for
-// concurrent invocation.
+// concurrent invocation.  An arbitrary Go function cannot cross a wire,
+// so this is the one batch query outside the Request/Response protocol;
+// the protocol's named kernels are served by CentralityKernelQuery.
 func (e *Engine) EstimateQBatch(ctx context.Context, g func(node int32, dist float64) float64, nodes ...int32) ([]float64, error) {
 	return e.batch(ctx, nodes, func(x *core.HIPIndex) float64 { return x.EstimateQ(g) })
 }
@@ -122,32 +166,48 @@ func (e *Engine) EstimateQBatch(ctx context.Context, g func(node int32, dist flo
 // highest first (ties broken by node ID), scoring every node of the set
 // with the worker pool.
 func (e *Engine) TopCloseness(ctx context.Context, n int) ([]Ranked, error) {
-	return e.topBy(ctx, n, (*core.HIPIndex).Closeness)
+	return e.top(ctx, MetricCloseness, n)
 }
 
 // TopHarmonic returns the estimated top-n nodes by harmonic centrality.
 func (e *Engine) TopHarmonic(ctx context.Context, n int) ([]Ranked, error) {
-	return e.topBy(ctx, n, (*core.HIPIndex).Harmonic)
+	return e.top(ctx, MetricHarmonic, n)
 }
 
+func (e *Engine) top(ctx context.Context, metric string, n int) ([]Ranked, error) {
+	// TopKQuery rejects K < 1 on the wire; the method keeps the looser
+	// "empty ranking" semantics.  Overlong n is clamped by topBy.
+	if n <= 0 || e.set.NumNodes() == 0 {
+		return nil, nil
+	}
+	resp, err := e.Do(ctx, Request{TopK: &TopKQuery{Metric: metric, K: n}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Ranking, nil
+}
+
+// topBy scores every node with the worker pool, then selects the top n
+// with a bounded min-heap — O(total·log n) selection instead of sorting
+// the full score vector, which matters when serving top-10 queries over
+// millions of nodes.
 func (e *Engine) topBy(ctx context.Context, n int, score func(*core.HIPIndex) float64) ([]Ranked, error) {
 	total := e.set.NumNodes()
-	all := make([]Ranked, total)
+	if n > total {
+		n = total
+	}
+	scores := make([]float64, total)
 	err := query.ForEach(ctx, e.workers, total, func(i int) error {
-		all[i] = Ranked{Node: int32(i), Score: score(e.cache.Get(int32(i)))}
+		scores[i] = score(e.cache.Get(int32(i)))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].Node < all[j].Node
-	})
-	if n > len(all) {
-		n = len(all)
+	top := query.TopK(n, scores)
+	out := make([]Ranked, len(top))
+	for i, v := range top {
+		out[i] = Ranked{Node: int32(v), Score: scores[v]}
 	}
-	return all[:n], nil
+	return out, nil
 }

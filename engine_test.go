@@ -142,6 +142,81 @@ func TestEngineBadInputs(t *testing.T) {
 	if err != nil || len(out) != 0 {
 		t.Errorf("empty batch = (%v, %v)", out, err)
 	}
+	if _, err := adsketch.NewEngine(set, adsketch.WithShards(-1)); !errors.Is(err, adsketch.ErrBadOption) {
+		t.Errorf("WithShards(-1) error = %v, want ErrBadOption", err)
+	}
+}
+
+// The sharded cache must be invisible to results and visible in stats.
+func TestEngineShardsAndStats(t *testing.T) {
+	_, set, base := buildEngine(t)
+	ctx := context.Background()
+	nodes := make([]int32, set.NumNodes())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	want, err := base.Closeness(ctx, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 16} {
+		eng, err := adsketch.NewEngine(set, adsketch.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Closeness(ctx, nodes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("shards=%d: closeness(%d) = %v, want %v", shards, v, got[v], want[v])
+			}
+		}
+		st := eng.CacheStats()
+		if st.Shards != shards || st.Slots != set.NumNodes() || st.Built != set.NumNodes() {
+			t.Errorf("shards=%d: stats %+v", shards, st)
+		}
+		if _, err := eng.Closeness(ctx, 0, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		if st2 := eng.CacheStats(); st2.Hits < st.Hits+3 {
+			t.Errorf("shards=%d: hits did not advance: %+v -> %+v", shards, st, st2)
+		}
+	}
+}
+
+// Top-N selection edge cases around the bounded-heap path.
+func TestEngineTopEdgeCases(t *testing.T) {
+	_, set, eng := buildEngine(t)
+	ctx := context.Background()
+	// n larger than the set clamps to a full ranking.
+	all, err := eng.TopCloseness(ctx, set.NumNodes()+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != set.NumNodes() {
+		t.Fatalf("overlong n: %d entries, want %d", len(all), set.NumNodes())
+	}
+	c := adsketch.NewCentrality(set)
+	want := c.TopCloseness(set.NumNodes())
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("full ranking[%d] = %+v, want %+v", i, all[i], want[i])
+		}
+	}
+	// n = 1 and n = 0.
+	one, err := eng.TopHarmonic(ctx, 1)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("top-1 = (%v, %v)", one, err)
+	}
+	if wh := c.TopHarmonic(1); one[0] != wh[0] {
+		t.Errorf("top-1 = %+v, want %+v", one[0], wh[0])
+	}
+	zero, err := eng.TopCloseness(ctx, 0)
+	if err != nil || len(zero) != 0 {
+		t.Errorf("top-0 = (%v, %v)", zero, err)
+	}
 }
 
 // Concurrent batch queries share the lazily built index cache; run with

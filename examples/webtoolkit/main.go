@@ -38,17 +38,20 @@ func main() {
 	fwd, bwd := fwdSet.(*adsketch.Set), bwdSet.(*adsketch.Set)
 
 	// Persistence round trip: serialize the forward set and reload it.
+	// WriteTo/ReadSketchSet is the versioned format every set kind
+	// shares — the same file cmd/adsserver loads for serving.
 	var buf bytes.Buffer
-	if err := adsketch.WriteSketches(&buf, fwd); err != nil {
-		panic(err)
-	}
-	size := buf.Len()
-	reloaded, err := adsketch.ReadSketches(&buf)
+	size, err := fwd.WriteTo(&buf)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("persistence: %d sketches serialized to %d bytes (%.1f B/node), reloaded OK\n\n",
-		fwd.NumNodes(), size, float64(size)/float64(fwd.NumNodes()))
+	reloadedSet, err := adsketch.ReadSketchSet(&buf)
+	if err != nil {
+		panic(err)
+	}
+	reloaded := reloadedSet.(*adsketch.Set)
+	fmt.Printf("persistence: %d sketches serialized to %d bytes (%.1f B/node, format v%d), reloaded OK\n\n",
+		fwd.NumNodes(), size, float64(size)/float64(fwd.NumNodes()), adsketch.SketchFormatVersion)
 
 	// Forward vs backward reach of a few pages.
 	fmt.Println("reach (forward = can visit, backward = can be reached from):")

@@ -99,10 +99,11 @@ func (e *Estimator) DistanceDistribution(ds []float64) []float64 {
 	return out
 }
 
-// Ranked is one node with its centrality score.
+// Ranked is one node with its centrality score.  The JSON tags are the
+// wire shape of the ranking entries served by the query protocol.
 type Ranked struct {
-	Node  int32
-	Score float64
+	Node  int32   `json:"node"`
+	Score float64 `json:"score"`
 }
 
 // TopCloseness returns the estimated top-n nodes by closeness centrality,

@@ -12,54 +12,127 @@ import (
 
 // Binary persistence for sketch sets.  Building sketches is the expensive
 // step (one near-linear pass over the graph); queries are cheap.  The
-// format lets a pipeline build once and serve many query processes:
+// format lets a pipeline build once and serve many query processes.
 //
-//	magic "ADSK" | version u32 | k u32 | flavor u32 | seed u64 |
-//	baseB f64 | numNodes u32 | per node: sketch payload
+// Version 2 (current) covers every set kind behind one header:
 //
-// Bottom-k payload: entry count u32, then (node i32, dist f64, rank f64)
-// triples.  k-mins and k-partition payloads repeat that per permutation /
-// bucket.  All integers are little-endian.
+//	magic "ADSK" | version u32 = 2 | kind u32 |
+//	kind-specific header | per-node payloads
+//
+// Uniform (kind 0):  k u32 | flavor u32 | seed u64 | baseB f64 |
+// numNodes u32, then per node the flavor payload.  Bottom-k payload:
+// entry count u32, then (node i32, dist f64, rank f64) triples; k-mins
+// and k-partition payloads repeat that per permutation / bucket.
+//
+// Weighted (kind 1):  k u32 | scheme u32 | numNodes u32, then per node:
+// entry count u32 and (node i32, dist f64, rank f64, beta f64) quads.
+//
+// Approximate (kind 2):  k u32 | eps f64 | numNodes u32, then per node
+// the bottom-k entry payload.
+//
+// Version 1 is the legacy uniform-only format (no kind field); readers
+// still accept it.  All integers are little-endian.
 
 const (
 	encodeMagic   = "ADSK"
 	encodeVersion = 1
+	// maxCodecK bounds the sketch parameter a file may claim, so a
+	// corrupted header cannot drive huge per-node allocations.
+	maxCodecK = 1 << 20
+	// EncodeVersion is the current sketch file format version written by
+	// the WriteTo methods.
+	EncodeVersion = 2
 )
 
-// WriteSet serializes a sketch set.
-func WriteSet(w io.Writer, s *Set) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(encodeMagic); err != nil {
+// Set kinds stored in the version-2 header.
+const (
+	kindUniform uint32 = iota
+	kindWeighted
+	kindApprox
+)
+
+// AnySet is the kind-agnostic view of a sketch set that the codec can
+// persist and restore: *Set, *WeightedSet, or *ApproxSet.
+type AnySet interface {
+	NumNodes() int
+	K() int
+	SketchOf(v int32) Sketch
+	TotalEntries() int
+	WriteTo(w io.Writer) (int64, error)
+}
+
+var (
+	_ AnySet = (*Set)(nil)
+	_ AnySet = (*WeightedSet)(nil)
+	_ AnySet = (*ApproxSet)(nil)
+)
+
+// countingWriter tracks how many bytes passed through, so WriteTo can
+// satisfy the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeHeader(w io.Writer, kind uint32, fields ...any) error {
+	if _, err := io.WriteString(w, encodeMagic); err != nil {
 		return err
 	}
-	hdr := []any{
-		uint32(encodeVersion),
+	hdr := append([]any{uint32(EncodeVersion), kind}, fields...)
+	for _, h := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the set in the version-2 format.  It implements
+// io.WriterTo; the returned count is the number of bytes written.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	err := writeHeader(bw, kindUniform,
 		uint32(s.opts.K),
 		uint32(s.opts.Flavor),
 		s.opts.Seed,
 		math.Float64bits(s.opts.BaseB),
 		uint32(len(s.sketches)),
+	)
+	if err != nil {
+		return cw.n, err
 	}
-	for _, h := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
-			return err
-		}
+	if err := writeUniformPayload(bw, s); err != nil {
+		return cw.n, err
 	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+func writeUniformPayload(w io.Writer, s *Set) error {
 	for _, sk := range s.sketches {
 		switch x := sk.(type) {
 		case *ADS:
-			if err := writeEntries(bw, x.entries); err != nil {
+			if err := writeEntries(w, x.entries); err != nil {
 				return err
 			}
 		case *KMinsADS:
 			for _, p := range x.perms {
-				if err := writeEntries(bw, p); err != nil {
+				if err := writeEntries(w, p); err != nil {
 					return err
 				}
 			}
 		case *KPartitionADS:
 			for _, p := range x.buckets {
-				if err := writeEntries(bw, p); err != nil {
+				if err := writeEntries(w, p); err != nil {
 					return err
 				}
 			}
@@ -67,30 +140,72 @@ func WriteSet(w io.Writer, s *Set) error {
 			return fmt.Errorf("core: cannot encode sketch type %T", sk)
 		}
 	}
-	return bw.Flush()
-}
-
-func writeEntries(w io.Writer, entries []Entry) error {
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(entries))); err != nil {
-		return err
-	}
-	for _, e := range entries {
-		if err := binary.Write(w, binary.LittleEndian, e.Node); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(e.Dist)); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(e.Rank)); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 
-// ReadSet deserializes a sketch set written by WriteSet, validating the
-// structural invariants of every sketch.
-func ReadSet(r io.Reader) (*Set, error) {
+// WriteTo serializes the weighted set in the version-2 format.
+func (s *WeightedSet) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	scheme := ExponentialWeights
+	if len(s.sketches) > 0 {
+		scheme = s.sketches[0].scheme
+	}
+	err := writeHeader(bw, kindWeighted,
+		uint32(s.k),
+		uint32(scheme),
+		uint32(len(s.sketches)),
+	)
+	if err != nil {
+		return cw.n, err
+	}
+	for _, sk := range s.sketches {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(sk.entries))); err != nil {
+			return cw.n, err
+		}
+		for i, e := range sk.entries {
+			rec := []any{e.Node, math.Float64bits(e.Dist), math.Float64bits(e.Rank), math.Float64bits(sk.beta[i])}
+			for _, f := range rec {
+				if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// WriteTo serializes the approximate set in the version-2 format.
+func (s *ApproxSet) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	err := writeHeader(bw, kindApprox,
+		uint32(s.k),
+		math.Float64bits(s.eps),
+		uint32(len(s.sketches)),
+	)
+	if err != nil {
+		return cw.n, err
+	}
+	for _, sk := range s.sketches {
+		if err := writeEntries(bw, sk.entries); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadSketchSet deserializes a sketch set written by any WriteTo method
+// (or the legacy version-1 WriteSet), validating the structural
+// invariants of every sketch.  The dynamic type of the result is *Set,
+// *WeightedSet, or *ApproxSet according to the stored kind.
+func ReadSketchSet(r io.Reader) (AnySet, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -99,15 +214,42 @@ func ReadSet(r io.Reader) (*Set, error) {
 	if string(magic) != encodeMagic {
 		return nil, fmt.Errorf("core: not a sketch file (magic %q)", magic)
 	}
-	var version, k, flavor, numNodes uint32
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("core: reading sketch file version: %w", err)
+	}
+	switch version {
+	case 1:
+		return readUniformBody(br)
+	case EncodeVersion:
+		var kind uint32
+		if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
+			return nil, fmt.Errorf("core: reading sketch file kind: %w", err)
+		}
+		switch kind {
+		case kindUniform:
+			return readUniformBody(br)
+		case kindWeighted:
+			return readWeightedBody(br)
+		case kindApprox:
+			return readApproxBody(br)
+		default:
+			return nil, fmt.Errorf("core: sketch file has unknown kind %d", kind)
+		}
+	default:
+		return nil, fmt.Errorf("core: sketch file version %d, supported versions are 1 and %d", version, EncodeVersion)
+	}
+}
+
+// readUniformBody parses the shared uniform body (everything after the
+// version/kind prefix, identical in versions 1 and 2).
+func readUniformBody(br io.Reader) (*Set, error) {
+	var k, flavor, numNodes uint32
 	var seed, baseBits uint64
-	for _, p := range []any{&version, &k, &flavor, &seed, &baseBits, &numNodes} {
+	for _, p := range []any{&k, &flavor, &seed, &baseBits, &numNodes} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
 			return nil, fmt.Errorf("core: reading sketch file header: %w", err)
 		}
-	}
-	if version != encodeVersion {
-		return nil, fmt.Errorf("core: sketch file version %d, want %d", version, encodeVersion)
 	}
 	o := Options{
 		K:      int(k),
@@ -117,6 +259,9 @@ func ReadSet(r io.Reader) (*Set, error) {
 	}
 	if err := o.validate(); err != nil {
 		return nil, err
+	}
+	if k > maxCodecK {
+		return nil, fmt.Errorf("core: implausible sketch parameter k=%d", k)
 	}
 	if numNodes > 1<<30 {
 		return nil, fmt.Errorf("core: implausible node count %d", numNodes)
@@ -168,6 +313,186 @@ func ReadSet(r io.Reader) (*Set, error) {
 	return set, nil
 }
 
+func readWeightedBody(br io.Reader) (*WeightedSet, error) {
+	var k, scheme, numNodes uint32
+	for _, p := range []any{&k, &scheme, &numNodes} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("core: reading sketch file header: %w", err)
+		}
+	}
+	if k < 1 || k > maxCodecK {
+		return nil, fmt.Errorf("core: implausible sketch parameter k=%d", k)
+	}
+	if scheme != uint32(ExponentialWeights) && scheme != uint32(PriorityWeights) {
+		return nil, fmt.Errorf("core: sketch file has unknown weight scheme %d", scheme)
+	}
+	if numNodes > 1<<30 {
+		return nil, fmt.Errorf("core: implausible node count %d", numNodes)
+	}
+	set := &WeightedSet{k: int(k), sketches: make([]*WeightedADS, numNodes)}
+	for v := uint32(0); v < numNodes; v++ {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("core: reading sketch of node %d: %w", v, err)
+		}
+		if n > 1<<28 {
+			return nil, fmt.Errorf("core: implausible entry count %d for node %d", n, v)
+		}
+		a := NewWeightedADS(int32(v), int(k))
+		a.scheme = WeightScheme(scheme)
+		cap := int(n)
+		if cap > 4096 {
+			cap = 4096
+		}
+		a.entries = make([]Entry, 0, cap)
+		a.beta = make([]float64, 0, cap)
+		for i := uint32(0); i < n; i++ {
+			var node int32
+			var dist, rank, beta uint64
+			for _, p := range []any{&node, &dist, &rank, &beta} {
+				if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+					return nil, fmt.Errorf("core: reading sketch of node %d: %w", v, err)
+				}
+			}
+			a.entries = append(a.entries, Entry{Node: node, Dist: math.Float64frombits(dist), Rank: math.Float64frombits(rank)})
+			a.beta = append(a.beta, math.Float64frombits(beta))
+		}
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
+		}
+		set.sketches[v] = a
+	}
+	return set, nil
+}
+
+func readApproxBody(br io.Reader) (*ApproxSet, error) {
+	var k, numNodes uint32
+	var epsBits uint64
+	for _, p := range []any{&k, &epsBits, &numNodes} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("core: reading sketch file header: %w", err)
+		}
+	}
+	eps := math.Float64frombits(epsBits)
+	if k < 1 || k > maxCodecK {
+		return nil, fmt.Errorf("core: implausible sketch parameter k=%d", k)
+	}
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 1) {
+		return nil, fmt.Errorf("core: sketch file has invalid epsilon %g", eps)
+	}
+	if numNodes > 1<<30 {
+		return nil, fmt.Errorf("core: implausible node count %d", numNodes)
+	}
+	set := &ApproxSet{k: int(k), eps: eps, sketches: make([]*ADS, numNodes)}
+	for v := uint32(0); v < numNodes; v++ {
+		entries, err := readEntries(br, int32(v))
+		if err != nil {
+			return nil, err
+		}
+		a := NewADS(int32(v), int(k))
+		a.entries = entries
+		// Approximate sketches relax the exact inclusion rule (entries may
+		// be justified by an ε-slack window that the final state no longer
+		// exhibits), so only the rank-independent invariants are checked.
+		if err := validateApproxEntries(int32(v), entries); err != nil {
+			return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
+		}
+		set.sketches[v] = a
+	}
+	return set, nil
+}
+
+// validateApproxEntries checks the invariants an approximate sketch
+// guarantees regardless of ε: canonical order, distinct nodes, and the
+// owner as first entry at distance 0.
+func validateApproxEntries(owner int32, entries []Entry) error {
+	seen := make(map[int32]bool, len(entries))
+	for i, e := range entries {
+		if i > 0 && !entries[i-1].before(e) {
+			return fmt.Errorf("core: approx ADS(%d) entries %d,%d out of canonical order", owner, i-1, i)
+		}
+		if seen[e.Node] {
+			return fmt.Errorf("core: approx ADS(%d) contains node %d twice", owner, e.Node)
+		}
+		seen[e.Node] = true
+		if math.IsNaN(e.Dist) || math.IsInf(e.Dist, 1) || e.Dist < 0 {
+			return fmt.Errorf("core: approx ADS(%d) entry %d has invalid distance %g", owner, i, e.Dist)
+		}
+		// Approximate sketches are built over uniform ranks in (0, 1]; a
+		// rank outside that range would corrupt the 1/τ HIP weights.
+		if !(e.Rank > 0) || e.Rank > 1 {
+			return fmt.Errorf("core: approx ADS(%d) entry %d has invalid rank %g", owner, i, e.Rank)
+		}
+	}
+	if len(entries) > 0 && (entries[0].Node != owner || entries[0].Dist != 0) {
+		return fmt.Errorf("core: approx ADS(%d) does not start with the owner at distance 0", owner)
+	}
+	return nil
+}
+
+// WriteSet serializes a uniform sketch set in the legacy version-1
+// format.
+//
+// Deprecated: use (*Set).WriteTo, which writes the current versioned
+// format shared by all set kinds.
+func WriteSet(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(encodeMagic); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint32(encodeVersion),
+		uint32(s.opts.K),
+		uint32(s.opts.Flavor),
+		s.opts.Seed,
+		math.Float64bits(s.opts.BaseB),
+		uint32(len(s.sketches)),
+	}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := writeUniformPayload(bw, s); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeEntries(w io.Writer, entries []Entry) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := binary.Write(w, binary.LittleEndian, e.Node); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(e.Dist)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(e.Rank)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSet deserializes a uniform sketch set written by WriteSet or
+// (*Set).WriteTo, validating every sketch's structural invariants.
+//
+// Deprecated: use ReadSketchSet, which restores any set kind.
+func ReadSet(r io.Reader) (*Set, error) {
+	set, err := ReadSketchSet(r)
+	if err != nil {
+		return nil, err
+	}
+	uniform, ok := set.(*Set)
+	if !ok {
+		return nil, fmt.Errorf("core: sketch file holds a %T, not a uniform set; use ReadSketchSet", set)
+	}
+	return uniform, nil
+}
+
 func readEntries(r io.Reader, owner int32) ([]Entry, error) {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
@@ -176,8 +501,14 @@ func readEntries(r io.Reader, owner int32) ([]Entry, error) {
 	if n > 1<<28 {
 		return nil, fmt.Errorf("core: implausible entry count %d for node %d", n, owner)
 	}
-	entries := make([]Entry, n)
-	for i := range entries {
+	cap := int(n)
+	if cap > 4096 {
+		// Grow incrementally beyond this: a corrupted length field must not
+		// allocate gigabytes before the payload read fails.
+		cap = 4096
+	}
+	entries := make([]Entry, 0, cap)
+	for i := uint32(0); i < n; i++ {
 		var node int32
 		var dist, rank uint64
 		if err := binary.Read(r, binary.LittleEndian, &node); err != nil {
@@ -189,7 +520,7 @@ func readEntries(r io.Reader, owner int32) ([]Entry, error) {
 		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
 			return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
 		}
-		entries[i] = Entry{Node: node, Dist: math.Float64frombits(dist), Rank: math.Float64frombits(rank)}
+		entries = append(entries, Entry{Node: node, Dist: math.Float64frombits(dist), Rank: math.Float64frombits(rank)})
 	}
 	return entries, nil
 }

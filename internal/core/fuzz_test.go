@@ -46,3 +46,63 @@ func FuzzReadSet(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadSketchSet: arbitrary bytes must never panic the universal
+// (all-kinds) decoder; it either errors or yields a set whose sketches
+// pass validation and answer estimator queries without panicking.
+func FuzzReadSketchSet(f *testing.F) {
+	// Seed with genuine version-2 encodings of all three set kinds, plus
+	// truncations and mutations of each.
+	g := graph.WithRandomWeights(graph.GNP(12, 0.3, false, 2), 1, 3, 3)
+	uniform, err := BuildSet(g, Options{K: 2, Flavor: sketch.BottomK, Seed: 1}, AlgoPrunedDijkstra)
+	if err != nil {
+		f.Fatal(err)
+	}
+	beta := make([]float64, g.NumNodes())
+	for i := range beta {
+		beta[i] = 1 + float64(i%3)
+	}
+	weighted, err := BuildWeightedSet(g, 2, 1, beta)
+	if err != nil {
+		f.Fatal(err)
+	}
+	approx, err := BuildApproxSet(g, 2, 1, 0.25)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, set := range []AnySet{uniform, weighted, approx} {
+		var buf bytes.Buffer
+		if _, err := set.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		for _, cut := range []int{5, 9, 13, len(valid) / 2} {
+			if cut < len(valid) {
+				f.Add(valid[:cut])
+			}
+		}
+		mut := append([]byte(nil), valid...)
+		mut[len(mut)/2] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte("ADSK"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSketchSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for v := 0; v < got.NumNodes(); v++ {
+			s := got.SketchOf(int32(v))
+			// Whatever decoded must answer queries without panicking.
+			_ = s.HIPEntries()
+			_ = EstimateNeighborhoodHIP(s, 1.5)
+		}
+		// And it must re-serialize cleanly.
+		var buf bytes.Buffer
+		if _, err := got.WriteTo(&buf); err != nil {
+			t.Fatalf("re-serializing a decoded set: %v", err)
+		}
+	})
+}

@@ -144,6 +144,36 @@ func (a *WeightedADS) HIPEntries() []WeightedEntry {
 	return out
 }
 
+// Validate checks the structural invariants: canonical order, the
+// bottom-k inclusion condition over the biased ranks, the owner as first
+// entry, and positive finite per-entry weights.  It returns the first
+// violation found.
+func (a *WeightedADS) Validate() error {
+	if len(a.beta) != len(a.entries) {
+		return fmt.Errorf("core: WeightedADS(%d) has %d weights for %d entries", a.node, len(a.beta), len(a.entries))
+	}
+	h := newMaxHeap(a.k)
+	for i, e := range a.entries {
+		if i > 0 && !a.entries[i-1].before(e) {
+			return fmt.Errorf("core: WeightedADS(%d) entries %d,%d out of canonical order", a.node, i-1, i)
+		}
+		if b := a.beta[i]; !(b > 0) || math.IsInf(b, 1) {
+			return fmt.Errorf("core: WeightedADS(%d) entry %d has weight %g, want finite and positive", a.node, i, b)
+		}
+		if h.size() >= a.k && e.Rank >= h.max() {
+			return fmt.Errorf("core: WeightedADS(%d) entry %d (node %d, rank %g) fails inclusion test against threshold %g",
+				a.node, i, e.Node, e.Rank, h.max())
+		}
+		h.offer(e.Rank)
+	}
+	if len(a.entries) > 0 {
+		if a.entries[0].Node != a.node || a.entries[0].Dist != 0 {
+			return fmt.Errorf("core: WeightedADS(%d) does not start with the owner at distance 0", a.node)
+		}
+	}
+	return nil
+}
+
 // EstimateNeighborhoodWeight returns the HIP estimate of
 // Σ_{j: d_vj <= d} β(j).
 func (a *WeightedADS) EstimateNeighborhoodWeight(d float64) float64 {

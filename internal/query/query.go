@@ -27,42 +27,120 @@ import (
 // readers may both build the same node's index, but exactly one result is
 // published and, the build being deterministic, both observe identical
 // values.
+//
+// The cache is sharded: node v lives in shard v mod shards, and each
+// shard keeps its own slot array and hit/miss counters, so concurrent
+// batch queries touching disjoint nodes update disjoint cache lines
+// instead of contending on one global structure.
 type IndexCache struct {
-	build func(int32) *core.HIPIndex
-	slots []atomic.Pointer[core.HIPIndex]
+	build  func(int32) *core.HIPIndex
+	shards []cacheShard
+	n      int
 }
 
-// NewIndexCache returns an empty cache of n slots whose misses are filled
-// by build (which must be pure and safe for concurrent invocation).
-func NewIndexCache(n int, build func(int32) *core.HIPIndex) *IndexCache {
-	return &IndexCache{build: build, slots: make([]atomic.Pointer[core.HIPIndex], n)}
+// cacheShard is one partition of the cache.  The counter fields are
+// padded apart so two shards' counters never share a cache line.
+type cacheShard struct {
+	slots  []atomic.Pointer[core.HIPIndex]
+	hits   atomic.Int64
+	misses atomic.Int64
+	_      [48]byte
+}
+
+// DefaultShards returns the shard count used when the caller does not
+// choose one: the smallest power of two covering GOMAXPROCS, capped at
+// 256.
+func DefaultShards() int {
+	p := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < p && s < 256 {
+		s <<= 1
+	}
+	return s
+}
+
+// NewIndexCache returns an empty cache of n slots across the given number
+// of shards (<= 0 means DefaultShards), whose misses are filled by build
+// (which must be pure and safe for concurrent invocation).
+func NewIndexCache(n, shards int, build func(int32) *core.HIPIndex) *IndexCache {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	c := &IndexCache{build: build, shards: make([]cacheShard, shards), n: n}
+	for s := range c.shards {
+		// Shard s owns nodes v with v mod shards == s.
+		size := n / shards
+		if s < n%shards {
+			size++
+		}
+		c.shards[s].slots = make([]atomic.Pointer[core.HIPIndex], size)
+	}
+	return c
 }
 
 // Len returns the number of slots.
-func (c *IndexCache) Len() int { return len(c.slots) }
+func (c *IndexCache) Len() int { return c.n }
+
+// Shards returns the number of cache shards.
+func (c *IndexCache) Shards() int { return len(c.shards) }
 
 // Cached returns the number of indices built so far (a point-in-time
 // snapshot under concurrency).
 func (c *IndexCache) Cached() int {
 	n := 0
-	for i := range c.slots {
-		if c.slots[i].Load() != nil {
-			n++
+	for s := range c.shards {
+		for i := range c.shards[s].slots {
+			if c.shards[s].slots[i].Load() != nil {
+				n++
+			}
 		}
 	}
 	return n
 }
 
+// CacheStats is a point-in-time snapshot of the cache counters, shaped
+// for JSON serving (the adsserver /statsz endpoint).
+type CacheStats struct {
+	Shards int   `json:"shards"`
+	Slots  int   `json:"slots"`
+	Built  int   `json:"built"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Stats snapshots the shard counters.  Hits counts Get calls answered
+// from a published index; Misses counts calls that had to build one
+// (racing builders each count a miss).
+func (c *IndexCache) Stats() CacheStats {
+	st := CacheStats{Shards: len(c.shards), Slots: c.n, Built: c.Cached()}
+	for s := range c.shards {
+		st.Hits += c.shards[s].hits.Load()
+		st.Misses += c.shards[s].misses.Load()
+	}
+	return st
+}
+
 // Get returns node v's index, building and publishing it on first use.
 func (c *IndexCache) Get(v int32) *core.HIPIndex {
-	if idx := c.slots[v].Load(); idx != nil {
+	nshards := int32(len(c.shards))
+	sh := &c.shards[v%nshards]
+	slot := &sh.slots[v/nshards]
+	if idx := slot.Load(); idx != nil {
+		sh.hits.Add(1)
 		return idx
 	}
+	sh.misses.Add(1)
 	idx := c.build(v)
-	if c.slots[v].CompareAndSwap(nil, idx) {
+	if slot.CompareAndSwap(nil, idx) {
 		return idx
 	}
-	return c.slots[v].Load()
+	return slot.Load()
 }
 
 // ForEach evaluates fn(i) for every i in [0, n) across the given number

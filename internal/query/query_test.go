@@ -19,9 +19,69 @@ func testCache(t *testing.T) (*IndexCache, *core.Set) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewIndexCache(set.NumNodes(), func(v int32) *core.HIPIndex {
+	return NewIndexCache(set.NumNodes(), 4, func(v int32) *core.HIPIndex {
 		return core.NewHIPIndex(set.SketchOf(v))
 	}), set
+}
+
+func TestIndexCacheSharding(t *testing.T) {
+	c, set := testCache(t)
+	if c.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", c.Shards())
+	}
+	// Every node resolves to its own index regardless of shard layout.
+	for v := int32(0); int(v) < set.NumNodes(); v++ {
+		if got, want := c.Get(v).Total(), core.EstimateNeighborhoodHIP(set.SketchOf(v), 1e18); got != want {
+			t.Fatalf("node %d: sharded cache total %v, direct %v", v, got, want)
+		}
+	}
+	st := c.Stats()
+	if st.Shards != 4 || st.Slots != set.NumNodes() || st.Built != set.NumNodes() {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Misses != int64(set.NumNodes()) {
+		t.Errorf("misses = %d, want %d (one build per node)", st.Misses, set.NumNodes())
+	}
+	if st.Hits != 0 {
+		t.Errorf("hits = %d before any repeat Get", st.Hits)
+	}
+	c.Get(7)
+	if st = c.Stats(); st.Hits != 1 {
+		t.Errorf("hits = %d after one repeat Get, want 1", st.Hits)
+	}
+	// Shard count defaults sanely and clamps to the slot count.
+	if d := DefaultShards(); d < 1 || d > 256 {
+		t.Errorf("DefaultShards = %d", d)
+	}
+	small := NewIndexCache(2, 64, func(v int32) *core.HIPIndex {
+		return core.NewHIPIndex(set.SketchOf(v))
+	})
+	if small.Shards() != 2 {
+		t.Errorf("Shards = %d for 2 slots, want 2", small.Shards())
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	got := TopK(4, scores)
+	want := []int{5, 7, 4, 8} // 9, 6, 5(idx 4), 5(idx 8): ties by ascending index
+	if len(got) != len(want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if got := TopK(100, scores); len(got) != len(scores) {
+		t.Errorf("overlong n: %d results", len(got))
+	}
+	if got := TopK(0, scores); got != nil {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := TopK(3, nil); got != nil {
+		t.Errorf("empty scores: %v", got)
+	}
 }
 
 func TestIndexCacheLazyAndStable(t *testing.T) {

@@ -1,0 +1,80 @@
+package query
+
+import "sort"
+
+// TopK returns the indices of the n largest scores, ordered by descending
+// score with ties broken by ascending index — the ranking order of the
+// Engine's top-N queries.  It performs a bounded partial selection: one
+// pass over scores maintaining an n-slot min-heap, O(len(scores) · log n)
+// time and O(n) extra space, instead of sorting the full score vector.
+func TopK(n int, scores []float64) []int {
+	if n > len(scores) {
+		n = len(scores)
+	}
+	if n <= 0 {
+		return nil
+	}
+	h := topkHeap{idx: make([]int, 0, n), scores: scores}
+	for i := range scores {
+		h.offer(i)
+	}
+	out := h.idx
+	sort.Slice(out, func(a, b int) bool { return h.less(out[b], out[a]) })
+	return out
+}
+
+// topkHeap is a min-heap (by ranking order) over score indices: the root
+// is the weakest candidate currently kept, so a stronger newcomer evicts
+// it in O(log n).
+type topkHeap struct {
+	idx    []int
+	scores []float64
+}
+
+// less reports whether index a ranks strictly below index b: lower score,
+// or equal score and higher index (the ranking prefers lower node IDs on
+// ties).
+func (h *topkHeap) less(a, b int) bool {
+	if h.scores[a] != h.scores[b] {
+		return h.scores[a] < h.scores[b]
+	}
+	return a > b
+}
+
+func (h *topkHeap) offer(i int) {
+	if len(h.idx) < cap(h.idx) {
+		h.idx = append(h.idx, i)
+		// Sift up.
+		c := len(h.idx) - 1
+		for c > 0 {
+			p := (c - 1) / 2
+			if !h.less(h.idx[c], h.idx[p]) {
+				break
+			}
+			h.idx[c], h.idx[p] = h.idx[p], h.idx[c]
+			c = p
+		}
+		return
+	}
+	if !h.less(h.idx[0], i) {
+		return // weaker than everything kept
+	}
+	h.idx[0] = i
+	// Sift down.
+	c := 0
+	for {
+		l, r := 2*c+1, 2*c+2
+		small := c
+		if l < len(h.idx) && h.less(h.idx[l], h.idx[small]) {
+			small = l
+		}
+		if r < len(h.idx) && h.less(h.idx[r], h.idx[small]) {
+			small = r
+		}
+		if small == c {
+			break
+		}
+		h.idx[c], h.idx[small] = h.idx[small], h.idx[c]
+		c = small
+	}
+}

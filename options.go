@@ -3,6 +3,7 @@ package adsketch
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"adsketch/internal/core"
@@ -39,6 +40,10 @@ type SketchSet interface {
 	SketchOf(v int32) NodeSketch
 	// TotalEntries returns the summed entry count over all sketches.
 	TotalEntries() int
+	// WriteTo serializes the set in the versioned binary sketch format
+	// (SketchFormatVersion); ReadSketchSet restores it, whatever the
+	// kind.  It implements io.WriterTo.
+	WriteTo(w io.Writer) (int64, error)
 }
 
 var (

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"adsketch"
+	"adsketch/internal/core"
 )
 
 func TestBuildOptionValidation(t *testing.T) {
@@ -114,13 +115,13 @@ func TestBuildAcceptsCompatibleCombinations(t *testing.T) {
 	}
 }
 
-// The new Build must reproduce each legacy constructor bit-for-bit under
-// equal options.
+// Build must reproduce the internal construction entry points bit-for-bit
+// under equal options (the guarantee the removed legacy shims documented).
 
-func serialize(t *testing.T, set *adsketch.Set) []byte {
+func serialize(t *testing.T, set adsketch.SketchSet) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := adsketch.WriteSketches(&buf, set); err != nil {
+	if _, err := set.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -132,20 +133,20 @@ func TestBuildParityUniform(t *testing.T) {
 	cases := []struct {
 		name string
 		g    *adsketch.Graph
-		o    adsketch.Options
+		o    core.Options
 		algo adsketch.Algorithm
 	}{
-		{"bottomk/dijkstra", g, adsketch.Options{K: 4, Seed: 9}, adsketch.AlgoPrunedDijkstra},
-		{"bottomk/parallel", g, adsketch.Options{K: 4, Seed: 9}, adsketch.AlgoPrunedDijkstraParallel},
-		{"bottomk/local", g, adsketch.Options{K: 4, Seed: 9}, adsketch.AlgoLocalUpdates},
-		{"bottomk/dp", unweighted, adsketch.Options{K: 4, Seed: 9}, adsketch.AlgoDP},
-		{"kmins/dijkstra", g, adsketch.Options{K: 3, Flavor: adsketch.KMins, Seed: 2}, adsketch.AlgoPrunedDijkstra},
-		{"kpartition/dijkstra", g, adsketch.Options{K: 3, Flavor: adsketch.KPartition, Seed: 2}, adsketch.AlgoPrunedDijkstra},
-		{"baseb/brute", g, adsketch.Options{K: 4, Seed: 7, BaseB: 2}, adsketch.AlgoBruteForce},
+		{"bottomk/dijkstra", g, core.Options{K: 4, Seed: 9}, adsketch.AlgoPrunedDijkstra},
+		{"bottomk/parallel", g, core.Options{K: 4, Seed: 9}, adsketch.AlgoPrunedDijkstraParallel},
+		{"bottomk/local", g, core.Options{K: 4, Seed: 9}, adsketch.AlgoLocalUpdates},
+		{"bottomk/dp", unweighted, core.Options{K: 4, Seed: 9}, adsketch.AlgoDP},
+		{"kmins/dijkstra", g, core.Options{K: 3, Flavor: adsketch.KMins, Seed: 2}, adsketch.AlgoPrunedDijkstra},
+		{"kpartition/dijkstra", g, core.Options{K: 3, Flavor: adsketch.KPartition, Seed: 2}, adsketch.AlgoPrunedDijkstra},
+		{"baseb/brute", g, core.Options{K: 4, Seed: 7, BaseB: 2}, adsketch.AlgoBruteForce},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			legacy, err := adsketch.BuildWithOptions(tc.g, tc.o, tc.algo)
+			direct, err := core.BuildSet(tc.g, tc.o, tc.algo)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -164,8 +165,8 @@ func TestBuildParityUniform(t *testing.T) {
 			if !ok {
 				t.Fatalf("Build returned %T, want *adsketch.Set", built)
 			}
-			if !bytes.Equal(serialize(t, legacy), serialize(t, set)) {
-				t.Error("serialized sketches differ between legacy and option-based Build")
+			if !bytes.Equal(serialize(t, direct), serialize(t, set)) {
+				t.Error("serialized sketches differ between direct core build and option-based Build")
 			}
 		})
 	}
@@ -212,15 +213,15 @@ func TestBuildParityWeighted(t *testing.T) {
 	}
 	for _, priority := range []bool{false, true} {
 		name := "exponential"
-		legacyBuild := adsketch.BuildWeighted
+		directBuild := core.BuildWeightedSet
 		opts := []adsketch.Option{adsketch.WithK(5), adsketch.WithSeed(11), adsketch.WithNodeWeights(beta)}
 		if priority {
 			name = "priority"
-			legacyBuild = adsketch.BuildPriorityWeighted
+			directBuild = core.BuildPriorityWeightedSet
 			opts = append(opts, adsketch.WithPriorityRanks())
 		}
 		t.Run(name, func(t *testing.T) {
-			legacy, err := legacyBuild(g, 5, 11, beta)
+			legacy, err := directBuild(g, 5, 11, beta)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -249,7 +250,7 @@ func TestBuildParityWeighted(t *testing.T) {
 
 func TestBuildParityApprox(t *testing.T) {
 	g := adsketch.WithRandomWeights(adsketch.GNP(70, 0.07, false, 21), 1, 5, 22)
-	legacy, err := adsketch.BuildApprox(g, 4, 13, 0.25)
+	legacy, err := core.BuildApproxSet(g, 4, 13, 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}

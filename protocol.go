@@ -1,0 +1,490 @@
+package adsketch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"adsketch/internal/core"
+	"adsketch/internal/query"
+)
+
+// The wire query protocol: every distance-based query the package
+// answers, expressed as a typed request/response pair that survives JSON
+// transport.  One sketch build serves the whole protocol — Engine.Do
+// dispatches a Request to the matching estimator, and the Engine's
+// convenience methods (Closeness, TopCloseness, ...) are thin wrappers
+// over the same path, so a query answered over HTTP by cmd/adsserver is
+// bit-for-bit identical to the direct method call on the same sketches.
+
+// Typed sentinel errors of the protocol layer; match with errors.Is.
+var (
+	// ErrBadRequest reports a malformed Request: zero or multiple query
+	// fields set, or a query whose parameters fail validation.  Servers
+	// should map it to HTTP 400.
+	ErrBadRequest = errors.New("adsketch: bad request")
+	// ErrUnsupportedQuery reports a well-formed query that the engine's
+	// sketch set cannot answer (e.g. a coordinated cross-sketch query
+	// against a weighted or approximate set).  Servers should map it to
+	// HTTP 422.
+	ErrUnsupportedQuery = errors.New("adsketch: query unsupported by this sketch set")
+)
+
+// Query is one typed protocol query, dispatched by Engine.Do.  The
+// implementations are the *Query types of this package; the interface is
+// closed (its methods are unexported) so the wire protocol stays in sync
+// with the server.
+type Query interface {
+	// kind is the stable wire name of the query type.
+	kind() string
+	// validate checks the query parameters (engine-independent).
+	validate() error
+	// evaluate answers the query on an engine.
+	evaluate(ctx context.Context, e *Engine) (Response, error)
+}
+
+// Request is the transport envelope of one query: exactly one of the
+// query fields must be set.  The zero value is invalid.
+type Request struct {
+	// ID is an opaque client tag echoed into the Response, for matching
+	// requests to responses inside a batch.
+	ID string `json:"id,omitempty"`
+
+	Closeness        *ClosenessQuery        `json:"closeness,omitempty"`
+	Harmonic         *HarmonicQuery         `json:"harmonic,omitempty"`
+	Neighborhood     *NeighborhoodQuery     `json:"neighborhood,omitempty"`
+	TopK             *TopKQuery             `json:"topk,omitempty"`
+	CentralityKernel *CentralityKernelQuery `json:"centrality_kernel,omitempty"`
+	Jaccard          *JaccardQuery          `json:"jaccard,omitempty"`
+	Influence        *InfluenceQuery        `json:"influence,omitempty"`
+	DistanceBound    *DistanceBoundQuery    `json:"distance_bound,omitempty"`
+}
+
+// Query returns the single query carried by the request, or an error
+// matching ErrBadRequest when zero or more than one field is set.
+func (r *Request) Query() (Query, error) {
+	var q Query
+	n := 0
+	pick := func(c Query, set bool) {
+		if set {
+			q = c
+			n++
+		}
+	}
+	pick(r.Closeness, r.Closeness != nil)
+	pick(r.Harmonic, r.Harmonic != nil)
+	pick(r.Neighborhood, r.Neighborhood != nil)
+	pick(r.TopK, r.TopK != nil)
+	pick(r.CentralityKernel, r.CentralityKernel != nil)
+	pick(r.Jaccard, r.Jaccard != nil)
+	pick(r.Influence, r.Influence != nil)
+	pick(r.DistanceBound, r.DistanceBound != nil)
+	switch n {
+	case 0:
+		return nil, fmt.Errorf("%w: no query set", ErrBadRequest)
+	case 1:
+		return q, nil
+	default:
+		return nil, fmt.Errorf("%w: %d queries set, want exactly 1", ErrBadRequest, n)
+	}
+}
+
+// Response is the transport result of one query.  Kind names the query
+// that produced it; which payload fields are populated depends on the
+// kind (Scores for per-node queries, Ranking for topk, Seeds/Value for
+// influence, Value for jaccard and distance_bound).
+type Response struct {
+	// ID echoes the Request ID.
+	ID string `json:"id,omitempty"`
+	// Kind is the wire name of the answered query type.
+	Kind string `json:"kind,omitempty"`
+	// Error reports a per-request failure inside a DoBatch; empty on
+	// success.
+	Error string `json:"error,omitempty"`
+
+	// Scores holds one estimate per queried node, in request order.
+	Scores []float64 `json:"scores,omitempty"`
+	// Ranking holds the top-k nodes, best first.
+	Ranking []Ranked `json:"ranking,omitempty"`
+	// Value holds a scalar result.  It is a pointer so that a genuine 0
+	// survives the JSON round trip and an absent value stays absent.
+	Value *float64 `json:"value,omitempty"`
+	// Unreachable is set by distance_bound when the sketches share no
+	// node (the bound is +Inf, which JSON cannot carry in Value).
+	Unreachable bool `json:"unreachable,omitempty"`
+	// Seeds holds the selected (or echoed) seed nodes of an influence
+	// query.
+	Seeds []int32 `json:"seeds,omitempty"`
+}
+
+func scalar(v float64) *float64 { return &v }
+
+// ClosenessQuery asks for the HIP estimate of the classic closeness
+// centrality 1/Σ_j d_vj of each node (0 for isolated nodes).
+type ClosenessQuery struct {
+	Nodes []int32 `json:"nodes"`
+}
+
+func (q *ClosenessQuery) kind() string { return "closeness" }
+
+func (q *ClosenessQuery) validate() error { return nil }
+
+func (q *ClosenessQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
+	scores, err := e.batch(ctx, q.Nodes, (*core.HIPIndex).Closeness)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Scores: scores}, nil
+}
+
+// HarmonicQuery asks for the HIP estimate of the harmonic centrality
+// Σ_{j != v} 1/d_vj of each node.
+type HarmonicQuery struct {
+	Nodes []int32 `json:"nodes"`
+}
+
+func (q *HarmonicQuery) kind() string { return "harmonic" }
+
+func (q *HarmonicQuery) validate() error { return nil }
+
+func (q *HarmonicQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
+	scores, err := e.batch(ctx, q.Nodes, (*core.HIPIndex).Harmonic)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Scores: scores}, nil
+}
+
+// NeighborhoodQuery asks for the HIP estimate of n_d(v) = |N_d(v)| (the
+// weighted cardinality on weighted sets) for each node.  Radius bounds
+// the neighborhood; set Unbounded instead to count everything reachable
+// (JSON cannot carry an infinite radius).
+type NeighborhoodQuery struct {
+	Radius    float64 `json:"radius,omitempty"`
+	Unbounded bool    `json:"unbounded,omitempty"`
+	Nodes     []int32 `json:"nodes"`
+}
+
+func (q *NeighborhoodQuery) kind() string { return "neighborhood" }
+
+func (q *NeighborhoodQuery) validate() error {
+	if !q.Unbounded && (math.IsNaN(q.Radius) || math.IsInf(q.Radius, 0) || q.Radius < 0) {
+		return fmt.Errorf("%w: neighborhood: radius %g, want finite >= 0 (or unbounded)", ErrBadRequest, q.Radius)
+	}
+	return nil
+}
+
+func (q *NeighborhoodQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
+	d := q.Radius
+	if q.Unbounded {
+		d = math.Inf(1)
+	}
+	scores, err := e.batch(ctx, q.Nodes, func(x *core.HIPIndex) float64 { return x.Neighborhood(d) })
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Scores: scores}, nil
+}
+
+// Metrics accepted by TopKQuery.
+const (
+	MetricCloseness = "closeness"
+	MetricHarmonic  = "harmonic"
+)
+
+// TopKQuery asks for the estimated top-K nodes of the whole set by the
+// named centrality metric, best first (ties broken by node ID).
+type TopKQuery struct {
+	Metric string `json:"metric"`
+	K      int    `json:"k"`
+}
+
+func (q *TopKQuery) kind() string { return "topk" }
+
+func (q *TopKQuery) validate() error {
+	switch q.Metric {
+	case MetricCloseness, MetricHarmonic:
+	default:
+		return fmt.Errorf("%w: topk: unknown metric %q", ErrBadRequest, q.Metric)
+	}
+	if q.K < 1 {
+		return fmt.Errorf("%w: topk: k = %d, want >= 1", ErrBadRequest, q.K)
+	}
+	return nil
+}
+
+func (q *TopKQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
+	score := (*core.HIPIndex).Closeness
+	if q.Metric == MetricHarmonic {
+		score = (*core.HIPIndex).Harmonic
+	}
+	ranking, err := e.topBy(ctx, q.K, score)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Ranking: ranking}, nil
+}
+
+// Kernels accepted by CentralityKernelQuery, the query-time α of the
+// centrality C_α(v) = Σ_j α(d_vj) (equation (3) with β ≡ 1).
+const (
+	KernelNameThreshold    = "threshold"    // α(x) = 1 for x <= radius (neighborhood cardinality)
+	KernelNameReachability = "reachability" // α ≡ 1 (reachable count)
+	KernelNameExponential  = "exponential"  // α(x) = 2^-x
+	KernelNameHarmonic     = "harmonic"     // α(x) = 1/x
+	KernelNameIdentity     = "identity"     // α(x) = x (sum of distances)
+)
+
+// CentralityKernelQuery asks for the HIP estimate of the distance-decay
+// centrality Σ_j α(d_vj) for a named kernel α chosen at query time — the
+// Section 5 "build sketches once, pick the statistic later" promise over
+// the wire.  Radius parameterizes the threshold kernel and is ignored by
+// the others.
+type CentralityKernelQuery struct {
+	Kernel string  `json:"kernel"`
+	Radius float64 `json:"radius,omitempty"`
+	Nodes  []int32 `json:"nodes"`
+}
+
+func (q *CentralityKernelQuery) kind() string { return "centrality_kernel" }
+
+func (q *CentralityKernelQuery) validate() error {
+	switch q.Kernel {
+	case KernelNameThreshold:
+		if math.IsNaN(q.Radius) || math.IsInf(q.Radius, 0) || q.Radius < 0 {
+			return fmt.Errorf("%w: centrality_kernel: threshold radius %g, want finite >= 0", ErrBadRequest, q.Radius)
+		}
+	case KernelNameReachability, KernelNameExponential, KernelNameHarmonic, KernelNameIdentity:
+	default:
+		return fmt.Errorf("%w: centrality_kernel: unknown kernel %q", ErrBadRequest, q.Kernel)
+	}
+	return nil
+}
+
+// alpha resolves the kernel function; validate has vetted the name.
+func (q *CentralityKernelQuery) alpha() func(float64) float64 {
+	switch q.Kernel {
+	case KernelNameThreshold:
+		return core.KernelThreshold(q.Radius)
+	case KernelNameReachability:
+		return core.KernelReachability
+	case KernelNameExponential:
+		return core.KernelExponential
+	case KernelNameHarmonic:
+		return core.KernelHarmonic
+	default:
+		return core.KernelIdentity
+	}
+}
+
+func (q *CentralityKernelQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
+	alpha := q.alpha()
+	scores, err := e.batch(ctx, q.Nodes, func(x *core.HIPIndex) float64 {
+		return x.EstimateQ(func(_ int32, dist float64) float64 { return alpha(dist) })
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Scores: scores}, nil
+}
+
+// JaccardQuery asks for the estimated Jaccard similarity of the
+// neighborhoods N_{radius_a}(a) and N_{radius_b}(b), computable because
+// coordinated sketches share one rank permutation.  It requires a
+// uniform-rank bottom-k set.
+type JaccardQuery struct {
+	A       int32   `json:"a"`
+	RadiusA float64 `json:"radius_a"`
+	B       int32   `json:"b"`
+	RadiusB float64 `json:"radius_b"`
+}
+
+func (q *JaccardQuery) kind() string { return "jaccard" }
+
+func (q *JaccardQuery) validate() error {
+	for _, r := range []float64{q.RadiusA, q.RadiusB} {
+		// JSON cannot carry ±Inf, so the wire shape only admits finite
+		// radii; any value at or beyond the graph diameter covers the
+		// whole reachable set.
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return fmt.Errorf("%w: jaccard: radius %g, want finite >= 0 (use any radius >= the diameter for full reach)", ErrBadRequest, r)
+		}
+	}
+	return nil
+}
+
+func (q *JaccardQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
+	a, err := e.bottomK(q.A)
+	if err != nil {
+		return Response{}, err
+	}
+	b, err := e.bottomK(q.B)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Value: scalar(core.NeighborhoodJaccard(a, q.RadiusA, b, q.RadiusB))}, nil
+}
+
+// InfluenceQuery covers the timed-influence primitives on coordinated
+// sketches.  With Seeds set, it estimates the union coverage
+// |∪_s N_radius(s)| of exactly those seeds.  With NumSeeds set instead,
+// it greedily selects that many seeds maximizing estimated coverage
+// (from Candidates, or all nodes when empty).  It requires a
+// uniform-rank bottom-k set.
+type InfluenceQuery struct {
+	Seeds      []int32 `json:"seeds,omitempty"`
+	NumSeeds   int     `json:"num_seeds,omitempty"`
+	Candidates []int32 `json:"candidates,omitempty"`
+	Radius     float64 `json:"radius"`
+}
+
+func (q *InfluenceQuery) kind() string { return "influence" }
+
+func (q *InfluenceQuery) validate() error {
+	if math.IsNaN(q.Radius) || math.IsInf(q.Radius, 0) || q.Radius < 0 {
+		return fmt.Errorf("%w: influence: radius %g, want finite >= 0 (use any radius >= the diameter for full reach)", ErrBadRequest, q.Radius)
+	}
+	if (len(q.Seeds) == 0) == (q.NumSeeds == 0) {
+		return fmt.Errorf("%w: influence: set exactly one of seeds (coverage) or num_seeds (greedy selection)", ErrBadRequest)
+	}
+	if q.NumSeeds < 0 {
+		return fmt.Errorf("%w: influence: num_seeds = %d, want >= 0", ErrBadRequest, q.NumSeeds)
+	}
+	if len(q.Candidates) > 0 && q.NumSeeds == 0 {
+		return fmt.Errorf("%w: influence: candidates only apply to greedy selection (num_seeds)", ErrBadRequest)
+	}
+	return nil
+}
+
+func (q *InfluenceQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
+	set, err := e.uniformSet()
+	if err != nil {
+		return Response{}, err
+	}
+	if len(q.Seeds) > 0 {
+		if err := query.CheckNodes(e.set.NumNodes(), q.Seeds); err != nil {
+			return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		if _, err := e.bottomK(q.Seeds[0]); err != nil {
+			return Response{}, err // flavor check; CheckNodes vetted the index
+		}
+		cov := core.UnionNeighborhoodEstimate(set, q.Seeds, q.Radius)
+		return Response{Seeds: q.Seeds, Value: scalar(cov)}, nil
+	}
+	if err := query.CheckNodes(e.set.NumNodes(), q.Candidates); err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if e.set.NumNodes() > 0 {
+		if _, err := e.bottomK(0); err != nil {
+			return Response{}, err
+		}
+	}
+	seeds, cov := core.GreedyInfluenceSeeds(set, q.Candidates, q.NumSeeds, q.Radius)
+	return Response{Seeds: seeds, Value: scalar(cov)}, nil
+}
+
+// DistanceBoundQuery asks for the 2-hop-cover-style upper bound on
+// d(a, b): the minimum of d(a,x) + d(x,b) over nodes x sampled in both
+// sketches.  When the engine serves forward sketches, pair it with a
+// second engine over backward sketches for directed bounds; on one
+// engine both endpoints use forward sketches.  If the sketches share no
+// node the response sets Unreachable instead of a value.  It requires a
+// uniform-rank bottom-k set.
+type DistanceBoundQuery struct {
+	A int32 `json:"a"`
+	B int32 `json:"b"`
+}
+
+func (q *DistanceBoundQuery) kind() string { return "distance_bound" }
+
+func (q *DistanceBoundQuery) validate() error { return nil }
+
+func (q *DistanceBoundQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
+	a, err := e.bottomK(q.A)
+	if err != nil {
+		return Response{}, err
+	}
+	b, err := e.bottomK(q.B)
+	if err != nil {
+		return Response{}, err
+	}
+	bound := core.DistanceUpperBound(a, b)
+	if math.IsInf(bound, 1) {
+		return Response{Unreachable: true}, nil
+	}
+	return Response{Value: scalar(bound)}, nil
+}
+
+// uniformSet returns the engine's set as a uniform-rank *Set, or an
+// error matching ErrUnsupportedQuery.
+func (e *Engine) uniformSet() (*Set, error) {
+	set, ok := e.set.(*Set)
+	if !ok {
+		return nil, fmt.Errorf("%w: requires uniform-rank coordinated sketches, engine holds %T", ErrUnsupportedQuery, e.set)
+	}
+	return set, nil
+}
+
+// bottomK returns node v's sketch as a bottom-k ADS from a uniform set,
+// validating the node and flavor.
+func (e *Engine) bottomK(v int32) (*core.ADS, error) {
+	set, err := e.uniformSet()
+	if err != nil {
+		return nil, err
+	}
+	if err := query.CheckNodes(set.NumNodes(), []int32{v}); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	a, ok := set.Sketch(v).(*core.ADS)
+	if !ok {
+		return nil, fmt.Errorf("%w: requires bottom-k sketches, set holds %T", ErrUnsupportedQuery, set.Sketch(v))
+	}
+	return a, nil
+}
+
+// Do answers one protocol request.  The request must carry exactly one
+// query; parameter problems return an error matching ErrBadRequest,
+// queries the sketch set cannot answer one matching ErrUnsupportedQuery.
+// Results are bit-for-bit identical to the corresponding direct Engine /
+// package-level calls on the same sketches.
+func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
+	q, err := req.Query()
+	if err != nil {
+		return Response{}, err
+	}
+	if err := q.validate(); err != nil {
+		return Response{}, err
+	}
+	resp, err := q.evaluate(ctx, e)
+	if err != nil {
+		return Response{}, err
+	}
+	resp.ID = req.ID
+	resp.Kind = q.kind()
+	return resp, nil
+}
+
+// DoBatch answers a batch of protocol requests.  Each request is
+// evaluated independently (per-node fan-out inside a query already uses
+// the engine's worker pool); a failing request records its error in the
+// corresponding Response rather than aborting the batch.  DoBatch itself
+// fails only when ctx is done.
+func (e *Engine) DoBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	out := make([]Response, len(reqs))
+	for i := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := e.Do(ctx, reqs[i])
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			out[i] = Response{ID: reqs[i].ID, Error: err.Error()}
+			continue
+		}
+		out[i] = resp
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package adsketch_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"adsketch"
+)
+
+// buildAllKinds returns one sketch set of each kind over the same graph.
+func buildAllKinds(t *testing.T) map[string]adsketch.SketchSet {
+	t.Helper()
+	g := adsketch.WithRandomWeights(adsketch.GNP(90, 0.06, false, 11), 1, 4, 12)
+	beta := make([]float64, g.NumNodes())
+	for i := range beta {
+		beta[i] = 0.5 + float64(i%5)
+	}
+	out := map[string]adsketch.SketchSet{}
+	for name, opts := range map[string][]adsketch.Option{
+		"uniform":           {adsketch.WithK(5), adsketch.WithSeed(3)},
+		"uniform/kmins":     {adsketch.WithK(3), adsketch.WithSeed(3), adsketch.WithFlavor(adsketch.KMins)},
+		"uniform/baseb":     {adsketch.WithK(5), adsketch.WithSeed(3), adsketch.WithBaseB(2)},
+		"weighted":          {adsketch.WithK(5), adsketch.WithSeed(3), adsketch.WithNodeWeights(beta)},
+		"weighted/priority": {adsketch.WithK(5), adsketch.WithSeed(3), adsketch.WithNodeWeights(beta), adsketch.WithPriorityRanks()},
+		"approx":            {adsketch.WithK(5), adsketch.WithSeed(3), adsketch.WithApproxEps(0.25)},
+	} {
+		set, err := adsketch.Build(g, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = set
+	}
+	return out
+}
+
+// ReadSketchSet(WriteTo(set)) must reproduce identical estimates for all
+// set kinds — the acceptance bar of the universal codec.
+func TestWriteToReadSketchSetRoundTrip(t *testing.T) {
+	for name, set := range buildAllKinds(t) {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			n, err := set.WriteTo(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(buf.Len()) {
+				t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+			}
+			got, err := adsketch.ReadSketchSet(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NumNodes() != set.NumNodes() || got.K() != set.K() || got.TotalEntries() != set.TotalEntries() {
+				t.Fatalf("shape changed: (%d,%d,%d) vs (%d,%d,%d)",
+					got.NumNodes(), got.K(), got.TotalEntries(),
+					set.NumNodes(), set.K(), set.TotalEntries())
+			}
+			for v := int32(0); int(v) < set.NumNodes(); v++ {
+				for _, d := range []float64{0, 1, 2.5, math.Inf(1)} {
+					a := adsketch.EstimateNeighborhoodHIP(set.SketchOf(v), d)
+					b := adsketch.EstimateNeighborhoodHIP(got.SketchOf(v), d)
+					if a != b {
+						t.Fatalf("node %d, d=%g: %g vs %g after round trip", v, d, a, b)
+					}
+				}
+				a := adsketch.EstimateCentrality(set.SketchOf(v), adsketch.KernelHarmonic, adsketch.UnitBeta)
+				b := adsketch.EstimateCentrality(got.SketchOf(v), adsketch.KernelHarmonic, adsketch.UnitBeta)
+				if a != b {
+					t.Fatalf("node %d: harmonic %g vs %g after round trip", v, a, b)
+				}
+			}
+			// A second serialization is byte-identical (deterministic codec).
+			var buf2 bytes.Buffer
+			if _, err := got.WriteTo(&buf2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Error("re-serialization differs")
+			}
+			// The dynamic kind survives.
+			switch set.(type) {
+			case *adsketch.Set:
+				if _, ok := got.(*adsketch.Set); !ok {
+					t.Errorf("kind changed: %T -> %T", set, got)
+				}
+			case *adsketch.WeightedSet:
+				ws, ok := got.(*adsketch.WeightedSet)
+				if !ok {
+					t.Fatalf("kind changed: %T -> %T", set, got)
+				}
+				if want := set.(*adsketch.WeightedSet).Sketch(0).Scheme(); ws.Sketch(0).Scheme() != want {
+					t.Errorf("weight scheme changed: %v -> %v", want, ws.Sketch(0).Scheme())
+				}
+			case *adsketch.ApproxSet:
+				as, ok := got.(*adsketch.ApproxSet)
+				if !ok {
+					t.Fatalf("kind changed: %T -> %T", set, got)
+				}
+				if want := set.(*adsketch.ApproxSet).Epsilon(); as.Epsilon() != want {
+					t.Errorf("epsilon changed: %g -> %g", want, as.Epsilon())
+				}
+			}
+		})
+	}
+}
+
+func TestReadSketchSetRejectsBadHeaders(t *testing.T) {
+	sets := buildAllKinds(t)
+	var buf bytes.Buffer
+	if _, err := sets["uniform"].WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Wrong magic.
+	bad := append([]byte("NOPE"), data[4:]...)
+	if _, err := adsketch.ReadSketchSet(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Unsupported version.
+	bad = append([]byte(nil), data...)
+	bad[4] = 99
+	if _, err := adsketch.ReadSketchSet(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: %v", err)
+	}
+	// Unknown kind.
+	bad = append([]byte(nil), data...)
+	bad[8] = 77
+	if _, err := adsketch.ReadSketchSet(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Errorf("bad kind: %v", err)
+	}
+	// Truncated.
+	if _, err := adsketch.ReadSketchSet(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Empty.
+	if _, err := adsketch.ReadSketchSet(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file accepted")
+	}
+
+	// The deprecated uniform-only reader refuses non-uniform kinds with a
+	// pointer to ReadSketchSet.
+	var wbuf bytes.Buffer
+	if _, err := sets["weighted"].WriteTo(&wbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adsketch.ReadSketches(bytes.NewReader(wbuf.Bytes())); err == nil || !strings.Contains(err.Error(), "ReadSketchSet") {
+		t.Errorf("ReadSketches on weighted file: %v", err)
+	}
+}
