@@ -4,18 +4,32 @@
 
 GO ?= go
 
-.PHONY: test race bench fuzz-smoke clean
+# COVER_BASELINE is the recorded total-statement-coverage floor; `make
+# cover` (and CI) fail when the tree drops below it.  Raise it when
+# coverage durably improves; never lower it to make a PR pass.
+COVER_BASELINE ?= 74.0
+
+.PHONY: test race bench cover fuzz-smoke clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
 
+# Race coverage spans every layer with concurrency: the facade (engine,
+# coordinator scatter-gather), the query/cluster machinery, the parallel
+# sketch builders in core, and the HTTP serving tier.
 race:
-	$(GO) test -race ./ ./internal/query/
+	$(GO) test -race ./ ./internal/query/ ./internal/cluster/ ./internal/core/ ./cmd/adsserver/
 
 # One pass over every benchmark (regression smoke, not measurement), then
 # the BenchmarkEngine*/BenchmarkSketchSet* lines rendered as JSON.  The
 # redirect (not a pipe) keeps `go test`'s exit status, so a crashing
 # benchmark fails the target — and CI.
+#
+# CODEC_BASELINE_NS pins the pre-optimization BenchmarkSketchSetCodec
+# measurement (reflection-based binary.Write per field, PR 2) so every
+# BENCH_engine.json carries the before/after pair for the buffer-reuse
+# codec rewrite.
+CODEC_BASELINE_NS = 1283536377
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . > bench.out || { cat bench.out; exit 1; }
 	cat bench.out
@@ -24,8 +38,18 @@ bench:
 	    if (n++) printf ",\n"; \
 	    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $$1, $$2, $$3 \
 	  } \
-	  END { print "\n]" }' bench.out > BENCH_engine.json
+	  END { printf ",\n  {\"name\": \"BenchmarkSketchSetCodec/before-buffer-reuse\", \"iterations\": 1, \"ns_per_op\": $(CODEC_BASELINE_NS)}\n]\n" }' \
+	  bench.out > BENCH_engine.json
 	@cat BENCH_engine.json
+
+# Coverage gate: emit coverage.out (CI uploads it as an artifact) and
+# fail when total statement coverage falls below the recorded baseline.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit !(t+0 >= b+0) }' || { \
+	  echo "coverage $$total% fell below the $(COVER_BASELINE)% baseline" >&2; exit 1; }
 
 # A few seconds of coverage-guided fuzzing on the codec and graph-IO
 # parsers — enough to catch decoder regressions fast.
@@ -35,4 +59,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzReadEdgeList' -fuzztime=5s ./internal/graph/
 
 clean:
-	rm -f bench.out
+	rm -f bench.out coverage.out

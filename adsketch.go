@@ -160,6 +160,49 @@ type ApproxSet = core.ApproxSet
 // by SketchSet.WriteTo and read back by ReadSketchSet.
 const SketchFormatVersion = core.EncodeVersion
 
+// Partition is one contiguous node-range shard of a split sketch set:
+// the sketches of global nodes [Lo, Hi) of a TotalNodes-node set split
+// into Count partitions.  Partitions serialize independently
+// (Partition.WriteTo / ReadPartition) and serve independently
+// (NewShardEngine); a complete split merges back bit-for-bit
+// (MergeSketchSets).
+type Partition = core.Partition
+
+// SplitSketchSet partitions a sketch set by node ID into parts
+// contiguous shards of near-equal size.  The partitions alias the set's
+// sketches, so splitting costs no sketch memory; every HIP estimate
+// computed from a partition equals the whole-set one, because entries
+// keep their global node IDs.
+func SplitSketchSet(set SketchSet, parts int) ([]*Partition, error) {
+	return core.SplitSketchSet(set, parts)
+}
+
+// MergeSketchSets reassembles a complete split (in any order) back into
+// one whole set whose serialization is bit-for-bit identical to the
+// original's.
+func MergeSketchSets(parts []*Partition) (SketchSet, error) {
+	set, err := core.MergeSketchSets(parts)
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// ReadPartition deserializes one partition written by Partition.WriteTo,
+// validating the partition header and every sketch's invariants.
+func ReadPartition(r io.Reader) (*Partition, error) { return core.ReadPartition(r) }
+
+// ReadSketchFile reads either kind of sketch file — a whole set or a
+// partition — returning exactly one of the two.  Serving processes that
+// accept both (cmd/adsserver) load through this.
+func ReadSketchFile(r io.Reader) (SketchSet, *Partition, error) {
+	set, part, err := core.ReadSketchFile(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, part, nil
+}
+
 // ReadSketchSet deserializes a sketch set written by any SketchSet's
 // WriteTo method (build once, query many), validating every sketch's
 // structural invariants.  The dynamic type of the result is *Set,

@@ -1,0 +1,392 @@
+package adsketch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"adsketch/internal/cluster"
+	"adsketch/internal/core"
+	"adsketch/internal/query"
+)
+
+// The scatter-gather serving tier.  A sketch set split by node ID into P
+// partitions (SplitSketchSet) is served by P shard engines — in-process
+// (NewPartitionedEngine), or remote adsserver workers each loading one
+// partition file — behind one Coordinator that fans each protocol query
+// out to the shards that can answer it and merges the partials:
+//
+//   - per-node queries (closeness, harmonic, neighborhood,
+//     centrality_kernel) route each node to its owning shard and
+//     reassemble the scores in request order;
+//   - topk scatters to every shard and merges the per-shard rankings
+//     with the single-set ordering (score descending, node ascending);
+//   - the pairwise coordinated queries (jaccard, influence,
+//     distance_bound) scatter sketch fetches to the owning shards and
+//     evaluate at the coordinator, since their endpoints may live on
+//     different shards.
+//
+// Every merge reproduces the single-set evaluation exactly, so a
+// coordinator answer is bit-for-bit identical to one Engine over the
+// unpartitioned set.
+
+// Names of sketch set kinds in serving metadata (ShardMeta.Kind).
+const (
+	KindUniform     = "uniform"
+	KindWeighted    = "weighted"
+	KindApproximate = "approximate"
+)
+
+// Names of MinHash flavors in serving metadata (ShardMeta.Flavor).
+const (
+	FlavorBottomK    = "bottomk"
+	FlavorKMins      = "kmins"
+	FlavorKPartition = "kpartition"
+)
+
+// ShardMeta identifies what one serving backend holds: its position in
+// the split, the global node range it owns, and the sketch parameters.
+// It is the payload of the adsserver /v1/meta endpoint, which a
+// coordinator reads at startup to build its routing table.
+type ShardMeta struct {
+	// Index and Count locate the shard in the split (a whole set is the
+	// single partition of a 1-way split).
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Lo and Hi delimit the owned global node IDs [Lo, Hi).
+	Lo int32 `json:"lo"`
+	Hi int32 `json:"hi"`
+	// TotalNodes is the node count of the full (unsplit) set.
+	TotalNodes int `json:"total_nodes"`
+	// K is the sketch parameter.
+	K int `json:"k"`
+	// Kind is the set kind: uniform, weighted, or approximate.
+	Kind string `json:"kind"`
+	// Flavor is the MinHash flavor: bottomk, kmins, or kpartition.
+	Flavor string `json:"flavor"`
+}
+
+// ShardBackend is one partition backend of a Coordinator: anything that
+// can identify its node range and answer the wire protocol for it.
+// *Engine implements it (a whole-set engine is the trivial 1-way shard,
+// a NewShardEngine the real thing), *Coordinator implements it too (so
+// coordination trees compose), and cmd/adsserver implements it over HTTP
+// for remote workers.
+type ShardBackend interface {
+	// Meta identifies the shard's node range and sketch parameters.
+	Meta() ShardMeta
+	// Do answers one protocol request for nodes the shard owns.
+	Do(ctx context.Context, req Request) (Response, error)
+	// DoBatch answers a batch, reporting per-request failures inline.
+	DoBatch(ctx context.Context, reqs []Request) ([]Response, error)
+}
+
+var (
+	_ ShardBackend = (*Engine)(nil)
+	_ ShardBackend = (*Coordinator)(nil)
+)
+
+// Coordinator serves the wire protocol over a complete set of shard
+// backends, scattering each query to the shards that own its nodes and
+// gathering the partial responses into the single-set answer.  It is
+// safe for concurrent use when its backends are (both *Engine and the
+// adsserver HTTP shard are).
+type Coordinator struct {
+	shards []ShardBackend
+	router *cluster.Router
+	total  int
+	k      int
+	kind   string
+	flavor string
+}
+
+// NewCoordinator builds a coordinator over a complete split: one backend
+// per partition, covering every node exactly once, with equal sketch
+// parameters.  Backends may be local engines, remote workers, or nested
+// coordinators, in any order.
+func NewCoordinator(backends []ShardBackend) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("%w: NewCoordinator with no shard backends", ErrBadOption)
+	}
+	first := backends[0].Meta()
+	ranges := make([]cluster.Range, len(backends))
+	for i, b := range backends {
+		m := b.Meta()
+		if m.TotalNodes != first.TotalNodes || m.K != first.K || m.Kind != first.Kind || m.Flavor != first.Flavor {
+			return nil, fmt.Errorf("%w: shard %d serves (%d nodes, k=%d, %s/%s), shard 0 (%d nodes, k=%d, %s/%s)",
+				ErrBadOption, i, m.TotalNodes, m.K, m.Kind, m.Flavor,
+				first.TotalNodes, first.K, first.Kind, first.Flavor)
+		}
+		ranges[i] = cluster.Range{Shard: i, Lo: m.Lo, Hi: m.Hi}
+	}
+	router, err := cluster.NewRouter(ranges, first.TotalNodes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOption, err)
+	}
+	return &Coordinator{
+		shards: backends,
+		router: router,
+		total:  first.TotalNodes,
+		k:      first.K,
+		kind:   first.Kind,
+		flavor: first.Flavor,
+	}, nil
+}
+
+// NumNodes returns the global node count.
+func (c *Coordinator) NumNodes() int { return c.total }
+
+// K returns the sketch parameter.
+func (c *Coordinator) K() int { return c.k }
+
+// Kind returns the served set kind (uniform, weighted, approximate).
+func (c *Coordinator) Kind() string { return c.kind }
+
+// NumShards returns the number of shard backends.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// ShardMetas returns the metadata of every backend, in backend order.
+func (c *Coordinator) ShardMetas() []ShardMeta {
+	out := make([]ShardMeta, len(c.shards))
+	for i, b := range c.shards {
+		out[i] = b.Meta()
+	}
+	return out
+}
+
+// Meta reports the coordinator's own serving identity: the whole node
+// space, as the single partition of a 1-way split.  This is what lets a
+// Coordinator stand in for an Engine behind another Coordinator.
+func (c *Coordinator) Meta() ShardMeta {
+	return ShardMeta{
+		Index: 0, Count: 1,
+		Lo: 0, Hi: int32(c.total), TotalNodes: c.total,
+		K: c.k, Kind: c.kind, Flavor: c.flavor,
+	}
+}
+
+// cacheStatser is the optional backend face for index-cache statistics;
+// *Engine and *Coordinator provide it, remote shards keep their own
+// (visible on their /statsz).
+type cacheStatser interface {
+	CacheStats() CacheStats
+}
+
+// CacheStats aggregates the index-cache counters of every local backend
+// (engines and nested coordinators; remote shards report through their
+// own /statsz).  The engines keep independent caches — one per
+// partition — and this is their shared, serving-tier-wide view.
+func (c *Coordinator) CacheStats() CacheStats {
+	var st CacheStats
+	for _, b := range c.shards {
+		if s, ok := b.(cacheStatser); ok {
+			sub := s.CacheStats()
+			st.Shards += sub.Shards
+			st.Slots += sub.Slots
+			st.Built += sub.Built
+			st.Hits += sub.Hits
+			st.Misses += sub.Misses
+		}
+	}
+	return st
+}
+
+// Do answers one protocol request by scatter-gather over the shards.
+// Semantics, errors, and results are identical to Engine.Do over the
+// unpartitioned set; when req.Explain is set, the response additionally
+// carries the merge metadata.
+func (c *Coordinator) Do(ctx context.Context, req Request) (Response, error) {
+	q, err := req.Query()
+	if err != nil {
+		return Response{}, err
+	}
+	if err := q.validate(); err != nil {
+		return Response{}, err
+	}
+	resp, err := q.scatter(ctx, c)
+	if err != nil {
+		return Response{}, err
+	}
+	if !req.Explain {
+		resp.Merge = nil
+	}
+	resp.ID = req.ID
+	resp.Kind = q.kind()
+	return resp, nil
+}
+
+// DoBatch answers a batch of protocol requests with the semantics of
+// Engine.DoBatch: per-request failures are reported inline, and the call
+// fails only when ctx is done.
+func (c *Coordinator) DoBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	return doBatch(ctx, reqs, c.Do)
+}
+
+// mergeMeta records which shards a scatter consulted.
+func (c *Coordinator) mergeMeta(subs []cluster.Sub) *MergeMeta {
+	m := &MergeMeta{Partials: len(subs)}
+	for _, s := range subs {
+		m.Shards = append(m.Shards, c.shards[s.Shard].Meta().Index)
+	}
+	return m
+}
+
+// allShardsMeta is the merge metadata of a full fan-out.
+func (c *Coordinator) allShardsMeta() *MergeMeta {
+	m := &MergeMeta{Partials: len(c.shards)}
+	for _, b := range c.shards {
+		m.Shards = append(m.Shards, b.Meta().Index)
+	}
+	return m
+}
+
+// fetchMeta records the shards owning the given nodes, in routing
+// order — the merge metadata of a pairwise sketch scatter.
+func (c *Coordinator) fetchMeta(nodes []int32) *MergeMeta {
+	m := &MergeMeta{}
+	seen := make(map[int]bool)
+	for _, v := range nodes {
+		shard, err := c.router.Owner(v)
+		if err != nil {
+			continue
+		}
+		m.Partials++
+		if idx := c.shards[shard].Meta().Index; !seen[idx] {
+			seen[idx] = true
+			m.Shards = append(m.Shards, idx)
+		}
+	}
+	return m
+}
+
+// shardErr tags a backend error with the shard's partition index.
+func (c *Coordinator) shardErr(shard int, err error) error {
+	return fmt.Errorf("shard %d: %w", c.shards[shard].Meta().Index, err)
+}
+
+// scatterScores fans a per-node query out to the shards owning its
+// nodes (mk builds the per-shard request from a node subset) and merges
+// the partial score vectors back into request order.
+func (c *Coordinator) scatterScores(ctx context.Context, nodes []int32, mk func([]int32) Request) (Response, error) {
+	if err := query.CheckNodes(c.total, nodes); err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	subs, err := c.router.Plan(nodes)
+	if err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	partial := make([][]float64, len(subs))
+	err = cluster.Scatter(ctx, len(subs), func(i int) error {
+		resp, err := c.shards[subs[i].Shard].Do(ctx, mk(subs[i].Nodes))
+		if err != nil {
+			return c.shardErr(subs[i].Shard, err)
+		}
+		partial[i] = resp.Scores
+		return nil
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	scores, err := cluster.MergeScores(len(nodes), subs, partial)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Scores: scores, Merge: c.mergeMeta(subs)}, nil
+}
+
+// scatterTopK fans a topk query to every shard and merges the per-shard
+// rankings into the global top-k.
+func (c *Coordinator) scatterTopK(ctx context.Context, q *TopKQuery) (Response, error) {
+	lists := make([][]Ranked, len(c.shards))
+	err := cluster.Scatter(ctx, len(c.shards), func(i int) error {
+		resp, err := c.shards[i].Do(ctx, Request{TopK: q})
+		if err != nil {
+			return c.shardErr(i, err)
+		}
+		lists[i] = resp.Ranking
+		return nil
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Ranking: cluster.MergeTopK(q.K, lists), Merge: c.allShardsMeta()}, nil
+}
+
+// requireCoordinated gates the cross-sketch queries (jaccard, influence,
+// distance_bound, sketch fetches): they need uniform-rank bottom-k
+// coordinated sketches.
+func (c *Coordinator) requireCoordinated() error {
+	if c.kind != KindUniform || c.flavor != FlavorBottomK {
+		return fmt.Errorf("%w: requires uniform-rank bottom-k coordinated sketches, coordinator serves %s/%s sketches",
+			ErrUnsupportedQuery, c.kind, c.flavor)
+	}
+	return nil
+}
+
+// fetchSketches batch-fetches the bottom-k sketches of many global
+// nodes, one sketch-query batch per owning shard, scattered
+// concurrently.
+func (c *Coordinator) fetchSketches(ctx context.Context, nodes []int32) (map[int32]*core.ADS, error) {
+	if err := c.requireCoordinated(); err != nil {
+		return nil, err
+	}
+	if err := query.CheckNodes(c.total, nodes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	subs, err := c.router.Plan(nodes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	out := make(map[int32]*core.ADS, len(nodes))
+	var mu sync.Mutex
+	err = cluster.Scatter(ctx, len(subs), func(i int) error {
+		reqs := make([]Request, len(subs[i].Nodes))
+		for j, v := range subs[i].Nodes {
+			reqs[j] = Request{Sketch: &SketchQuery{Node: v}}
+		}
+		resps, err := c.shards[subs[i].Shard].DoBatch(ctx, reqs)
+		if err != nil {
+			return c.shardErr(subs[i].Shard, err)
+		}
+		if len(resps) != len(reqs) {
+			return c.shardErr(subs[i].Shard, fmt.Errorf("returned %d responses for %d sketch fetches", len(resps), len(reqs)))
+		}
+		fetched := make([]*core.ADS, len(resps))
+		for j, r := range resps {
+			if r.Error != "" {
+				return c.shardErr(subs[i].Shard, fmt.Errorf("fetching sketch of node %d: %s", subs[i].Nodes[j], r.Error))
+			}
+			a, err := adsFromWire(subs[i].Nodes[j], c.k, r.Entries)
+			if err != nil {
+				return c.shardErr(subs[i].Shard, err)
+			}
+			fetched[j] = a
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for j, a := range fetched {
+			out[subs[i].Nodes[j]] = a
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// adsFromWire rebuilds a validated bottom-k ADS from transported sketch
+// entries.  encoding/json emits the shortest float64 form that round
+// trips exactly, so a sketch fetched from a remote shard is bit-for-bit
+// the stored one.
+func adsFromWire(owner int32, k int, entries []SketchEntry) (*core.ADS, error) {
+	raw := make([]core.Entry, len(entries))
+	for i, e := range entries {
+		raw[i] = core.Entry{Node: e.Node, Dist: e.Dist, Rank: e.Rank}
+	}
+	a, err := core.ADSFromEntries(owner, k, raw)
+	if err != nil {
+		return nil, fmt.Errorf("sketch of node %d arrived corrupt: %w", owner, err)
+	}
+	return a, nil
+}

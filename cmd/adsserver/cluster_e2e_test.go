@@ -1,0 +1,261 @@
+package main
+
+// End-to-end tests of the scatter-gather topologies: partition files on
+// disk, worker servers loading them, a coordinator dialing the workers
+// over real HTTP — and byte parity against a single server over the
+// unsplit set.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adsketch"
+)
+
+// e2eRequests is the query corpus every topology must agree on.
+func e2eRequests() []adsketch.Request {
+	return []adsketch.Request{
+		{ID: "cl", Closeness: &adsketch.ClosenessQuery{Nodes: []int32{0, 199, 200, 399}}},
+		{ID: "nb", Neighborhood: &adsketch.NeighborhoodQuery{Radius: 2, Nodes: []int32{5, 350}}},
+		{ID: "tk", TopK: &adsketch.TopKQuery{Metric: adsketch.MetricCloseness, K: 7}},
+		{ID: "ja", Jaccard: &adsketch.JaccardQuery{A: 1, RadiusA: 2, B: 399, RadiusB: 2}},
+		{ID: "iu", Influence: &adsketch.InfluenceQuery{Seeds: []int32{0, 399}, Radius: 2}},
+		{ID: "db", DistanceBound: &adsketch.DistanceBoundQuery{A: 2, B: 398}},
+		{ID: "sk", Sketch: &adsketch.SketchQuery{Node: 200}},
+	}
+}
+
+// buildSplitFiles builds a set, saves it whole and as 2 partition
+// files, and returns the paths.
+func buildSplitFiles(t *testing.T) (whole string, parts []string, set adsketch.SketchSet) {
+	t.Helper()
+	g := adsketch.PreferentialAttachment(400, 3, 7)
+	set, err := adsketch.Build(g, adsketch.WithK(8), adsketch.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	whole = filepath.Join(dir, "whole.ads")
+	f, err := os.Create(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	split, err := adsketch.SplitSketchSet(set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range split {
+		name := filepath.Join(dir, "part.ads")
+		name = filepath.Join(dir, "part"+string(rune('0'+p.Index()))+".ads")
+		pf, err := os.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.WriteTo(pf); err != nil {
+			t.Fatal(err)
+		}
+		pf.Close()
+		parts = append(parts, name)
+	}
+	return whole, parts, set
+}
+
+// serveFile spins up one adsserver over a sketch file, exactly as main
+// would (loadLocal + mux).
+func serveFile(t *testing.T, path string, partitions int) (*httptest.Server, backend, string) {
+	t.Helper()
+	be, mode, err := loadLocal(path, partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(be, mode, path).mux())
+	t.Cleanup(ts.Close)
+	return ts, be, mode
+}
+
+// TestDistributedCoordinatorParity is the full production topology: two
+// worker processes each serving one partition file, a coordinator
+// dialing them over HTTP, answering byte-identically to a single server
+// over the unsplit set.
+func TestDistributedCoordinatorParity(t *testing.T) {
+	whole, parts, _ := buildSplitFiles(t)
+	single, _, mode := serveFile(t, whole, 0)
+	if mode != "single" {
+		t.Fatalf("whole file served in %q mode", mode)
+	}
+	var workerURLs []string
+	for i, p := range parts {
+		w, _, mode := serveFile(t, p, 0)
+		if mode != "shard" {
+			t.Fatalf("partition file %d served in %q mode", i, mode)
+		}
+		workerURLs = append(workerURLs, w.URL)
+	}
+	coordBE, err := dialWorkers(workerURLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := httptest.NewServer(newServer(coordBE, "coordinator", "").mux())
+	defer coord.Close()
+
+	body, err := json.Marshal(e2eRequests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(url string) []byte {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, buf.Bytes())
+		}
+		return buf.Bytes()
+	}
+	singleBytes := post(single.URL)
+	coordBytes := post(coord.URL)
+	if !bytes.Equal(singleBytes, coordBytes) {
+		t.Errorf("distributed coordinator answers differ from single server:\n  coordinator %s\n  single      %s",
+			coordBytes, singleBytes)
+	}
+}
+
+// TestInProcessPartitionsParity: -partitions N serving must match the
+// unsplit server byte-for-byte too.
+func TestInProcessPartitionsParity(t *testing.T) {
+	whole, _, _ := buildSplitFiles(t)
+	single, _, _ := serveFile(t, whole, 0)
+	parted, _, mode := serveFile(t, whole, 4)
+	if mode != "coordinator" {
+		t.Fatalf("-partitions 4 served in %q mode", mode)
+	}
+	body, err := json.Marshal(e2eRequests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(ts *httptest.Server) []byte {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.Bytes()
+	}
+	if a, b := get(single), get(parted); !bytes.Equal(a, b) {
+		t.Errorf("in-process partitioned server differs:\n  partitioned %s\n  single      %s", b, a)
+	}
+}
+
+// TestWorkerMetaAndOwnership: /v1/meta identifies the partition, and the
+// worker rejects nodes it does not own with a 400.
+func TestWorkerMetaAndOwnership(t *testing.T) {
+	_, parts, set := buildSplitFiles(t)
+	worker, _, _ := serveFile(t, parts[1], 0)
+
+	resp, err := http.Get(worker.URL + "/v1/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta adsketch.ShardMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if meta.Index != 1 || meta.Count != 2 || meta.TotalNodes != set.NumNodes() || meta.Lo != int32(set.NumNodes()/2) {
+		t.Fatalf("worker meta: %+v", meta)
+	}
+
+	// A node owned by partition 0 must be refused here.
+	body, _ := json.Marshal(adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{0}}})
+	r2, err := http.Post(worker.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unowned node: status %d, want 400", r2.StatusCode)
+	}
+
+	// An owned node answers with the whole-set value.
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Closeness(context.Background(), meta.Lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = json.Marshal(adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{meta.Lo}}})
+	r3, err := http.Post(worker.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got adsketch.Response
+	if err := json.NewDecoder(r3.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if len(got.Scores) != 1 || got.Scores[0] != want[0] {
+		t.Errorf("worker closeness(%d) = %+v, want %v", meta.Lo, got, want[0])
+	}
+}
+
+// TestCoordinatorStatsz: the coordinator's /statsz exposes the routing
+// table and the aggregated per-partition cache counters.
+func TestCoordinatorStatsz(t *testing.T) {
+	whole, _, set := buildSplitFiles(t)
+	parted, _, _ := serveFile(t, whole, 4)
+
+	// Touch every node so all caches populate.
+	nodes := make([]int32, set.NumNodes())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	body, _ := json.Marshal(adsketch.Request{Harmonic: &adsketch.HarmonicQuery{Nodes: nodes}})
+	r, err := http.Post(parted.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	resp, err := http.Get(parted.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statszBody
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "coordinator" || len(st.Shards) != 4 || st.Nodes != set.NumNodes() {
+		t.Fatalf("coordinator statsz: %+v", st)
+	}
+	covered := 0
+	for _, m := range st.Shards {
+		covered += int(m.Hi - m.Lo)
+	}
+	if covered != set.NumNodes() {
+		t.Errorf("routing table covers %d of %d nodes", covered, set.NumNodes())
+	}
+	if st.Cache.Slots != set.NumNodes() || st.Cache.Built != set.NumNodes() {
+		t.Errorf("aggregated cache stats: %+v", st.Cache)
+	}
+}

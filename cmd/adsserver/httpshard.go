@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"adsketch"
+)
+
+// httpShard is an adsketch.ShardBackend over a remote adsserver worker:
+// the coordinator half of the distributed scatter-gather topology.  The
+// worker's identity (node range, partition position, sketch parameters)
+// is fetched once from /v1/meta at dial time; queries go through
+// /v1/query exactly as any other client's would, so a worker needs no
+// coordinator-specific surface.
+type httpShard struct {
+	base   string
+	meta   adsketch.ShardMeta
+	client *http.Client
+}
+
+var _ adsketch.ShardBackend = (*httpShard)(nil)
+
+// dialShard connects to a worker and reads its serving identity.
+func dialShard(base string) (*httpShard, error) {
+	s := &httpShard{
+		base:   strings.TrimSuffix(base, "/"),
+		client: &http.Client{Timeout: 60 * time.Second},
+	}
+	resp, err := s.client.Get(s.base + "/v1/meta")
+	if err != nil {
+		return nil, fmt.Errorf("dialing shard %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("dialing shard %s: %w", base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dialing shard %s: %s: %s", base, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	if err := json.Unmarshal(payload, &s.meta); err != nil {
+		return nil, fmt.Errorf("dialing shard %s: decoding /v1/meta: %v", base, err)
+	}
+	return s, nil
+}
+
+func (s *httpShard) Meta() adsketch.ShardMeta { return s.meta }
+
+// post sends one /v1/query body and returns the raw response payload.
+func (s *httpShard) post(ctx context.Context, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, shardStatusErr(resp.StatusCode, payload)
+	}
+	return payload, nil
+}
+
+// shardStatusErr converts a worker's HTTP error back into the protocol's
+// typed sentinels, so a coordinator's error classification (and its own
+// HTTP status mapping) survives the extra hop.
+func shardStatusErr(status int, payload []byte) error {
+	msg := strings.TrimSpace(string(payload))
+	var eb errorBody
+	if json.Unmarshal(payload, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return fmt.Errorf("%w: %s", adsketch.ErrBadRequest, msg)
+	case http.StatusUnprocessableEntity:
+		return fmt.Errorf("%w: %s", adsketch.ErrUnsupportedQuery, msg)
+	default:
+		return fmt.Errorf("worker returned %d: %s", status, msg)
+	}
+}
+
+func (s *httpShard) Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	payload, err := s.post(ctx, body)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	var resp adsketch.Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return adsketch.Response{}, fmt.Errorf("decoding worker response: %v", err)
+	}
+	return resp, nil
+}
+
+func (s *httpShard) DoBatch(ctx context.Context, reqs []adsketch.Request) ([]adsketch.Response, error) {
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := s.post(ctx, body)
+	if err != nil {
+		return nil, err
+	}
+	var resps []adsketch.Response
+	if err := json.Unmarshal(payload, &resps); err != nil {
+		return nil, fmt.Errorf("decoding worker batch response: %v", err)
+	}
+	return resps, nil
+}

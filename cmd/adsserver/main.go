@@ -1,19 +1,37 @@
-// adsserver loads a sketch file (any kind: uniform, weighted, or
-// approximate — see adstool build -save) and serves the adsketch wire
-// query protocol over HTTP.  Build the sketches once, offline; serve
-// estimates forever after:
+// adsserver serves the adsketch wire query protocol over HTTP, in three
+// topologies:
 //
+//	# single: one process, one whole sketch set
 //	adstool gen -type ba -n 100000 -m 5 > graph.txt
 //	adstool build -graph graph.txt -k 16 -seed 42 -save sketches.ads
 //	adsserver -sketches sketches.ads -addr :8080
 //
-// Endpoints:
+//	# partitioned, in-process: split into P shard engines behind one
+//	# scatter-gather coordinator (same answers, P independent caches)
+//	adsserver -sketches sketches.ads -partitions 4 -addr :8080
+//
+//	# distributed: one worker per partition file, plus a coordinator
+//	adstool split -sketches sketches.ads -partitions 2 -out sketches
+//	adsserver -sketches sketches.p0of2.ads -addr :8081 &
+//	adsserver -sketches sketches.p1of2.ads -addr :8082 &
+//	adsserver -workers http://localhost:8081,http://localhost:8082 -addr :8080
+//
+// A worker loading a partition file answers for the global node IDs it
+// owns; the coordinator routes per-node queries by node ID, merges
+// per-shard topk rankings, and evaluates cross-shard pairwise queries
+// (jaccard, influence, distance_bound) from sketches fetched off the
+// owning workers.  Coordinator answers are bit-for-bit identical to a
+// single server over the unsplit set.
+//
+// Endpoints (all modes):
 //
 //	POST /v1/query — a single Request object, or an array of Requests
 //	                 for a batch; answers with the matching Response(s).
+//	GET  /v1/meta  — serving identity: node range, partition position,
+//	                 sketch parameters (what a coordinator dials).
 //	GET  /healthz  — liveness: {"status":"ok"} once serving.
-//	GET  /statsz   — sketch-set metadata, index-cache/shard counters,
-//	                 and request counters.
+//	GET  /statsz   — topology, sketch-set metadata, index-cache/shard
+//	                 counters, and request counters.
 //
 // Example:
 //
@@ -26,6 +44,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"adsketch"
@@ -33,34 +52,47 @@ import (
 
 func main() {
 	fs := flag.NewFlagSet("adsserver", flag.ExitOnError)
-	sketchPath := fs.String("sketches", "", "sketch file to serve (required; see adstool build -save)")
+	sketchPath := fs.String("sketches", "", "sketch file to serve: a whole set or one partition (see adstool build -save / adstool split)")
+	workers := fs.String("workers", "", "comma-separated worker base URLs to coordinate (instead of -sketches)")
+	partitions := fs.Int("partitions", 0, "split -sketches into this many in-process shards behind a coordinator (0 = serve unsplit)")
 	addr := fs.String("addr", ":8080", "listen address")
-	shards := fs.Int("shards", 0, "index cache shards (0 = auto-size to GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "index cache shards per engine (0 = auto-size to GOMAXPROCS)")
 	parallel := fs.Int("parallel", 0, "worker goroutines per batch query (0 = GOMAXPROCS)")
 	fs.Parse(os.Args[1:])
-	if *sketchPath == "" {
-		fmt.Fprintln(os.Stderr, "adsserver: -sketches is required")
+	if (*sketchPath == "") == (*workers == "") {
+		fmt.Fprintln(os.Stderr, "adsserver: exactly one of -sketches or -workers is required")
 		fs.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*sketchPath)
+	if *workers != "" && *partitions != 0 {
+		fmt.Fprintln(os.Stderr, "adsserver: -partitions splits a local sketch file; it does not apply to -workers")
+		os.Exit(2)
+	}
+	if *partitions < 0 {
+		fmt.Fprintf(os.Stderr, "adsserver: -partitions %d is invalid; want >= 1 (or 0 to serve unsplit)\n", *partitions)
+		os.Exit(2)
+	}
+
+	var (
+		be   backend
+		mode string
+		err  error
+	)
+	if *workers != "" {
+		be, err = dialWorkers(strings.Split(*workers, ","))
+		mode = "coordinator"
+	} else {
+		be, mode, err = loadLocal(*sketchPath, *partitions,
+			adsketch.WithShards(*shards), adsketch.WithQueryParallelism(*parallel))
+	}
 	if err != nil {
 		log.Fatalf("adsserver: %v", err)
 	}
-	set, err := adsketch.ReadSketchSet(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("adsserver: loading %s: %v", *sketchPath, err)
-	}
-	eng, err := adsketch.NewEngine(set,
-		adsketch.WithShards(*shards),
-		adsketch.WithQueryParallelism(*parallel))
-	if err != nil {
-		log.Fatalf("adsserver: %v", err)
-	}
-	srv := newServer(eng, *sketchPath)
-	log.Printf("adsserver: serving %s (%s, %d nodes, k=%d, %d entries) on %s",
-		*sketchPath, srv.kind, set.NumNodes(), set.K(), set.TotalEntries(), *addr)
+
+	srv := newServer(be, mode, *sketchPath)
+	meta := be.Meta()
+	log.Printf("adsserver: serving %s sketches (%s mode, nodes [%d, %d) of %d, k=%d) on %s",
+		meta.Kind, mode, meta.Lo, meta.Hi, meta.TotalNodes, meta.K, *addr)
 	httpSrv := &http.Server{
 		Addr:         *addr,
 		Handler:      srv.mux(),
@@ -68,4 +100,60 @@ func main() {
 		WriteTimeout: 60 * time.Second,
 	}
 	log.Fatal(httpSrv.ListenAndServe())
+}
+
+// loadLocal builds the backend for a local sketch file: a shard engine
+// for a partition file, a coordinator over split shard engines when
+// -partitions is set, or a plain whole-set engine.
+func loadLocal(path string, partitions int, opts ...adsketch.EngineOption) (backend, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	set, part, err := adsketch.ReadSketchFile(f)
+	f.Close()
+	if err != nil {
+		return nil, "", fmt.Errorf("loading %s: %v", path, err)
+	}
+	if part != nil {
+		if partitions != 0 {
+			return nil, "", fmt.Errorf("%s already holds partition %d/%d; -partitions only splits whole sets", path, part.Index(), part.Count())
+		}
+		eng, err := adsketch.NewShardEngine(part, opts...)
+		if err != nil {
+			return nil, "", err
+		}
+		return eng, "shard", nil
+	}
+	if partitions > 1 {
+		coord, err := adsketch.NewPartitionedEngine(set, partitions, opts...)
+		if err != nil {
+			return nil, "", err
+		}
+		return coord, "coordinator", nil
+	}
+	eng, err := adsketch.NewEngine(set, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	return eng, "single", nil
+}
+
+// dialWorkers connects to every worker and assembles the coordinator.
+func dialWorkers(urls []string) (backend, error) {
+	backends := make([]adsketch.ShardBackend, 0, len(urls))
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		s, err := dialShard(u)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("adsserver: worker %s serves partition %d/%d (nodes [%d, %d) of %d)",
+			u, s.meta.Index, s.meta.Count, s.meta.Lo, s.meta.Hi, s.meta.TotalNodes)
+		backends = append(backends, s)
+	}
+	return adsketch.NewCoordinator(backends)
 }

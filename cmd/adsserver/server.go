@@ -18,34 +18,53 @@ import (
 // queries fits comfortably.
 const maxBodyBytes = 16 << 20
 
-// server is the HTTP face of one Engine.  It is deliberately thin: all
-// query semantics live in the adsketch protocol layer, so the handler
-// only decodes, dispatches, encodes, and counts.
+// backend is what the HTTP layer serves: a single-set Engine, a shard
+// Engine over one partition, or a Coordinator over many shards — all
+// answer the same protocol and identify themselves through Meta.
+type backend interface {
+	Meta() adsketch.ShardMeta
+	Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error)
+	DoBatch(ctx context.Context, reqs []adsketch.Request) ([]adsketch.Response, error)
+}
+
+// cacheStatser is the optional backend face for index-cache counters
+// (both Engine and Coordinator provide it; a future backend might not).
+type cacheStatser interface {
+	CacheStats() adsketch.CacheStats
+}
+
+// setInfo is the optional backend face for sketch-set payload counters.
+type setInfo interface {
+	Set() adsketch.SketchSet
+}
+
+// server is the HTTP face of one serving backend.  It is deliberately
+// thin: all query semantics live in the adsketch protocol layer, so the
+// handler only decodes, dispatches, encodes, and counts.
 type server struct {
-	eng        *adsketch.Engine
+	be         backend
+	mode       string // "single", "shard", or "coordinator"
 	sketchPath string
-	kind       string
 	start      time.Time
+	shardMetas []adsketch.ShardMeta // coordinator mode: per-shard metadata
 
 	queries  atomic.Int64 // protocol requests evaluated (batch items count individually)
 	batches  atomic.Int64 // POST /v1/query calls
 	failures atomic.Int64 // requests answered with an error
 }
 
-func newServer(eng *adsketch.Engine, sketchPath string) *server {
-	kind := "uniform"
-	switch eng.Set().(type) {
-	case *adsketch.WeightedSet:
-		kind = "weighted"
-	case *adsketch.ApproxSet:
-		kind = "approximate"
+func newServer(be backend, mode, sketchPath string) *server {
+	s := &server{be: be, mode: mode, sketchPath: sketchPath, start: time.Now()}
+	if c, ok := be.(*adsketch.Coordinator); ok {
+		s.shardMetas = c.ShardMetas()
 	}
-	return &server{eng: eng, sketchPath: sketchPath, kind: kind, start: time.Now()}
+	return s
 }
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/meta", s.handleMeta)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
@@ -112,7 +131,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.queries.Add(int64(len(reqs)))
-		resps, err := s.eng.DoBatch(r.Context(), reqs)
+		resps, err := s.be.DoBatch(r.Context(), reqs)
 		if err != nil {
 			s.failures.Add(1)
 			writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
@@ -133,7 +152,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	resp, err := s.eng.Do(r.Context(), req)
+	resp, err := s.be.Do(r.Context(), req)
 	if err != nil {
 		s.failures.Add(1)
 		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
@@ -142,20 +161,31 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleMeta serves GET /v1/meta: the backend's serving identity — node
+// range, partition position, sketch parameters.  A coordinator building
+// its routing table reads this from every worker at startup.
+func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.be.Meta())
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // statszBody is the /statsz payload: what is being served, how the
-// sharded index cache is doing, and how much traffic has been answered.
+// index caches are doing, and how much traffic has been answered.
 type statszBody struct {
-	Sketches      string  `json:"sketches"`
-	Kind          string  `json:"kind"`
-	FormatVersion int     `json:"format_version"`
-	Nodes         int     `json:"nodes"`
-	K             int     `json:"k"`
-	TotalEntries  int     `json:"total_entries"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Mode          string               `json:"mode"` // single | shard | coordinator
+	Sketches      string               `json:"sketches,omitempty"`
+	Kind          string               `json:"kind"`
+	FormatVersion int                  `json:"format_version"`
+	Nodes         int                  `json:"nodes"` // global node count
+	K             int                  `json:"k"`
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Shard         *adsketch.ShardMeta  `json:"shard,omitempty"`  // shard mode: what this worker owns
+	Shards        []adsketch.ShardMeta `json:"shards,omitempty"` // coordinator mode: the routing table
+	LocalNodes    int                  `json:"local_nodes,omitempty"`
+	TotalEntries  int                  `json:"total_entries,omitempty"`
 
 	Cache adsketch.CacheStats `json:"cache"`
 
@@ -165,18 +195,33 @@ type statszBody struct {
 }
 
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	set := s.eng.Set()
-	writeJSON(w, http.StatusOK, statszBody{
+	meta := s.be.Meta()
+	body := statszBody{
+		Mode:          s.mode,
 		Sketches:      s.sketchPath,
-		Kind:          s.kind,
+		Kind:          meta.Kind,
 		FormatVersion: adsketch.SketchFormatVersion,
-		Nodes:         set.NumNodes(),
-		K:             set.K(),
-		TotalEntries:  set.TotalEntries(),
+		Nodes:         meta.TotalNodes,
+		K:             meta.K,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Cache:         s.eng.CacheStats(),
 		Batches:       s.batches.Load(),
 		Queries:       s.queries.Load(),
 		Failures:      s.failures.Load(),
-	})
+	}
+	if c, ok := s.be.(cacheStatser); ok {
+		body.Cache = c.CacheStats()
+	}
+	switch s.mode {
+	case "shard":
+		m := meta
+		body.Shard = &m
+	case "coordinator":
+		body.Shards = s.shardMetas
+	}
+	if si, ok := s.be.(setInfo); ok {
+		set := si.Set()
+		body.LocalNodes = set.NumNodes()
+		body.TotalEntries = set.TotalEntries()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

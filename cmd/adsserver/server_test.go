@@ -47,7 +47,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *adsketch.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, path).mux())
+	ts := httptest.NewServer(newServer(eng, "single", path).mux())
 	t.Cleanup(ts.Close)
 	return ts, eng
 }

@@ -6,13 +6,17 @@
 //	adstool gen   -type ba -n 10000 -m 5 -seed 1 > graph.txt
 //	adstool stats -graph graph.txt
 //	adstool build -graph graph.txt -k 16 -seed 42 -save sketches.ads
+//	adstool split -sketches sketches.ads -partitions 4 -out sketches
+//	adstool merge -out sketches.ads sketches.p0of4.ads sketches.p1of4.ads ...
 //	adstool query -graph graph.txt -sketches sketches.ads -node 17 -d 3
 //	adstool query -remote http://localhost:8080 -node 17 -d 3
 //	adstool top   -graph graph.txt -k 16 -seed 42 -top 10
 //	adstool influence -graph graph.txt -k 16 -seeds 3 -d 2
 //
-// Graphs are whitespace edge lists ("u v" or "u v w" per line, '#'
-// comments); "-" reads stdin.
+// split partitions a sketch file by node ID into P independently
+// servable shard files (one adsserver worker each); merge reassembles a
+// complete split bit-for-bit.  Graphs are whitespace edge lists ("u v"
+// or "u v w" per line, '#' comments); "-" reads stdin.
 package main
 
 import (
@@ -46,6 +50,10 @@ func main() {
 		err = runStats(args)
 	case "build":
 		err = runBuild(args)
+	case "split":
+		err = runSplit(args)
+	case "merge":
+		err = runMerge(args)
 	case "query":
 		err = runQuery(args)
 	case "top":
@@ -62,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: adstool {gen|stats|build|query|top|influence} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: adstool {gen|stats|build|split|merge|query|top|influence} [flags]")
 	os.Exit(2)
 }
 
@@ -229,6 +237,97 @@ func runBuild(args []string) error {
 		}
 		fmt.Printf("sketches saved to %s (%d bytes, format v%d)\n", *save, n, adsketch.SketchFormatVersion)
 	}
+	return nil
+}
+
+// runSplit partitions a sketch file by node ID into independently
+// servable shard files.
+func runSplit(args []string) error {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	sketchPath := fs.String("sketches", "", "sketch file to split (required)")
+	partitions := fs.Int("partitions", 2, "number of node-range partitions")
+	out := fs.String("out", "", "output prefix (default: -sketches without its extension)")
+	fs.Parse(args)
+	if *sketchPath == "" {
+		return fmt.Errorf("split: -sketches is required")
+	}
+	prefix := *out
+	if prefix == "" {
+		prefix = strings.TrimSuffix(*sketchPath, ".ads")
+	}
+	f, err := os.Open(*sketchPath)
+	if err != nil {
+		return err
+	}
+	set, err := adsketch.ReadSketchSet(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	parts, err := adsketch.SplitSketchSet(set, *partitions)
+	if err != nil {
+		return err
+	}
+	for _, p := range parts {
+		name := fmt.Sprintf("%s.p%dof%d.ads", prefix, p.Index(), p.Count())
+		g, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		n, err := p.WriteTo(g)
+		if cerr := g.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", name, err)
+		}
+		fmt.Printf("partition %d/%d: nodes [%d, %d) -> %s (%d bytes)\n",
+			p.Index(), p.Count(), p.Lo(), p.Hi(), name, n)
+	}
+	return nil
+}
+
+// runMerge reassembles a complete split back into one sketch file.
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "", "output sketch file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("merge: -out is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge: no partition files given")
+	}
+	parts := make([]*adsketch.Partition, 0, fs.NArg())
+	for _, name := range fs.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		p, err := adsketch.ReadPartition(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		parts = append(parts, p)
+	}
+	set, err := adsketch.MergeSketchSets(parts)
+	if err != nil {
+		return err
+	}
+	g, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	n, err := set.WriteTo(g)
+	if cerr := g.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", *out, err)
+	}
+	fmt.Printf("merged %d partitions (%d nodes, k=%d) -> %s (%d bytes)\n",
+		len(parts), set.NumNodes(), set.K(), *out, n)
 	return nil
 }
 

@@ -18,6 +18,12 @@ import (
 // cancellation.  The cache is sharded (WithShards) so concurrent batches
 // do not contend on one structure.
 //
+// An Engine serves either a whole sketch set (NewEngine) or one
+// node-range partition of a split set (NewShardEngine), in which case it
+// answers for the global node IDs it owns and rejects the rest — the
+// worker half of the scatter-gather serving tier whose coordinator half
+// is Coordinator.
+//
 // Engine.Do / Engine.DoBatch dispatch the typed wire protocol (Request /
 // Response); the named methods below are thin wrappers over the same
 // dispatch, so a query served over a transport is bit-for-bit identical
@@ -26,6 +32,9 @@ import (
 // (Centrality, EstimateNeighborhoodHIP, EstimateQ) on the same sketches.
 type Engine struct {
 	set     SketchSet
+	lo      int32 // global ID of local sketch 0 (non-zero for shard engines)
+	total   int   // global node count (== set.NumNodes() for whole sets)
+	meta    ShardMeta
 	workers int
 	shards  int
 	cache   *query.IndexCache
@@ -59,10 +68,10 @@ func WithShards(n int) EngineOption {
 	}
 }
 
-// NewEngine wraps a sketch set (of any kind: uniform, weighted, or
-// approximate) for batch serving.
-func NewEngine(set SketchSet, opts ...EngineOption) (*Engine, error) {
-	e := &Engine{set: set}
+// newEngine finishes Engine construction shared by NewEngine and
+// NewShardEngine: option application, meta, and the index cache over the
+// local sketches.
+func newEngine(e *Engine, meta ShardMeta, opts []EngineOption) (*Engine, error) {
 	for _, opt := range opts {
 		if opt == nil {
 			return nil, fmt.Errorf("%w: nil EngineOption", ErrBadOption)
@@ -71,22 +80,103 @@ func NewEngine(set SketchSet, opts ...EngineOption) (*Engine, error) {
 			return nil, err
 		}
 	}
-	e.cache = query.NewIndexCache(set.NumNodes(), e.shards, func(v int32) *core.HIPIndex {
-		return core.NewHIPIndex(set.SketchOf(v))
+	e.meta = meta
+	set := e.set
+	// Cache slots are local indices: global node v lives in slot v - lo.
+	e.cache = query.NewIndexCache(set.NumNodes(), e.shards, func(local int32) *core.HIPIndex {
+		return core.NewHIPIndex(set.SketchOf(local))
 	})
 	return e, nil
 }
 
-// Set returns the underlying sketch set.
+// NewEngine wraps a whole sketch set (of any kind: uniform, weighted, or
+// approximate) for batch serving.
+func NewEngine(set SketchSet, opts ...EngineOption) (*Engine, error) {
+	n := set.NumNodes()
+	meta := ShardMeta{
+		Index: 0, Count: 1,
+		Lo: 0, Hi: int32(n), TotalNodes: n,
+		K: set.K(), Kind: kindOf(set), Flavor: flavorOf(set),
+	}
+	return newEngine(&Engine{set: set, lo: 0, total: n}, meta, opts)
+}
+
+// NewShardEngine wraps one partition of a split sketch set for batch
+// serving: the engine answers every per-node protocol query for the
+// global node IDs in [p.Lo(), p.Hi()), rejects nodes it does not own,
+// and evaluates topk over its own nodes only — the partial a Coordinator
+// merges into the global ranking.
+func NewShardEngine(p *Partition, opts ...EngineOption) (*Engine, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil Partition", ErrBadOption)
+	}
+	set := SketchSet(p.Set())
+	meta := ShardMeta{
+		Index: p.Index(), Count: p.Count(),
+		Lo: p.Lo(), Hi: p.Hi(), TotalNodes: p.TotalNodes(),
+		K: set.K(), Kind: kindOf(set), Flavor: flavorOf(set),
+	}
+	return newEngine(&Engine{set: set, lo: p.Lo(), total: p.TotalNodes()}, meta, opts)
+}
+
+// NewPartitionedEngine splits the set by node ID into the given number
+// of partitions and returns a Coordinator serving them through one
+// in-process shard Engine each — single-process scatter-gather, whose
+// answers are bit-for-bit identical to one Engine over the whole set.
+// The partitions alias the set's sketches, so the split costs no sketch
+// memory; the per-partition engines keep independent index caches whose
+// combined statistics Coordinator.CacheStats reports.
+func NewPartitionedEngine(set SketchSet, partitions int, opts ...EngineOption) (*Coordinator, error) {
+	parts, err := SplitSketchSet(set, partitions)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOption, err)
+	}
+	backends := make([]ShardBackend, len(parts))
+	for i, p := range parts {
+		eng, err := NewShardEngine(p, opts...)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = eng
+	}
+	return NewCoordinator(backends)
+}
+
+// Set returns the underlying sketch set (the partition's local set for a
+// shard engine).
 func (e *Engine) Set() SketchSet { return e.set }
 
+// Meta identifies what the engine serves: its node range, partition
+// position, sketch parameter, and set kind.  A whole-set engine reports
+// the single partition of a 1-way split.
+func (e *Engine) Meta() ShardMeta { return e.meta }
+
+// checkNodes validates queried nodes against the global node space and,
+// for a shard engine, against the owned range.
+func (e *Engine) checkNodes(nodes []int32) error {
+	if err := query.CheckNodes(e.total, nodes); err != nil {
+		return err
+	}
+	if local := e.set.NumNodes(); local != e.total || e.lo != 0 {
+		hi := e.lo + int32(local)
+		for _, v := range nodes {
+			if v < e.lo || v >= hi {
+				return fmt.Errorf("node %d not owned by shard %d/%d (nodes [%d, %d))",
+					v, e.meta.Index, e.meta.Count, e.lo, hi)
+			}
+		}
+	}
+	return nil
+}
+
 // Index returns node v's cached HIP query index, building it on first
-// use.  The index is immutable and safe to share.
+// use.  The index is immutable and safe to share.  v is a global node
+// ID; a shard engine serves only the nodes it owns.
 func (e *Engine) Index(v int32) (*HIPIndex, error) {
-	if err := query.CheckNodes(e.set.NumNodes(), []int32{v}); err != nil {
+	if err := e.checkNodes([]int32{v}); err != nil {
 		return nil, err
 	}
-	return e.cache.Get(v), nil
+	return e.cache.Get(v - e.lo), nil
 }
 
 // CachedIndices returns how many per-node indices have been built so far.
@@ -104,12 +194,12 @@ func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
 // engine's worker pool.  On error (including context cancellation) the
 // partial results are discarded.
 func (e *Engine) batch(ctx context.Context, nodes []int32, f func(*core.HIPIndex) float64) ([]float64, error) {
-	if err := query.CheckNodes(e.set.NumNodes(), nodes); err != nil {
+	if err := e.checkNodes(nodes); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	out := make([]float64, len(nodes))
 	err := query.ForEach(ctx, e.workers, len(nodes), func(i int) error {
-		out[i] = f(e.cache.Get(nodes[i]))
+		out[i] = f(e.cache.Get(nodes[i] - e.lo))
 		return nil
 	})
 	if err != nil {
@@ -164,7 +254,7 @@ func (e *Engine) EstimateQBatch(ctx context.Context, g func(node int32, dist flo
 
 // TopCloseness returns the estimated top-n nodes by closeness centrality,
 // highest first (ties broken by node ID), scoring every node of the set
-// with the worker pool.
+// with the worker pool.  A shard engine ranks only the nodes it owns.
 func (e *Engine) TopCloseness(ctx context.Context, n int) ([]Ranked, error) {
 	return e.top(ctx, MetricCloseness, n)
 }
@@ -187,17 +277,17 @@ func (e *Engine) top(ctx context.Context, metric string, n int) ([]Ranked, error
 	return resp.Ranking, nil
 }
 
-// topBy scores every node with the worker pool, then selects the top n
-// with a bounded min-heap — O(total·log n) selection instead of sorting
-// the full score vector, which matters when serving top-10 queries over
-// millions of nodes.
+// topBy scores every owned node with the worker pool, then selects the
+// top n with a bounded min-heap — O(total·log n) selection instead of
+// sorting the full score vector, which matters when serving top-10
+// queries over millions of nodes.  Ranked nodes carry global IDs.
 func (e *Engine) topBy(ctx context.Context, n int, score func(*core.HIPIndex) float64) ([]Ranked, error) {
-	total := e.set.NumNodes()
-	if n > total {
-		n = total
+	local := e.set.NumNodes()
+	if n > local {
+		n = local
 	}
-	scores := make([]float64, total)
-	err := query.ForEach(ctx, e.workers, total, func(i int) error {
+	scores := make([]float64, local)
+	err := query.ForEach(ctx, e.workers, local, func(i int) error {
 		scores[i] = score(e.cache.Get(int32(i)))
 		return nil
 	})
@@ -207,7 +297,33 @@ func (e *Engine) topBy(ctx context.Context, n int, score func(*core.HIPIndex) fl
 	top := query.TopK(n, scores)
 	out := make([]Ranked, len(top))
 	for i, v := range top {
-		out[i] = Ranked{Node: int32(v), Score: scores[v]}
+		out[i] = Ranked{Node: e.lo + int32(v), Score: scores[v]}
 	}
 	return out, nil
+}
+
+// kindOf names a sketch set's kind for serving metadata.
+func kindOf(set SketchSet) string {
+	switch set.(type) {
+	case *WeightedSet:
+		return KindWeighted
+	case *ApproxSet:
+		return KindApproximate
+	default:
+		return KindUniform
+	}
+}
+
+// flavorOf names a sketch set's MinHash flavor for serving metadata.
+// Weighted and approximate sets are bottom-k by construction.
+func flavorOf(set SketchSet) string {
+	if s, ok := set.(*Set); ok {
+		switch s.Options().Flavor {
+		case KMins:
+			return FlavorKMins
+		case KPartition:
+			return FlavorKPartition
+		}
+	}
+	return FlavorBottomK
 }

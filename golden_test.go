@@ -1,0 +1,160 @@
+package adsketch_test
+
+// Golden regression tests: estimates for a pinned seeded build are
+// committed under testdata/, so any estimator drift — a changed
+// tie-break, a reordered accumulation, a biased weight — fails loudly
+// against the recorded values instead of slipping through as "still
+// looks plausible".  The same corpus is replayed through a 4-partition
+// coordinator, enforcing bit-for-bit coordinator/single-set parity
+// against the committed bytes, not just against each other.
+//
+// Regenerate after an intentional estimator change with:
+//
+//	go test -run TestGolden -update ./
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adsketch"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden testdata files")
+
+// goldenBuild is the pinned build every golden value derives from.
+// Changing any of these constants invalidates the testdata.
+func goldenBuild(t *testing.T) (adsketch.SketchSet, *adsketch.Engine) {
+	t.Helper()
+	g := adsketch.PreferentialAttachment(200, 3, 7)
+	set, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, eng
+}
+
+// goldenRequests is the pinned query corpus: per-node estimates
+// (closeness, harmonic, neighborhood), both topk metrics (order and
+// scores), and the coordinated cross-sketch queries.
+func goldenRequests() []adsketch.Request {
+	nodes := []int32{0, 1, 2, 3, 5, 8, 13, 21, 100, 199}
+	return []adsketch.Request{
+		{ID: "closeness", Closeness: &adsketch.ClosenessQuery{Nodes: nodes}},
+		{ID: "harmonic", Harmonic: &adsketch.HarmonicQuery{Nodes: nodes}},
+		{ID: "neighborhood-2", Neighborhood: &adsketch.NeighborhoodQuery{Radius: 2, Nodes: nodes}},
+		{ID: "reach", Neighborhood: &adsketch.NeighborhoodQuery{Unbounded: true, Nodes: nodes}},
+		{ID: "top10-closeness", TopK: &adsketch.TopKQuery{Metric: adsketch.MetricCloseness, K: 10}},
+		{ID: "top10-harmonic", TopK: &adsketch.TopKQuery{Metric: adsketch.MetricHarmonic, K: 10}},
+		{ID: "jaccard", Jaccard: &adsketch.JaccardQuery{A: 0, RadiusA: 2, B: 199, RadiusB: 2}},
+		{ID: "influence", Influence: &adsketch.InfluenceQuery{Seeds: []int32{0, 50, 150}, Radius: 2}},
+		{ID: "distance-bound", DistanceBound: &adsketch.DistanceBoundQuery{A: 17, B: 181}},
+	}
+}
+
+const goldenPath = "testdata/golden_uniform.json"
+
+// goldenEvaluate runs the corpus through a backend's protocol dispatch
+// and returns each response as its wire bytes.
+func goldenEvaluate(t *testing.T, do func(context.Context, adsketch.Request) (adsketch.Response, error)) []json.RawMessage {
+	t.Helper()
+	out := make([]json.RawMessage, 0, len(goldenRequests()))
+	for _, req := range goldenRequests() {
+		resp, err := do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", req.ID, err)
+		}
+		raw, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, raw)
+	}
+	return out
+}
+
+func TestGoldenEstimates(t *testing.T) {
+	set, eng := goldenBuild(t)
+	got := goldenEvaluate(t, eng.Do)
+
+	if *updateGolden {
+		payload, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(payload, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d responses)", goldenPath, len(got))
+		return
+	}
+
+	payload, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGolden -update ./` to create it)", err)
+	}
+	var want []json.RawMessage
+	if err := json.Unmarshal(payload, &want); err != nil {
+		t.Fatal(err)
+	}
+	reqs := goldenRequests()
+	if len(want) != len(reqs) {
+		t.Fatalf("golden file has %d responses for %d requests; regenerate with -update", len(want), len(reqs))
+	}
+	compact := func(raw json.RawMessage) string {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, raw); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	check := func(label string, got []json.RawMessage) {
+		for i := range want {
+			if compact(got[i]) != compact(want[i]) {
+				t.Errorf("%s: %s drifted from golden:\n  got  %s\n  want %s", label, reqs[i].ID, got[i], want[i])
+			}
+		}
+	}
+	check("single engine", got)
+
+	// The 4-partition coordinator must reproduce the committed bytes too
+	// — parity pinned against the golden record, not just live parity.
+	coord, err := adsketch.NewPartitionedEngine(set, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("4-partition coordinator", goldenEvaluate(t, coord.Do))
+}
+
+// TestGoldenTopOrder pins the ranking order (not just scores) of both
+// topk metrics: the (score desc, node asc) tie-break is part of the
+// protocol contract the coordinator merge reproduces.
+func TestGoldenTopOrder(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden update run")
+	}
+	_, eng := goldenBuild(t)
+	for _, metric := range []string{adsketch.MetricCloseness, adsketch.MetricHarmonic} {
+		resp, err := eng.Do(context.Background(), adsketch.Request{TopK: &adsketch.TopKQuery{Metric: metric, K: 25}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(resp.Ranking); i++ {
+			a, b := resp.Ranking[i-1], resp.Ranking[i]
+			if a.Score < b.Score || (a.Score == b.Score && a.Node >= b.Node) {
+				t.Fatalf("%s ranking order violated at %d: %+v then %+v", metric, i, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package cluster provides the machinery of the partitioned serving
+// tier: a node-ID router over the contiguous shard ranges of a split
+// sketch set, a scatter-gather runner for fanning one query out to the
+// shards that own its nodes, and the partial-response merges that
+// reassemble shard answers into the single-set answer.
+//
+// The design target is the DegreeSketch-style topology (Priest,
+// arXiv:2004.04289): per-node sketches distributed across workers by
+// node ID, with a coordinator that scatters each query to the owning
+// workers and aggregates the partials.  Everything here is deliberately
+// deterministic — routing depends only on the ranges, and every merge
+// reproduces the single-set evaluation order — so a scattered answer is
+// bit-for-bit identical to the unpartitioned one.
+package cluster
+
+import (
+	"context"
+
+	"adsketch/internal/query"
+)
+
+// Scatter runs fn(i) for every shard index in [0, n) concurrently,
+// stopping early when ctx is cancelled or any fn returns an error, and
+// returns the first error observed.  It is the fan-out half of the
+// scatter-gather cycle; the caller's fn performs one shard call and
+// stores the partial, and the Merge* helpers gather.
+func Scatter(ctx context.Context, n int, fn func(i int) error) error {
+	return query.ForEach(ctx, 0, n, fn)
+}

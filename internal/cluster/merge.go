@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"adsketch/internal/centrality"
+)
+
+// MergeScores gathers per-shard partial score vectors back into request
+// order: partial[i][j] is the score of subs[i].Nodes[j] and lands at
+// position subs[i].Pos[j] of the merged vector.  Because each score is a
+// per-node value computed from that node's sketch alone, the merged
+// vector equals the single-set batch bit-for-bit.
+func MergeScores(n int, subs []Sub, partial [][]float64) ([]float64, error) {
+	out := make([]float64, n)
+	filled := 0
+	for i, sub := range subs {
+		if len(partial[i]) != len(sub.Nodes) {
+			return nil, fmt.Errorf("cluster: shard %d returned %d scores for %d nodes", sub.Shard, len(partial[i]), len(sub.Nodes))
+		}
+		for j, pos := range sub.Pos {
+			out[pos] = partial[i][j]
+			filled++
+		}
+	}
+	if filled != n {
+		return nil, fmt.Errorf("cluster: merged %d of %d scores", filled, n)
+	}
+	return out, nil
+}
+
+// MergeTopK merges per-shard top-k rankings into the global top-k, in
+// ranking order: descending score, ties broken by ascending node ID —
+// the exact order of the single-set bounded-heap selection.  Each shard
+// list must itself hold the shard's top min(k, owned) nodes; then the
+// union of the lists contains every global top-k member, and the merge
+// is exhaustive.
+func MergeTopK(k int, lists [][]centrality.Ranked) []centrality.Ranked {
+	var all []centrality.Ranked
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Node < all[j].Node
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return all[:k:k]
+}

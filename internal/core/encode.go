@@ -30,6 +30,12 @@ import (
 // Approximate (kind 2):  k u32 | eps f64 | numNodes u32, then per node
 // the bottom-k entry payload.
 //
+// Partition (kind 3):  the partition header — index u32 | count u32 |
+// lo u32 | hi u32 | totalNodes u32 — followed by the inner set's body
+// (inner kind u32, kind header, payloads) holding the sketches of global
+// nodes lo..hi-1 of a totalNodes-node set split into count node-range
+// shards.  Partitions do not nest.
+//
 // Version 1 is the legacy uniform-only format (no kind field); readers
 // still accept it.  All integers are little-endian.
 
@@ -39,6 +45,8 @@ const (
 	// maxCodecK bounds the sketch parameter a file may claim, so a
 	// corrupted header cannot drive huge per-node allocations.
 	maxCodecK = 1 << 20
+	// maxCodecPartitions bounds the partition count a file may claim.
+	maxCodecPartitions = 1 << 20
 	// EncodeVersion is the current sketch file format version written by
 	// the WriteTo methods.
 	EncodeVersion = 2
@@ -49,6 +57,18 @@ const (
 	kindUniform uint32 = iota
 	kindWeighted
 	kindApprox
+	kindPartition
+)
+
+// Wire sizes of one entry record.
+const (
+	entryWireSize         = 4 + 8 + 8     // node, dist, rank
+	weightedEntryWireSize = 4 + 8 + 8 + 8 // node, dist, rank, beta
+	// maxEntryPrealloc caps up-front allocation per length field, so a
+	// corrupted count cannot allocate gigabytes before the payload read
+	// fails; longer payloads grow incrementally in chunks of this many
+	// entries.
+	maxEntryPrealloc = 4096
 )
 
 // AnySet is the kind-agnostic view of a sketch set that the codec can
@@ -80,59 +100,149 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func writeHeader(w io.Writer, kind uint32, fields ...any) error {
-	if _, err := io.WriteString(w, encodeMagic); err != nil {
-		return err
+// growBuf returns *buf resized to n bytes, reallocating only when the
+// capacity is short — the codec's per-call scratch, reused across nodes.
+func growBuf(buf *[]byte, n int) []byte {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
 	}
-	hdr := append([]any{uint32(EncodeVersion), kind}, fields...)
-	for _, h := range hdr {
-		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
-			return err
+	return (*buf)[:n]
+}
+
+// setEncoder writes the binary format through one buffered writer with a
+// single reusable scratch buffer (the codec hot path serializes every
+// entry of every node; per-field binary.Write reflection is far too slow
+// for multi-million-entry sets).
+type setEncoder struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+func (e *setEncoder) u32(v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := e.bw.Write(b[:])
+	return err
+}
+
+func (e *setEncoder) u64(v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := e.bw.Write(b[:])
+	return err
+}
+
+// entries writes one length-prefixed entry list as a single buffer write.
+func (e *setEncoder) entries(entries []Entry) error {
+	buf := growBuf(&e.buf, 4+len(entries)*entryWireSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
+	off := 4
+	for _, en := range entries {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(en.Node))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(en.Dist))
+		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(en.Rank))
+		off += entryWireSize
+	}
+	_, err := e.bw.Write(buf)
+	return err
+}
+
+// weightedEntries writes one length-prefixed (entry, beta) list.
+func (e *setEncoder) weightedEntries(entries []Entry, beta []float64) error {
+	buf := growBuf(&e.buf, 4+len(entries)*weightedEntryWireSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
+	off := 4
+	for i, en := range entries {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(en.Node))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(en.Dist))
+		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(en.Rank))
+		binary.LittleEndian.PutUint64(buf[off+20:], math.Float64bits(beta[i]))
+		off += weightedEntryWireSize
+	}
+	_, err := e.bw.Write(buf)
+	return err
+}
+
+// encodeSetBody writes a set's body — kind, kind header, payloads — the
+// part shared between whole-set files and the partition envelope.
+func encodeSetBody(e *setEncoder, s AnySet) error {
+	switch x := s.(type) {
+	case *Set:
+		hdr := []error{
+			e.u32(kindUniform),
+			e.u32(uint32(x.opts.K)),
+			e.u32(uint32(x.opts.Flavor)),
+			e.u64(x.opts.Seed),
+			e.u64(math.Float64bits(x.opts.BaseB)),
+			e.u32(uint32(len(x.sketches))),
 		}
+		for _, err := range hdr {
+			if err != nil {
+				return err
+			}
+		}
+		return writeUniformPayload(e, x)
+	case *WeightedSet:
+		scheme := ExponentialWeights
+		if len(x.sketches) > 0 {
+			scheme = x.sketches[0].scheme
+		}
+		hdr := []error{
+			e.u32(kindWeighted),
+			e.u32(uint32(x.k)),
+			e.u32(uint32(scheme)),
+			e.u32(uint32(len(x.sketches))),
+		}
+		for _, err := range hdr {
+			if err != nil {
+				return err
+			}
+		}
+		for _, sk := range x.sketches {
+			if err := e.weightedEntries(sk.entries, sk.beta); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ApproxSet:
+		hdr := []error{
+			e.u32(kindApprox),
+			e.u32(uint32(x.k)),
+			e.u64(math.Float64bits(x.eps)),
+			e.u32(uint32(len(x.sketches))),
+		}
+		for _, err := range hdr {
+			if err != nil {
+				return err
+			}
+		}
+		for _, sk := range x.sketches {
+			if err := e.entries(sk.entries); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: cannot encode sketch set type %T", s)
 	}
-	return nil
 }
 
-// WriteTo serializes the set in the version-2 format.  It implements
-// io.WriterTo; the returned count is the number of bytes written.
-func (s *Set) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
-	err := writeHeader(bw, kindUniform,
-		uint32(s.opts.K),
-		uint32(s.opts.Flavor),
-		s.opts.Seed,
-		math.Float64bits(s.opts.BaseB),
-		uint32(len(s.sketches)),
-	)
-	if err != nil {
-		return cw.n, err
-	}
-	if err := writeUniformPayload(bw, s); err != nil {
-		return cw.n, err
-	}
-	if err := bw.Flush(); err != nil {
-		return cw.n, err
-	}
-	return cw.n, nil
-}
-
-func writeUniformPayload(w io.Writer, s *Set) error {
+func writeUniformPayload(e *setEncoder, s *Set) error {
 	for _, sk := range s.sketches {
 		switch x := sk.(type) {
 		case *ADS:
-			if err := writeEntries(w, x.entries); err != nil {
+			if err := e.entries(x.entries); err != nil {
 				return err
 			}
 		case *KMinsADS:
 			for _, p := range x.perms {
-				if err := writeEntries(w, p); err != nil {
+				if err := e.entries(p); err != nil {
 					return err
 				}
 			}
 		case *KPartitionADS:
 			for _, p := range x.buckets {
-				if err := writeEntries(w, p); err != nil {
+				if err := e.entries(p); err != nil {
 					return err
 				}
 			}
@@ -143,113 +253,261 @@ func writeUniformPayload(w io.Writer, s *Set) error {
 	return nil
 }
 
-// WriteTo serializes the weighted set in the version-2 format.
-func (s *WeightedSet) WriteTo(w io.Writer) (int64, error) {
+// writeSetFile writes one whole-set file: magic, version, body.
+func writeSetFile(w io.Writer, s AnySet) (int64, error) {
 	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
-	scheme := ExponentialWeights
-	if len(s.sketches) > 0 {
-		scheme = s.sketches[0].scheme
-	}
-	err := writeHeader(bw, kindWeighted,
-		uint32(s.k),
-		uint32(scheme),
-		uint32(len(s.sketches)),
-	)
-	if err != nil {
+	e := &setEncoder{bw: bufio.NewWriter(cw)}
+	if _, err := e.bw.WriteString(encodeMagic); err != nil {
 		return cw.n, err
 	}
-	for _, sk := range s.sketches {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(sk.entries))); err != nil {
-			return cw.n, err
-		}
-		for i, e := range sk.entries {
-			rec := []any{e.Node, math.Float64bits(e.Dist), math.Float64bits(e.Rank), math.Float64bits(sk.beta[i])}
-			for _, f := range rec {
-				if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
-					return cw.n, err
-				}
-			}
-		}
+	if err := e.u32(EncodeVersion); err != nil {
+		return cw.n, err
 	}
-	if err := bw.Flush(); err != nil {
+	if err := encodeSetBody(e, s); err != nil {
+		return cw.n, err
+	}
+	if err := e.bw.Flush(); err != nil {
 		return cw.n, err
 	}
 	return cw.n, nil
 }
+
+// WriteTo serializes the set in the version-2 format.  It implements
+// io.WriterTo; the returned count is the number of bytes written.
+func (s *Set) WriteTo(w io.Writer) (int64, error) { return writeSetFile(w, s) }
+
+// WriteTo serializes the weighted set in the version-2 format.
+func (s *WeightedSet) WriteTo(w io.Writer) (int64, error) { return writeSetFile(w, s) }
 
 // WriteTo serializes the approximate set in the version-2 format.
-func (s *ApproxSet) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
-	err := writeHeader(bw, kindApprox,
-		uint32(s.k),
-		math.Float64bits(s.eps),
-		uint32(len(s.sketches)),
-	)
-	if err != nil {
-		return cw.n, err
-	}
-	for _, sk := range s.sketches {
-		if err := writeEntries(bw, sk.entries); err != nil {
-			return cw.n, err
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		return cw.n, err
-	}
-	return cw.n, nil
+func (s *ApproxSet) WriteTo(w io.Writer) (int64, error) { return writeSetFile(w, s) }
+
+// setDecoder reads the binary format through one reusable scratch buffer.
+type setDecoder struct {
+	r   io.Reader
+	buf []byte
 }
 
-// ReadSketchSet deserializes a sketch set written by any WriteTo method
-// (or the legacy version-1 WriteSet), validating the structural
-// invariants of every sketch.  The dynamic type of the result is *Set,
-// *WeightedSet, or *ApproxSet according to the stored kind.
-func ReadSketchSet(r io.Reader) (AnySet, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("core: reading sketch file magic: %w", err)
+func newSetDecoder(r io.Reader) *setDecoder {
+	return &setDecoder{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// read returns the next n bytes in the shared scratch buffer; the result
+// is only valid until the next decoder call.
+func (d *setDecoder) read(n int) ([]byte, error) {
+	buf := growBuf(&d.buf, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (d *setDecoder) u32() (uint32, error) {
+	buf, err := d.read(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf), nil
+}
+
+func (d *setDecoder) u64() (uint64, error) {
+	buf, err := d.read(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf), nil
+}
+
+// header reads a sequence of u32 (into *uint32) and u64 (into *uint64)
+// header fields.
+func (d *setDecoder) header(fields ...any) error {
+	for _, f := range fields {
+		switch p := f.(type) {
+		case *uint32:
+			v, err := d.u32()
+			if err != nil {
+				return err
+			}
+			*p = v
+		case *uint64:
+			v, err := d.u64()
+			if err != nil {
+				return err
+			}
+			*p = v
+		default:
+			panic(fmt.Sprintf("core: bad header field type %T", f))
+		}
+	}
+	return nil
+}
+
+// entries reads one length-prefixed entry list, decoding in bounded
+// chunks so a corrupted length cannot drive a huge allocation.
+func (d *setDecoder) entries(owner int32) ([]Entry, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("core: implausible entry count %d for node %d", n, owner)
+	}
+	prealloc := int(n)
+	if prealloc > maxEntryPrealloc {
+		prealloc = maxEntryPrealloc
+	}
+	out := make([]Entry, 0, prealloc)
+	for remaining := int(n); remaining > 0; {
+		chunk := remaining
+		if chunk > maxEntryPrealloc {
+			chunk = maxEntryPrealloc
+		}
+		buf, err := d.read(chunk * entryWireSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+		}
+		for off := 0; off < len(buf); off += entryWireSize {
+			out = append(out, Entry{
+				Node: int32(binary.LittleEndian.Uint32(buf[off:])),
+				Dist: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:])),
+				Rank: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+12:])),
+			})
+		}
+		remaining -= chunk
+	}
+	return out, nil
+}
+
+// weightedEntries reads one length-prefixed (entry, beta) list.
+func (d *setDecoder) weightedEntries(owner int32) ([]Entry, []float64, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+	}
+	if n > 1<<28 {
+		return nil, nil, fmt.Errorf("core: implausible entry count %d for node %d", n, owner)
+	}
+	prealloc := int(n)
+	if prealloc > maxEntryPrealloc {
+		prealloc = maxEntryPrealloc
+	}
+	entries := make([]Entry, 0, prealloc)
+	beta := make([]float64, 0, prealloc)
+	for remaining := int(n); remaining > 0; {
+		chunk := remaining
+		if chunk > maxEntryPrealloc {
+			chunk = maxEntryPrealloc
+		}
+		buf, err := d.read(chunk * weightedEntryWireSize)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+		}
+		for off := 0; off < len(buf); off += weightedEntryWireSize {
+			entries = append(entries, Entry{
+				Node: int32(binary.LittleEndian.Uint32(buf[off:])),
+				Dist: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:])),
+				Rank: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+12:])),
+			})
+			beta = append(beta, math.Float64frombits(binary.LittleEndian.Uint64(buf[off+20:])))
+		}
+		remaining -= chunk
+	}
+	return entries, beta, nil
+}
+
+// readAny parses any sketch file — whole set or partition — and returns
+// exactly one of the two.
+func readAny(r io.Reader) (AnySet, *Partition, error) {
+	d := newSetDecoder(r)
+	magic, err := d.read(4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reading sketch file magic: %w", err)
 	}
 	if string(magic) != encodeMagic {
-		return nil, fmt.Errorf("core: not a sketch file (magic %q)", magic)
+		return nil, nil, fmt.Errorf("core: not a sketch file (magic %q)", magic)
 	}
-	var version uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("core: reading sketch file version: %w", err)
+	version, err := d.u32()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reading sketch file version: %w", err)
 	}
 	switch version {
 	case 1:
-		return readUniformBody(br)
+		set, err := readUniformBody(d, 0)
+		return set, nil, err
 	case EncodeVersion:
-		var kind uint32
-		if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
-			return nil, fmt.Errorf("core: reading sketch file kind: %w", err)
+		kind, err := d.u32()
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: reading sketch file kind: %w", err)
 		}
-		switch kind {
-		case kindUniform:
-			return readUniformBody(br)
-		case kindWeighted:
-			return readWeightedBody(br)
-		case kindApprox:
-			return readApproxBody(br)
-		default:
-			return nil, fmt.Errorf("core: sketch file has unknown kind %d", kind)
+		if kind == kindPartition {
+			p, err := readPartitionBody(d)
+			return nil, p, err
 		}
+		set, err := decodeSetBodyKind(d, kind, 0)
+		return set, nil, err
 	default:
-		return nil, fmt.Errorf("core: sketch file version %d, supported versions are 1 and %d", version, EncodeVersion)
+		return nil, nil, fmt.Errorf("core: sketch file version %d, supported versions are 1 and %d", version, EncodeVersion)
+	}
+}
+
+// ReadSketchSet deserializes a whole sketch set written by any WriteTo
+// method (or the legacy version-1 WriteSet), validating the structural
+// invariants of every sketch.  The dynamic type of the result is *Set,
+// *WeightedSet, or *ApproxSet according to the stored kind.  Partition
+// files are refused; read those with ReadPartition (or merge them back
+// with MergeSketchSets / adstool merge).
+func ReadSketchSet(r io.Reader) (AnySet, error) {
+	set, part, err := readAny(r)
+	if err != nil {
+		return nil, err
+	}
+	if part != nil {
+		return nil, fmt.Errorf("core: file holds partition %d of a %d-way sketch set split; use ReadPartition, or merge the partitions", part.Index(), part.Count())
+	}
+	return set, nil
+}
+
+// ReadSketchFile reads either kind of sketch file, returning exactly one
+// of a whole set or a partition — what a serving process that accepts
+// both uses at startup.
+func ReadSketchFile(r io.Reader) (AnySet, *Partition, error) {
+	return readAny(r)
+}
+
+// decodeSetBody reads a set body (kind, kind header, payloads) with
+// sketch owners offset by base — the inner payload of a partition file.
+func decodeSetBody(d *setDecoder, base int32) (AnySet, error) {
+	kind, err := d.u32()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading sketch file kind: %w", err)
+	}
+	return decodeSetBodyKind(d, kind, base)
+}
+
+func decodeSetBodyKind(d *setDecoder, kind uint32, base int32) (AnySet, error) {
+	switch kind {
+	case kindUniform:
+		return readUniformBody(d, base)
+	case kindWeighted:
+		return readWeightedBody(d, base)
+	case kindApprox:
+		return readApproxBody(d, base)
+	case kindPartition:
+		return nil, fmt.Errorf("core: sketch partitions cannot nest")
+	default:
+		return nil, fmt.Errorf("core: sketch file has unknown kind %d", kind)
 	}
 }
 
 // readUniformBody parses the shared uniform body (everything after the
-// version/kind prefix, identical in versions 1 and 2).
-func readUniformBody(br io.Reader) (*Set, error) {
+// version/kind prefix, identical in versions 1 and 2).  Sketch owners
+// are base..base+numNodes-1 (base is 0 for whole-set files and the
+// node-range start for partitions).
+func readUniformBody(d *setDecoder, base int32) (*Set, error) {
 	var k, flavor, numNodes uint32
 	var seed, baseBits uint64
-	for _, p := range []any{&k, &flavor, &seed, &baseBits, &numNodes} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("core: reading sketch file header: %w", err)
-		}
+	if err := d.header(&k, &flavor, &seed, &baseBits, &numNodes); err != nil {
+		return nil, fmt.Errorf("core: reading sketch file header: %w", err)
 	}
 	o := Options{
 		K:      int(k),
@@ -268,22 +526,23 @@ func readUniformBody(br io.Reader) (*Set, error) {
 	}
 	set := &Set{opts: o, sketches: make([]Sketch, numNodes)}
 	for v := uint32(0); v < numNodes; v++ {
+		owner := base + int32(v)
 		switch o.Flavor {
 		case sketch.BottomK:
-			entries, err := readEntries(br, int32(v))
+			entries, err := d.entries(owner)
 			if err != nil {
 				return nil, err
 			}
-			a := NewADS(int32(v), o.K)
+			a := NewADS(owner, o.K)
 			a.entries = entries
 			if err := a.Validate(); err != nil {
 				return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
 			}
 			set.sketches[v] = a
 		case sketch.KMins:
-			a := NewKMinsADS(int32(v), o.K)
+			a := NewKMinsADS(owner, o.K)
 			for h := 0; h < o.K; h++ {
-				entries, err := readEntries(br, int32(v))
+				entries, err := d.entries(owner)
 				if err != nil {
 					return nil, err
 				}
@@ -294,9 +553,9 @@ func readUniformBody(br io.Reader) (*Set, error) {
 			}
 			set.sketches[v] = a
 		case sketch.KPartition:
-			a := NewKPartitionADS(int32(v), o.K)
+			a := NewKPartitionADS(owner, o.K)
 			for bkt := 0; bkt < o.K; bkt++ {
-				entries, err := readEntries(br, int32(v))
+				entries, err := d.entries(owner)
 				if err != nil {
 					return nil, err
 				}
@@ -313,12 +572,10 @@ func readUniformBody(br io.Reader) (*Set, error) {
 	return set, nil
 }
 
-func readWeightedBody(br io.Reader) (*WeightedSet, error) {
+func readWeightedBody(d *setDecoder, base int32) (*WeightedSet, error) {
 	var k, scheme, numNodes uint32
-	for _, p := range []any{&k, &scheme, &numNodes} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("core: reading sketch file header: %w", err)
-		}
+	if err := d.header(&k, &scheme, &numNodes); err != nil {
+		return nil, fmt.Errorf("core: reading sketch file header: %w", err)
 	}
 	if k < 1 || k > maxCodecK {
 		return nil, fmt.Errorf("core: implausible sketch parameter k=%d", k)
@@ -331,32 +588,15 @@ func readWeightedBody(br io.Reader) (*WeightedSet, error) {
 	}
 	set := &WeightedSet{k: int(k), sketches: make([]*WeightedADS, numNodes)}
 	for v := uint32(0); v < numNodes; v++ {
-		var n uint32
-		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-			return nil, fmt.Errorf("core: reading sketch of node %d: %w", v, err)
+		owner := base + int32(v)
+		entries, beta, err := d.weightedEntries(owner)
+		if err != nil {
+			return nil, err
 		}
-		if n > 1<<28 {
-			return nil, fmt.Errorf("core: implausible entry count %d for node %d", n, v)
-		}
-		a := NewWeightedADS(int32(v), int(k))
+		a := NewWeightedADS(owner, int(k))
 		a.scheme = WeightScheme(scheme)
-		cap := int(n)
-		if cap > 4096 {
-			cap = 4096
-		}
-		a.entries = make([]Entry, 0, cap)
-		a.beta = make([]float64, 0, cap)
-		for i := uint32(0); i < n; i++ {
-			var node int32
-			var dist, rank, beta uint64
-			for _, p := range []any{&node, &dist, &rank, &beta} {
-				if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-					return nil, fmt.Errorf("core: reading sketch of node %d: %w", v, err)
-				}
-			}
-			a.entries = append(a.entries, Entry{Node: node, Dist: math.Float64frombits(dist), Rank: math.Float64frombits(rank)})
-			a.beta = append(a.beta, math.Float64frombits(beta))
-		}
+		a.entries = entries
+		a.beta = beta
 		if err := a.Validate(); err != nil {
 			return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
 		}
@@ -365,13 +605,11 @@ func readWeightedBody(br io.Reader) (*WeightedSet, error) {
 	return set, nil
 }
 
-func readApproxBody(br io.Reader) (*ApproxSet, error) {
+func readApproxBody(d *setDecoder, base int32) (*ApproxSet, error) {
 	var k, numNodes uint32
 	var epsBits uint64
-	for _, p := range []any{&k, &epsBits, &numNodes} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("core: reading sketch file header: %w", err)
-		}
+	if err := d.header(&k, &epsBits, &numNodes); err != nil {
+		return nil, fmt.Errorf("core: reading sketch file header: %w", err)
 	}
 	eps := math.Float64frombits(epsBits)
 	if k < 1 || k > maxCodecK {
@@ -385,16 +623,17 @@ func readApproxBody(br io.Reader) (*ApproxSet, error) {
 	}
 	set := &ApproxSet{k: int(k), eps: eps, sketches: make([]*ADS, numNodes)}
 	for v := uint32(0); v < numNodes; v++ {
-		entries, err := readEntries(br, int32(v))
+		owner := base + int32(v)
+		entries, err := d.entries(owner)
 		if err != nil {
 			return nil, err
 		}
-		a := NewADS(int32(v), int(k))
+		a := NewADS(owner, int(k))
 		a.entries = entries
 		// Approximate sketches relax the exact inclusion rule (entries may
 		// be justified by an ε-slack window that the final state no longer
 		// exhibits), so only the rank-independent invariants are checked.
-		if err := validateApproxEntries(int32(v), entries); err != nil {
+		if err := validateApproxEntries(owner, entries); err != nil {
 			return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
 		}
 		set.sketches[v] = a
@@ -436,45 +675,27 @@ func validateApproxEntries(owner int32, entries []Entry) error {
 // Deprecated: use (*Set).WriteTo, which writes the current versioned
 // format shared by all set kinds.
 func WriteSet(w io.Writer, s *Set) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(encodeMagic); err != nil {
+	e := &setEncoder{bw: bufio.NewWriter(w)}
+	if _, err := e.bw.WriteString(encodeMagic); err != nil {
 		return err
 	}
-	hdr := []any{
-		uint32(encodeVersion),
-		uint32(s.opts.K),
-		uint32(s.opts.Flavor),
-		s.opts.Seed,
-		math.Float64bits(s.opts.BaseB),
-		uint32(len(s.sketches)),
+	hdr := []error{
+		e.u32(encodeVersion),
+		e.u32(uint32(s.opts.K)),
+		e.u32(uint32(s.opts.Flavor)),
+		e.u64(s.opts.Seed),
+		e.u64(math.Float64bits(s.opts.BaseB)),
+		e.u32(uint32(len(s.sketches))),
 	}
-	for _, h := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+	for _, err := range hdr {
+		if err != nil {
 			return err
 		}
 	}
-	if err := writeUniformPayload(bw, s); err != nil {
+	if err := writeUniformPayload(e, s); err != nil {
 		return err
 	}
-	return bw.Flush()
-}
-
-func writeEntries(w io.Writer, entries []Entry) error {
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(entries))); err != nil {
-		return err
-	}
-	for _, e := range entries {
-		if err := binary.Write(w, binary.LittleEndian, e.Node); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(e.Dist)); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(e.Rank)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.bw.Flush()
 }
 
 // ReadSet deserializes a uniform sketch set written by WriteSet or
@@ -491,36 +712,4 @@ func ReadSet(r io.Reader) (*Set, error) {
 		return nil, fmt.Errorf("core: sketch file holds a %T, not a uniform set; use ReadSketchSet", set)
 	}
 	return uniform, nil
-}
-
-func readEntries(r io.Reader, owner int32) ([]Entry, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
-	}
-	if n > 1<<28 {
-		return nil, fmt.Errorf("core: implausible entry count %d for node %d", n, owner)
-	}
-	cap := int(n)
-	if cap > 4096 {
-		// Grow incrementally beyond this: a corrupted length field must not
-		// allocate gigabytes before the payload read fails.
-		cap = 4096
-	}
-	entries := make([]Entry, 0, cap)
-	for i := uint32(0); i < n; i++ {
-		var node int32
-		var dist, rank uint64
-		if err := binary.Read(r, binary.LittleEndian, &node); err != nil {
-			return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
-		}
-		if err := binary.Read(r, binary.LittleEndian, &dist); err != nil {
-			return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
-		}
-		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
-			return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
-		}
-		entries = append(entries, Entry{Node: node, Dist: math.Float64frombits(dist), Rank: math.Float64frombits(rank)})
-	}
-	return entries, nil
 }

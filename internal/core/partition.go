@@ -1,0 +1,312 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Node-range partitioning of sketch sets.  A billion-edge build does not
+// fit one serving process, so a sketch set splits by node ID into P
+// contiguous shards: partition i owns the sketches of global nodes
+// [i·n/P, (i+1)·n/P).  Each partition is independently serializable (the
+// kind-3 envelope of the v2 codec carries the partition header: index,
+// count, node range, total nodes), loads independently into a shard
+// serving process, and the full split merges back bit-for-bit into the
+// original set.  Entries inside a partition's sketches keep their global
+// node IDs, so every HIP estimate computed from a partitioned sketch is
+// identical to the one computed from the whole set.
+
+// Partition is one contiguous node-range shard of a sketch set: the
+// sketches of global nodes [Lo, Hi) of a TotalNodes-node set split into
+// Count shards.  The inner set indexes sketches locally (sketch i is
+// owned by global node Lo+i); SketchAt resolves global IDs.
+type Partition struct {
+	index, count int
+	lo, hi       int32
+	total        int
+	set          AnySet
+}
+
+// Index returns the partition's position in the split, in [0, Count).
+func (p *Partition) Index() int { return p.index }
+
+// Count returns how many partitions the set was split into.
+func (p *Partition) Count() int { return p.count }
+
+// Lo returns the first global node ID the partition owns.
+func (p *Partition) Lo() int32 { return p.lo }
+
+// Hi returns the global node ID one past the last the partition owns.
+func (p *Partition) Hi() int32 { return p.hi }
+
+// TotalNodes returns the node count of the full (unsplit) set.
+func (p *Partition) TotalNodes() int { return p.total }
+
+// NumLocal returns how many sketches the partition holds (Hi - Lo).
+func (p *Partition) NumLocal() int { return int(p.hi - p.lo) }
+
+// K returns the sketch parameter.
+func (p *Partition) K() int { return p.set.K() }
+
+// Set returns the inner, locally indexed sketch set (*Set, *WeightedSet,
+// or *ApproxSet; sketch i is owned by global node Lo+i).
+func (p *Partition) Set() AnySet { return p.set }
+
+// Contains reports whether the partition owns global node v.
+func (p *Partition) Contains(v int32) bool { return v >= p.lo && v < p.hi }
+
+// SketchAt returns the sketch of global node v.
+func (p *Partition) SketchAt(v int32) (Sketch, error) {
+	if !p.Contains(v) {
+		return nil, fmt.Errorf("core: node %d not owned by partition %d/%d (nodes [%d, %d))",
+			v, p.index, p.count, p.lo, p.hi)
+	}
+	return p.set.SketchOf(v - p.lo), nil
+}
+
+// WriteTo serializes the partition in the version-2 format (kind 3): the
+// partition header followed by the inner set's body.  It implements
+// io.WriterTo.
+func (p *Partition) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	e := &setEncoder{bw: bufio.NewWriter(cw)}
+	if _, err := e.bw.WriteString(encodeMagic); err != nil {
+		return cw.n, err
+	}
+	hdr := []error{
+		e.u32(EncodeVersion),
+		e.u32(kindPartition),
+		e.u32(uint32(p.index)),
+		e.u32(uint32(p.count)),
+		e.u32(uint32(p.lo)),
+		e.u32(uint32(p.hi)),
+		e.u32(uint32(p.total)),
+	}
+	for _, err := range hdr {
+		if err != nil {
+			return cw.n, err
+		}
+	}
+	if err := encodeSetBody(e, p.set); err != nil {
+		return cw.n, err
+	}
+	if err := e.bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// readPartitionBody parses everything after the magic/version/kind
+// prefix of a partition file.
+func readPartitionBody(d *setDecoder) (*Partition, error) {
+	var index, count, lo, hi, total uint32
+	if err := d.header(&index, &count, &lo, &hi, &total); err != nil {
+		return nil, fmt.Errorf("core: reading partition header: %w", err)
+	}
+	switch {
+	case count < 1 || count > maxCodecPartitions:
+		return nil, fmt.Errorf("core: implausible partition count %d", count)
+	case index >= count:
+		return nil, fmt.Errorf("core: partition index %d out of range [0, %d)", index, count)
+	case total > 1<<30:
+		return nil, fmt.Errorf("core: implausible node count %d", total)
+	case lo > hi || hi > total:
+		return nil, fmt.Errorf("core: partition node range [%d, %d) outside [0, %d)", lo, hi, total)
+	}
+	set, err := decodeSetBody(d, int32(lo))
+	if err != nil {
+		return nil, err
+	}
+	if set.NumNodes() != int(hi-lo) {
+		return nil, fmt.Errorf("core: partition claims nodes [%d, %d) but holds %d sketches", lo, hi, set.NumNodes())
+	}
+	return &Partition{
+		index: int(index),
+		count: int(count),
+		lo:    int32(lo),
+		hi:    int32(hi),
+		total: int(total),
+		set:   set,
+	}, nil
+}
+
+// ReadPartition deserializes one partition written by Partition.WriteTo,
+// validating the partition header and every sketch's structural
+// invariants.  Whole-set files are refused; read those with
+// ReadSketchSet.
+func ReadPartition(r io.Reader) (*Partition, error) {
+	set, part, err := readAny(r)
+	if err != nil {
+		return nil, err
+	}
+	if part == nil {
+		return nil, fmt.Errorf("core: file holds a whole %T, not a partition; use ReadSketchSet", set)
+	}
+	return part, nil
+}
+
+// SplitSketchSet partitions a sketch set by node ID into parts contiguous
+// shards of near-equal size (partition i owns [i·n/parts, (i+1)·n/parts)).
+// The partitions alias the set's sketches — splitting allocates no sketch
+// data — and MergeSketchSets reassembles them into a set whose
+// serialization is bit-for-bit identical to the original's.
+func SplitSketchSet(s AnySet, parts int) ([]*Partition, error) {
+	n := s.NumNodes()
+	if parts < 1 {
+		return nil, fmt.Errorf("core: cannot split into %d partitions, want >= 1", parts)
+	}
+	if parts > n && !(n == 0 && parts == 1) {
+		return nil, fmt.Errorf("core: cannot split %d nodes into %d partitions", n, parts)
+	}
+	slice := func(lo, hi int) (AnySet, error) {
+		switch x := s.(type) {
+		case *Set:
+			return &Set{opts: x.opts, sketches: x.sketches[lo:hi:hi]}, nil
+		case *WeightedSet:
+			return &WeightedSet{k: x.k, sketches: x.sketches[lo:hi:hi]}, nil
+		case *ApproxSet:
+			return &ApproxSet{k: x.k, eps: x.eps, sketches: x.sketches[lo:hi:hi]}, nil
+		default:
+			return nil, fmt.Errorf("core: cannot split sketch set type %T", s)
+		}
+	}
+	out := make([]*Partition, parts)
+	for i := 0; i < parts; i++ {
+		lo, hi := i*n/parts, (i+1)*n/parts
+		sub, err := slice(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = &Partition{
+			index: i,
+			count: parts,
+			lo:    int32(lo),
+			hi:    int32(hi),
+			total: n,
+			set:   sub,
+		}
+	}
+	return out, nil
+}
+
+// MergeSketchSets reassembles a complete split back into one whole set.
+// The partitions may arrive in any order; the merge validates that they
+// form exactly one split (consistent count and total, indexes 0..P-1,
+// contiguous ranges covering every node, equal sketch parameters) and
+// returns a set of the same dynamic kind whose serialization is
+// bit-for-bit identical to the original's.
+func MergeSketchSets(parts []*Partition) (AnySet, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: no partitions to merge")
+	}
+	byIndex := make([]*Partition, len(parts))
+	count, total := parts[0].count, parts[0].total
+	if count != len(parts) {
+		return nil, fmt.Errorf("core: have %d partitions of a %d-way split", len(parts), count)
+	}
+	for _, p := range parts {
+		if p.count != count || p.total != total {
+			return nil, fmt.Errorf("core: partition %d belongs to a different split (%d partitions of %d nodes, want %d of %d)",
+				p.index, p.count, p.total, count, total)
+		}
+		if p.index < 0 || p.index >= count {
+			return nil, fmt.Errorf("core: partition index %d out of range [0, %d)", p.index, count)
+		}
+		if byIndex[p.index] != nil {
+			return nil, fmt.Errorf("core: duplicate partition %d", p.index)
+		}
+		byIndex[p.index] = p
+	}
+	expect := int32(0)
+	for i, p := range byIndex {
+		if p.lo != expect {
+			return nil, fmt.Errorf("core: partition %d covers nodes [%d, %d), want to start at %d", i, p.lo, p.hi, expect)
+		}
+		expect = p.hi
+	}
+	if int(expect) != total {
+		return nil, fmt.Errorf("core: partitions cover nodes [0, %d) of %d", expect, total)
+	}
+	merged, err := concatPartitions(byIndex, total)
+	if err != nil {
+		return nil, err
+	}
+	// Cross-check the sketch owners against their global positions, so a
+	// merge of tampered partitions cannot silently misattribute sketches.
+	for v := 0; v < total; v++ {
+		if owner := merged.SketchOf(int32(v)).Node(); owner != int32(v) {
+			return nil, fmt.Errorf("core: merged sketch at position %d is owned by node %d", v, owner)
+		}
+	}
+	return merged, nil
+}
+
+// concatPartitions concatenates the partitions' sketches, validating
+// kind and parameter consistency.
+func concatPartitions(byIndex []*Partition, total int) (AnySet, error) {
+	switch first := byIndex[0].set.(type) {
+	case *Set:
+		sketches := make([]Sketch, 0, total)
+		for _, p := range byIndex {
+			x, ok := p.set.(*Set)
+			if !ok {
+				return nil, fmt.Errorf("core: partition %d holds a %T, partition 0 a %T", p.index, p.set, first)
+			}
+			if x.opts != first.opts {
+				return nil, fmt.Errorf("core: partition %d built with %+v, partition 0 with %+v", p.index, x.opts, first.opts)
+			}
+			sketches = append(sketches, x.sketches...)
+		}
+		return &Set{opts: first.opts, sketches: sketches}, nil
+	case *WeightedSet:
+		sketches := make([]*WeightedADS, 0, total)
+		scheme, schemeKnown := ExponentialWeights, false
+		for _, p := range byIndex {
+			x, ok := p.set.(*WeightedSet)
+			if !ok {
+				return nil, fmt.Errorf("core: partition %d holds a %T, partition 0 a %T", p.index, p.set, first)
+			}
+			if x.k != first.k {
+				return nil, fmt.Errorf("core: partition %d has k=%d, partition 0 k=%d", p.index, x.k, first.k)
+			}
+			if len(x.sketches) > 0 {
+				if s := x.sketches[0].scheme; !schemeKnown {
+					scheme, schemeKnown = s, true
+				} else if s != scheme {
+					return nil, fmt.Errorf("core: partition %d uses %v ranks, earlier partitions %v", p.index, s, scheme)
+				}
+			}
+			sketches = append(sketches, x.sketches...)
+		}
+		return &WeightedSet{k: first.k, sketches: sketches}, nil
+	case *ApproxSet:
+		sketches := make([]*ADS, 0, total)
+		for _, p := range byIndex {
+			x, ok := p.set.(*ApproxSet)
+			if !ok {
+				return nil, fmt.Errorf("core: partition %d holds a %T, partition 0 a %T", p.index, p.set, first)
+			}
+			if x.k != first.k || x.eps != first.eps {
+				return nil, fmt.Errorf("core: partition %d has (k=%d, eps=%g), partition 0 (k=%d, eps=%g)",
+					p.index, x.k, x.eps, first.k, first.eps)
+			}
+			sketches = append(sketches, x.sketches...)
+		}
+		return &ApproxSet{k: first.k, eps: first.eps, sketches: sketches}, nil
+	default:
+		return nil, fmt.Errorf("core: cannot merge sketch set type %T", first)
+	}
+}
+
+// ADSFromEntries reconstructs a bottom-k ADS from transported entries
+// (e.g. a sketch fetched from a remote shard), validating the structural
+// invariants.  The entries slice is retained.
+func ADSFromEntries(owner int32, k int, entries []Entry) (*ADS, error) {
+	a := NewADS(owner, k)
+	a.entries = entries
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

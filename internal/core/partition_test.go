@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adsketch/internal/graph"
+	"adsketch/internal/sketch"
+)
+
+func buildUniform(t *testing.T, o Options) *Set {
+	t.Helper()
+	g := graph.PreferentialAttachment(150, 3, 5)
+	set, err := BuildSet(g, o, AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// splitKinds builds one set of every kind for the split/merge tests.
+func splitKinds(t *testing.T) map[string]AnySet {
+	t.Helper()
+	g := graph.PreferentialAttachment(150, 3, 5)
+	uniform, err := BuildSet(g, Options{K: 8, Seed: 42}, AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := make([]float64, g.NumNodes())
+	for i := range beta {
+		beta[i] = 1 + float64(i%5)
+	}
+	weighted, err := BuildWeightedSet(g, 8, 42, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := BuildApproxSet(g, 8, 42, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]AnySet{"uniform": uniform, "weighted": weighted, "approx": approx}
+}
+
+func setBytes(t *testing.T, s AnySet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A split must cover every node exactly once, alias the original
+// sketches, and merge back into a set serializing bit-for-bit like the
+// original — for every set kind.
+func TestSplitMergeRoundTrip(t *testing.T) {
+	for kind, set := range splitKinds(t) {
+		t.Run(kind, func(t *testing.T) {
+			original := setBytes(t, set)
+			for _, p := range []int{1, 3, 4, 150} {
+				parts, err := SplitSketchSet(set, p)
+				if err != nil {
+					t.Fatalf("split %d: %v", p, err)
+				}
+				if len(parts) != p {
+					t.Fatalf("split %d: got %d parts", p, len(parts))
+				}
+				covered := 0
+				for i, part := range parts {
+					if part.Index() != i || part.Count() != p || part.TotalNodes() != set.NumNodes() {
+						t.Fatalf("split %d part %d header: %+v", p, i, part)
+					}
+					covered += part.NumLocal()
+					for v := part.Lo(); v < part.Hi(); v++ {
+						sk, err := part.SketchAt(v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if sk != set.SketchOf(v) {
+							t.Fatalf("split %d: partition sketch of node %d is not the original", p, v)
+						}
+					}
+				}
+				if covered != set.NumNodes() {
+					t.Fatalf("split %d covers %d of %d nodes", p, covered, set.NumNodes())
+				}
+				// Merge in scrambled order.
+				scrambled := make([]*Partition, len(parts))
+				for i, part := range parts {
+					scrambled[(i*7+3)%len(parts)] = part
+				}
+				merged, err := MergeSketchSets(scrambled)
+				if err != nil {
+					t.Fatalf("merge %d: %v", p, err)
+				}
+				if got := setBytes(t, merged); !bytes.Equal(got, original) {
+					t.Fatalf("split %d: merged serialization differs from original (%d vs %d bytes)", p, len(got), len(original))
+				}
+			}
+		})
+	}
+}
+
+// Partition files must round trip through the codec, preserving header
+// and sketches, then merge bit-for-bit.
+func TestPartitionCodecRoundTrip(t *testing.T) {
+	for kind, set := range splitKinds(t) {
+		t.Run(kind, func(t *testing.T) {
+			original := setBytes(t, set)
+			parts, err := SplitSketchSet(set, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded := make([]*Partition, len(parts))
+			for i, part := range parts {
+				var buf bytes.Buffer
+				if _, err := part.WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				p2, err := ReadPartition(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("partition %d: %v", i, err)
+				}
+				if p2.Index() != part.Index() || p2.Count() != part.Count() ||
+					p2.Lo() != part.Lo() || p2.Hi() != part.Hi() || p2.TotalNodes() != part.TotalNodes() {
+					t.Fatalf("partition %d header changed across codec: %+v vs %+v", i, p2, part)
+				}
+				// The re-encoded partition must be byte-identical too.
+				var buf2 bytes.Buffer
+				if _, err := p2.WriteTo(&buf2); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+					t.Fatalf("partition %d re-serialization differs", i)
+				}
+				loaded[i] = p2
+			}
+			merged, err := MergeSketchSets(loaded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := setBytes(t, merged); !bytes.Equal(got, original) {
+				t.Fatal("codec round trip + merge differs from original serialization")
+			}
+		})
+	}
+}
+
+// Uniform flavors beyond bottom-k must survive the partition codec too.
+func TestPartitionCodecFlavors(t *testing.T) {
+	for _, o := range []Options{
+		{K: 4, Flavor: sketch.KMins, Seed: 9},
+		{K: 4, Flavor: sketch.KPartition, Seed: 9},
+		{K: 8, Seed: 9, BaseB: 2},
+	} {
+		set := buildUniform(t, o)
+		parts, err := SplitSketchSet(set, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, part := range parts {
+			var buf bytes.Buffer
+			if _, err := part.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			p2, err := ReadPartition(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("flavor %v: %v", o.Flavor, err)
+			}
+			for v := p2.Lo(); v < p2.Hi(); v++ {
+				sk, err := p2.SketchAt(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sk.Node() != v {
+					t.Fatalf("flavor %v: sketch at %d owned by %d", o.Flavor, v, sk.Node())
+				}
+				want := EstimateNeighborhoodHIP(set.SketchOf(v), 2)
+				if got := EstimateNeighborhoodHIP(sk, 2); got != want {
+					t.Fatalf("flavor %v node %d: estimate %v, want %v", o.Flavor, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	set := buildUniform(t, Options{K: 4, Seed: 1})
+	if _, err := SplitSketchSet(set, 0); err == nil {
+		t.Error("split into 0 partitions succeeded")
+	}
+	if _, err := SplitSketchSet(set, set.NumNodes()+1); err == nil {
+		t.Error("split into more partitions than nodes succeeded")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	set := buildUniform(t, Options{K: 4, Seed: 1})
+	parts, err := SplitSketchSet(set, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSketchSets(nil); err == nil {
+		t.Error("merging nothing succeeded")
+	}
+	if _, err := MergeSketchSets(parts[:3]); err == nil {
+		t.Error("merging an incomplete split succeeded")
+	}
+	if _, err := MergeSketchSets([]*Partition{parts[0], parts[1], parts[2], parts[2]}); err == nil {
+		t.Error("merging a duplicate partition succeeded")
+	}
+	other, err := SplitSketchSet(buildUniform(t, Options{K: 4, Seed: 2}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSketchSets([]*Partition{parts[0], other[1]}); err == nil {
+		t.Error("merging partitions of different splits succeeded")
+	}
+}
+
+// A partition file is not a whole set, and vice versa; the readers must
+// say so instead of misparsing.
+func TestPartitionFileDetection(t *testing.T) {
+	set := buildUniform(t, Options{K: 4, Seed: 1})
+	parts, err := SplitSketchSet(set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pbuf bytes.Buffer
+	if _, err := parts[1].WriteTo(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSketchSet(bytes.NewReader(pbuf.Bytes())); err == nil || !strings.Contains(err.Error(), "partition") {
+		t.Errorf("ReadSketchSet on a partition file: %v", err)
+	}
+	var sbuf bytes.Buffer
+	if _, err := set.WriteTo(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPartition(bytes.NewReader(sbuf.Bytes())); err == nil || !strings.Contains(err.Error(), "whole") {
+		t.Errorf("ReadPartition on a whole-set file: %v", err)
+	}
+
+	// ReadSketchFile accepts both and tells them apart.
+	gotSet, gotPart, err := ReadSketchFile(bytes.NewReader(sbuf.Bytes()))
+	if err != nil || gotSet == nil || gotPart != nil {
+		t.Errorf("ReadSketchFile(whole) = (%v, %v, %v)", gotSet, gotPart, err)
+	}
+	gotSet2, gotPart2, err := ReadSketchFile(bytes.NewReader(pbuf.Bytes()))
+	if err != nil || gotSet2 != nil || gotPart2 == nil {
+		t.Errorf("ReadSketchFile(partition) = (%v, %v, %v)", gotSet2, gotPart2, err)
+	}
+}
+
+// Truncated or header-corrupted partition files must error, not panic or
+// over-allocate.
+func TestPartitionCorruption(t *testing.T) {
+	set := buildUniform(t, Options{K: 4, Seed: 1})
+	parts, err := SplitSketchSet(set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := parts[0].WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, n := range []int{5, 12, 20, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadPartition(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncation to %d bytes read successfully", n)
+		}
+	}
+	// Corrupt the partition count field (offset: magic 4 + version 4 +
+	// kind 4 + index 4 = 16).
+	bad := append([]byte(nil), raw...)
+	bad[16], bad[17], bad[18], bad[19] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadPartition(bytes.NewReader(bad)); err == nil {
+		t.Error("implausible partition count read successfully")
+	}
+}
+
+func TestADSFromEntries(t *testing.T) {
+	set := buildUniform(t, Options{K: 4, Seed: 1})
+	a := set.Sketch(3).(*ADS)
+	rebuilt, err := ADSFromEntries(3, a.K(), append([]Entry(nil), a.Entries()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := EstimateNeighborhoodHIP(rebuilt, 2), EstimateNeighborhoodHIP(a, 2); got != want {
+		t.Errorf("rebuilt estimate %v, want %v", got, want)
+	}
+	// Reordered entries violate the canonical-order invariant.
+	ents := append([]Entry(nil), a.Entries()...)
+	if len(ents) >= 2 {
+		ents[0], ents[1] = ents[1], ents[0]
+		if _, err := ADSFromEntries(3, a.K(), ents); err == nil {
+			t.Error("corrupt entries validated successfully")
+		}
+	}
+}

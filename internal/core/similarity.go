@@ -82,28 +82,74 @@ func mergeBottomK(k int, a, b []Entry) []Entry {
 	return out
 }
 
-// UnionNeighborhoodEstimate estimates |∪_s N_d(s)| over a set of seed
-// nodes from their coordinated bottom-k sketches: merge the per-seed
-// MinHash sketches of N_d and apply the basic bottom-k estimator to the
-// merged sketch.  This is the timed-influence primitive ([14] in the
-// paper): the number of nodes within distance d of at least one seed.
-func UnionNeighborhoodEstimate(set *Set, seeds []int32, d float64) float64 {
-	if len(seeds) == 0 {
-		return 0
-	}
-	k := set.opts.K
+// UnionNeighborhoodSketches estimates |∪ N_d| over the given coordinated
+// bottom-k sketches (merged in slice order): merge the per-sketch MinHash
+// sketches of N_d and apply the basic bottom-k estimator to the merged
+// sketch.  The sketches may come from anywhere — one set, a partition, or
+// fetched from remote shards — as long as they share one rank permutation
+// and the same k.
+func UnionNeighborhoodSketches(k int, sketches []*ADS, d float64) float64 {
 	var union []Entry
-	for _, s := range seeds {
-		a, ok := set.Sketch(s).(*ADS)
-		if !ok {
-			panic("core: union estimates require bottom-k sketches")
-		}
+	for _, a := range sketches {
 		union = mergeBottomK(k, union, a.MinHashEntriesWithin(d))
 	}
 	if len(union) < k {
 		return float64(len(union))
 	}
 	return float64(k-1) / union[k-1].Rank
+}
+
+// UnionNeighborhoodEstimate estimates |∪_s N_d(s)| over a set of seed
+// nodes from their coordinated bottom-k sketches.  This is the timed-
+// influence primitive ([14] in the paper): the number of nodes within
+// distance d of at least one seed.
+func UnionNeighborhoodEstimate(set *Set, seeds []int32, d float64) float64 {
+	if len(seeds) == 0 {
+		return 0
+	}
+	sketches := make([]*ADS, len(seeds))
+	for i, s := range seeds {
+		a, ok := set.Sketch(s).(*ADS)
+		if !ok {
+			panic("core: union estimates require bottom-k sketches")
+		}
+		sketches[i] = a
+	}
+	return UnionNeighborhoodSketches(set.opts.K, sketches, d)
+}
+
+// GreedyInfluenceSketches greedily picks numSeeds nodes from candidates
+// maximizing the estimated union neighborhood |∪_s N_d(s)|, resolving
+// each node's coordinated bottom-k sketch through lookup — the location-
+// independent core of GreedyInfluenceSeeds, usable when the sketches are
+// scattered across shards.
+func GreedyInfluenceSketches(k int, lookup func(int32) *ADS, candidates []int32, numSeeds int, d float64) ([]int32, float64) {
+	var seeds []int32
+	var sketches []*ADS
+	chosen := make(map[int32]bool)
+	best := 0.0
+	for len(seeds) < numSeeds {
+		var bestNode int32 = -1
+		bestGain := best
+		for _, c := range candidates {
+			if chosen[c] {
+				continue
+			}
+			est := UnionNeighborhoodSketches(k, append(sketches, lookup(c)), d)
+			if est > bestGain || bestNode < 0 {
+				bestGain = est
+				bestNode = c
+			}
+		}
+		if bestNode < 0 {
+			break
+		}
+		seeds = append(seeds, bestNode)
+		sketches = append(sketches, lookup(bestNode))
+		chosen[bestNode] = true
+		best = bestGain
+	}
+	return seeds, best
 }
 
 // GreedyInfluenceSeeds greedily picks numSeeds nodes maximizing the
@@ -117,30 +163,14 @@ func GreedyInfluenceSeeds(set *Set, candidates []int32, numSeeds int, d float64)
 			candidates[i] = int32(i)
 		}
 	}
-	var seeds []int32
-	chosen := make(map[int32]bool)
-	best := 0.0
-	for len(seeds) < numSeeds {
-		var bestNode int32 = -1
-		bestGain := best
-		for _, c := range candidates {
-			if chosen[c] {
-				continue
-			}
-			est := UnionNeighborhoodEstimate(set, append(seeds, c), d)
-			if est > bestGain || bestNode < 0 {
-				bestGain = est
-				bestNode = c
-			}
+	lookup := func(v int32) *ADS {
+		a, ok := set.Sketch(v).(*ADS)
+		if !ok {
+			panic("core: union estimates require bottom-k sketches")
 		}
-		if bestNode < 0 {
-			break
-		}
-		seeds = append(seeds, bestNode)
-		chosen[bestNode] = true
-		best = bestGain
+		return a
 	}
-	return seeds, best
+	return GreedyInfluenceSketches(set.opts.K, lookup, candidates, numSeeds, d)
 }
 
 // DistanceUpperBound estimates an upper bound on d(a.owner, b.owner) from

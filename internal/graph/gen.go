@@ -170,8 +170,13 @@ func PreferentialAttachment(n, m int, seed uint64) *Graph {
 		}
 	}
 	for v := start; v < n; v++ {
+		// picked preserves draw order: iterating the chosen set through a
+		// map would randomize the edge (and endpoint) order per process,
+		// breaking the "deterministic in seed" contract every pinned test
+		// depends on.
 		chosen := make(map[int32]bool, m)
-		for len(chosen) < m {
+		picked := make([]int32, 0, m)
+		for len(picked) < m {
 			var t int32
 			if len(endpoints) == 0 {
 				t = int32(rng.Intn(v))
@@ -182,8 +187,9 @@ func PreferentialAttachment(n, m int, seed uint64) *Graph {
 				continue
 			}
 			chosen[t] = true
+			picked = append(picked, t)
 		}
-		for t := range chosen {
+		for _, t := range picked {
 			b.AddEdge(int32(v), t)
 			endpoints = append(endpoints, int32(v), t)
 		}

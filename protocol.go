@@ -31,7 +31,8 @@ var (
 	ErrUnsupportedQuery = errors.New("adsketch: query unsupported by this sketch set")
 )
 
-// Query is one typed protocol query, dispatched by Engine.Do.  The
+// Query is one typed protocol query, dispatched by Engine.Do (single
+// set or shard) and Coordinator.Do (scatter-gather).  The
 // implementations are the *Query types of this package; the interface is
 // closed (its methods are unexported) so the wire protocol stays in sync
 // with the server.
@@ -42,6 +43,10 @@ type Query interface {
 	validate() error
 	// evaluate answers the query on an engine.
 	evaluate(ctx context.Context, e *Engine) (Response, error)
+	// scatter answers the query on a coordinator by shard fan-out and
+	// partial-response merge, bit-for-bit equal to evaluate on the
+	// unpartitioned set.
+	scatter(ctx context.Context, c *Coordinator) (Response, error)
 }
 
 // Request is the transport envelope of one query: exactly one of the
@@ -50,6 +55,11 @@ type Request struct {
 	// ID is an opaque client tag echoed into the Response, for matching
 	// requests to responses inside a batch.
 	ID string `json:"id,omitempty"`
+	// Explain asks a partitioned serving tier (Coordinator) to attach
+	// the merge metadata — which shards were consulted — to the
+	// Response.  Single engines ignore it, and without it a coordinator
+	// response is byte-identical to the single-set one.
+	Explain bool `json:"explain,omitempty"`
 
 	Closeness        *ClosenessQuery        `json:"closeness,omitempty"`
 	Harmonic         *HarmonicQuery         `json:"harmonic,omitempty"`
@@ -59,6 +69,7 @@ type Request struct {
 	Jaccard          *JaccardQuery          `json:"jaccard,omitempty"`
 	Influence        *InfluenceQuery        `json:"influence,omitempty"`
 	DistanceBound    *DistanceBoundQuery    `json:"distance_bound,omitempty"`
+	Sketch           *SketchQuery           `json:"sketch,omitempty"`
 }
 
 // Query returns the single query carried by the request, or an error
@@ -80,6 +91,7 @@ func (r *Request) Query() (Query, error) {
 	pick(r.Jaccard, r.Jaccard != nil)
 	pick(r.Influence, r.Influence != nil)
 	pick(r.DistanceBound, r.DistanceBound != nil)
+	pick(r.Sketch, r.Sketch != nil)
 	switch n {
 	case 0:
 		return nil, fmt.Errorf("%w: no query set", ErrBadRequest)
@@ -116,6 +128,31 @@ type Response struct {
 	// Seeds holds the selected (or echoed) seed nodes of an influence
 	// query.
 	Seeds []int32 `json:"seeds,omitempty"`
+	// Entries holds the transported sketch entries of a sketch query —
+	// the pairwise-scatter payload a coordinator fetches from the shard
+	// owning a node.
+	Entries []SketchEntry `json:"entries,omitempty"`
+	// Merge describes how a partitioned serving tier assembled this
+	// response; attached only when the Request set Explain.
+	Merge *MergeMeta `json:"merge,omitempty"`
+}
+
+// MergeMeta is the merge metadata of a scattered query (Request.Explain).
+type MergeMeta struct {
+	// Shards lists the partition indexes consulted, in routing order.
+	Shards []int `json:"shards"`
+	// Partials is the number of partial responses merged.
+	Partials int `json:"partials"`
+}
+
+// SketchEntry is one transported ADS entry: a sampled node, its distance
+// from the sketch owner, and its rank.  encoding/json writes float64s in
+// the shortest form that round trips, so transported sketches are
+// bit-for-bit the stored ones.
+type SketchEntry struct {
+	Node int32   `json:"node"`
+	Dist float64 `json:"dist"`
+	Rank float64 `json:"rank"`
 }
 
 func scalar(v float64) *float64 { return &v }
@@ -138,6 +175,12 @@ func (q *ClosenessQuery) evaluate(ctx context.Context, e *Engine) (Response, err
 	return Response{Scores: scores}, nil
 }
 
+func (q *ClosenessQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+	return c.scatterScores(ctx, q.Nodes, func(sub []int32) Request {
+		return Request{Closeness: &ClosenessQuery{Nodes: sub}}
+	})
+}
+
 // HarmonicQuery asks for the HIP estimate of the harmonic centrality
 // Σ_{j != v} 1/d_vj of each node.
 type HarmonicQuery struct {
@@ -154,6 +197,12 @@ func (q *HarmonicQuery) evaluate(ctx context.Context, e *Engine) (Response, erro
 		return Response{}, err
 	}
 	return Response{Scores: scores}, nil
+}
+
+func (q *HarmonicQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+	return c.scatterScores(ctx, q.Nodes, func(sub []int32) Request {
+		return Request{Harmonic: &HarmonicQuery{Nodes: sub}}
+	})
 }
 
 // NeighborhoodQuery asks for the HIP estimate of n_d(v) = |N_d(v)| (the
@@ -185,6 +234,12 @@ func (q *NeighborhoodQuery) evaluate(ctx context.Context, e *Engine) (Response, 
 		return Response{}, err
 	}
 	return Response{Scores: scores}, nil
+}
+
+func (q *NeighborhoodQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+	return c.scatterScores(ctx, q.Nodes, func(sub []int32) Request {
+		return Request{Neighborhood: &NeighborhoodQuery{Radius: q.Radius, Unbounded: q.Unbounded, Nodes: sub}}
+	})
 }
 
 // Metrics accepted by TopKQuery.
@@ -224,6 +279,12 @@ func (q *TopKQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
 		return Response{}, err
 	}
 	return Response{Ranking: ranking}, nil
+}
+
+func (q *TopKQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+	// Every shard returns its own top-min(K, owned); the union contains
+	// every global top-K member, so the bounded merge is exhaustive.
+	return c.scatterTopK(ctx, q)
 }
 
 // Kernels accepted by CentralityKernelQuery, the query-time α of the
@@ -289,6 +350,12 @@ func (q *CentralityKernelQuery) evaluate(ctx context.Context, e *Engine) (Respon
 	return Response{Scores: scores}, nil
 }
 
+func (q *CentralityKernelQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+	return c.scatterScores(ctx, q.Nodes, func(sub []int32) Request {
+		return Request{CentralityKernel: &CentralityKernelQuery{Kernel: q.Kernel, Radius: q.Radius, Nodes: sub}}
+	})
+}
+
 // JaccardQuery asks for the estimated Jaccard similarity of the
 // neighborhoods N_{radius_a}(a) and N_{radius_b}(b), computable because
 // coordinated sketches share one rank permutation.  It requires a
@@ -326,6 +393,18 @@ func (q *JaccardQuery) evaluate(ctx context.Context, e *Engine) (Response, error
 	return Response{Value: scalar(core.NeighborhoodJaccard(a, q.RadiusA, b, q.RadiusB))}, nil
 }
 
+func (q *JaccardQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+	// Pairwise scatter: the endpoints may live on different shards, so
+	// fetch both sketches (concurrently, per owning shard) and evaluate
+	// at the coordinator.
+	byNode, err := c.fetchSketches(ctx, []int32{q.A, q.B})
+	if err != nil {
+		return Response{}, err
+	}
+	value := core.NeighborhoodJaccard(byNode[q.A], q.RadiusA, byNode[q.B], q.RadiusB)
+	return Response{Value: scalar(value), Merge: c.fetchMeta([]int32{q.A, q.B})}, nil
+}
+
 // InfluenceQuery covers the timed-influence primitives on coordinated
 // sketches.  With Seeds set, it estimates the union coverage
 // |∪_s N_radius(s)| of exactly those seeds.  With NumSeeds set instead,
@@ -358,30 +437,79 @@ func (q *InfluenceQuery) validate() error {
 }
 
 func (q *InfluenceQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
-	set, err := e.uniformSet()
-	if err != nil {
+	if _, err := e.uniformSet(); err != nil {
 		return Response{}, err
 	}
 	if len(q.Seeds) > 0 {
-		if err := query.CheckNodes(e.set.NumNodes(), q.Seeds); err != nil {
-			return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		sketches := make([]*core.ADS, len(q.Seeds))
+		for i, s := range q.Seeds {
+			a, err := e.bottomK(s)
+			if err != nil {
+				return Response{}, err
+			}
+			sketches[i] = a
 		}
-		if _, err := e.bottomK(q.Seeds[0]); err != nil {
-			return Response{}, err // flavor check; CheckNodes vetted the index
-		}
-		cov := core.UnionNeighborhoodEstimate(set, q.Seeds, q.Radius)
+		cov := core.UnionNeighborhoodSketches(e.set.K(), sketches, q.Radius)
 		return Response{Seeds: q.Seeds, Value: scalar(cov)}, nil
 	}
-	if err := query.CheckNodes(e.set.NumNodes(), q.Candidates); err != nil {
-		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
-	if e.set.NumNodes() > 0 {
-		if _, err := e.bottomK(0); err != nil {
-			return Response{}, err
+	// Greedy selection.  An absent candidate list means every node the
+	// engine serves: the whole graph for a whole-set engine, the owned
+	// node range for a shard engine (shard-local influence; the
+	// Coordinator evaluates global greedy selection itself).
+	candidates := q.Candidates
+	if candidates == nil {
+		candidates = make([]int32, e.set.NumNodes())
+		for i := range candidates {
+			candidates[i] = e.lo + int32(i)
 		}
 	}
-	seeds, cov := core.GreedyInfluenceSeeds(set, q.Candidates, q.NumSeeds, q.Radius)
+	byNode := make(map[int32]*core.ADS, len(candidates))
+	for _, v := range candidates {
+		a, err := e.bottomK(v)
+		if err != nil {
+			return Response{}, err
+		}
+		byNode[v] = a
+	}
+	seeds, cov := core.GreedyInfluenceSketches(e.set.K(), func(v int32) *core.ADS { return byNode[v] },
+		candidates, q.NumSeeds, q.Radius)
 	return Response{Seeds: seeds, Value: scalar(cov)}, nil
+}
+
+func (q *InfluenceQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+	if err := c.requireCoordinated(); err != nil {
+		return Response{}, err
+	}
+	if len(q.Seeds) > 0 {
+		byNode, err := c.fetchSketches(ctx, q.Seeds)
+		if err != nil {
+			return Response{}, err
+		}
+		sketches := make([]*core.ADS, len(q.Seeds))
+		for i, s := range q.Seeds {
+			sketches[i] = byNode[s]
+		}
+		cov := core.UnionNeighborhoodSketches(c.k, sketches, q.Radius)
+		return Response{Seeds: q.Seeds, Value: scalar(cov), Merge: c.fetchMeta(q.Seeds)}, nil
+	}
+	// Global greedy selection: fetch every candidate's sketch (the whole
+	// node space when no candidate list is given — an O(n)-sketch
+	// scatter, intended for explicit candidate pools on large splits)
+	// and run the single-set greedy algorithm at the coordinator.
+	candidates := q.Candidates
+	if candidates == nil {
+		candidates = make([]int32, c.total)
+		for i := range candidates {
+			candidates[i] = int32(i)
+		}
+	}
+	byNode, err := c.fetchSketches(ctx, candidates)
+	if err != nil {
+		return Response{}, err
+	}
+	seeds, cov := core.GreedyInfluenceSketches(c.k, func(v int32) *core.ADS { return byNode[v] },
+		candidates, q.NumSeeds, q.Radius)
+	return Response{Seeds: seeds, Value: scalar(cov), Merge: c.fetchMeta(candidates)}, nil
 }
 
 // DistanceBoundQuery asks for the 2-hop-cover-style upper bound on
@@ -416,6 +544,65 @@ func (q *DistanceBoundQuery) evaluate(ctx context.Context, e *Engine) (Response,
 	return Response{Value: scalar(bound)}, nil
 }
 
+func (q *DistanceBoundQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+	byNode, err := c.fetchSketches(ctx, []int32{q.A, q.B})
+	if err != nil {
+		return Response{}, err
+	}
+	bound := core.DistanceUpperBound(byNode[q.A], byNode[q.B])
+	resp := Response{Merge: c.fetchMeta([]int32{q.A, q.B})}
+	if math.IsInf(bound, 1) {
+		resp.Unreachable = true
+		return resp, nil
+	}
+	resp.Value = scalar(bound)
+	return resp, nil
+}
+
+// SketchQuery asks for the raw bottom-k sketch entries of one node —
+// the pairwise-scatter primitive a Coordinator uses to evaluate
+// cross-shard jaccard / influence / distance_bound queries, and a
+// debugging window into what a serving process holds.  It requires a
+// uniform-rank bottom-k set.
+type SketchQuery struct {
+	Node int32 `json:"node"`
+}
+
+func (q *SketchQuery) kind() string { return "sketch" }
+
+func (q *SketchQuery) validate() error { return nil }
+
+func (q *SketchQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
+	a, err := e.bottomK(q.Node)
+	if err != nil {
+		return Response{}, err
+	}
+	raw := a.Entries()
+	entries := make([]SketchEntry, len(raw))
+	for i, en := range raw {
+		entries[i] = SketchEntry{Node: en.Node, Dist: en.Dist, Rank: en.Rank}
+	}
+	return Response{Entries: entries}, nil
+}
+
+func (q *SketchQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+	if err := c.requireCoordinated(); err != nil {
+		return Response{}, err
+	}
+	if err := query.CheckNodes(c.total, []int32{q.Node}); err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	shard, err := c.router.Owner(q.Node)
+	if err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	resp, err := c.shards[shard].Do(ctx, Request{Sketch: q})
+	if err != nil {
+		return Response{}, c.shardErr(shard, err)
+	}
+	return Response{Entries: resp.Entries, Merge: c.fetchMeta([]int32{q.Node})}, nil
+}
+
 // uniformSet returns the engine's set as a uniform-rank *Set, or an
 // error matching ErrUnsupportedQuery.
 func (e *Engine) uniformSet() (*Set, error) {
@@ -426,19 +613,19 @@ func (e *Engine) uniformSet() (*Set, error) {
 	return set, nil
 }
 
-// bottomK returns node v's sketch as a bottom-k ADS from a uniform set,
-// validating the node and flavor.
+// bottomK returns (global) node v's sketch as a bottom-k ADS from a
+// uniform set, validating the node and flavor.
 func (e *Engine) bottomK(v int32) (*core.ADS, error) {
 	set, err := e.uniformSet()
 	if err != nil {
 		return nil, err
 	}
-	if err := query.CheckNodes(set.NumNodes(), []int32{v}); err != nil {
+	if err := e.checkNodes([]int32{v}); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	a, ok := set.Sketch(v).(*core.ADS)
+	a, ok := set.Sketch(v - e.lo).(*core.ADS)
 	if !ok {
-		return nil, fmt.Errorf("%w: requires bottom-k sketches, set holds %T", ErrUnsupportedQuery, set.Sketch(v))
+		return nil, fmt.Errorf("%w: requires bottom-k sketches, set holds %T", ErrUnsupportedQuery, set.Sketch(v-e.lo))
 	}
 	return a, nil
 }
@@ -471,12 +658,19 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 // corresponding Response rather than aborting the batch.  DoBatch itself
 // fails only when ctx is done.
 func (e *Engine) DoBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	return doBatch(ctx, reqs, e.Do)
+}
+
+// doBatch is the shared batch loop of Engine.DoBatch and
+// Coordinator.DoBatch: per-request failures are reported inline, and
+// only context cancellation fails the batch.
+func doBatch(ctx context.Context, reqs []Request, do func(context.Context, Request) (Response, error)) ([]Response, error) {
 	out := make([]Response, len(reqs))
 	for i := range reqs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		resp, err := e.Do(ctx, reqs[i])
+		resp, err := do(ctx, reqs[i])
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
