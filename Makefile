@@ -9,7 +9,7 @@ GO ?= go
 # coverage durably improves; never lower it to make a PR pass.
 COVER_BASELINE ?= 74.0
 
-.PHONY: test race bench cover fuzz-smoke clean
+.PHONY: test race bench cover fuzz-smoke memprofile clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -29,18 +29,48 @@ race:
 # measurement (reflection-based binary.Write per field, PR 2) so every
 # BENCH_engine.json carries the before/after pair for the buffer-reuse
 # codec rewrite.
+#
+# The *_PRE_FRAMES baselines pin the measurements taken immediately
+# before the columnar-frame refactor (per-node entry slices, append-grown
+# per-node HIPIndex, v2-only codec), so the load-path and index-build
+# rows always ship with their before/after pair:
+#   - loading a 5000-node k=16 set was a 24.3 ms v2 decode (15018
+#     allocs); v3 open and v3 mmap now serve the same set in O(1) allocs;
+#   - building every HIP index cost 94836 allocations (~19 per node);
+#   - steady-state Engine.Do was 2956 ns and 8 allocs per request.
 CODEC_BASELINE_NS = 1283536377
+LOAD_PRE_FRAMES_NS = 24302517
+LOAD_PRE_FRAMES_ALLOCS = 15018
+HIPBUILD_PRE_FRAMES_NS = 26416967
+HIPBUILD_PRE_FRAMES_ALLOCS = 94836
+ENGINEDO_PRE_FRAMES_NS = 2956
+ENGINEDO_PRE_FRAMES_ALLOCS = 8
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . > bench.out || { cat bench.out; exit 1; }
 	cat bench.out
 	awk 'BEGIN { print "[" } \
-	  /^Benchmark(Engine|SketchSet)/ { \
+	  /^Benchmark(Engine|SketchSet|HIPIndex)/ { \
 	    if (n++) printf ",\n"; \
-	    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $$1, $$2, $$3 \
+	    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $$1, $$2, $$3; \
+	    for (i = 4; i <= NF; i++) if ($$i == "allocs/op") printf ", \"allocs_per_op\": %s", $$(i-1); \
+	    printf "}" \
 	  } \
-	  END { printf ",\n  {\"name\": \"BenchmarkSketchSetCodec/before-buffer-reuse\", \"iterations\": 1, \"ns_per_op\": $(CODEC_BASELINE_NS)}\n]\n" }' \
+	  END { \
+	    printf ",\n  {\"name\": \"BenchmarkSketchSetCodec/before-buffer-reuse\", \"iterations\": 1, \"ns_per_op\": $(CODEC_BASELINE_NS)},\n"; \
+	    printf "  {\"name\": \"BenchmarkSketchSetLoad/v2-decode/before-columnar-frames\", \"iterations\": 5, \"ns_per_op\": $(LOAD_PRE_FRAMES_NS), \"allocs_per_op\": $(LOAD_PRE_FRAMES_ALLOCS)},\n"; \
+	    printf "  {\"name\": \"BenchmarkHIPIndexBuild/before-columnar-frames\", \"iterations\": 5, \"ns_per_op\": $(HIPBUILD_PRE_FRAMES_NS), \"allocs_per_op\": $(HIPBUILD_PRE_FRAMES_ALLOCS)},\n"; \
+	    printf "  {\"name\": \"BenchmarkEngineDoAllocs/before-columnar-frames\", \"iterations\": 5, \"ns_per_op\": $(ENGINEDO_PRE_FRAMES_NS), \"allocs_per_op\": $(ENGINEDO_PRE_FRAMES_ALLOCS)}\n]\n" }' \
 	  bench.out > BENCH_engine.json
 	@cat BENCH_engine.json
+
+# Heap profile of the steady-state serving hot path (Engine.Do with a
+# warm cache): chase allocation regressions with
+#   go tool pprof adsketch.test engine_do.memprofile
+# CI runs this and uploads the profile artifact.
+memprofile:
+	$(GO) test -run='^$$' -bench='^BenchmarkEngineDoAllocs$$' -benchtime=10000x \
+	  -memprofile=engine_do.memprofile -o adsketch.test .
+	@ls -l engine_do.memprofile
 
 # Coverage gate: emit coverage.out (CI uploads it as an artifact) and
 # fail when total statement coverage falls below the recorded baseline.
@@ -56,7 +86,8 @@ cover:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzReadSketchSet' -fuzztime=5s ./internal/core/
 	$(GO) test -run='^$$' -fuzz='FuzzReadSet$$' -fuzztime=5s ./internal/core/
+	$(GO) test -run='^$$' -fuzz='FuzzOpenSketchFile' -fuzztime=5s ./internal/core/
 	$(GO) test -run='^$$' -fuzz='FuzzReadEdgeList' -fuzztime=5s ./internal/graph/
 
 clean:
-	rm -f bench.out coverage.out
+	rm -f bench.out coverage.out engine_do.memprofile adsketch.test

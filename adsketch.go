@@ -56,8 +56,12 @@
 // Request / Response via Engine.Do and Engine.DoBatch — and every sketch
 // set kind serializes through SketchSet.WriteTo / ReadSketchSet, so a
 // production process can build once, persist, and serve the protocol
-// over any transport.  cmd/adsserver is the reference HTTP server
-// (POST /v1/query); see README.md for the wire shapes.
+// over any transport.  Sets are stored as columnar frames (one offsets
+// array plus shared entry columns per set); WriteSketchSetV3 persists
+// that layout verbatim, and OpenSketchFile / MmapSketchFile serve it
+// back with O(1) allocations or zero copies.  cmd/adsserver is the
+// reference HTTP server (POST /v1/query, worker mode with -mmap); see
+// README.md for the wire shapes.
 //
 // # Removed legacy constructors
 //
@@ -68,6 +72,7 @@
 package adsketch
 
 import (
+	"fmt"
 	"io"
 
 	"adsketch/internal/anf"
@@ -156,9 +161,49 @@ type Ranked = centrality.Ranked
 // entry; it implements SketchSet.
 type ApproxSet = core.ApproxSet
 
-// SketchFormatVersion is the current sketch file format version written
+// SketchFormatVersion is the streaming sketch file format version written
 // by SketchSet.WriteTo and read back by ReadSketchSet.
 const SketchFormatVersion = core.EncodeVersion
+
+// SketchFormatVersionColumnar is the columnar (frame-layout) sketch file
+// format version written by WriteSketchSetV3 / WritePartitionV3 and
+// served zero-copy by OpenSketchFile / MmapSketchFile.
+const SketchFormatVersionColumnar = core.EncodeVersionV3
+
+// SketchFile is an opened sketch file: exactly one of a whole set or a
+// partition, plus the backing mmap region when the file was mapped.
+type SketchFile = core.SketchFile
+
+// OpenSketchFile opens a sketch file of any version.  Version-3
+// (columnar) files are read in one call and their columns viewed in
+// place — O(1) allocations per set; version-1/2 files fall back to the
+// streaming decoder.
+func OpenSketchFile(path string) (*SketchFile, error) { return core.OpenSketchFile(path) }
+
+// MmapSketchFile opens a version-3 sketch file by mapping it into memory
+// (on linux; elsewhere it degrades to OpenSketchFile): no column is read
+// until queried, so a serving process starts in near-constant time
+// regardless of file size.  Close the returned file only after all
+// sketches and indexes derived from it are out of use.
+func MmapSketchFile(path string) (*SketchFile, error) { return core.MmapSketchFile(path) }
+
+// WriteSketchSetV3 serializes a whole sketch set in the columnar
+// version-3 format: a fixed header followed by the raw frame columns, so
+// encoding is near-memcpy and decoding O(columns).  Estimates from the
+// reloaded set are bit-for-bit those of the original.
+func WriteSketchSetV3(w io.Writer, set SketchSet) (int64, error) {
+	s, ok := set.(core.AnySet)
+	if !ok {
+		return 0, fmt.Errorf("adsketch: cannot serialize sketch set type %T", set)
+	}
+	return core.WriteSketchSetV3(w, s)
+}
+
+// WritePartitionV3 serializes one partition in the columnar version-3
+// format — the shard file an `adsserver -mmap` worker opens.
+func WritePartitionV3(w io.Writer, p *Partition) (int64, error) {
+	return core.WritePartitionV3(w, p)
+}
 
 // Partition is one contiguous node-range shard of a split sketch set:
 // the sketches of global nodes [Lo, Hi) of a TotalNodes-node set split

@@ -70,15 +70,135 @@ func buildSplitFiles(t *testing.T) (whole string, parts []string, set adsketch.S
 	return whole, parts, set
 }
 
+// buildSplitFilesV3 writes the same split as buildSplitFiles in the
+// columnar v3 format — the prebuilt shard files an -mmap worker opens.
+func buildSplitFilesV3(t *testing.T, set adsketch.SketchSet) []string {
+	t.Helper()
+	split, err := adsketch.SplitSketchSet(set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var parts []string
+	for _, p := range split {
+		name := filepath.Join(dir, "part"+string(rune('0'+p.Index()))+".v3.ads")
+		pf, err := os.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := adsketch.WritePartitionV3(pf, p); err != nil {
+			t.Fatal(err)
+		}
+		pf.Close()
+		parts = append(parts, name)
+	}
+	return parts
+}
+
+// TestMmapWorkerParity: workers serving prebuilt kind-3 v3 shard files
+// through -mmap must answer byte-identically to the in-memory workers
+// over the v2 partition files, both directly and behind a coordinator.
+func TestMmapWorkerParity(t *testing.T) {
+	whole, v2parts, set := buildSplitFiles(t)
+	v3parts := buildSplitFilesV3(t, set)
+	single, _, _ := serveFile(t, whole, 0)
+
+	body, err := json.Marshal(e2eRequests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(url string) []byte {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	var memURLs, mmapURLs []string
+	for i := range v2parts {
+		mem, _, mode := serveFile(t, v2parts[i], 0)
+		if mode != "shard" {
+			t.Fatalf("v2 partition file %d served in %q mode", i, mode)
+		}
+		mm, _, mode := serveFileMmap(t, v3parts[i], 0, true)
+		if mode != "shard" {
+			t.Fatalf("mmap'd v3 partition file %d served in %q mode", i, mode)
+		}
+		memURLs = append(memURLs, mem.URL)
+		mmapURLs = append(mmapURLs, mm.URL)
+
+		// Per-worker parity on an owned-node query.
+		meta := struct{ Lo int32 }{}
+		r, err := http.Get(mm.URL + "/v1/meta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&meta); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		owned, _ := json.Marshal(adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{meta.Lo}}})
+		postOwned := func(url string) []byte {
+			resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(owned))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			return buf.Bytes()
+		}
+		if a, b := postOwned(mem.URL), postOwned(mm.URL); !bytes.Equal(a, b) {
+			t.Errorf("worker %d: mmap answer differs from in-memory:\n  mmap   %s\n  memory %s", i, b, a)
+		}
+	}
+
+	memCoord, err := dialWorkers(memURLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmapCoord, err := dialWorkers(mmapURLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memTS := httptest.NewServer(newServer(memCoord, "coordinator", "").mux())
+	defer memTS.Close()
+	mmapTS := httptest.NewServer(newServer(mmapCoord, "coordinator", "").mux())
+	defer mmapTS.Close()
+
+	singleBytes := post(single.URL)
+	if got := post(mmapTS.URL); !bytes.Equal(got, singleBytes) {
+		t.Errorf("mmap-worker coordinator differs from single server:\n  mmap   %s\n  single %s", got, singleBytes)
+	}
+	if a, b := post(memTS.URL), post(mmapTS.URL); !bytes.Equal(a, b) {
+		t.Errorf("mmap-worker coordinator differs from in-memory coordinator:\n  mmap   %s\n  memory %s", b, a)
+	}
+}
+
 // serveFile spins up one adsserver over a sketch file, exactly as main
 // would (loadLocal + mux).
 func serveFile(t *testing.T, path string, partitions int) (*httptest.Server, backend, string) {
 	t.Helper()
-	be, mode, err := loadLocal(path, partitions)
+	return serveFileMmap(t, path, partitions, false)
+}
+
+// serveFileMmap is serveFile with the -mmap flag.
+func serveFileMmap(t *testing.T, path string, partitions int, useMmap bool) (*httptest.Server, backend, string) {
+	t.Helper()
+	be, mode, info, err := loadLocal(path, partitions, useMmap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(be, mode, path).mux())
+	srv := newServer(be, mode, path)
+	srv.setFileInfo(info.version, info.mapped)
+	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
 	return ts, be, mode
 }

@@ -48,6 +48,9 @@ type server struct {
 	start      time.Time
 	shardMetas []adsketch.ShardMeta // coordinator mode: per-shard metadata
 
+	fileVersion int  // codec version of the loaded sketch file (0 when not file-backed)
+	mmapped     bool // columns view an mmap region
+
 	queries  atomic.Int64 // protocol requests evaluated (batch items count individually)
 	batches  atomic.Int64 // POST /v1/query calls
 	failures atomic.Int64 // requests answered with an error
@@ -59,6 +62,12 @@ func newServer(be backend, mode, sketchPath string) *server {
 		s.shardMetas = c.ShardMetas()
 	}
 	return s
+}
+
+// setFileInfo records how the sketch file was loaded, for /statsz.
+func (s *server) setFileInfo(version int, mmapped bool) {
+	s.fileVersion = version
+	s.mmapped = mmapped
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -179,7 +188,9 @@ type statszBody struct {
 	Sketches      string               `json:"sketches,omitempty"`
 	Kind          string               `json:"kind"`
 	FormatVersion int                  `json:"format_version"`
-	Nodes         int                  `json:"nodes"` // global node count
+	FileVersion   int                  `json:"file_version,omitempty"` // codec version of the loaded file
+	Mmap          bool                 `json:"mmap,omitempty"`         // columns served from an mmap region
+	Nodes         int                  `json:"nodes"`                  // global node count
 	K             int                  `json:"k"`
 	UptimeSeconds float64              `json:"uptime_seconds"`
 	Shard         *adsketch.ShardMeta  `json:"shard,omitempty"`  // shard mode: what this worker owns
@@ -201,6 +212,8 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Sketches:      s.sketchPath,
 		Kind:          meta.Kind,
 		FormatVersion: adsketch.SketchFormatVersion,
+		FileVersion:   s.fileVersion,
+		Mmap:          s.mmapped,
 		Nodes:         meta.TotalNodes,
 		K:             meta.K,
 		UptimeSeconds: time.Since(s.start).Seconds(),

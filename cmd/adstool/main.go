@@ -8,6 +8,8 @@
 //	adstool build -graph graph.txt -k 16 -seed 42 -save sketches.ads
 //	adstool split -sketches sketches.ads -partitions 4 -out sketches
 //	adstool merge -out sketches.ads sketches.p0of4.ads sketches.p1of4.ads ...
+//	adstool convert -sketches sketches.ads -out sketches.v3.ads
+//	adstool info sketches.v3.ads
 //	adstool query -graph graph.txt -sketches sketches.ads -node 17 -d 3
 //	adstool query -remote http://localhost:8080 -node 17 -d 3
 //	adstool top   -graph graph.txt -k 16 -seed 42 -top 10
@@ -54,6 +56,10 @@ func main() {
 		err = runSplit(args)
 	case "merge":
 		err = runMerge(args)
+	case "convert":
+		err = runConvert(args)
+	case "info":
+		err = runInfo(args)
 	case "query":
 		err = runQuery(args)
 	case "top":
@@ -70,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: adstool {gen|stats|build|split|merge|query|top|influence} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: adstool {gen|stats|build|split|merge|convert|info|query|top|influence} [flags]")
 	os.Exit(2)
 }
 
@@ -247,6 +253,7 @@ func runSplit(args []string) error {
 	sketchPath := fs.String("sketches", "", "sketch file to split (required)")
 	partitions := fs.Int("partitions", 2, "number of node-range partitions")
 	out := fs.String("out", "", "output prefix (default: -sketches without its extension)")
+	v3 := fs.Bool("v3", false, "write columnar v3 shard files (what adsserver -mmap serves)")
 	fs.Parse(args)
 	if *sketchPath == "" {
 		return fmt.Errorf("split: -sketches is required")
@@ -274,7 +281,12 @@ func runSplit(args []string) error {
 		if err != nil {
 			return err
 		}
-		n, err := p.WriteTo(g)
+		var n int64
+		if *v3 {
+			n, err = adsketch.WritePartitionV3(g, p)
+		} else {
+			n, err = p.WriteTo(g)
+		}
 		if cerr := g.Close(); err == nil {
 			err = cerr
 		}
@@ -328,6 +340,109 @@ func runMerge(args []string) error {
 	}
 	fmt.Printf("merged %d partitions (%d nodes, k=%d) -> %s (%d bytes)\n",
 		len(parts), set.NumNodes(), set.K(), *out, n)
+	return nil
+}
+
+// runConvert rewrites any sketch file (v1, v2, or v3; whole set or
+// partition) into the columnar v3 format that OpenSketchFile reads with
+// O(1) allocations and `adsserver -mmap` maps zero-copy.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("sketches", "", "sketch file to convert (required; any version, whole set or partition)")
+	out := fs.String("out", "", "output v3 sketch file (required)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: -sketches and -out are required")
+	}
+	sf, err := adsketch.OpenSketchFile(*in)
+	if err != nil {
+		return err
+	}
+	g, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	var n int64
+	if p := sf.Partition(); p != nil {
+		n, err = adsketch.WritePartitionV3(g, p)
+	} else {
+		n, err = adsketch.WriteSketchSetV3(g, sf.Set())
+	}
+	if cerr := g.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", *out, err)
+	}
+	fmt.Printf("converted %s -> %s (%d bytes, format v%d)\n", *in, *out, n, adsketch.SketchFormatVersionColumnar)
+	return nil
+}
+
+// runInfo prints a sketch file's codec and set metadata without serving
+// it: version, kind, parameters, sizes, and the partition header for
+// kind-3 shard files.
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: usage: adstool info <file>")
+	}
+	path := fs.Arg(0)
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	sf, err := adsketch.OpenSketchFile(path)
+	if err != nil {
+		return err
+	}
+	set := sf.Set()
+	if p := sf.Partition(); p != nil {
+		set = p.Set()
+	}
+	fmt.Printf("file            %s\n", path)
+	fmt.Printf("bytes           %d\n", st.Size())
+	fmt.Printf("codec version   %d\n", sf.Version())
+	switch x := set.(type) {
+	case *adsketch.Set:
+		o := x.Options()
+		flavor := "bottomk"
+		switch o.Flavor {
+		case adsketch.KMins:
+			flavor = "kmins"
+		case adsketch.KPartition:
+			flavor = "kpartition"
+		}
+		fmt.Printf("kind            uniform\n")
+		fmt.Printf("flavor          %s\n", flavor)
+		fmt.Printf("k               %d\n", o.K)
+		fmt.Printf("seed            %d\n", o.Seed)
+		if o.BaseB != 0 {
+			fmt.Printf("base-b          %g\n", o.BaseB)
+		} else {
+			fmt.Printf("base-b          full precision\n")
+		}
+	case *adsketch.WeightedSet:
+		fmt.Printf("kind            weighted\n")
+		fmt.Printf("k               %d\n", x.K())
+		fmt.Printf("scheme          %v\n", x.Scheme())
+	case *adsketch.ApproxSet:
+		fmt.Printf("kind            approximate\n")
+		fmt.Printf("k               %d\n", x.K())
+		fmt.Printf("epsilon         %g\n", x.Epsilon())
+	}
+	if p := sf.Partition(); p != nil {
+		fmt.Printf("partition       %d of %d\n", p.Index(), p.Count())
+		fmt.Printf("node range      [%d, %d)\n", p.Lo(), p.Hi())
+		fmt.Printf("total nodes     %d\n", p.TotalNodes())
+	}
+	nodes, entries := set.NumNodes(), set.TotalEntries()
+	fmt.Printf("nodes           %d\n", nodes)
+	fmt.Printf("total entries   %d\n", entries)
+	if nodes > 0 {
+		fmt.Printf("entries/node    %.1f\n", float64(entries)/float64(nodes))
+		fmt.Printf("bytes/node      %.1f\n", float64(st.Size())/float64(nodes))
+	}
 	return nil
 }
 

@@ -83,9 +83,17 @@ func newEngine(e *Engine, meta ShardMeta, opts []EngineOption) (*Engine, error) 
 	e.meta = meta
 	set := e.set
 	// Cache slots are local indices: global node v lives in slot v - lo.
-	e.cache = query.NewIndexCache(set.NumNodes(), e.shards, func(local int32) *core.HIPIndex {
+	// Frame-backed sets (every set built or loaded by this package) hand
+	// out views into one columnar index arena shared by the whole set —
+	// no per-node allocation; the generic path rebuilds an index from the
+	// sketch for externally implemented SketchSets.
+	build := func(local int32) *core.HIPIndex {
 		return core.NewHIPIndex(set.SketchOf(local))
-	})
+	}
+	if is, ok := set.(interface{ Index(v int32) *core.HIPIndex }); ok {
+		build = is.Index
+	}
+	e.cache = query.NewIndexCache(set.NumNodes(), e.shards, build)
 	return e, nil
 }
 

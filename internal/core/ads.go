@@ -20,6 +20,13 @@
 //
 // Φ_<j(v) below always refers to the set of nodes that strictly precede j
 // in this order, and the Dijkstra rank π_vj is j's 1-based position in it.
+//
+// # Storage model
+//
+// Entries are stored columnarly: a built set owns one Frame (offsets plus
+// parallel node/dist/rank columns shared by all sketches), and the sketch
+// types here are lightweight views over column slices.  Standalone
+// sketches (NewADS + Offer) own private columns that grow in place.
 package core
 
 import (
@@ -81,16 +88,18 @@ type Sketch interface {
 
 // ADS is a bottom-k All-Distances Sketch (Section 2, equation (4)):
 // node j is included iff r(j) < k-th smallest rank among nodes preceding j
-// in the canonical order.  Entries are stored in canonical order.
+// in the canonical order.  Entries are stored in canonical order, as a
+// view over columnar storage.
 type ADS struct {
-	k       int
-	node    int32
-	entries []Entry
+	k    int
+	node int32
+	c    cols
 }
 
 var _ Sketch = (*ADS)(nil)
 
-// NewADS returns an empty bottom-k ADS owned by node.
+// NewADS returns an empty bottom-k ADS owned by node, with private
+// columns.
 func NewADS(node int32, k int) *ADS {
 	if k < 1 {
 		panic("core: k must be >= 1")
@@ -108,31 +117,35 @@ func (a *ADS) Flavor() sketch.Flavor { return sketch.BottomK }
 func (a *ADS) Node() int32 { return a.node }
 
 // Size returns the number of entries.
-func (a *ADS) Size() int { return len(a.entries) }
+func (a *ADS) Size() int { return a.c.len() }
 
-// Entries returns the entries in canonical order.  The slice aliases
-// internal storage and must not be modified.
-func (a *ADS) Entries() []Entry { return a.entries }
+// Entries materializes the entries in canonical order.  The sketch
+// stores its entries columnarly, so the returned slice is a fresh copy;
+// iterate with Size/EntryAt to avoid the allocation.
+func (a *ADS) Entries() []Entry { return a.c.entries() }
+
+// EntryAt returns entry i in canonical order.
+func (a *ADS) EntryAt(i int) Entry { return a.c.at(i) }
 
 // SizeWithin returns |{entries with Dist <= d}|, the input of the size-only
 // estimator (Section 8).
 func (a *ADS) SizeWithin(d float64) int {
-	return sort.Search(len(a.entries), func(i int) bool { return a.entries[i].Dist > d })
+	return sort.Search(a.c.len(), func(i int) bool { return a.c.dist[i] > d })
 }
 
-// thresholdBefore returns the k-th smallest rank among the first m entries
+// thresholdBefore returns the k-th smallest rank among the first m ranks
 // (1 if m < k).  Because the ADS contains every node of Φ_<j that passed
 // its own threshold, and those are exactly the candidates with the k
 // smallest ranks, this equals kth_r(Φ_<j ∩ ADS) from Lemma 5.1.
-func thresholdBefore(entries []Entry, m, k int) float64 {
+func thresholdBefore(ranks []float64, m, k int) float64 {
 	if m < k {
 		return 1
 	}
-	// Maintain the k smallest among entries[:m].  m is small in practice
+	// Maintain the k smallest among ranks[:m].  m is small in practice
 	// (entries are logarithmic); a max-heap over k slots keeps this cheap.
 	h := newMaxHeap(k)
 	for i := 0; i < m; i++ {
-		h.offer(entries[i].Rank)
+		h.offer(ranks[i])
 	}
 	return h.max()
 }
@@ -143,10 +156,10 @@ func thresholdBefore(entries []Entry, m, k int) float64 {
 // (PrunedDijkstra, DP, the stream builder) use Offer instead, which checks
 // the condition; AppendInOrder is the raw primitive.
 func (a *ADS) AppendInOrder(e Entry) {
-	if n := len(a.entries); n > 0 && !a.entries[n-1].before(e) {
-		panic(fmt.Sprintf("core: AppendInOrder out of order: %+v after %+v", e, a.entries[n-1]))
+	if n := a.c.len(); n > 0 && !a.c.at(n-1).before(e) {
+		panic(fmt.Sprintf("core: AppendInOrder out of order: %+v after %+v", e, a.c.at(n-1)))
 	}
-	a.entries = append(a.entries, e)
+	a.c.push(e)
 }
 
 // Offer presents a candidate that comes after all current entries in
@@ -165,7 +178,7 @@ func (a *ADS) Offer(e Entry) bool {
 // fewer than k).  A future candidate (which necessarily comes later in
 // canonical order) is included iff its rank is strictly below this value.
 func (a *ADS) Threshold() float64 {
-	return thresholdBefore(a.entries, len(a.entries), a.k)
+	return thresholdBefore(a.c.rank, a.c.len(), a.k)
 }
 
 // MinHashWithin extracts the bottom-k MinHash sketch of N_d(owner): the k
@@ -177,7 +190,7 @@ func (a *ADS) MinHashWithin(d float64) []float64 {
 	m := a.SizeWithin(d)
 	h := newMaxHeap(a.k)
 	for i := 0; i < m; i++ {
-		h.offer(a.entries[i].Rank)
+		h.offer(a.c.rank[i])
 	}
 	out := h.sorted()
 	return out
@@ -203,15 +216,10 @@ func (a *ADS) EstimateNeighborhood(d float64) float64 {
 // P(rounded rank of j < t) = t exactly (Section 5.6), so the inverse
 // probability is again 1/threshold.
 func (a *ADS) HIPEntries() []WeightedEntry {
-	out := make([]WeightedEntry, len(a.entries))
-	h := newMaxHeap(a.k)
-	for i, e := range a.entries {
-		tau := 1.0
-		if h.size() >= a.k {
-			tau = h.max()
-		}
-		out[i] = WeightedEntry{Node: e.Node, Dist: e.Dist, Weight: 1 / tau}
-		h.offer(e.Rank)
+	w := hipWeightsBottomK(a.c, a.k, newMaxHeap(a.k), make([]float64, 0, a.c.len()))
+	out := make([]WeightedEntry, a.c.len())
+	for i := range out {
+		out[i] = WeightedEntry{Node: a.c.node[i], Dist: a.c.dist[i], Weight: w[i]}
 	}
 	return out
 }
@@ -221,8 +229,9 @@ func (a *ADS) HIPEntries() []WeightedEntry {
 // rank among prior entries).  It returns the first violation found.
 func (a *ADS) Validate() error {
 	h := newMaxHeap(a.k)
-	for i, e := range a.entries {
-		if i > 0 && !a.entries[i-1].before(e) {
+	for i, n := 0, a.c.len(); i < n; i++ {
+		e := a.c.at(i)
+		if i > 0 && !a.c.at(i-1).before(e) {
 			return fmt.Errorf("core: ADS(%d) entries %d,%d out of canonical order", a.node, i-1, i)
 		}
 		if h.size() >= a.k && e.Rank >= h.max() {
@@ -231,8 +240,8 @@ func (a *ADS) Validate() error {
 		}
 		h.offer(e.Rank)
 	}
-	if len(a.entries) > 0 {
-		if a.entries[0].Node != a.node || a.entries[0].Dist != 0 {
+	if a.c.len() > 0 {
+		if a.c.node[0] != a.node || a.c.dist[0] != 0 {
 			return fmt.Errorf("core: ADS(%d) does not start with the owner at distance 0", a.node)
 		}
 	}

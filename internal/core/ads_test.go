@@ -119,23 +119,23 @@ func TestADSCanonicalOrderTieByID(t *testing.T) {
 
 func TestADSValidateDetectsViolations(t *testing.T) {
 	a := NewADS(0, 1)
-	a.entries = []Entry{
+	a.c = colsFromEntries([]Entry{
 		{Node: 0, Dist: 0, Rank: 0.5},
 		{Node: 1, Dist: 1, Rank: 0.7}, // rank above threshold 0.5
-	}
+	})
 	if a.Validate() == nil {
 		t.Error("inclusion violation not detected")
 	}
 	b := NewADS(0, 9)
-	b.entries = []Entry{
+	b.c = colsFromEntries([]Entry{
 		{Node: 0, Dist: 2, Rank: 0.5},
 		{Node: 1, Dist: 1, Rank: 0.3},
-	}
+	})
 	if b.Validate() == nil {
 		t.Error("order violation not detected")
 	}
 	c := NewADS(7, 2)
-	c.entries = []Entry{{Node: 3, Dist: 0, Rank: 0.2}}
+	c.c = colsFromEntries([]Entry{{Node: 3, Dist: 0, Rank: 0.2}})
 	if c.Validate() == nil {
 		t.Error("wrong owner first entry not detected")
 	}
@@ -145,13 +145,13 @@ func TestHIPWeightsManual(t *testing.T) {
 	// k=2 ADS with hand-picked ranks; the HIP weight of entry i (i>=k) is
 	// the inverse of the 2nd-smallest rank among entries before it.
 	a := NewADS(0, 2)
-	a.entries = []Entry{
+	a.c = colsFromEntries([]Entry{
 		{Node: 0, Dist: 0, Rank: 0.6},
 		{Node: 1, Dist: 1, Rank: 0.8},
 		{Node: 2, Dist: 2, Rank: 0.5}, // tau = 0.8  -> w = 1.25
 		{Node: 3, Dist: 3, Rank: 0.4}, // tau = 2nd smallest of {.6,.8,.5} = 0.6
 		{Node: 4, Dist: 4, Rank: 0.2}, // tau = 2nd of {.6,.8,.5,.4} = 0.5
-	}
+	})
 	if err := a.Validate(); err != nil {
 		t.Fatalf("fixture invalid: %v", err)
 	}
@@ -219,12 +219,12 @@ func TestMinHashWithinMatchesDefinition(t *testing.T) {
 
 func TestSizeWithin(t *testing.T) {
 	a := NewADS(0, 3)
-	a.entries = []Entry{
+	a.c = colsFromEntries([]Entry{
 		{Node: 0, Dist: 0, Rank: 0.9},
 		{Node: 1, Dist: 2, Rank: 0.5},
 		{Node: 2, Dist: 2.5, Rank: 0.3},
 		{Node: 3, Dist: 7, Rank: 0.1},
-	}
+	})
 	cases := []struct {
 		d    float64
 		want int
@@ -238,11 +238,11 @@ func TestSizeWithin(t *testing.T) {
 
 func TestEstimateQAndCentralityKernels(t *testing.T) {
 	a := NewADS(0, 2)
-	a.entries = []Entry{
+	a.c = colsFromEntries([]Entry{
 		{Node: 0, Dist: 0, Rank: 0.6},
 		{Node: 1, Dist: 1, Rank: 0.8},
 		{Node: 2, Dist: 2, Rank: 0.5},
-	}
+	})
 	// Weights: 1, 1, 1.25.
 	got := EstimateQ(a, func(node int32, dist float64) float64 { return dist })
 	want := 0.0 + 1*1 + 1.25*2

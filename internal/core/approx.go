@@ -25,39 +25,36 @@ import (
 // the worst observed slack exactly, and the tests pin it; in practice it
 // stays very close to the single-(1+ε) the paper states.
 
-// ApproxSet holds (1+ε)-approximate bottom-k sketches.
+// ApproxSet holds (1+ε)-approximate bottom-k sketches, as views over one
+// shared columnar frame.
 type ApproxSet struct {
-	k        int
-	eps      float64
-	sketches []*ADS
+	frame *Frame
 }
 
 // K returns the sketch parameter.
-func (s *ApproxSet) K() int { return s.k }
+func (s *ApproxSet) K() int { return s.frame.opts.K }
 
 // Epsilon returns the distance slack.
-func (s *ApproxSet) Epsilon() float64 { return s.eps }
+func (s *ApproxSet) Epsilon() float64 { return s.frame.eps }
 
 // NumNodes returns the number of sketches.
-func (s *ApproxSet) NumNodes() int { return len(s.sketches) }
+func (s *ApproxSet) NumNodes() int { return s.frame.n }
 
-// Sketch returns node v's approximate sketch.  The entries satisfy the
-// relaxed invariant; HIP weights computed from them estimate cardinalities
-// of neighborhoods at distance known up to (1+ε).
-func (s *ApproxSet) Sketch(v int32) *ADS { return s.sketches[v] }
+// Sketch returns node v's approximate sketch view.  The entries satisfy
+// the relaxed invariant; HIP weights computed from them estimate
+// cardinalities of neighborhoods at distance known up to (1+ε).
+func (s *ApproxSet) Sketch(v int32) *ADS { return s.frame.viewADS(int(v)) }
 
 // SketchOf returns node v's sketch through the flavor-agnostic query
 // interface shared by all set kinds.
-func (s *ApproxSet) SketchOf(v int32) Sketch { return s.sketches[v] }
+func (s *ApproxSet) SketchOf(v int32) Sketch { return s.frame.viewADS(int(v)) }
+
+// Index returns local node v's columnar HIP query index, sharing the
+// frame's index arena.
+func (s *ApproxSet) Index(v int32) *HIPIndex { return s.frame.Index(v) }
 
 // TotalEntries sums entry counts.
-func (s *ApproxSet) TotalEntries() int {
-	n := 0
-	for _, sk := range s.sketches {
-		n += sk.Size()
-	}
-	return n
-}
+func (s *ApproxSet) TotalEntries() int { return s.frame.totalEntries() }
 
 // BuildApproxSet computes (1+ε)-approximate bottom-k sketches with the
 // LocalUpdates message-passing scheme.
@@ -134,13 +131,11 @@ func BuildApproxSet(g *graph.Graph, k int, seed uint64, eps float64) (*ApproxSet
 		}
 	}
 
-	set := &ApproxSet{k: k, eps: eps, sketches: make([]*ADS, n)}
+	out := make([][]Entry, n)
 	for v := range lists {
-		a := NewADS(int32(v), k)
-		a.entries = lists[v]
-		set.sketches[v] = a
+		out[v] = lists[v]
 	}
-	return set, nil
+	return &ApproxSet{frame: freezeFrame(kindApprox, Options{K: k}, 0, eps, 1, 0, out)}, nil
 }
 
 // CheckApproxSlack measures how far node u's approximate sketch is from
@@ -152,8 +147,9 @@ func BuildApproxSet(g *graph.Graph, k int, seed uint64, eps float64) (*ApproxSet
 func CheckApproxSlack(g *graph.Graph, set *ApproxSet, u int32, seed uint64) float64 {
 	src := rank.NewSource(seed)
 	a := set.Sketch(u)
+	entries := a.Entries() // one materialized copy, reused across the scan
 	members := make(map[int32]bool, a.Size())
-	for _, e := range a.Entries() {
+	for _, e := range entries {
 		members[e.Node] = true
 	}
 	worst := 1.0
@@ -164,13 +160,13 @@ func CheckApproxSlack(g *graph.Graph, set *ApproxSet, u int32, seed uint64) floa
 		r := src.Rank(int64(nd.Node))
 		// Find the smallest window within which k entries of smaller rank
 		// exist; the needed slack is that window over the true distance.
-		h := newMaxHeap(set.k)
+		h := newMaxHeap(set.K())
 		justified := false
-		for _, e := range a.Entries() { // canonical order = ascending dist
+		for _, e := range entries { // canonical order = ascending dist
 			if e.Rank < r {
 				h.offer(e.Rank)
 			}
-			if h.size() >= set.k {
+			if h.size() >= set.K() {
 				if s := e.Dist / nd.Dist; s > worst {
 					worst = s
 				}

@@ -101,42 +101,42 @@ func (a Algorithm) String() string {
 }
 
 // Set holds the sketches of all nodes of one graph, built with shared
-// (coordinated) ranks.
+// (coordinated) ranks, stored as one columnar frame; the sketches
+// returned by Sketch/SketchOf/BottomK are lightweight views over the
+// frame's columns.
 type Set struct {
-	opts     Options
-	sketches []Sketch
+	frame *Frame
 }
 
 // Options returns the build options.
-func (s *Set) Options() Options { return s.opts }
+func (s *Set) Options() Options { return s.frame.opts }
 
 // K returns the sketch parameter.
-func (s *Set) K() int { return s.opts.K }
+func (s *Set) K() int { return s.frame.opts.K }
 
 // NumNodes returns the number of sketches.
-func (s *Set) NumNodes() int { return len(s.sketches) }
+func (s *Set) NumNodes() int { return s.frame.n }
 
-// Sketch returns node v's sketch.
-func (s *Set) Sketch(v int32) Sketch { return s.sketches[v] }
+// Sketch returns node v's sketch view.
+func (s *Set) Sketch(v int32) Sketch { return s.frame.viewSketch(int(v)) }
 
 // SketchOf returns node v's sketch through the flavor-agnostic query
 // interface; it is the method shared by all set kinds (uniform, weighted,
 // approximate), allowing them to be used interchangeably by query layers.
-func (s *Set) SketchOf(v int32) Sketch { return s.sketches[v] }
+func (s *Set) SketchOf(v int32) Sketch { return s.frame.viewSketch(int(v)) }
 
 // BottomK returns node v's sketch as a bottom-k ADS; it panics if the set
 // was built with a different flavor.
-func (s *Set) BottomK(v int32) *ADS { return s.sketches[v].(*ADS) }
+func (s *Set) BottomK(v int32) *ADS { return s.frame.viewSketch(int(v)).(*ADS) }
+
+// Index returns local node v's columnar HIP query index, sharing the
+// frame's index arena — the zero-rebuild path batch serving uses.
+func (s *Set) Index(v int32) *HIPIndex { return s.frame.Index(v) }
 
 // TotalEntries returns the summed entry count over all sketches — the
 // quantity Lemma 2.2 predicts as ~n·k(1 + ln n - ln k) for bottom-k.
-func (s *Set) TotalEntries() int {
-	n := 0
-	for _, sk := range s.sketches {
-		n += sk.Size()
-	}
-	return n
-}
+// With columnar storage this is an offsets lookup, not a scan.
+func (s *Set) TotalEntries() int { return s.frame.totalEntries() }
 
 // BuildSet computes the (forward) ADS of every node of g using the chosen
 // algorithm.  For directed graphs pass g for forward sketches (distances
@@ -162,26 +162,15 @@ func BuildSetParallel(g *graph.Graph, o Options, algo Algorithm, workers int) (*
 		return nil, err
 	}
 	n := g.NumNodes()
-	set := &Set{opts: o, sketches: make([]Sketch, n)}
 	switch o.Flavor {
 	case sketch.BottomK:
 		lists := runner(runSpec{k: o.K, rank: o.rankFn(0)})
-		for v := 0; v < n; v++ {
-			a := NewADS(int32(v), o.K)
-			a.entries = lists[v]
-			set.sketches[v] = a
-		}
+		return &Set{frame: freezeFrame(kindUniform, o, 0, 0, 1, 0, lists)}, nil
 	case sketch.KMins:
 		perRun := parallelRuns(o.K, workers, func(h int) [][]Entry {
 			return runner(runSpec{k: 1, rank: o.rankFn(h)})
 		})
-		for v := 0; v < n; v++ {
-			a := NewKMinsADS(int32(v), o.K)
-			for h := 0; h < o.K; h++ {
-				a.perms[h] = perRun[h][v]
-			}
-			set.sketches[v] = a
-		}
+		return &Set{frame: freezeFrame(kindUniform, o, 0, 0, o.K, 0, segmentMajor(perRun, n))}, nil
 	case sketch.KPartition:
 		src := o.Source()
 		perRun := parallelRuns(o.K, workers, func(b int) [][]Entry {
@@ -193,17 +182,23 @@ func BuildSetParallel(g *graph.Graph, o Options, algo Algorithm, workers int) (*
 				},
 			})
 		})
-		for v := 0; v < n; v++ {
-			a := NewKPartitionADS(int32(v), o.K)
-			for b := 0; b < o.K; b++ {
-				a.buckets[b] = perRun[b][v]
-			}
-			set.sketches[v] = a
-		}
+		return &Set{frame: freezeFrame(kindUniform, o, 0, 0, o.K, 0, segmentMajor(perRun, n))}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown flavor %v", o.Flavor)
 	}
-	return set, nil
+}
+
+// segmentMajor reorders per-run entry lists (perRun[s][v]) into the
+// node-major layout freezeFrame expects (lists[v*segs+s]).
+func segmentMajor(perRun [][][]Entry, n int) [][]Entry {
+	segs := len(perRun)
+	lists := make([][]Entry, n*segs)
+	for v := 0; v < n; v++ {
+		for s := 0; s < segs; s++ {
+			lists[v*segs+s] = perRun[s][v]
+		}
+	}
+	return lists
 }
 
 // runSpec describes one elementary construction pass: a bottom-k sample

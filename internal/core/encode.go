@@ -14,7 +14,7 @@ import (
 // step (one near-linear pass over the graph); queries are cheap.  The
 // format lets a pipeline build once and serve many query processes.
 //
-// Version 2 (current) covers every set kind behind one header:
+// Version 2 covers every set kind behind one header:
 //
 //	magic "ADSK" | version u32 = 2 | kind u32 |
 //	kind-specific header | per-node payloads
@@ -37,7 +37,11 @@ import (
 // shards.  Partitions do not nest.
 //
 // Version 1 is the legacy uniform-only format (no kind field); readers
-// still accept it.  All integers are little-endian.
+// still accept it.  Version 3 (framecodec.go) serializes the columnar
+// frame verbatim — the serving format OpenSketchFile reads with O(1)
+// allocations (or maps with zero copies).  All integers are
+// little-endian.  Whatever the stored version, loading produces
+// frame-backed sets.
 
 const (
 	encodeMagic   = "ADSK"
@@ -47,12 +51,12 @@ const (
 	maxCodecK = 1 << 20
 	// maxCodecPartitions bounds the partition count a file may claim.
 	maxCodecPartitions = 1 << 20
-	// EncodeVersion is the current sketch file format version written by
-	// the WriteTo methods.
+	// EncodeVersion is the current streaming sketch file format version
+	// written by the WriteTo methods.
 	EncodeVersion = 2
 )
 
-// Set kinds stored in the version-2 header.
+// Set kinds stored in the version-2 and version-3 headers.
 const (
 	kindUniform uint32 = iota
 	kindWeighted
@@ -86,6 +90,34 @@ var (
 	_ AnySet = (*WeightedSet)(nil)
 	_ AnySet = (*ApproxSet)(nil)
 )
+
+// frameOf returns the columnar frame backing any of the three set kinds.
+func frameOf(s AnySet) (*Frame, error) {
+	switch x := s.(type) {
+	case *Set:
+		return x.frame, nil
+	case *WeightedSet:
+		return x.frame, nil
+	case *ApproxSet:
+		return x.frame, nil
+	default:
+		return nil, fmt.Errorf("core: cannot encode sketch set type %T", s)
+	}
+}
+
+// setFromFrame wraps a decoded frame in the set type matching its kind.
+func setFromFrame(f *Frame) (AnySet, error) {
+	switch f.kind {
+	case kindUniform:
+		return &Set{frame: f}, nil
+	case kindWeighted:
+		return &WeightedSet{frame: f}, nil
+	case kindApprox:
+		return &ApproxSet{frame: f}, nil
+	default:
+		return nil, fmt.Errorf("core: sketch file has unknown kind %d", f.kind)
+	}
+}
 
 // countingWriter tracks how many bytes passed through, so WriteTo can
 // satisfy the io.WriterTo contract.
@@ -132,30 +164,33 @@ func (e *setEncoder) u64(v uint64) error {
 	return err
 }
 
-// entries writes one length-prefixed entry list as a single buffer write.
-func (e *setEncoder) entries(entries []Entry) error {
-	buf := growBuf(&e.buf, 4+len(entries)*entryWireSize)
-	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
+// entriesCols writes one length-prefixed entry list from columns as a
+// single buffer write.
+func (e *setEncoder) entriesCols(c cols) error {
+	n := c.len()
+	buf := growBuf(&e.buf, 4+n*entryWireSize)
+	binary.LittleEndian.PutUint32(buf, uint32(n))
 	off := 4
-	for _, en := range entries {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(en.Node))
-		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(en.Dist))
-		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(en.Rank))
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(c.node[i]))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(c.dist[i]))
+		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(c.rank[i]))
 		off += entryWireSize
 	}
 	_, err := e.bw.Write(buf)
 	return err
 }
 
-// weightedEntries writes one length-prefixed (entry, beta) list.
-func (e *setEncoder) weightedEntries(entries []Entry, beta []float64) error {
-	buf := growBuf(&e.buf, 4+len(entries)*weightedEntryWireSize)
-	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
+// weightedEntriesCols writes one length-prefixed (entry, beta) list.
+func (e *setEncoder) weightedEntriesCols(c cols, beta []float64) error {
+	n := c.len()
+	buf := growBuf(&e.buf, 4+n*weightedEntryWireSize)
+	binary.LittleEndian.PutUint32(buf, uint32(n))
 	off := 4
-	for i, en := range entries {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(en.Node))
-		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(en.Dist))
-		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(en.Rank))
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(c.node[i]))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(c.dist[i]))
+		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(c.rank[i]))
 		binary.LittleEndian.PutUint64(buf[off+20:], math.Float64bits(beta[i]))
 		off += weightedEntryWireSize
 	}
@@ -166,91 +201,71 @@ func (e *setEncoder) weightedEntries(entries []Entry, beta []float64) error {
 // encodeSetBody writes a set's body — kind, kind header, payloads — the
 // part shared between whole-set files and the partition envelope.
 func encodeSetBody(e *setEncoder, s AnySet) error {
-	switch x := s.(type) {
-	case *Set:
+	f, err := frameOf(s)
+	if err != nil {
+		return err
+	}
+	switch f.kind {
+	case kindUniform:
 		hdr := []error{
 			e.u32(kindUniform),
-			e.u32(uint32(x.opts.K)),
-			e.u32(uint32(x.opts.Flavor)),
-			e.u64(x.opts.Seed),
-			e.u64(math.Float64bits(x.opts.BaseB)),
-			e.u32(uint32(len(x.sketches))),
+			e.u32(uint32(f.opts.K)),
+			e.u32(uint32(f.opts.Flavor)),
+			e.u64(f.opts.Seed),
+			e.u64(math.Float64bits(f.opts.BaseB)),
+			e.u32(uint32(f.n)),
 		}
 		for _, err := range hdr {
 			if err != nil {
 				return err
 			}
 		}
-		return writeUniformPayload(e, x)
-	case *WeightedSet:
-		scheme := ExponentialWeights
-		if len(x.sketches) > 0 {
-			scheme = x.sketches[0].scheme
-		}
-		hdr := []error{
-			e.u32(kindWeighted),
-			e.u32(uint32(x.k)),
-			e.u32(uint32(scheme)),
-			e.u32(uint32(len(x.sketches))),
-		}
-		for _, err := range hdr {
-			if err != nil {
-				return err
-			}
-		}
-		for _, sk := range x.sketches {
-			if err := e.weightedEntries(sk.entries, sk.beta); err != nil {
+		for i := 0; i < f.n*f.segs; i++ {
+			if err := e.entriesCols(f.segAt(i/f.segs, i%f.segs)); err != nil {
 				return err
 			}
 		}
 		return nil
-	case *ApproxSet:
+	case kindWeighted:
 		hdr := []error{
-			e.u32(kindApprox),
-			e.u32(uint32(x.k)),
-			e.u64(math.Float64bits(x.eps)),
-			e.u32(uint32(len(x.sketches))),
+			e.u32(kindWeighted),
+			e.u32(uint32(f.opts.K)),
+			e.u32(uint32(f.scheme)),
+			e.u32(uint32(f.n)),
 		}
 		for _, err := range hdr {
 			if err != nil {
 				return err
 			}
 		}
-		for _, sk := range x.sketches {
-			if err := e.entries(sk.entries); err != nil {
+		for v := 0; v < f.n; v++ {
+			lo, hi := f.span(v)
+			if err := e.weightedEntriesCols(f.segAt(v, 0), f.beta[lo:hi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case kindApprox:
+		hdr := []error{
+			e.u32(kindApprox),
+			e.u32(uint32(f.opts.K)),
+			e.u64(math.Float64bits(f.eps)),
+			e.u32(uint32(f.n)),
+		}
+		for _, err := range hdr {
+			if err != nil {
+				return err
+			}
+		}
+		for v := 0; v < f.n; v++ {
+			if err := e.entriesCols(f.segAt(v, 0)); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("core: cannot encode sketch set type %T", s)
+		return fmt.Errorf("core: cannot encode sketch set kind %d", f.kind)
 	}
-}
-
-func writeUniformPayload(e *setEncoder, s *Set) error {
-	for _, sk := range s.sketches {
-		switch x := sk.(type) {
-		case *ADS:
-			if err := e.entries(x.entries); err != nil {
-				return err
-			}
-		case *KMinsADS:
-			for _, p := range x.perms {
-				if err := e.entries(p); err != nil {
-					return err
-				}
-			}
-		case *KPartitionADS:
-			for _, p := range x.buckets {
-				if err := e.entries(p); err != nil {
-					return err
-				}
-			}
-		default:
-			return fmt.Errorf("core: cannot encode sketch type %T", sk)
-		}
-	}
-	return nil
 }
 
 // writeSetFile writes one whole-set file: magic, version, body.
@@ -342,21 +357,45 @@ func (d *setDecoder) header(fields ...any) error {
 	return nil
 }
 
-// entries reads one length-prefixed entry list, decoding in bounded
-// chunks so a corrupted length cannot drive a huge allocation.
-func (d *setDecoder) entries(owner int32) ([]Entry, error) {
+// frameAccum accumulates decoded entries directly into growing frame
+// columns, so the v2 decode path builds the columnar frame without an
+// intermediate per-node entry slice.  closeSeg records a segment
+// boundary; frame seals the result.
+type frameAccum struct {
+	off  []int64
+	node []int32
+	dist []float64
+	rank []float64
+	beta []float64
+}
+
+func newFrameAccum(segHint int) *frameAccum {
+	a := &frameAccum{off: make([]int64, 1, segHint+1)}
+	a.off[0] = 0
+	return a
+}
+
+func (a *frameAccum) closeSeg() { a.off = append(a.off, int64(len(a.node))) }
+
+func (a *frameAccum) frame(kind uint32, opts Options, scheme WeightScheme, eps float64, segs int, base int32) *Frame {
+	return &Frame{
+		kind: kind, opts: opts, scheme: scheme, eps: eps,
+		segs: segs, n: (len(a.off) - 1) / segs, base: base,
+		off: a.off, node: a.node, dist: a.dist, rank: a.rank, beta: a.beta,
+	}
+}
+
+// entriesInto reads one length-prefixed entry list into the accumulator,
+// decoding in bounded chunks so a corrupted length cannot drive a huge
+// allocation (column growth is amortized append, never an up-front claim).
+func (d *setDecoder) entriesInto(owner int32, a *frameAccum) error {
 	n, err := d.u32()
 	if err != nil {
-		return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+		return fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
 	}
 	if n > 1<<28 {
-		return nil, fmt.Errorf("core: implausible entry count %d for node %d", n, owner)
+		return fmt.Errorf("core: implausible entry count %d for node %d", n, owner)
 	}
-	prealloc := int(n)
-	if prealloc > maxEntryPrealloc {
-		prealloc = maxEntryPrealloc
-	}
-	out := make([]Entry, 0, prealloc)
 	for remaining := int(n); remaining > 0; {
 		chunk := remaining
 		if chunk > maxEntryPrealloc {
@@ -364,35 +403,29 @@ func (d *setDecoder) entries(owner int32) ([]Entry, error) {
 		}
 		buf, err := d.read(chunk * entryWireSize)
 		if err != nil {
-			return nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+			return fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
 		}
 		for off := 0; off < len(buf); off += entryWireSize {
-			out = append(out, Entry{
-				Node: int32(binary.LittleEndian.Uint32(buf[off:])),
-				Dist: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:])),
-				Rank: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+12:])),
-			})
+			a.node = append(a.node, int32(binary.LittleEndian.Uint32(buf[off:])))
+			a.dist = append(a.dist, math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:])))
+			a.rank = append(a.rank, math.Float64frombits(binary.LittleEndian.Uint64(buf[off+12:])))
 		}
 		remaining -= chunk
 	}
-	return out, nil
+	a.closeSeg()
+	return nil
 }
 
-// weightedEntries reads one length-prefixed (entry, beta) list.
-func (d *setDecoder) weightedEntries(owner int32) ([]Entry, []float64, error) {
+// weightedEntriesInto reads one length-prefixed (entry, beta) list into
+// the accumulator.
+func (d *setDecoder) weightedEntriesInto(owner int32, a *frameAccum) error {
 	n, err := d.u32()
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+		return fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
 	}
 	if n > 1<<28 {
-		return nil, nil, fmt.Errorf("core: implausible entry count %d for node %d", n, owner)
+		return fmt.Errorf("core: implausible entry count %d for node %d", n, owner)
 	}
-	prealloc := int(n)
-	if prealloc > maxEntryPrealloc {
-		prealloc = maxEntryPrealloc
-	}
-	entries := make([]Entry, 0, prealloc)
-	beta := make([]float64, 0, prealloc)
 	for remaining := int(n); remaining > 0; {
 		chunk := remaining
 		if chunk > maxEntryPrealloc {
@@ -400,19 +433,18 @@ func (d *setDecoder) weightedEntries(owner int32) ([]Entry, []float64, error) {
 		}
 		buf, err := d.read(chunk * weightedEntryWireSize)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
+			return fmt.Errorf("core: reading sketch of node %d: %w", owner, err)
 		}
 		for off := 0; off < len(buf); off += weightedEntryWireSize {
-			entries = append(entries, Entry{
-				Node: int32(binary.LittleEndian.Uint32(buf[off:])),
-				Dist: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:])),
-				Rank: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+12:])),
-			})
-			beta = append(beta, math.Float64frombits(binary.LittleEndian.Uint64(buf[off+20:])))
+			a.node = append(a.node, int32(binary.LittleEndian.Uint32(buf[off:])))
+			a.dist = append(a.dist, math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:])))
+			a.rank = append(a.rank, math.Float64frombits(binary.LittleEndian.Uint64(buf[off+12:])))
+			a.beta = append(a.beta, math.Float64frombits(binary.LittleEndian.Uint64(buf[off+20:])))
 		}
 		remaining -= chunk
 	}
-	return entries, beta, nil
+	a.closeSeg()
+	return nil
 }
 
 // readAny parses any sketch file — whole set or partition — and returns
@@ -445,8 +477,11 @@ func readAny(r io.Reader) (AnySet, *Partition, error) {
 		}
 		set, err := decodeSetBodyKind(d, kind, 0)
 		return set, nil, err
+	case frameEncodeVersion:
+		return readFrameFile(d)
 	default:
-		return nil, nil, fmt.Errorf("core: sketch file version %d, supported versions are 1 and %d", version, EncodeVersion)
+		return nil, nil, fmt.Errorf("core: sketch file version %d, supported versions are 1, %d and %d",
+			version, EncodeVersion, frameEncodeVersion)
 	}
 }
 
@@ -499,10 +534,25 @@ func decodeSetBodyKind(d *setDecoder, kind uint32, base int32) (AnySet, error) {
 	}
 }
 
+// validateView checks a decoded sketch view's structural invariants.
+func validateView(s Sketch) error {
+	switch x := s.(type) {
+	case *ADS:
+		return x.Validate()
+	case *WeightedADS:
+		return x.Validate()
+	case *KMinsADS:
+		return x.Validate()
+	case *KPartitionADS:
+		return x.Validate()
+	}
+	return nil
+}
+
 // readUniformBody parses the shared uniform body (everything after the
-// version/kind prefix, identical in versions 1 and 2).  Sketch owners
-// are base..base+numNodes-1 (base is 0 for whole-set files and the
-// node-range start for partitions).
+// version/kind prefix, identical in versions 1 and 2) into a frame-backed
+// set.  Sketch owners are base..base+numNodes-1 (base is 0 for whole-set
+// files and the node-range start for partitions).
 func readUniformBody(d *setDecoder, base int32) (*Set, error) {
 	var k, flavor, numNodes uint32
 	var seed, baseBits uint64
@@ -524,49 +574,30 @@ func readUniformBody(d *setDecoder, base int32) (*Set, error) {
 	if numNodes > 1<<30 {
 		return nil, fmt.Errorf("core: implausible node count %d", numNodes)
 	}
-	set := &Set{opts: o, sketches: make([]Sketch, numNodes)}
+	segs := 1
+	switch o.Flavor {
+	case sketch.BottomK:
+	case sketch.KMins, sketch.KPartition:
+		segs = o.K
+	default:
+		return nil, fmt.Errorf("core: sketch file has unknown flavor %d", flavor)
+	}
+	// Decode straight into growing frame columns; the segment-count hint
+	// is capped so a corrupted node count fails at the first short read
+	// instead of provoking one huge up-front allocation.
+	acc := newFrameAccum(minInt(int(numNodes)*segs, maxEntryPrealloc))
 	for v := uint32(0); v < numNodes; v++ {
 		owner := base + int32(v)
-		switch o.Flavor {
-		case sketch.BottomK:
-			entries, err := d.entries(owner)
-			if err != nil {
+		for s := 0; s < segs; s++ {
+			if err := d.entriesInto(owner, acc); err != nil {
 				return nil, err
 			}
-			a := NewADS(owner, o.K)
-			a.entries = entries
-			if err := a.Validate(); err != nil {
-				return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
-			}
-			set.sketches[v] = a
-		case sketch.KMins:
-			a := NewKMinsADS(owner, o.K)
-			for h := 0; h < o.K; h++ {
-				entries, err := d.entries(owner)
-				if err != nil {
-					return nil, err
-				}
-				a.perms[h] = entries
-			}
-			if err := a.Validate(); err != nil {
-				return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
-			}
-			set.sketches[v] = a
-		case sketch.KPartition:
-			a := NewKPartitionADS(owner, o.K)
-			for bkt := 0; bkt < o.K; bkt++ {
-				entries, err := d.entries(owner)
-				if err != nil {
-					return nil, err
-				}
-				a.buckets[bkt] = entries
-			}
-			if err := a.Validate(); err != nil {
-				return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
-			}
-			set.sketches[v] = a
-		default:
-			return nil, fmt.Errorf("core: sketch file has unknown flavor %d", flavor)
+		}
+	}
+	set := &Set{frame: acc.frame(kindUniform, o, 0, 0, segs, base)}
+	for v := 0; v < int(numNodes); v++ {
+		if err := validateView(set.frame.viewSketch(v)); err != nil {
+			return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
 		}
 	}
 	return set, nil
@@ -586,21 +617,19 @@ func readWeightedBody(d *setDecoder, base int32) (*WeightedSet, error) {
 	if numNodes > 1<<30 {
 		return nil, fmt.Errorf("core: implausible node count %d", numNodes)
 	}
-	set := &WeightedSet{k: int(k), sketches: make([]*WeightedADS, numNodes)}
+	acc := newFrameAccum(minInt(int(numNodes), maxEntryPrealloc))
 	for v := uint32(0); v < numNodes; v++ {
 		owner := base + int32(v)
-		entries, beta, err := d.weightedEntries(owner)
-		if err != nil {
+		if err := d.weightedEntriesInto(owner, acc); err != nil {
 			return nil, err
 		}
-		a := NewWeightedADS(owner, int(k))
-		a.scheme = WeightScheme(scheme)
-		a.entries = entries
-		a.beta = beta
-		if err := a.Validate(); err != nil {
+	}
+	f := acc.frame(kindWeighted, Options{K: int(k)}, WeightScheme(scheme), 0, 1, base)
+	set := &WeightedSet{frame: f}
+	for v := 0; v < int(numNodes); v++ {
+		if err := f.viewWeighted(v).Validate(); err != nil {
 			return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
 		}
-		set.sketches[v] = a
 	}
 	return set, nil
 }
@@ -621,33 +650,41 @@ func readApproxBody(d *setDecoder, base int32) (*ApproxSet, error) {
 	if numNodes > 1<<30 {
 		return nil, fmt.Errorf("core: implausible node count %d", numNodes)
 	}
-	set := &ApproxSet{k: int(k), eps: eps, sketches: make([]*ADS, numNodes)}
+	acc := newFrameAccum(minInt(int(numNodes), maxEntryPrealloc))
 	for v := uint32(0); v < numNodes; v++ {
 		owner := base + int32(v)
-		entries, err := d.entries(owner)
-		if err != nil {
+		if err := d.entriesInto(owner, acc); err != nil {
 			return nil, err
 		}
-		a := NewADS(owner, int(k))
-		a.entries = entries
+	}
+	f := acc.frame(kindApprox, Options{K: int(k)}, 0, eps, 1, base)
+	for v := 0; v < int(numNodes); v++ {
 		// Approximate sketches relax the exact inclusion rule (entries may
 		// be justified by an ε-slack window that the final state no longer
 		// exhibits), so only the rank-independent invariants are checked.
-		if err := validateApproxEntries(owner, entries); err != nil {
+		if err := validateApproxView(f.viewADS(v)); err != nil {
 			return nil, fmt.Errorf("core: corrupt sketch file: %w", err)
 		}
-		set.sketches[v] = a
 	}
-	return set, nil
+	return &ApproxSet{frame: f}, nil
 }
 
-// validateApproxEntries checks the invariants an approximate sketch
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// validateApproxView checks the invariants an approximate sketch
 // guarantees regardless of ε: canonical order, distinct nodes, and the
 // owner as first entry at distance 0.
-func validateApproxEntries(owner int32, entries []Entry) error {
-	seen := make(map[int32]bool, len(entries))
-	for i, e := range entries {
-		if i > 0 && !entries[i-1].before(e) {
+func validateApproxView(a *ADS) error {
+	owner, n := a.node, a.c.len()
+	seen := make(map[int32]bool, n)
+	for i := 0; i < n; i++ {
+		e := a.c.at(i)
+		if i > 0 && !a.c.at(i-1).before(e) {
 			return fmt.Errorf("core: approx ADS(%d) entries %d,%d out of canonical order", owner, i-1, i)
 		}
 		if seen[e.Node] {
@@ -663,7 +700,7 @@ func validateApproxEntries(owner int32, entries []Entry) error {
 			return fmt.Errorf("core: approx ADS(%d) entry %d has invalid rank %g", owner, i, e.Rank)
 		}
 	}
-	if len(entries) > 0 && (entries[0].Node != owner || entries[0].Dist != 0) {
+	if n > 0 && (a.c.node[0] != owner || a.c.dist[0] != 0) {
 		return fmt.Errorf("core: approx ADS(%d) does not start with the owner at distance 0", owner)
 	}
 	return nil
@@ -679,21 +716,24 @@ func WriteSet(w io.Writer, s *Set) error {
 	if _, err := e.bw.WriteString(encodeMagic); err != nil {
 		return err
 	}
+	f := s.frame
 	hdr := []error{
 		e.u32(encodeVersion),
-		e.u32(uint32(s.opts.K)),
-		e.u32(uint32(s.opts.Flavor)),
-		e.u64(s.opts.Seed),
-		e.u64(math.Float64bits(s.opts.BaseB)),
-		e.u32(uint32(len(s.sketches))),
+		e.u32(uint32(f.opts.K)),
+		e.u32(uint32(f.opts.Flavor)),
+		e.u64(f.opts.Seed),
+		e.u64(math.Float64bits(f.opts.BaseB)),
+		e.u32(uint32(f.n)),
 	}
 	for _, err := range hdr {
 		if err != nil {
 			return err
 		}
 	}
-	if err := writeUniformPayload(e, s); err != nil {
-		return err
+	for i := 0; i < f.n*f.segs; i++ {
+		if err := e.entriesCols(f.segAt(i/f.segs, i%f.segs)); err != nil {
+			return err
+		}
 	}
 	return e.bw.Flush()
 }

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"sync"
+
+	"adsketch/internal/sketch"
+)
+
+// Frozen columnar sketch storage.  A built sketch set never mutates, so
+// instead of one heap object (and one entry slice, and one lazily built
+// query index) per node, every set owns a single Frame: an offsets array
+// plus parallel entry columns shared by all of its sketches.  The sketch
+// types (ADS, WeightedADS, KMinsADS, KPartitionADS) are lightweight views
+// over column slices — constructing one allocates a small header, never
+// entry data — and the per-node HIP query indexes live in one arena per
+// frame, built on first use.  A million-node set is a handful of large
+// allocations instead of millions of small ones, splitting a set into
+// partitions is offset slicing, and the version-3 codec serializes the
+// columns verbatim, so opening a prebuilt file is O(columns) work (and
+// zero copies when mmapped).
+
+// cols is one columnar entry list: the node/dist/rank columns of a
+// contiguous entry range, in canonical (distance, node ID) order.  A cols
+// either views a frame's shared columns (frozen sketches) or owns private
+// slices (standalone sketches built incrementally via Offer).
+type cols struct {
+	node []int32
+	dist []float64
+	rank []float64
+}
+
+func (c cols) len() int { return len(c.node) }
+
+// at returns entry i as a value.
+func (c cols) at(i int) Entry {
+	return Entry{Node: c.node[i], Dist: c.dist[i], Rank: c.rank[i]}
+}
+
+// push appends an entry.  Views into a frame arena are sliced with full
+// capacity bounds, so pushing onto one reallocates instead of corrupting
+// the shared columns.
+func (c *cols) push(e Entry) {
+	c.node = append(c.node, e.Node)
+	c.dist = append(c.dist, e.Dist)
+	c.rank = append(c.rank, e.Rank)
+}
+
+// entries materializes the columns as an entry slice.
+func (c cols) entries() []Entry {
+	out := make([]Entry, len(c.node))
+	for i := range out {
+		out[i] = c.at(i)
+	}
+	return out
+}
+
+func colsFromEntries(entries []Entry) cols {
+	c := cols{
+		node: make([]int32, len(entries)),
+		dist: make([]float64, len(entries)),
+		rank: make([]float64, len(entries)),
+	}
+	for i, e := range entries {
+		c.node[i] = e.Node
+		c.dist[i] = e.Dist
+		c.rank[i] = e.Rank
+	}
+	return c
+}
+
+// Frame is the frozen columnar storage of one sketch set: segs segments
+// per node (1 for bottom-k/weighted/approximate, k for the per-permutation
+// and per-bucket lists of k-mins and k-partition), described by an offsets
+// array over shared entry columns.  Offsets are absolute positions into
+// the columns, so slicing a frame to a node range (partitioning) is a
+// re-slice of offsets — no entry moves.  base is the global ID of local
+// node 0 (non-zero for partition frames).
+type Frame struct {
+	kind   uint32 // kindUniform, kindWeighted, kindApprox
+	opts   Options
+	scheme WeightScheme // weighted sets
+	eps    float64      // approximate sets
+	segs   int
+	n      int
+	base   int32
+	off    []int64 // len n*segs+1, absolute entry positions
+	node   []int32
+	dist   []float64
+	rank   []float64
+	beta   []float64 // weighted sets: β per entry, parallel to the columns
+
+	hipOnce sync.Once
+	hip     *hipArena
+}
+
+// freezeFrame assembles per-segment entry lists (node-major: segment s of
+// node v is lists[v*segs+s]) into one frame.
+func freezeFrame(kind uint32, opts Options, scheme WeightScheme, eps float64, segs int, base int32, lists [][]Entry) *Frame {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	f := &Frame{
+		kind: kind, opts: opts, scheme: scheme, eps: eps,
+		segs: segs, n: len(lists) / segs, base: base,
+		off:  make([]int64, len(lists)+1),
+		node: make([]int32, total),
+		dist: make([]float64, total),
+		rank: make([]float64, total),
+	}
+	pos := 0
+	for i, l := range lists {
+		f.off[i] = int64(pos)
+		for _, e := range l {
+			f.node[pos] = e.Node
+			f.dist[pos] = e.Dist
+			f.rank[pos] = e.Rank
+			pos++
+		}
+	}
+	f.off[len(lists)] = int64(pos)
+	return f
+}
+
+// totalEntries returns the entry count of the frame's own node range
+// (the columns may be shared with sibling partition frames).
+func (f *Frame) totalEntries() int {
+	return int(f.off[len(f.off)-1] - f.off[0])
+}
+
+// owner returns the global ID of local node v.
+func (f *Frame) owner(local int) int32 { return f.base + int32(local) }
+
+// segAt returns segment s of local node v as a column view.  The slices
+// carry full capacity bounds so an (erroneous) append cannot overwrite a
+// neighboring sketch.
+func (f *Frame) segAt(local, s int) cols {
+	lo := f.off[local*f.segs+s]
+	hi := f.off[local*f.segs+s+1]
+	return cols{
+		node: f.node[lo:hi:hi],
+		dist: f.dist[lo:hi:hi],
+		rank: f.rank[lo:hi:hi],
+	}
+}
+
+// span returns the absolute entry range of local node v across all its
+// segments.
+func (f *Frame) span(local int) (lo, hi int64) {
+	return f.off[local*f.segs], f.off[(local+1)*f.segs]
+}
+
+// viewSketch constructs the flavor-appropriate view of local node v.
+func (f *Frame) viewSketch(local int) Sketch {
+	if f.kind == kindWeighted {
+		return f.viewWeighted(local)
+	}
+	switch f.opts.Flavor {
+	case sketch.KMins:
+		a := &KMinsADS{k: f.opts.K, node: f.owner(local), perms: make([]cols, f.opts.K)}
+		for h := range a.perms {
+			a.perms[h] = f.segAt(local, h)
+		}
+		return a
+	case sketch.KPartition:
+		a := &KPartitionADS{k: f.opts.K, node: f.owner(local), buckets: make([]cols, f.opts.K)}
+		for b := range a.buckets {
+			a.buckets[b] = f.segAt(local, b)
+		}
+		return a
+	default:
+		return f.viewADS(local)
+	}
+}
+
+func (f *Frame) viewADS(local int) *ADS {
+	return &ADS{k: f.opts.K, node: f.owner(local), c: f.segAt(local, 0)}
+}
+
+func (f *Frame) viewWeighted(local int) *WeightedADS {
+	lo, hi := f.span(local)
+	return &WeightedADS{
+		k: f.opts.K, node: f.owner(local), scheme: f.scheme,
+		c:    f.segAt(local, 0),
+		beta: f.beta[lo:hi:hi],
+	}
+}
+
+// slice returns the sub-frame of local nodes [lo, hi): re-sliced offsets
+// over the same shared columns.  No entry data is allocated or copied.
+func (f *Frame) slice(lo, hi int) *Frame {
+	return &Frame{
+		kind: f.kind, opts: f.opts, scheme: f.scheme, eps: f.eps,
+		segs: f.segs, n: hi - lo, base: f.base + int32(lo),
+		off:  f.off[lo*f.segs : hi*f.segs+1 : hi*f.segs+1],
+		node: f.node, dist: f.dist, rank: f.rank, beta: f.beta,
+	}
+}
+
+// mergeFrames concatenates frames (already validated to be a consistent,
+// ordered split) into one whole frame with compact columns.
+func mergeFrames(frames []*Frame) *Frame {
+	first := frames[0]
+	total, nodes := 0, 0
+	for _, f := range frames {
+		total += f.totalEntries()
+		nodes += f.n
+	}
+	out := &Frame{
+		kind: first.kind, opts: first.opts, scheme: first.scheme, eps: first.eps,
+		segs: first.segs, n: nodes, base: 0,
+		off:  make([]int64, nodes*first.segs+1),
+		node: make([]int32, total),
+		dist: make([]float64, total),
+		rank: make([]float64, total),
+	}
+	if first.kind == kindWeighted {
+		out.beta = make([]float64, total)
+	}
+	pos, seg := int64(0), 0
+	for _, f := range frames {
+		flo, fhi := f.off[0], f.off[len(f.off)-1]
+		copy(out.node[pos:], f.node[flo:fhi])
+		copy(out.dist[pos:], f.dist[flo:fhi])
+		copy(out.rank[pos:], f.rank[flo:fhi])
+		if out.beta != nil {
+			copy(out.beta[pos:], f.beta[flo:fhi])
+		}
+		for i := 0; i < f.n*f.segs; i++ {
+			out.off[seg] = pos + (f.off[i] - flo)
+			seg++
+		}
+		pos += fhi - flo
+	}
+	out.off[seg] = pos
+	return out
+}
+
+// hipArena is a frame's columnar HIP query index: every node's index is a
+// view over these shared columns, so serving a million nodes costs a
+// handful of arena allocations instead of five slices per node.  It
+// realizes the compression remark of the paper's Section 5 — per unique
+// distance, the cumulative adjusted weight (plus the weight·distance and
+// weight/distance sums the closeness and harmonic readouts need).
+type hipArena struct {
+	views []HIPIndex
+	// HIP entries in canonical order.  For single-segment frames the
+	// node/dist columns alias the frame's; for k-mins / k-partition they
+	// hold the per-node cursor merge of the segments.
+	hnode []int32
+	hdist []float64
+	hw    []float64
+	// per-unique-distance prefix-sum columns
+	udist []float64
+	cum   []float64
+	cumD  []float64
+	cumH  []float64
+}
+
+// Index returns the columnar HIP query index of local node v, building
+// the frame's shared index arena on first use.  The returned index is an
+// immutable view, safe to share between goroutines.
+func (f *Frame) Index(local int32) *HIPIndex {
+	f.hipOnce.Do(f.buildHIP)
+	return &f.hip.views[local]
+}
+
+// buildHIP fills the arena.  All accumulations scan entries in canonical
+// order with the same operations as the per-sketch HIP estimators, so
+// every readout is bit-identical to NewHIPIndex over the corresponding
+// view.
+func (f *Frame) buildHIP() {
+	e := f.totalEntries()
+	a := &hipArena{
+		views: make([]HIPIndex, f.n),
+		hw:    make([]float64, 0, e),
+		udist: make([]float64, 0, e),
+		cum:   make([]float64, 0, e),
+		cumD:  make([]float64, 0, e),
+		cumH:  make([]float64, 0, e),
+	}
+	single := f.segs == 1
+	if !single {
+		a.hnode = make([]int32, 0, e)
+		a.hdist = make([]float64, 0, e)
+	}
+	h := newMaxHeap(f.opts.K)
+	for v := 0; v < f.n; v++ {
+		hlo, ulo := len(a.hw), len(a.udist)
+		if single {
+			c := f.segAt(v, 0)
+			h.reset()
+			switch f.kind {
+			case kindWeighted:
+				blo, bhi := f.span(v)
+				a.hw = hipWeightsWeighted(c, f.beta[blo:bhi], f.scheme, f.opts.K, h, a.hw)
+			default:
+				a.hw = hipWeightsBottomK(c, f.opts.K, h, a.hw)
+			}
+		} else {
+			emit := func(node int32, dist, w float64) {
+				a.hnode = append(a.hnode, node)
+				a.hdist = append(a.hdist, dist)
+				a.hw = append(a.hw, w)
+			}
+			if f.opts.Flavor == sketch.KMins {
+				hipMergeKMins(f.segViews(v), emit)
+			} else {
+				hipMergeKPartition(f.segViews(v), emit)
+			}
+		}
+		// Prefix sums per unique distance, in canonical order.
+		var hd []float64
+		if single {
+			lo, hi := f.span(v)
+			hd = f.dist[lo:hi]
+		} else {
+			hd = a.hdist[hlo:]
+		}
+		hw := a.hw[hlo:]
+		total, totalD, totalH := 0.0, 0.0, 0.0
+		for i := 0; i < len(hd); {
+			d := hd[i]
+			for i < len(hd) && hd[i] == d {
+				total += hw[i]
+				totalD += hw[i] * hd[i]
+				totalH += hw[i] * KernelHarmonic(hd[i])
+				i++
+			}
+			a.udist = append(a.udist, d)
+			a.cum = append(a.cum, total)
+			a.cumD = append(a.cumD, totalD)
+			a.cumH = append(a.cumH, totalH)
+		}
+		a.views[v] = HIPIndex{
+			ew:    a.hw[hlo:len(a.hw):len(a.hw)],
+			dists: a.udist[ulo:len(a.udist):len(a.udist)],
+			cum:   a.cum[ulo:len(a.cum):len(a.cum)],
+			cumD:  a.cumD[ulo:len(a.cumD):len(a.cumD)],
+			cumH:  a.cumH[ulo:len(a.cumH):len(a.cumH)],
+		}
+		if single {
+			lo, hi := f.span(v)
+			a.views[v].enode = f.node[lo:hi:hi]
+			a.views[v].edist = f.dist[lo:hi:hi]
+		} else {
+			a.views[v].enode = a.hnode[hlo:len(a.hnode):len(a.hnode)]
+			a.views[v].edist = a.hdist[hlo:len(a.hdist):len(a.hdist)]
+		}
+	}
+	f.hip = a
+}
+
+// segViews returns the per-segment column views of local node v.
+func (f *Frame) segViews(local int) []cols {
+	segs := make([]cols, f.segs)
+	for s := range segs {
+		segs[s] = f.segAt(local, s)
+	}
+	return segs
+}
+
+// hipWeightsBottomK appends the HIP adjusted weights of a bottom-k entry
+// list (Lemma 5.1: 1/τ with τ the k-th smallest preceding rank) to out.
+// h is caller-provided scratch, reset before use.
+func hipWeightsBottomK(c cols, k int, h *maxHeap, out []float64) []float64 {
+	h.reset()
+	for i := 0; i < len(c.rank); i++ {
+		tau := 1.0
+		if h.size() >= k {
+			tau = h.max()
+		}
+		out = append(out, 1/tau)
+		h.offer(c.rank[i])
+	}
+	return out
+}
+
+// hipWeightsWeighted appends the Section 9 adjusted weights β/p (p the
+// scheme's inclusion probability against the k-th smallest preceding
+// biased rank) to out.
+func hipWeightsWeighted(c cols, beta []float64, scheme WeightScheme, k int, h *maxHeap, out []float64) []float64 {
+	h.reset()
+	for i := 0; i < len(c.rank); i++ {
+		b := beta[i]
+		w := b
+		if h.size() >= k {
+			tau := h.max()
+			w = b / weightedInclusionProb(scheme, b, tau)
+		}
+		out = append(out, w)
+		h.offer(c.rank[i])
+	}
+	return out
+}

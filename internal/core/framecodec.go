@@ -1,0 +1,816 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+
+	"adsketch/internal/sketch"
+)
+
+// Version-3 sketch files: the on-disk layout is the in-memory frame
+// layout.  After a fixed little-endian header come the raw columns —
+// offsets, nodes, dists, ranks (and betas for weighted sets) — each
+// padded to 8-byte alignment:
+//
+//	magic "ADSK" | version u32 = 3 | kind u32 | flags u32 |
+//	[kind 3 only: index u32 | count u32 | lo u32 | hi u32 |
+//	              total u32 | innerKind u32] |
+//	k u32 | flavor u32 | seed u64 | baseB f64 | scheme u32 | segs u32 |
+//	eps f64 | numNodes u64 | numEntries u64 | reserved u64 |
+//	offsets (numNodes*segs+1)×i64 | nodes numEntries×i32 | pad |
+//	dists numEntries×f64 | ranks numEntries×f64 |
+//	[betas numEntries×f64, when flags bit 0 is set]
+//
+// Encoding is therefore near-memcpy, and decoding a trusted file is
+// O(columns): validate the header and the offsets monotonicity, then view
+// the columns in place.  OpenSketchFile reads the file once and performs
+// O(1) allocations per set; MmapSketchFile maps it (on linux) so even the
+// read is deferred to page faults — a worker serving a prebuilt shard
+// file starts in microseconds.  Files written by versions 1 and 2 remain
+// readable everywhere and are converted to frames on load.
+
+// EncodeVersionV3 is the columnar sketch file format version written by
+// WriteSketchSetV3 / WritePartitionV3 and opened zero-copy by
+// OpenSketchFile / MmapSketchFile.
+const EncodeVersionV3 = frameEncodeVersion
+
+const (
+	frameEncodeVersion = 3
+	framePreambleSize  = 16 // magic, version, kind, flags
+	framePartHdrSize   = 24 // index, count, lo, hi, total, innerKind
+	frameHdrSize       = 64 // k .. reserved
+
+	frameFlagBeta = 1 << 0
+)
+
+// nativeLittleEndian reports whether the host stores integers the way the
+// format does; when false the zero-copy column views fall back to a
+// decoding copy.
+var nativeLittleEndian = func() bool {
+	return binary.NativeEndian.Uint16([]byte{0x34, 0x12}) == 0x1234
+}()
+
+// frameHdr is the parsed fixed-size portion of a version-3 file.
+type frameHdr struct {
+	kind  uint32
+	flags uint32
+	// partition envelope (kind 3 only)
+	index, count, lo, hi, total, innerKind uint32
+	// frame fields
+	k, flavor     uint32
+	seed          uint64
+	baseB         float64
+	scheme, segs  uint32
+	eps           float64
+	n, numEntries uint64
+}
+
+// partitioned reports whether the file carries the partition envelope.
+func (h *frameHdr) partitioned() bool { return h.kind == kindPartition }
+
+// setKind returns the kind of the stored set (the inner kind for
+// partition files).
+func (h *frameHdr) setKind() uint32 {
+	if h.partitioned() {
+		return h.innerKind
+	}
+	return h.kind
+}
+
+// headerSize returns the byte length of everything before the offsets
+// column.
+func (h *frameHdr) headerSize() int64 {
+	s := int64(framePreambleSize + frameHdrSize)
+	if h.partitioned() {
+		s += framePartHdrSize
+	}
+	return s
+}
+
+// numSegs returns the offsets-array segment count.
+func (h *frameHdr) numSegs() int64 { return int64(h.n) * int64(h.segs) }
+
+// bodySize returns the total byte length of the columns.
+func (h *frameHdr) bodySize() int64 {
+	e := int64(h.numEntries)
+	s := (h.numSegs()+1)*8 + pad8(e*4) + e*8 + e*8
+	if h.flags&frameFlagBeta != 0 {
+		s += e * 8
+	}
+	return s
+}
+
+func pad8(n int64) int64 { return (n + 7) &^ 7 }
+
+// validate checks every header field against the format's invariants,
+// so a corrupted file errors out before any column is touched.
+func (h *frameHdr) validate() error {
+	if h.flags&^uint32(frameFlagBeta) != 0 {
+		return fmt.Errorf("core: sketch file has unknown flags %#x", h.flags)
+	}
+	switch h.setKind() {
+	case kindUniform, kindWeighted, kindApprox:
+	case kindPartition:
+		return fmt.Errorf("core: sketch partitions cannot nest")
+	default:
+		return fmt.Errorf("core: sketch file has unknown kind %d", h.setKind())
+	}
+	if h.partitioned() {
+		switch {
+		case h.count < 1 || h.count > maxCodecPartitions:
+			return fmt.Errorf("core: implausible partition count %d", h.count)
+		case h.index >= h.count:
+			return fmt.Errorf("core: partition index %d out of range [0, %d)", h.index, h.count)
+		case h.total > 1<<30:
+			return fmt.Errorf("core: implausible node count %d", h.total)
+		case h.lo > h.hi || h.hi > h.total:
+			return fmt.Errorf("core: partition node range [%d, %d) outside [0, %d)", h.lo, h.hi, h.total)
+		}
+		if uint64(h.hi-h.lo) != h.n {
+			return fmt.Errorf("core: partition claims nodes [%d, %d) but holds %d sketches", h.lo, h.hi, h.n)
+		}
+	}
+	if h.k < 1 || h.k > maxCodecK {
+		return fmt.Errorf("core: implausible sketch parameter k=%d", h.k)
+	}
+	if h.n > 1<<30 {
+		return fmt.Errorf("core: implausible node count %d", h.n)
+	}
+	wantSegs := uint32(1)
+	switch h.setKind() {
+	case kindUniform:
+		switch sketch.Flavor(h.flavor) {
+		case sketch.BottomK:
+		case sketch.KMins, sketch.KPartition:
+			wantSegs = h.k
+		default:
+			return fmt.Errorf("core: sketch file has unknown flavor %d", h.flavor)
+		}
+		if h.baseB != 0 && !(h.baseB > 1) {
+			return fmt.Errorf("core: sketch file has invalid base %g", h.baseB)
+		}
+	case kindWeighted:
+		if h.scheme != uint32(ExponentialWeights) && h.scheme != uint32(PriorityWeights) {
+			return fmt.Errorf("core: sketch file has unknown weight scheme %d", h.scheme)
+		}
+	case kindApprox:
+		if h.eps < 0 || math.IsNaN(h.eps) || math.IsInf(h.eps, 1) {
+			return fmt.Errorf("core: sketch file has invalid epsilon %g", h.eps)
+		}
+	}
+	if h.segs != wantSegs {
+		return fmt.Errorf("core: sketch file claims %d segments per node, want %d", h.segs, wantSegs)
+	}
+	hasBeta := h.flags&frameFlagBeta != 0
+	if hasBeta != (h.setKind() == kindWeighted) {
+		return fmt.Errorf("core: sketch file beta column mismatch (kind %d, flags %#x)", h.setKind(), h.flags)
+	}
+	if h.numEntries > 1<<40 {
+		return fmt.Errorf("core: implausible entry count %d", h.numEntries)
+	}
+	return nil
+}
+
+// headerOf extracts the version-3 header of a frame (and optional
+// partition envelope) for writing.
+func headerOf(f *Frame, part *Partition) frameHdr {
+	h := frameHdr{
+		kind:       f.kind,
+		k:          uint32(f.opts.K),
+		flavor:     uint32(f.opts.Flavor),
+		seed:       f.opts.Seed,
+		baseB:      f.opts.BaseB,
+		scheme:     uint32(f.scheme),
+		segs:       uint32(f.segs),
+		eps:        f.eps,
+		n:          uint64(f.n),
+		numEntries: uint64(f.totalEntries()),
+	}
+	if f.kind == kindWeighted {
+		h.flags |= frameFlagBeta
+	}
+	if part != nil {
+		h.innerKind = f.kind
+		h.kind = kindPartition
+		h.index = uint32(part.Index())
+		h.count = uint32(part.Count())
+		h.lo = uint32(part.Lo())
+		h.hi = uint32(part.Hi())
+		h.total = uint32(part.TotalNodes())
+	}
+	return h
+}
+
+// appendHeader renders the header (preamble through reserved field).
+func (h *frameHdr) appendHeader(buf []byte) []byte {
+	le := binary.LittleEndian
+	buf = append(buf, encodeMagic...)
+	buf = le.AppendUint32(buf, frameEncodeVersion)
+	buf = le.AppendUint32(buf, h.kind)
+	buf = le.AppendUint32(buf, h.flags)
+	if h.partitioned() {
+		buf = le.AppendUint32(buf, h.index)
+		buf = le.AppendUint32(buf, h.count)
+		buf = le.AppendUint32(buf, h.lo)
+		buf = le.AppendUint32(buf, h.hi)
+		buf = le.AppendUint32(buf, h.total)
+		buf = le.AppendUint32(buf, h.innerKind)
+	}
+	buf = le.AppendUint32(buf, h.k)
+	buf = le.AppendUint32(buf, h.flavor)
+	buf = le.AppendUint64(buf, h.seed)
+	buf = le.AppendUint64(buf, math.Float64bits(h.baseB))
+	buf = le.AppendUint32(buf, h.scheme)
+	buf = le.AppendUint32(buf, h.segs)
+	buf = le.AppendUint64(buf, math.Float64bits(h.eps))
+	buf = le.AppendUint64(buf, h.n)
+	buf = le.AppendUint64(buf, h.numEntries)
+	buf = le.AppendUint64(buf, 0) // reserved
+	return buf
+}
+
+// writeFrameV3 writes a frame (and optional partition envelope) in the
+// version-3 format.  On little-endian hosts every column is one Write of
+// the slice's underlying bytes — near-memcpy.
+func writeFrameV3(w io.Writer, f *Frame, part *Partition) (int64, error) {
+	h := headerOf(f, part)
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.Write(h.appendHeader(make([]byte, 0, h.headerSize()))); err != nil {
+		return cw.n, err
+	}
+	// Offsets are rebased to 0 so a sliced partition frame round-trips to
+	// the same bytes as an independently loaded one.
+	base := f.off[0]
+	e := f.totalEntries()
+	var scratch []byte
+	writeI64s := func(vals []int64, rebase int64) error {
+		if nativeLittleEndian && rebase == 0 {
+			return writeRaw(bw, i64Bytes(vals))
+		}
+		buf := growBuf(&scratch, len(vals)*8)
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v-rebase))
+		}
+		return writeRaw(bw, buf)
+	}
+	writeF64s := func(vals []float64) error {
+		if nativeLittleEndian {
+			return writeRaw(bw, f64Bytes(vals))
+		}
+		buf := growBuf(&scratch, len(vals)*8)
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		return writeRaw(bw, buf)
+	}
+	writeI32s := func(vals []int32) error {
+		if nativeLittleEndian {
+			if err := writeRaw(bw, i32Bytes(vals)); err != nil {
+				return err
+			}
+		} else {
+			buf := growBuf(&scratch, len(vals)*4)
+			for i, v := range vals {
+				binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+			}
+			if err := writeRaw(bw, buf); err != nil {
+				return err
+			}
+		}
+		// pad to 8-byte alignment
+		if pad := pad8(int64(len(vals))*4) - int64(len(vals))*4; pad > 0 {
+			var zero [8]byte
+			return writeRaw(bw, zero[:pad])
+		}
+		return nil
+	}
+	if err := writeI64s(f.off, base); err != nil {
+		return cw.n, err
+	}
+	if err := writeI32s(f.node[base : base+int64(e)]); err != nil {
+		return cw.n, err
+	}
+	if err := writeF64s(f.dist[base : base+int64(e)]); err != nil {
+		return cw.n, err
+	}
+	if err := writeF64s(f.rank[base : base+int64(e)]); err != nil {
+		return cw.n, err
+	}
+	if h.flags&frameFlagBeta != 0 {
+		if err := writeF64s(f.beta[base : base+int64(e)]); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+func writeRaw(bw *bufio.Writer, b []byte) error {
+	_, err := bw.Write(b)
+	return err
+}
+
+// WriteSketchSetV3 serializes a whole sketch set in the version-3
+// columnar format.  The estimates computed from the reloaded set are
+// bit-for-bit those of the original.
+func WriteSketchSetV3(w io.Writer, s AnySet) (int64, error) {
+	f, err := frameOf(s)
+	if err != nil {
+		return 0, err
+	}
+	return writeFrameV3(w, f, nil)
+}
+
+// WritePartitionV3 serializes one partition in the version-3 columnar
+// format (the partition envelope followed by the frame columns) — the
+// shard file an mmap-serving worker opens.
+func WritePartitionV3(w io.Writer, p *Partition) (int64, error) {
+	f, err := frameOf(p.Set())
+	if err != nil {
+		return 0, err
+	}
+	return writeFrameV3(w, f, p)
+}
+
+// Raw byte views of column slices, used on little-endian hosts where the
+// in-memory representation equals the wire representation.
+
+func i64Bytes(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func f64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func i32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+}
+
+// Typed views of raw bytes — the zero-copy direction.  Callers must have
+// bounds-checked n against len(b); alignment is verified (mmap bases are
+// page-aligned and large heap buffers are 8-aligned, but a misaligned
+// source falls back to copying).
+
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+func viewI64s(b []byte, n int64) []int64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+}
+
+func viewF64s(b []byte, n int64) []float64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+}
+
+func viewI32s(b []byte, n int64) []int32 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+}
+
+// parseFrameHdr parses and validates the fixed header of a version-3
+// file.  data starts at the kind field (magic and version already
+// consumed); it returns the header and the number of header bytes
+// consumed from data.
+func parseFrameHdr(data []byte) (frameHdr, int, error) {
+	le := binary.LittleEndian
+	var h frameHdr
+	if len(data) < 8 {
+		return h, 0, fmt.Errorf("core: truncated sketch file header")
+	}
+	h.kind = le.Uint32(data)
+	h.flags = le.Uint32(data[4:])
+	pos := 8
+	if h.kind == kindPartition {
+		if len(data) < pos+framePartHdrSize {
+			return h, 0, fmt.Errorf("core: truncated partition header")
+		}
+		h.index = le.Uint32(data[pos:])
+		h.count = le.Uint32(data[pos+4:])
+		h.lo = le.Uint32(data[pos+8:])
+		h.hi = le.Uint32(data[pos+12:])
+		h.total = le.Uint32(data[pos+16:])
+		h.innerKind = le.Uint32(data[pos+20:])
+		pos += framePartHdrSize
+	}
+	if len(data) < pos+frameHdrSize {
+		return h, 0, fmt.Errorf("core: truncated sketch file header")
+	}
+	h.k = le.Uint32(data[pos:])
+	h.flavor = le.Uint32(data[pos+4:])
+	h.seed = le.Uint64(data[pos+8:])
+	h.baseB = math.Float64frombits(le.Uint64(data[pos+16:]))
+	h.scheme = le.Uint32(data[pos+24:])
+	h.segs = le.Uint32(data[pos+28:])
+	h.eps = math.Float64frombits(le.Uint64(data[pos+32:]))
+	h.n = le.Uint64(data[pos+40:])
+	h.numEntries = le.Uint64(data[pos+48:])
+	pos += frameHdrSize
+	if err := h.validate(); err != nil {
+		return h, 0, err
+	}
+	return h, pos, nil
+}
+
+// frameFromHdr assembles the in-memory frame for a validated header.
+func frameFromHdr(h frameHdr) *Frame {
+	f := &Frame{
+		kind: h.setKind(),
+		opts: Options{K: int(h.k), Flavor: sketch.Flavor(h.flavor), Seed: h.seed, BaseB: h.baseB},
+		segs: int(h.segs),
+		n:    int(h.n),
+	}
+	switch f.kind {
+	case kindWeighted:
+		f.opts = Options{K: int(h.k)}
+		f.scheme = WeightScheme(h.scheme)
+	case kindApprox:
+		f.opts = Options{K: int(h.k)}
+		f.eps = h.eps
+	}
+	if h.partitioned() {
+		f.base = int32(h.lo)
+	}
+	return f
+}
+
+// validateOffsets checks that the offsets column is monotonic and covers
+// exactly the entry columns; everything else about a version-3 file is
+// trusted (it is a serving-format for files the operator built).
+func validateOffsets(off []int64, numEntries int64) error {
+	if len(off) == 0 || off[0] != 0 {
+		return fmt.Errorf("core: sketch file offsets do not start at 0")
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("core: sketch file offsets decrease at %d", i)
+		}
+	}
+	if off[len(off)-1] != numEntries {
+		return fmt.Errorf("core: sketch file offsets end at %d, want %d entries", off[len(off)-1], numEntries)
+	}
+	return nil
+}
+
+// openFrameBytes parses a complete version-3 file held in memory (heap or
+// mmap), viewing the columns in place when the host is little-endian and
+// the buffer 8-aligned, and copying them otherwise.  It performs O(1)
+// allocations on the zero-copy path and never allocates proportionally to
+// corrupt header claims: every count is bounds-checked against len(data)
+// first.
+func openFrameBytes(data []byte) (AnySet, *Partition, error) {
+	if len(data) < framePreambleSize {
+		return nil, nil, fmt.Errorf("core: truncated sketch file")
+	}
+	if string(data[:4]) != encodeMagic {
+		return nil, nil, fmt.Errorf("core: not a sketch file (magic %q)", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != frameEncodeVersion {
+		return nil, nil, fmt.Errorf("core: sketch file version %d, want %d", v, frameEncodeVersion)
+	}
+	h, consumed, err := parseFrameHdr(data[8:])
+	if err != nil {
+		return nil, nil, err
+	}
+	body := data[8+consumed:]
+	if int64(len(body)) != h.bodySize() {
+		return nil, nil, fmt.Errorf("core: sketch file body holds %d bytes, header implies %d", len(body), h.bodySize())
+	}
+	f := frameFromHdr(h)
+	nSegs := h.numSegs()
+	e := int64(h.numEntries)
+	zeroCopy := nativeLittleEndian && aligned8(body)
+	offB := body[:(nSegs+1)*8]
+	nodeB := body[(nSegs+1)*8:][:e*4]
+	distB := body[(nSegs+1)*8+pad8(e*4):][:e*8]
+	rankB := body[(nSegs+1)*8+pad8(e*4)+e*8:][:e*8]
+	var betaB []byte
+	if h.flags&frameFlagBeta != 0 {
+		betaB = body[(nSegs+1)*8+pad8(e*4)+2*e*8:][:e*8]
+	}
+	if zeroCopy {
+		f.off = viewI64s(offB, nSegs+1)
+		f.node = viewI32s(nodeB, e)
+		f.dist = viewF64s(distB, e)
+		f.rank = viewF64s(rankB, e)
+		if betaB != nil {
+			f.beta = viewF64s(betaB, e)
+		}
+	} else {
+		le := binary.LittleEndian
+		f.off = make([]int64, nSegs+1)
+		for i := range f.off {
+			f.off[i] = int64(le.Uint64(offB[i*8:]))
+		}
+		f.node = make([]int32, e)
+		for i := range f.node {
+			f.node[i] = int32(le.Uint32(nodeB[i*4:]))
+		}
+		f.dist = make([]float64, e)
+		f.rank = make([]float64, e)
+		for i := range f.dist {
+			f.dist[i] = math.Float64frombits(le.Uint64(distB[i*8:]))
+			f.rank[i] = math.Float64frombits(le.Uint64(rankB[i*8:]))
+		}
+		if betaB != nil {
+			f.beta = make([]float64, e)
+			for i := range f.beta {
+				f.beta[i] = math.Float64frombits(le.Uint64(betaB[i*8:]))
+			}
+		}
+	}
+	if err := validateOffsets(f.off, e); err != nil {
+		return nil, nil, err
+	}
+	set, err := setFromFrame(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !h.partitioned() {
+		return set, nil, nil
+	}
+	return nil, &Partition{
+		index: int(h.index),
+		count: int(h.count),
+		lo:    int32(h.lo),
+		hi:    int32(h.hi),
+		total: int(h.total),
+		set:   set,
+	}, nil
+}
+
+// readFrameFile decodes a version-3 file from a stream (the magic and
+// version already consumed by readAny).  This is the portable path for
+// ReadSketchSet / ReadSketchFile on arbitrary readers; serving processes
+// use OpenSketchFile / MmapSketchFile, which avoid the copies.
+func readFrameFile(d *setDecoder) (AnySet, *Partition, error) {
+	// Accumulate the fixed header with exact reads: kind+flags, then the
+	// partition envelope only when kind says so, then the frame fields.
+	// The capacity covers the largest (partitioned) header.
+	hdrLen := framePreambleSize - 8 + framePartHdrSize + frameHdrSize
+	head := make([]byte, 0, hdrLen)
+	kf, err := d.read(8) // kind, flags
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reading sketch file header: %w", err)
+	}
+	head = append(head, kf...)
+	if binary.LittleEndian.Uint32(head) == kindPartition {
+		p, err := d.read(framePartHdrSize)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: reading partition header: %w", err)
+		}
+		head = append(head, p...)
+	}
+	fh, err := d.read(frameHdrSize)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reading sketch file header: %w", err)
+	}
+	head = append(head, fh...)
+	h, _, err := parseFrameHdr(head)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := frameFromHdr(h)
+	nSegs := h.numSegs()
+	e := int64(h.numEntries)
+	// Columns are read in bounded chunks with capped preallocation, so a
+	// corrupted count fails at the first short read instead of allocating
+	// its claim up front.
+	f.off, err = readI64sChunked(d, nSegs+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := validateOffsets(f.off, e); err != nil {
+		return nil, nil, err
+	}
+	f.node, err = readI32sChunked(d, e)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pad := pad8(e*4) - e*4; pad > 0 {
+		if _, err := d.read(int(pad)); err != nil {
+			return nil, nil, fmt.Errorf("core: reading sketch file padding: %w", err)
+		}
+	}
+	if f.dist, err = readF64sChunked(d, e); err != nil {
+		return nil, nil, err
+	}
+	if f.rank, err = readF64sChunked(d, e); err != nil {
+		return nil, nil, err
+	}
+	if h.flags&frameFlagBeta != 0 {
+		if f.beta, err = readF64sChunked(d, e); err != nil {
+			return nil, nil, err
+		}
+	}
+	set, err := setFromFrame(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !h.partitioned() {
+		return set, nil, nil
+	}
+	return nil, &Partition{
+		index: int(h.index),
+		count: int(h.count),
+		lo:    int32(h.lo),
+		hi:    int32(h.hi),
+		total: int(h.total),
+		set:   set,
+	}, nil
+}
+
+func readI64sChunked(d *setDecoder, n int64) ([]int64, error) {
+	out := make([]int64, 0, minInt64(n, maxEntryPrealloc))
+	for read := int64(0); read < n; {
+		chunk := minInt64(n-read, maxEntryPrealloc)
+		buf, err := d.read(int(chunk) * 8)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading sketch file column: %w", err)
+		}
+		for i := int64(0); i < chunk; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+		read += chunk
+	}
+	return out, nil
+}
+
+func readF64sChunked(d *setDecoder, n int64) ([]float64, error) {
+	out := make([]float64, 0, minInt64(n, maxEntryPrealloc))
+	for read := int64(0); read < n; {
+		chunk := minInt64(n-read, maxEntryPrealloc)
+		buf, err := d.read(int(chunk) * 8)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading sketch file column: %w", err)
+		}
+		for i := int64(0); i < chunk; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+		read += chunk
+	}
+	return out, nil
+}
+
+func readI32sChunked(d *setDecoder, n int64) ([]int32, error) {
+	out := make([]int32, 0, minInt64(n, maxEntryPrealloc))
+	for read := int64(0); read < n; {
+		chunk := minInt64(n-read, maxEntryPrealloc)
+		buf, err := d.read(int(chunk) * 4)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading sketch file column: %w", err)
+		}
+		for i := int64(0); i < chunk; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
+		read += chunk
+	}
+	return out, nil
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SketchFile is an opened sketch file: exactly one of a whole set or a
+// partition, plus the backing memory when the file was opened zero-copy.
+type SketchFile struct {
+	set     AnySet
+	part    *Partition
+	version int
+	mapped  []byte // non-nil iff the columns view an mmap region
+}
+
+// Set returns the whole set, or nil for a partition file.
+func (s *SketchFile) Set() AnySet { return s.set }
+
+// Partition returns the partition, or nil for a whole-set file.
+func (s *SketchFile) Partition() *Partition { return s.part }
+
+// Version returns the codec version the file was stored in (1, 2, or
+// EncodeVersionV3).
+func (s *SketchFile) Version() int { return s.version }
+
+// Mapped reports whether the columns view an mmap'd region (in which
+// case Close invalidates every sketch and index derived from the file).
+func (s *SketchFile) Mapped() bool { return s.mapped != nil }
+
+// Close releases the mapping, if any.  The sketches, views, and indexes
+// obtained from a mapped file must not be used afterwards.
+func (s *SketchFile) Close() error {
+	if s.mapped == nil {
+		return nil
+	}
+	m := s.mapped
+	s.mapped = nil
+	s.set, s.part = nil, nil
+	return munmapFile(m)
+}
+
+// OpenSketchFile opens a sketch file of any version.  Version-3 files are
+// read in one call and their columns viewed in place — O(1) allocations
+// per set on little-endian hosts.  Versions 1 and 2 are decoded through
+// the streaming reader (and converted to frames on load) without holding
+// the raw file in memory alongside the decoded set.
+func OpenSketchFile(path string) (*SketchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err == nil && isFrameFile(head[:]) {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, st.Size())
+		if _, err := f.ReadAt(data, 0); err != nil {
+			return nil, fmt.Errorf("core: reading %s: %w", path, err)
+		}
+		set, part, err := openFrameBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		return &SketchFile{set: set, part: part, version: frameEncodeVersion}, nil
+	}
+	// Not a v3 file (or too short to tell): stream-decode from the start;
+	// the reader produces the precise error for garbage input.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	set, part, err := readAny(f)
+	if err != nil {
+		return nil, err
+	}
+	return &SketchFile{set: set, part: part, version: int(binary.LittleEndian.Uint32(head[4:]))}, nil
+}
+
+// MmapSketchFile opens a version-3 sketch file by mapping it into memory:
+// no column is read until it is queried, so a worker serving a prebuilt
+// shard starts in near-constant time regardless of file size.  On
+// platforms without mmap support — or for version-1/2 files, which need
+// decoding anyway — it falls back to OpenSketchFile.
+func MmapSketchFile(path string) (*SketchFile, error) {
+	if !mmapSupported {
+		return OpenSketchFile(path)
+	}
+	fl, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fl.Close()
+	st, err := fl.Stat()
+	if err != nil {
+		return nil, err
+	}
+	var head [8]byte
+	if _, err := io.ReadFull(fl, head[:]); err != nil || !isFrameFile(head[:]) {
+		return OpenSketchFile(path)
+	}
+	data, err := mmapFile(fl, int(st.Size()))
+	if err != nil {
+		return nil, fmt.Errorf("core: mmap %s: %w", path, err)
+	}
+	set, part, err := openFrameBytes(data)
+	if err != nil {
+		munmapFile(data)
+		return nil, err
+	}
+	return &SketchFile{set: set, part: part, version: frameEncodeVersion, mapped: data}, nil
+}
+
+// isFrameFile reports whether the bytes begin a version-3 file.
+func isFrameFile(data []byte) bool {
+	return len(data) >= 8 && string(data[:4]) == encodeMagic &&
+		binary.LittleEndian.Uint32(data[4:]) == frameEncodeVersion
+}

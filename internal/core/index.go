@@ -16,21 +16,51 @@ import "sort"
 // the adjusted weights of included nodes with distance d" — the index
 // stores exactly that distance -> cumulative weight mapping.
 //
+// Storage is columnar.  An index built standalone (NewHIPIndex) owns its
+// columns, preallocated to exact size; the indexes of a frame-backed set
+// (Frame.Index, what Engine serves) are views into one arena shared by
+// the whole set, so serving a million nodes does not cost five slices per
+// node.
+//
 // All accumulations scan the entries in canonical order, so every readout
 // is bit-identical to the corresponding direct estimator (EstimateQ,
 // EstimateCentrality, EstimateNeighborhoodHIP) on the same sketch.
 type HIPIndex struct {
-	entries []WeightedEntry
-	dists   []float64 // unique entry distances, ascending
-	cum     []float64 // cum[i]: total adjusted weight at distance <= dists[i]
-	cumD    []float64 // prefix sums of weight * distance
-	cumH    []float64 // prefix sums of weight / distance (0 at distance 0)
+	enode []int32   // HIP entry nodes, canonical order
+	edist []float64 // HIP entry distances, parallel to enode
+	ew    []float64 // HIP adjusted weights, parallel to enode
+	dists []float64 // unique entry distances, ascending
+	cum   []float64 // cum[i]: total adjusted weight at distance <= dists[i]
+	cumD  []float64 // prefix sums of weight * distance
+	cumH  []float64 // prefix sums of weight / distance (0 at distance 0)
 }
 
-// NewHIPIndex builds the index for a sketch of any flavor.
+// NewHIPIndex builds a standalone index for a sketch of any flavor, with
+// every column preallocated to its exact size (one pass counts the unique
+// distances, a second fills the prefix sums).  For sketches of a built
+// set prefer the set's Index method, which shares one arena per set.
 func NewHIPIndex(s Sketch) *HIPIndex {
 	entries := s.HIPEntries()
-	idx := &HIPIndex{entries: entries}
+	unique := 0
+	for i := range entries {
+		if i == 0 || entries[i].Dist != entries[i-1].Dist {
+			unique++
+		}
+	}
+	idx := &HIPIndex{
+		enode: make([]int32, len(entries)),
+		edist: make([]float64, len(entries)),
+		ew:    make([]float64, len(entries)),
+		dists: make([]float64, 0, unique),
+		cum:   make([]float64, 0, unique),
+		cumD:  make([]float64, 0, unique),
+		cumH:  make([]float64, 0, unique),
+	}
+	for i, e := range entries {
+		idx.enode[i] = e.Node
+		idx.edist[i] = e.Dist
+		idx.ew[i] = e.Weight
+	}
 	total, totalD, totalH := 0.0, 0.0, 0.0
 	for i := 0; i < len(entries); {
 		d := entries[i].Dist
@@ -48,9 +78,24 @@ func NewHIPIndex(s Sketch) *HIPIndex {
 	return idx
 }
 
-// Entries returns the indexed HIP entries in canonical order.  The slice
-// aliases internal storage and must not be modified.
-func (x *HIPIndex) Entries() []WeightedEntry { return x.entries }
+// Len returns the number of indexed HIP entries.
+func (x *HIPIndex) Len() int { return len(x.enode) }
+
+// Entries materializes the indexed HIP entries in canonical order (a
+// fresh copy; the index stores them columnarly — iterate with Len and
+// EntryAt to avoid the allocation).
+func (x *HIPIndex) Entries() []WeightedEntry {
+	out := make([]WeightedEntry, len(x.enode))
+	for i := range out {
+		out[i] = x.EntryAt(i)
+	}
+	return out
+}
+
+// EntryAt returns indexed HIP entry i in canonical order.
+func (x *HIPIndex) EntryAt(i int) WeightedEntry {
+	return WeightedEntry{Node: x.enode[i], Dist: x.edist[i], Weight: x.ew[i]}
+}
 
 // search returns the position of the last indexed distance <= d, or -1.
 func (x *HIPIndex) search(d float64) int {
@@ -122,8 +167,8 @@ func (x *HIPIndex) Harmonic() float64 {
 // EstimateQ(s, g) on the indexed sketch.
 func (x *HIPIndex) EstimateQ(g func(node int32, dist float64) float64) float64 {
 	sum := 0.0
-	for _, e := range x.entries {
-		sum += e.Weight * g(e.Node, e.Dist)
+	for i := range x.ew {
+		sum += x.ew[i] * g(x.enode[i], x.edist[i])
 	}
 	return sum
 }

@@ -10,11 +10,12 @@ import (
 // one per permutation (Section 2).  Each per-permutation list holds the
 // prefix minima of that permutation's ranks along the canonical node order,
 // so the minimum rank within any neighborhood N_d is the rank of the last
-// entry with Dist <= d.
+// entry with Dist <= d.  Each list is a column view (frame segment or
+// private columns).
 type KMinsADS struct {
 	k     int
 	node  int32
-	perms [][]Entry // perms[h]: bottom-1 ADS under permutation h
+	perms []cols // perms[h]: bottom-1 ADS under permutation h
 }
 
 var _ Sketch = (*KMinsADS)(nil)
@@ -24,7 +25,7 @@ func NewKMinsADS(node int32, k int) *KMinsADS {
 	if k < 1 {
 		panic("core: k must be >= 1")
 	}
-	return &KMinsADS{k: k, node: node, perms: make([][]Entry, k)}
+	return &KMinsADS{k: k, node: node, perms: make([]cols, k)}
 }
 
 // K returns the sketch parameter.
@@ -41,29 +42,30 @@ func (a *KMinsADS) Node() int32 { return a.node }
 func (a *KMinsADS) Size() int {
 	n := 0
 	for _, p := range a.perms {
-		n += len(p)
+		n += p.len()
 	}
 	return n
 }
 
-// Perm returns the bottom-1 ADS of permutation h in canonical order.
-func (a *KMinsADS) Perm(h int) []Entry { return a.perms[h] }
+// Perm materializes the bottom-1 ADS of permutation h in canonical order
+// (a fresh copy; the storage is columnar).
+func (a *KMinsADS) Perm(h int) []Entry { return a.perms[h].entries() }
 
 // OfferAt presents a candidate to permutation h's bottom-1 ADS; the
 // candidate must come after all current entries of that permutation in
 // canonical order.  It reports whether the entry was inserted (its rank
 // strictly improved the running minimum).
 func (a *KMinsADS) OfferAt(h int, e Entry) bool {
-	p := a.perms[h]
-	if n := len(p); n > 0 {
-		if !p[n-1].before(e) {
-			panic(fmt.Sprintf("core: OfferAt out of order: %+v after %+v", e, p[n-1]))
+	p := &a.perms[h]
+	if n := p.len(); n > 0 {
+		if !p.at(n - 1).before(e) {
+			panic(fmt.Sprintf("core: OfferAt out of order: %+v after %+v", e, p.at(n-1)))
 		}
-		if e.Rank >= p[n-1].Rank {
+		if e.Rank >= p.rank[n-1] {
 			return false
 		}
 	}
-	a.perms[h] = append(p, e)
+	p.push(e)
 	return true
 }
 
@@ -74,11 +76,11 @@ func (a *KMinsADS) MinsWithin(d float64) []float64 {
 	mins := make([]float64, a.k)
 	for h, p := range a.perms {
 		mins[h] = 1
-		for _, e := range p {
-			if e.Dist > d {
+		for i := 0; i < p.len(); i++ {
+			if p.dist[i] > d {
 				break
 			}
-			mins[h] = e.Rank // prefix minima are decreasing
+			mins[h] = p.rank[i] // prefix minima are decreasing
 		}
 	}
 	return mins
@@ -90,54 +92,61 @@ func (a *KMinsADS) EstimateNeighborhood(d float64) float64 {
 	return sketch.KMinsEstimate(a.MinsWithin(d))
 }
 
-// HIPEntries computes adjusted weights by equation (7): scanning distinct
-// nodes in canonical order while maintaining the running minimum rank m_h
-// of each permutation over the nodes seen so far,
+// hipMergeKMins computes adjusted weights by equation (7): scanning
+// distinct nodes in canonical order while maintaining the running minimum
+// rank m_h of each permutation over the nodes seen so far,
 //
 //	τ_vj = 1 - Π_h (1 - m_h),
 //
 // the probability that a fresh node beats at least one permutation's
 // minimum.  A node appearing in several permutations' lists contributes a
-// single entry.
-func (a *KMinsADS) HIPEntries() []WeightedEntry {
-	cursors := make([]int, a.k)
-	curMin := make([]float64, a.k)
+// single entry, emitted in canonical order.
+func hipMergeKMins(perms []cols, emit func(node int32, dist, w float64)) {
+	cursors := make([]int, len(perms))
+	curMin := make([]float64, len(perms))
 	for h := range curMin {
 		curMin[h] = 1
 	}
-	var out []WeightedEntry
 	for {
 		// Find the next entry in canonical order across permutations.
 		best := -1
 		for h, c := range cursors {
-			if c >= len(a.perms[h]) {
+			if c >= perms[h].len() {
 				continue
 			}
-			if best < 0 || a.perms[h][c].before(a.perms[best][cursors[best]]) {
+			if best < 0 || perms[h].at(c).before(perms[best].at(cursors[best])) {
 				best = h
 			}
 		}
 		if best < 0 {
 			break
 		}
-		e := a.perms[best][cursors[best]]
+		e := perms[best].at(cursors[best])
 		// HIP probability before updating the minima with e itself.
 		prod := 1.0
 		for _, m := range curMin {
 			prod *= 1 - m
 		}
 		tau := 1 - prod
-		out = append(out, WeightedEntry{Node: e.Node, Dist: e.Dist, Weight: 1 / tau})
+		emit(e.Node, e.Dist, 1/tau)
 		// Consume e from every permutation where it appears (same node can
 		// be the new minimum of several permutations at once).
 		for h := range cursors {
 			c := cursors[h]
-			if c < len(a.perms[h]) && a.perms[h][c].Node == e.Node && a.perms[h][c].Dist == e.Dist {
-				curMin[h] = a.perms[h][c].Rank
+			if c < perms[h].len() && perms[h].node[c] == e.Node && perms[h].dist[c] == e.Dist {
+				curMin[h] = perms[h].rank[c]
 				cursors[h]++
 			}
 		}
 	}
+}
+
+// HIPEntries computes adjusted weights by equation (7); see hipMergeKMins.
+func (a *KMinsADS) HIPEntries() []WeightedEntry {
+	var out []WeightedEntry
+	hipMergeKMins(a.perms, func(node int32, dist, w float64) {
+		out = append(out, WeightedEntry{Node: node, Dist: dist, Weight: w})
+	})
 	return out
 }
 
@@ -145,15 +154,15 @@ func (a *KMinsADS) HIPEntries() []WeightedEntry {
 // inclusion condition (strictly decreasing ranks).
 func (a *KMinsADS) Validate() error {
 	for h, p := range a.perms {
-		for i := 1; i < len(p); i++ {
-			if !p[i-1].before(p[i]) {
+		for i := 1; i < p.len(); i++ {
+			if !p.at(i - 1).before(p.at(i)) {
 				return fmt.Errorf("core: k-mins ADS(%d) perm %d out of order at %d", a.node, h, i)
 			}
-			if p[i].Rank >= p[i-1].Rank {
+			if p.rank[i] >= p.rank[i-1] {
 				return fmt.Errorf("core: k-mins ADS(%d) perm %d rank not decreasing at %d", a.node, h, i)
 			}
 		}
-		if len(p) > 0 && (p[0].Node != a.node || p[0].Dist != 0) {
+		if p.len() > 0 && (p.node[0] != a.node || p.dist[0] != 0) {
 			return fmt.Errorf("core: k-mins ADS(%d) perm %d does not start with owner", a.node, h)
 		}
 	}

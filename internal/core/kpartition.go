@@ -10,11 +10,12 @@ import (
 // in HyperANF): nodes are hashed into k buckets, and for each bucket the
 // sketch keeps the prefix minima of ranks along the canonical order,
 // restricted to nodes of that bucket.  A node belongs to exactly one
-// bucket.
+// bucket.  Each bucket is a column view (frame segment or private
+// columns).
 type KPartitionADS struct {
 	k       int
 	node    int32
-	buckets [][]Entry // buckets[b]: bottom-1 ADS over nodes with BUCKET=b
+	buckets []cols // buckets[b]: bottom-1 ADS over nodes with BUCKET=b
 }
 
 var _ Sketch = (*KPartitionADS)(nil)
@@ -24,7 +25,7 @@ func NewKPartitionADS(node int32, k int) *KPartitionADS {
 	if k < 1 {
 		panic("core: k must be >= 1")
 	}
-	return &KPartitionADS{k: k, node: node, buckets: make([][]Entry, k)}
+	return &KPartitionADS{k: k, node: node, buckets: make([]cols, k)}
 }
 
 // K returns the number of buckets.
@@ -40,28 +41,29 @@ func (a *KPartitionADS) Node() int32 { return a.node }
 func (a *KPartitionADS) Size() int {
 	n := 0
 	for _, b := range a.buckets {
-		n += len(b)
+		n += b.len()
 	}
 	return n
 }
 
-// Bucket returns bucket b's entries in canonical order.
-func (a *KPartitionADS) Bucket(b int) []Entry { return a.buckets[b] }
+// Bucket materializes bucket b's entries in canonical order (a fresh
+// copy; the storage is columnar).
+func (a *KPartitionADS) Bucket(b int) []Entry { return a.buckets[b].entries() }
 
 // OfferAt presents a candidate belonging to bucket b; the candidate must
 // come after all current entries of that bucket in canonical order.  It
 // reports whether the entry was inserted.
 func (a *KPartitionADS) OfferAt(b int, e Entry) bool {
-	p := a.buckets[b]
-	if n := len(p); n > 0 {
-		if !p[n-1].before(e) {
-			panic(fmt.Sprintf("core: OfferAt out of order: %+v after %+v", e, p[n-1]))
+	p := &a.buckets[b]
+	if n := p.len(); n > 0 {
+		if !p.at(n - 1).before(e) {
+			panic(fmt.Sprintf("core: OfferAt out of order: %+v after %+v", e, p.at(n-1)))
 		}
-		if e.Rank >= p[n-1].Rank {
+		if e.Rank >= p.rank[n-1] {
 			return false
 		}
 	}
-	a.buckets[b] = append(p, e)
+	p.push(e)
 	return true
 }
 
@@ -71,11 +73,11 @@ func (a *KPartitionADS) MinsWithin(d float64) []float64 {
 	mins := make([]float64, a.k)
 	for b, p := range a.buckets {
 		mins[b] = 1
-		for _, e := range p {
-			if e.Dist > d {
+		for i := 0; i < p.len(); i++ {
+			if p.dist[i] > d {
 				break
 			}
-			mins[b] = e.Rank
+			mins[b] = p.rank[i]
 		}
 	}
 	return mins
@@ -87,43 +89,52 @@ func (a *KPartitionADS) EstimateNeighborhood(d float64) float64 {
 	return sketch.KPartitionEstimate(a.MinsWithin(d))
 }
 
-// HIPEntries computes adjusted weights by equation (8): scanning nodes in
-// canonical order while maintaining the running minimum rank m_b of each
-// bucket over nodes seen so far,
+// hipMergeKPartition computes adjusted weights by equation (8): scanning
+// nodes in canonical order while maintaining the running minimum rank m_b
+// of each bucket over nodes seen so far,
 //
 //	τ_vj = (1/k) Σ_b m_b,
 //
 // the inclusion probability of a fresh node under a uniform random bucket
 // assignment and rank (empty buckets contribute m_b = 1).
-func (a *KPartitionADS) HIPEntries() []WeightedEntry {
-	cursors := make([]int, a.k)
-	curMin := make([]float64, a.k)
+func hipMergeKPartition(buckets []cols, emit func(node int32, dist, w float64)) {
+	k := len(buckets)
+	cursors := make([]int, k)
+	curMin := make([]float64, k)
 	sum := 0.0
 	for b := range curMin {
 		curMin[b] = 1
 		sum += 1
 	}
-	var out []WeightedEntry
 	for {
 		best := -1
 		for b, c := range cursors {
-			if c >= len(a.buckets[b]) {
+			if c >= buckets[b].len() {
 				continue
 			}
-			if best < 0 || a.buckets[b][c].before(a.buckets[best][cursors[best]]) {
+			if best < 0 || buckets[b].at(c).before(buckets[best].at(cursors[best])) {
 				best = b
 			}
 		}
 		if best < 0 {
 			break
 		}
-		e := a.buckets[best][cursors[best]]
-		tau := sum / float64(a.k)
-		out = append(out, WeightedEntry{Node: e.Node, Dist: e.Dist, Weight: 1 / tau})
+		e := buckets[best].at(cursors[best])
+		tau := sum / float64(k)
+		emit(e.Node, e.Dist, 1/tau)
 		sum += e.Rank - curMin[best]
 		curMin[best] = e.Rank
 		cursors[best]++
 	}
+}
+
+// HIPEntries computes adjusted weights by equation (8); see
+// hipMergeKPartition.
+func (a *KPartitionADS) HIPEntries() []WeightedEntry {
+	var out []WeightedEntry
+	hipMergeKPartition(a.buckets, func(node int32, dist, w float64) {
+		out = append(out, WeightedEntry{Node: node, Dist: dist, Weight: w})
+	})
 	return out
 }
 
@@ -131,11 +142,11 @@ func (a *KPartitionADS) HIPEntries() []WeightedEntry {
 // condition.
 func (a *KPartitionADS) Validate() error {
 	for b, p := range a.buckets {
-		for i := 1; i < len(p); i++ {
-			if !p[i-1].before(p[i]) {
+		for i := 1; i < p.len(); i++ {
+			if !p.at(i - 1).before(p.at(i)) {
 				return fmt.Errorf("core: k-partition ADS(%d) bucket %d out of order at %d", a.node, b, i)
 			}
-			if p[i].Rank >= p[i-1].Rank {
+			if p.rank[i] >= p.rank[i-1] {
 				return fmt.Errorf("core: k-partition ADS(%d) bucket %d rank not decreasing at %d", a.node, b, i)
 			}
 		}

@@ -1,0 +1,21 @@
+//go:build linux
+
+package core
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy path of MmapSketchFile.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package core
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported gates the zero-copy path of MmapSketchFile; without it
+// MmapSketchFile degrades to the (still O(1)-allocation) read path.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("core: mmap is not supported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

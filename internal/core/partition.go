@@ -159,14 +159,16 @@ func SplitSketchSet(s AnySet, parts int) ([]*Partition, error) {
 	if parts > n && !(n == 0 && parts == 1) {
 		return nil, fmt.Errorf("core: cannot split %d nodes into %d partitions", n, parts)
 	}
+	// Splitting a columnar frame is offset re-slicing: the sub-frames
+	// share the parent's entry columns, so no entry is copied.
 	slice := func(lo, hi int) (AnySet, error) {
 		switch x := s.(type) {
 		case *Set:
-			return &Set{opts: x.opts, sketches: x.sketches[lo:hi:hi]}, nil
+			return &Set{frame: x.frame.slice(lo, hi)}, nil
 		case *WeightedSet:
-			return &WeightedSet{k: x.k, sketches: x.sketches[lo:hi:hi]}, nil
+			return &WeightedSet{frame: x.frame.slice(lo, hi)}, nil
 		case *ApproxSet:
-			return &ApproxSet{k: x.k, eps: x.eps, sketches: x.sketches[lo:hi:hi]}, nil
+			return &ApproxSet{frame: x.frame.slice(lo, hi)}, nil
 		default:
 			return nil, fmt.Errorf("core: cannot split sketch set type %T", s)
 		}
@@ -242,58 +244,56 @@ func MergeSketchSets(parts []*Partition) (AnySet, error) {
 	return merged, nil
 }
 
-// concatPartitions concatenates the partitions' sketches, validating
-// kind and parameter consistency.
+// concatPartitions concatenates the partitions' frames, validating kind
+// and parameter consistency.
 func concatPartitions(byIndex []*Partition, total int) (AnySet, error) {
+	frames := make([]*Frame, len(byIndex))
 	switch first := byIndex[0].set.(type) {
 	case *Set:
-		sketches := make([]Sketch, 0, total)
-		for _, p := range byIndex {
+		for i, p := range byIndex {
 			x, ok := p.set.(*Set)
 			if !ok {
 				return nil, fmt.Errorf("core: partition %d holds a %T, partition 0 a %T", p.index, p.set, first)
 			}
-			if x.opts != first.opts {
-				return nil, fmt.Errorf("core: partition %d built with %+v, partition 0 with %+v", p.index, x.opts, first.opts)
+			if x.frame.opts != first.frame.opts {
+				return nil, fmt.Errorf("core: partition %d built with %+v, partition 0 with %+v", p.index, x.frame.opts, first.frame.opts)
 			}
-			sketches = append(sketches, x.sketches...)
+			frames[i] = x.frame
 		}
-		return &Set{opts: first.opts, sketches: sketches}, nil
+		return &Set{frame: mergeFrames(frames)}, nil
 	case *WeightedSet:
-		sketches := make([]*WeightedADS, 0, total)
 		scheme, schemeKnown := ExponentialWeights, false
-		for _, p := range byIndex {
+		for i, p := range byIndex {
 			x, ok := p.set.(*WeightedSet)
 			if !ok {
 				return nil, fmt.Errorf("core: partition %d holds a %T, partition 0 a %T", p.index, p.set, first)
 			}
-			if x.k != first.k {
-				return nil, fmt.Errorf("core: partition %d has k=%d, partition 0 k=%d", p.index, x.k, first.k)
+			if x.K() != first.K() {
+				return nil, fmt.Errorf("core: partition %d has k=%d, partition 0 k=%d", p.index, x.K(), first.K())
 			}
-			if len(x.sketches) > 0 {
-				if s := x.sketches[0].scheme; !schemeKnown {
-					scheme, schemeKnown = s, true
-				} else if s != scheme {
-					return nil, fmt.Errorf("core: partition %d uses %v ranks, earlier partitions %v", p.index, s, scheme)
+			if x.NumNodes() > 0 {
+				if !schemeKnown {
+					scheme, schemeKnown = x.Scheme(), true
+				} else if x.Scheme() != scheme {
+					return nil, fmt.Errorf("core: partition %d uses %v ranks, earlier partitions %v", p.index, x.Scheme(), scheme)
 				}
 			}
-			sketches = append(sketches, x.sketches...)
+			frames[i] = x.frame
 		}
-		return &WeightedSet{k: first.k, sketches: sketches}, nil
+		return &WeightedSet{frame: mergeFrames(frames)}, nil
 	case *ApproxSet:
-		sketches := make([]*ADS, 0, total)
-		for _, p := range byIndex {
+		for i, p := range byIndex {
 			x, ok := p.set.(*ApproxSet)
 			if !ok {
 				return nil, fmt.Errorf("core: partition %d holds a %T, partition 0 a %T", p.index, p.set, first)
 			}
-			if x.k != first.k || x.eps != first.eps {
+			if x.K() != first.K() || x.Epsilon() != first.Epsilon() {
 				return nil, fmt.Errorf("core: partition %d has (k=%d, eps=%g), partition 0 (k=%d, eps=%g)",
-					p.index, x.k, x.eps, first.k, first.eps)
+					p.index, x.K(), x.Epsilon(), first.K(), first.Epsilon())
 			}
-			sketches = append(sketches, x.sketches...)
+			frames[i] = x.frame
 		}
-		return &ApproxSet{k: first.k, eps: first.eps, sketches: sketches}, nil
+		return &ApproxSet{frame: mergeFrames(frames)}, nil
 	default:
 		return nil, fmt.Errorf("core: cannot merge sketch set type %T", first)
 	}
@@ -301,10 +301,10 @@ func concatPartitions(byIndex []*Partition, total int) (AnySet, error) {
 
 // ADSFromEntries reconstructs a bottom-k ADS from transported entries
 // (e.g. a sketch fetched from a remote shard), validating the structural
-// invariants.  The entries slice is retained.
+// invariants.
 func ADSFromEntries(owner int32, k int, entries []Entry) (*ADS, error) {
 	a := NewADS(owner, k)
-	a.entries = entries
+	a.c = colsFromEntries(entries)
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}

@@ -19,7 +19,10 @@ import (
 func (a *ADS) MinHashEntriesWithin(d float64) []Entry {
 	m := a.SizeWithin(d)
 	// Collect the k smallest-rank entries of the prefix.
-	prefix := append([]Entry(nil), a.entries[:m]...)
+	prefix := make([]Entry, m)
+	for i := 0; i < m; i++ {
+		prefix[i] = a.c.at(i)
+	}
 	sort.Slice(prefix, func(i, j int) bool { return prefix[i].Rank < prefix[j].Rank })
 	if len(prefix) > a.k {
 		prefix = prefix[:a.k]
@@ -115,7 +118,7 @@ func UnionNeighborhoodEstimate(set *Set, seeds []int32, d float64) float64 {
 		}
 		sketches[i] = a
 	}
-	return UnionNeighborhoodSketches(set.opts.K, sketches, d)
+	return UnionNeighborhoodSketches(set.K(), sketches, d)
 }
 
 // GreedyInfluenceSketches greedily picks numSeeds nodes from candidates
@@ -170,7 +173,7 @@ func GreedyInfluenceSeeds(set *Set, candidates []int32, numSeeds int, d float64)
 		}
 		return a
 	}
-	return GreedyInfluenceSketches(set.opts.K, lookup, candidates, numSeeds, d)
+	return GreedyInfluenceSketches(set.K(), lookup, candidates, numSeeds, d)
 }
 
 // DistanceUpperBound estimates an upper bound on d(a.owner, b.owner) from
@@ -182,15 +185,16 @@ func GreedyInfluenceSeeds(set *Set, candidates []int32, numSeeds int, d float64)
 // nodes act as beacons present in most sketches.
 func DistanceUpperBound(a, b *ADS) float64 {
 	distA := make(map[int32]float64, a.Size())
-	for _, e := range a.Entries() {
-		if d, ok := distA[e.Node]; !ok || e.Dist < d {
-			distA[e.Node] = e.Dist
+	for i, n := 0, a.Size(); i < n; i++ {
+		node, dist := a.c.node[i], a.c.dist[i]
+		if d, ok := distA[node]; !ok || dist < d {
+			distA[node] = dist
 		}
 	}
 	best := math.Inf(1)
-	for _, e := range b.Entries() {
-		if d, ok := distA[e.Node]; ok && d+e.Dist < best {
-			best = d + e.Dist
+	for i, n := 0, b.Size(); i < n; i++ {
+		if d, ok := distA[b.c.node[i]]; ok && d+b.c.dist[i] < best {
+			best = d + b.c.dist[i]
 		}
 	}
 	return best

@@ -48,7 +48,7 @@ func (b *StreamBuilder) Offer(node int32, dist, r float64) bool {
 	// HIP probability of this acceptance is exactly the pre-acceptance
 	// threshold (Lemma 5.1), so the adjusted weight is 1/tau.
 	b.hipCount += 1 / tau
-	b.ads.entries = append(b.ads.entries, Entry{Node: node, Dist: dist, Rank: r})
+	b.ads.c.push(Entry{Node: node, Dist: dist, Rank: r})
 	b.heap.offer(r)
 	return true
 }

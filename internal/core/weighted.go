@@ -47,14 +47,23 @@ func (w WeightScheme) String() string {
 	return fmt.Sprintf("WeightScheme(%d)", int(w))
 }
 
+// weightedInclusionProb is the scheme's inclusion probability of a
+// weight-β entry against threshold τ.
+func weightedInclusionProb(scheme WeightScheme, b, tau float64) float64 {
+	if scheme == PriorityWeights {
+		return math.Min(1, b*tau)
+	}
+	return -math.Expm1(-b * tau) // 1 - e^{-βτ}
+}
+
 // WeightedADS is a bottom-k ADS over weight-biased ranks.  Entries are in
-// canonical order; Rank holds the biased rank.
+// canonical order (columnar, like ADS); Rank holds the biased rank.
 type WeightedADS struct {
-	k       int
-	node    int32
-	scheme  WeightScheme
-	entries []Entry
-	beta    []float64 // β of each entry, parallel to entries
+	k      int
+	node   int32
+	scheme WeightScheme
+	c      cols
+	beta   []float64 // β of each entry, parallel to the columns
 }
 
 // NewWeightedADS returns an empty weighted bottom-k ADS owned by node,
@@ -79,7 +88,7 @@ func (a *WeightedADS) Flavor() sketch.Flavor { return sketch.BottomK }
 func (a *WeightedADS) Node() int32 { return a.node }
 
 // Size returns the number of entries.
-func (a *WeightedADS) Size() int { return len(a.entries) }
+func (a *WeightedADS) Size() int { return a.c.len() }
 
 // Scheme returns the weighted sampling scheme the ranks were drawn under.
 func (a *WeightedADS) Scheme() WeightScheme { return a.scheme }
@@ -93,8 +102,12 @@ func (a *WeightedADS) EstimateNeighborhood(d float64) float64 {
 	return a.EstimateNeighborhoodWeight(d)
 }
 
-// Entries returns the entries in canonical order.
-func (a *WeightedADS) Entries() []Entry { return a.entries }
+// Entries materializes the entries in canonical order (a fresh copy; the
+// storage is columnar).
+func (a *WeightedADS) Entries() []Entry { return a.c.entries() }
+
+// EntryAt returns entry i in canonical order.
+func (a *WeightedADS) EntryAt(i int) Entry { return a.c.at(i) }
 
 // Offer presents a candidate in canonical order with its exponential rank
 // and weight, inserting it if it passes the bottom-k test.  The supremum
@@ -105,13 +118,13 @@ func (a *WeightedADS) Offer(e Entry, beta float64) bool {
 		panic(fmt.Sprintf("core: node weight %g must be positive", beta))
 	}
 	h := newMaxHeap(a.k)
-	for _, x := range a.entries {
-		h.offer(x.Rank)
+	for _, x := range a.c.rank {
+		h.offer(x)
 	}
 	if h.size() >= a.k && e.Rank >= h.max() {
 		return false
 	}
-	a.entries = append(a.entries, e)
+	a.c.push(e)
 	a.beta = append(a.beta, beta)
 	return true
 }
@@ -123,23 +136,10 @@ func (a *WeightedADS) Offer(e Entry, beta float64) bool {
 // priority ranks.  Summing weights over Dist <= d estimates the weighted
 // neighborhood cardinality.
 func (a *WeightedADS) HIPEntries() []WeightedEntry {
-	out := make([]WeightedEntry, len(a.entries))
-	h := newMaxHeap(a.k)
-	for i, e := range a.entries {
-		b := a.beta[i]
-		w := b
-		if h.size() >= a.k {
-			tau := h.max()
-			var p float64
-			if a.scheme == PriorityWeights {
-				p = math.Min(1, b*tau)
-			} else {
-				p = -math.Expm1(-b * tau) // 1 - e^{-βτ}
-			}
-			w = b / p
-		}
-		out[i] = WeightedEntry{Node: e.Node, Dist: e.Dist, Weight: w}
-		h.offer(e.Rank)
+	w := hipWeightsWeighted(a.c, a.beta, a.scheme, a.k, newMaxHeap(a.k), make([]float64, 0, a.c.len()))
+	out := make([]WeightedEntry, a.c.len())
+	for i := range out {
+		out[i] = WeightedEntry{Node: a.c.node[i], Dist: a.c.dist[i], Weight: w[i]}
 	}
 	return out
 }
@@ -149,12 +149,13 @@ func (a *WeightedADS) HIPEntries() []WeightedEntry {
 // entry, and positive finite per-entry weights.  It returns the first
 // violation found.
 func (a *WeightedADS) Validate() error {
-	if len(a.beta) != len(a.entries) {
-		return fmt.Errorf("core: WeightedADS(%d) has %d weights for %d entries", a.node, len(a.beta), len(a.entries))
+	if len(a.beta) != a.c.len() {
+		return fmt.Errorf("core: WeightedADS(%d) has %d weights for %d entries", a.node, len(a.beta), a.c.len())
 	}
 	h := newMaxHeap(a.k)
-	for i, e := range a.entries {
-		if i > 0 && !a.entries[i-1].before(e) {
+	for i, n := 0, a.c.len(); i < n; i++ {
+		e := a.c.at(i)
+		if i > 0 && !a.c.at(i-1).before(e) {
 			return fmt.Errorf("core: WeightedADS(%d) entries %d,%d out of canonical order", a.node, i-1, i)
 		}
 		if b := a.beta[i]; !(b > 0) || math.IsInf(b, 1) {
@@ -166,8 +167,8 @@ func (a *WeightedADS) Validate() error {
 		}
 		h.offer(e.Rank)
 	}
-	if len(a.entries) > 0 {
-		if a.entries[0].Node != a.node || a.entries[0].Dist != 0 {
+	if a.c.len() > 0 {
+		if a.c.node[0] != a.node || a.c.dist[0] != 0 {
 			return fmt.Errorf("core: WeightedADS(%d) does not start with the owner at distance 0", a.node)
 		}
 	}
@@ -221,47 +222,42 @@ func buildWeighted(g *graph.Graph, k int, seed uint64, beta []float64, scheme We
 		rk = func(v int32) float64 { return src.PriorityRank(int64(v), beta[v]) }
 	}
 	lists := prunedDijkstraRun(g, runSpec{k: k, rank: rk})
-	set := &WeightedSet{k: k, sketches: make([]*WeightedADS, g.NumNodes())}
-	for v := range lists {
-		a := NewWeightedADS(int32(v), k)
-		a.scheme = scheme
-		a.entries = lists[v]
-		a.beta = make([]float64, len(lists[v]))
-		for i, e := range lists[v] {
-			a.beta[i] = beta[e.Node]
-		}
-		set.sketches[v] = a
+	f := freezeFrame(kindWeighted, Options{K: k}, scheme, 0, 1, 0, lists)
+	f.beta = make([]float64, len(f.node))
+	for i, v := range f.node {
+		f.beta[i] = beta[v]
 	}
-	return set, nil
+	return &WeightedSet{frame: f}, nil
 }
 
-// WeightedSet holds the weighted sketches of all nodes of one graph.
+// WeightedSet holds the weighted sketches of all nodes of one graph, as
+// views over one shared columnar frame.
 type WeightedSet struct {
-	k        int
-	sketches []*WeightedADS
+	frame *Frame
 }
 
 // K returns the sketch parameter.
-func (s *WeightedSet) K() int { return s.k }
+func (s *WeightedSet) K() int { return s.frame.opts.K }
 
 // NumNodes returns the number of sketches.
-func (s *WeightedSet) NumNodes() int { return len(s.sketches) }
+func (s *WeightedSet) NumNodes() int { return s.frame.n }
 
-// Sketch returns node v's weighted ADS.
-func (s *WeightedSet) Sketch(v int32) *WeightedADS { return s.sketches[v] }
+// Scheme returns the weighted sampling scheme the set was built under.
+func (s *WeightedSet) Scheme() WeightScheme { return s.frame.scheme }
+
+// Sketch returns node v's weighted ADS view.
+func (s *WeightedSet) Sketch(v int32) *WeightedADS { return s.frame.viewWeighted(int(v)) }
 
 // SketchOf returns node v's sketch through the flavor-agnostic query
 // interface shared by all set kinds.
-func (s *WeightedSet) SketchOf(v int32) Sketch { return s.sketches[v] }
+func (s *WeightedSet) SketchOf(v int32) Sketch { return s.frame.viewWeighted(int(v)) }
+
+// Index returns local node v's columnar HIP query index, sharing the
+// frame's index arena.
+func (s *WeightedSet) Index(v int32) *HIPIndex { return s.frame.Index(v) }
 
 // TotalEntries returns the summed entry count over all sketches.
-func (s *WeightedSet) TotalEntries() int {
-	n := 0
-	for _, sk := range s.sketches {
-		n += sk.Size()
-	}
-	return n
-}
+func (s *WeightedSet) TotalEntries() int { return s.frame.totalEntries() }
 
 // ExactNeighborhoodWeight computes Σ_{j: d_vj <= d} β(j) exactly (ground
 // truth for tests and benchmarks).

@@ -21,12 +21,19 @@ import (
 	"adsketch/internal/core"
 )
 
-// IndexCache lazily builds and caches one immutable *core.HIPIndex per
+// IndexCache lazily resolves and caches one immutable *core.HIPIndex per
 // node.  It is safe for concurrent use by multiple goroutines without
 // external locking: slots are filled with compare-and-swap, so two racing
 // readers may both build the same node's index, but exactly one result is
 // published and, the build being deterministic, both observe identical
 // values.
+//
+// For frame-backed sets the build function returns a view into the
+// set's shared columnar index arena (built once per set, on first use),
+// so a cache miss is a pointer publish, not an index rebuild; the
+// hit/miss counters then measure per-node lookup traffic rather than
+// build work.  The generic fallback (core.NewHIPIndex per node) keeps
+// the original build-on-miss semantics.
 //
 // The cache is sharded: node v lives in shard v mod shards, and each
 // shard keeps its own slot array and hit/miss counters, so concurrent

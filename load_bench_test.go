@@ -1,0 +1,163 @@
+package adsketch_test
+
+// Serving-startup and index-build benchmarks: how fast a prebuilt sketch
+// set gets from bytes on disk to answering queries, and what the steady
+// state costs.  `make bench` renders these into BENCH_engine.json next to
+// the pinned pre-refactor baselines, so the load-path trajectory stays
+// honest across PRs.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adsketch"
+)
+
+// loadBenchSet builds the deterministic set every load benchmark reads:
+// large enough that decode cost dominates setup noise, small enough for
+// CI's one-iteration smoke.
+func loadBenchSet(b *testing.B) adsketch.SketchSet {
+	b.Helper()
+	g := adsketch.PreferentialAttachment(5000, 5, 1)
+	set, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// BenchmarkSketchSetLoad measures the three ways a serving process gets a
+// sketch set into memory: the v2 per-entry decode (every node's sketch
+// rebuilt and validated), the v3 columnar open (one read, O(1)
+// allocations), and the v3 mmap open (no read at all until pages fault).
+func BenchmarkSketchSetLoad(b *testing.B) {
+	set := loadBenchSet(b)
+	var v2 bytes.Buffer
+	if _, err := set.WriteTo(&v2); err != nil {
+		b.Fatal(err)
+	}
+
+	var v3 bytes.Buffer
+	if _, err := adsketch.WriteSketchSetV3(&v3, set); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("v2-decode", func(b *testing.B) {
+		b.SetBytes(int64(v2.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := adsketch.ReadSketchSet(bytes.NewReader(v2.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	v3path := benchFilePath(b, "set.v3.ads", v3.Bytes())
+
+	b.Run("v3-open", func(b *testing.B) {
+		b.SetBytes(int64(v3.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sf, err := adsketch.OpenSketchFile(v3path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sf.Set().NumNodes() == 0 {
+				b.Fatal("empty set")
+			}
+		}
+	})
+
+	b.Run("v3-mmap", func(b *testing.B) {
+		b.SetBytes(int64(v3.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sf, err := adsketch.MmapSketchFile(v3path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sf.Set().NumNodes() == 0 {
+				b.Fatal("empty set")
+			}
+			sf.Close()
+		}
+	})
+}
+
+// BenchmarkHIPIndexBuild measures building the HIP query index for every
+// node of the set — the work a worker performs before serving.
+// Allocations are reported because the pre-columnar implementation
+// append-grew four slices per node (~19 allocs/node); the standalone
+// builder now preallocates exactly, and the frame arena amortizes the
+// whole set into a handful of slices.
+func BenchmarkHIPIndexBuild(b *testing.B) {
+	set := loadBenchSet(b)
+	n := set.NumNodes()
+
+	b.Run("standalone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < n; v++ {
+				_ = adsketch.NewHIPIndex(set.SketchOf(int32(v)))
+			}
+		}
+	})
+
+	// The serving path: one shared columnar arena per set, built on first
+	// index access.  Each iteration reloads the set (cheap v3 open, timed
+	// separately above) to get a cold arena.
+	var v3 bytes.Buffer
+	if _, err := adsketch.WriteSketchSetV3(&v3, set); err != nil {
+		b.Fatal(err)
+	}
+	path := benchFilePath(b, "hip.v3.ads", v3.Bytes())
+	b.Run("frame-arena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sf, err := adsketch.OpenSketchFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cold := sf.Set().(*adsketch.Set)
+			for v := 0; v < n; v++ {
+				_ = cold.Index(int32(v))
+			}
+		}
+	})
+}
+
+// BenchmarkEngineDoAllocs measures steady-state per-request allocations
+// of the protocol dispatch with a warm index cache — the serving tier's
+// hot loop.
+func BenchmarkEngineDoAllocs(b *testing.B) {
+	set := loadBenchSet(b)
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{1, 2, 3, 4, 5, 6, 7, 8}}}
+	if _, err := eng.Do(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFilePath writes data to a temp file and returns its path.
+func benchFilePath(b *testing.B, name string, data []byte) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
