@@ -15,10 +15,11 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 # Race coverage spans every layer with concurrency: the facade (engine,
-# coordinator scatter-gather), the query/cluster machinery, the parallel
-# sketch builders in core, and the HTTP serving tier.
+# coordinator scatter-gather, dataset catalog), the query/cluster/catalog
+# machinery, the parallel sketch builders in core, and the HTTP serving
+# tier (including the hot-swap admin endpoints).
 race:
-	$(GO) test -race ./ ./internal/query/ ./internal/cluster/ ./internal/core/ ./cmd/adsserver/
+	$(GO) test -race ./ ./internal/query/ ./internal/cluster/ ./internal/catalog/ ./internal/core/ ./cmd/adsserver/
 
 # One pass over every benchmark (regression smoke, not measurement), then
 # the BenchmarkEngine*/BenchmarkSketchSet* lines rendered as JSON.  The
@@ -49,7 +50,7 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . > bench.out || { cat bench.out; exit 1; }
 	cat bench.out
 	awk 'BEGIN { print "[" } \
-	  /^Benchmark(Engine|SketchSet|HIPIndex)/ { \
+	  /^Benchmark(Engine|SketchSet|HIPIndex|Catalog)/ { \
 	    if (n++) printf ",\n"; \
 	    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $$1, $$2, $$3; \
 	    for (i = 4; i <= NF; i++) if ($$i == "allocs/op") printf ", \"allocs_per_op\": %s", $$(i-1); \

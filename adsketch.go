@@ -63,6 +63,19 @@
 // reference HTTP server (POST /v1/query, worker mode with -mmap); see
 // README.md for the wire shapes.
 //
+// # Serving fleets of datasets
+//
+// A deployment serves many sketch datasets — one per graph snapshot,
+// per day, per k, per flavor — and replaces them under live traffic.
+// Catalog is that layer: a registry of named, versioned datasets (each
+// an Engine or Coordinator), routed per query by Request.Dataset, with
+// zero-downtime hot swaps (Catalog.Swap: in-flight queries drain on the
+// old version, whose resources — including an mmap'd SketchFile — are
+// released only after its last reader) and optional LRU eviction of
+// idle file-backed datasets under a memory budget.  cmd/adsserver
+// exposes the catalog over HTTP (-dataset name=path, GET/POST/DELETE
+// /v1/datasets).
+//
 // # Removed legacy constructors
 //
 // The pre-options constructors (BuildWithOptions, BuildWeighted,

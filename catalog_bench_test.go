@@ -1,0 +1,103 @@
+package adsketch_test
+
+// Catalog serving-path benchmarks, part of the BENCH_engine.json
+// trajectory: BenchmarkCatalogDo against BenchmarkCatalogDoDirect
+// measures the routing overhead of the dataset layer (pin a ref-counted
+// version, dispatch, unpin) over a bare Engine.Do — a constant ~100ns
+// and 0 extra allocations per request, i.e. ~5% of the cheapest warm
+// single-node query and noise for batches, which pay it once per
+// request — and BenchmarkCatalogSwap prices a hot swap (build + publish
+// + retire of an Engine over a prebuilt set).
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"adsketch"
+)
+
+var benchCatalogOnce struct {
+	sync.Once
+	setA, setB adsketch.SketchSet
+	eng        *adsketch.Engine
+	cat        *adsketch.Catalog
+}
+
+func benchCatalog(b *testing.B) (*adsketch.Catalog, *adsketch.Engine) {
+	b.Helper()
+	benchCatalogOnce.Do(func() {
+		g := adsketch.PreferentialAttachment(5000, 4, 3)
+		var err error
+		if benchCatalogOnce.setA, err = adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(7)); err != nil {
+			b.Fatal(err)
+		}
+		if benchCatalogOnce.setB, err = adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(8)); err != nil {
+			b.Fatal(err)
+		}
+		if benchCatalogOnce.eng, err = adsketch.NewEngine(benchCatalogOnce.setA); err != nil {
+			b.Fatal(err)
+		}
+		if benchCatalogOnce.cat, err = adsketch.NewCatalog(); err != nil {
+			b.Fatal(err)
+		}
+		if err = benchCatalogOnce.cat.Attach(adsketch.DefaultDataset, adsketch.SetSource(benchCatalogOnce.setA)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return benchCatalogOnce.cat, benchCatalogOnce.eng
+}
+
+// BenchmarkCatalogDo: one warm-cache closeness request routed through
+// the catalog (resolve name, pin version, Engine.Do, release).
+func BenchmarkCatalogDo(b *testing.B) {
+	cat, _ := benchCatalog(b)
+	ctx := context.Background()
+	req := adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{17}}}
+	if _, err := cat.Do(ctx, req); err != nil { // warm the index cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatalogDoDirect: the same request on the bare Engine — the
+// baseline the catalog's routing overhead is measured against.
+func BenchmarkCatalogDoDirect(b *testing.B) {
+	_, eng := benchCatalog(b)
+	ctx := context.Background()
+	req := adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{17}}}
+	if _, err := eng.Do(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatalogSwap: atomically publishing a new version over a
+// prebuilt set (Engine construction + publish + retire of the idle old
+// version) — the steady-state cost of a rebuild pipeline pushing
+// refreshed sketches into a serving process.
+func BenchmarkCatalogSwap(b *testing.B) {
+	cat, _ := benchCatalog(b)
+	sources := []adsketch.Source{
+		adsketch.SetSource(benchCatalogOnce.setB),
+		adsketch.SetSource(benchCatalogOnce.setA),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.Swap(adsketch.DefaultDataset, sources[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -101,7 +101,7 @@ func buildSplitFilesV3(t *testing.T, set adsketch.SketchSet) []string {
 func TestMmapWorkerParity(t *testing.T) {
 	whole, v2parts, set := buildSplitFiles(t)
 	v3parts := buildSplitFilesV3(t, set)
-	single, _, _ := serveFile(t, whole, 0)
+	single, _ := serveFile(t, whole, 0)
 
 	body, err := json.Marshal(e2eRequests())
 	if err != nil {
@@ -123,11 +123,11 @@ func TestMmapWorkerParity(t *testing.T) {
 
 	var memURLs, mmapURLs []string
 	for i := range v2parts {
-		mem, _, mode := serveFile(t, v2parts[i], 0)
+		mem, mode := serveFile(t, v2parts[i], 0)
 		if mode != "shard" {
 			t.Fatalf("v2 partition file %d served in %q mode", i, mode)
 		}
-		mm, _, mode := serveFileMmap(t, v3parts[i], 0, true)
+		mm, mode := serveFileMmap(t, v3parts[i], 0, true)
 		if mode != "shard" {
 			t.Fatalf("mmap'd v3 partition file %d served in %q mode", i, mode)
 		}
@@ -168,10 +168,8 @@ func TestMmapWorkerParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	memTS := httptest.NewServer(newServer(memCoord, "coordinator", "").mux())
-	defer memTS.Close()
-	mmapTS := httptest.NewServer(newServer(mmapCoord, "coordinator", "").mux())
-	defer mmapTS.Close()
+	memTS := serveBackend(t, memCoord)
+	mmapTS := serveBackend(t, mmapCoord)
 
 	singleBytes := post(single.URL)
 	if got := post(mmapTS.URL); !bytes.Equal(got, singleBytes) {
@@ -183,24 +181,46 @@ func TestMmapWorkerParity(t *testing.T) {
 }
 
 // serveFile spins up one adsserver over a sketch file, exactly as main
-// would (loadLocal + mux).
-func serveFile(t *testing.T, path string, partitions int) (*httptest.Server, backend, string) {
+// would (buildCatalog + mux), returning the server and the default
+// dataset's serving mode.
+func serveFile(t *testing.T, path string, partitions int) (*httptest.Server, string) {
 	t.Helper()
 	return serveFileMmap(t, path, partitions, false)
 }
 
 // serveFileMmap is serveFile with the -mmap flag.
-func serveFileMmap(t *testing.T, path string, partitions int, useMmap bool) (*httptest.Server, backend, string) {
+func serveFileMmap(t *testing.T, path string, partitions int, useMmap bool) (*httptest.Server, string) {
 	t.Helper()
-	be, mode, info, err := loadLocal(path, partitions, useMmap)
+	cat, err := buildCatalog(path, "", partitions, useMmap, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(be, mode, path)
-	srv.setFileInfo(info.version, info.mapped)
-	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(func() { cat.Close() })
+	cst := cat.Stats()
+	var mode string
+	if def := defaultDataset(&cst); def != nil {
+		mode = def.Mode
+	}
+	ts := httptest.NewServer(newServer(cat).mux())
 	t.Cleanup(ts.Close)
-	return ts, be, mode
+	return ts, mode
+}
+
+// serveBackend spins up one adsserver over an already-built backend
+// (e.g. a coordinator over dialed workers) as the default dataset.
+func serveBackend(t *testing.T, be adsketch.ShardBackend) *httptest.Server {
+	t.Helper()
+	cat, err := adsketch.NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Attach(adsketch.DefaultDataset, adsketch.BackendSource(be)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	ts := httptest.NewServer(newServer(cat).mux())
+	t.Cleanup(ts.Close)
+	return ts
 }
 
 // TestDistributedCoordinatorParity is the full production topology: two
@@ -209,13 +229,13 @@ func serveFileMmap(t *testing.T, path string, partitions int, useMmap bool) (*ht
 // over the unsplit set.
 func TestDistributedCoordinatorParity(t *testing.T) {
 	whole, parts, _ := buildSplitFiles(t)
-	single, _, mode := serveFile(t, whole, 0)
+	single, mode := serveFile(t, whole, 0)
 	if mode != "single" {
 		t.Fatalf("whole file served in %q mode", mode)
 	}
 	var workerURLs []string
 	for i, p := range parts {
-		w, _, mode := serveFile(t, p, 0)
+		w, mode := serveFile(t, p, 0)
 		if mode != "shard" {
 			t.Fatalf("partition file %d served in %q mode", i, mode)
 		}
@@ -225,8 +245,7 @@ func TestDistributedCoordinatorParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord := httptest.NewServer(newServer(coordBE, "coordinator", "").mux())
-	defer coord.Close()
+	coord := serveBackend(t, coordBE)
 
 	body, err := json.Marshal(e2eRequests())
 	if err != nil {
@@ -260,8 +279,8 @@ func TestDistributedCoordinatorParity(t *testing.T) {
 // unsplit server byte-for-byte too.
 func TestInProcessPartitionsParity(t *testing.T) {
 	whole, _, _ := buildSplitFiles(t)
-	single, _, _ := serveFile(t, whole, 0)
-	parted, _, mode := serveFile(t, whole, 4)
+	single, _ := serveFile(t, whole, 0)
+	parted, mode := serveFile(t, whole, 4)
 	if mode != "coordinator" {
 		t.Fatalf("-partitions 4 served in %q mode", mode)
 	}
@@ -288,7 +307,7 @@ func TestInProcessPartitionsParity(t *testing.T) {
 // worker rejects nodes it does not own with a 400.
 func TestWorkerMetaAndOwnership(t *testing.T) {
 	_, parts, set := buildSplitFiles(t)
-	worker, _, _ := serveFile(t, parts[1], 0)
+	worker, _ := serveFile(t, parts[1], 0)
 
 	resp, err := http.Get(worker.URL + "/v1/meta")
 	if err != nil {
@@ -342,7 +361,7 @@ func TestWorkerMetaAndOwnership(t *testing.T) {
 // table and the aggregated per-partition cache counters.
 func TestCoordinatorStatsz(t *testing.T) {
 	whole, _, set := buildSplitFiles(t)
-	parted, _, _ := serveFile(t, whole, 4)
+	parted, _ := serveFile(t, whole, 4)
 
 	// Touch every node so all caches populate.
 	nodes := make([]int32, set.NumNodes())

@@ -1,5 +1,5 @@
-// adsserver serves the adsketch wire query protocol over HTTP, in three
-// topologies:
+// adsserver serves the adsketch wire query protocol over HTTP, for one
+// sketch dataset or a whole catalog of them, in several topologies:
 //
 //	# single: one process, one whole sketch set
 //	adstool gen -type ba -n 100000 -m 5 > graph.txt
@@ -16,6 +16,20 @@
 //	adsserver -sketches sketches.p1of2.ads -addr :8082 &
 //	adsserver -workers http://localhost:8081,http://localhost:8082 -addr :8080
 //
+//	# multi-dataset: named datasets (one per snapshot, per k, per
+//	# flavor), hot-swappable at runtime through the admin endpoints
+//	adsserver -sketches today.ads -dataset yesterday=yday.ads \
+//	          -dataset social-k64=social.v3.ads -mmap -addr :8080
+//
+// Every dataset resolves to a serving backend (-sketches and each
+// -dataset load exactly as the single-file modes do); queries carry an
+// optional "dataset" field naming which one answers (empty = the
+// default dataset, i.e. -sketches).  POST /v1/datasets/{name} atomically
+// publishes a rebuilt sketch file under a name with zero downtime:
+// in-flight queries drain on the old version — whose mmap, if any, is
+// unmapped only after its last reader releases — while new queries see
+// the new version.
+//
 // A worker loading a partition file answers for the global node IDs it
 // owns; the coordinator routes per-node queries by node ID, merges
 // per-shard topk rankings, and evaluates cross-shard pairwise queries
@@ -25,146 +39,194 @@
 //
 // Endpoints (all modes):
 //
-//	POST /v1/query — a single Request object, or an array of Requests
-//	                 for a batch; answers with the matching Response(s).
-//	GET  /v1/meta  — serving identity: node range, partition position,
-//	                 sketch parameters (what a coordinator dials).
-//	GET  /healthz  — liveness: {"status":"ok"} once serving.
-//	GET  /statsz   — topology, sketch-set metadata, index-cache/shard
-//	                 counters, and request counters.
+//	POST   /v1/query           — a single Request object, or an array of
+//	                             Requests for a batch; answers with the
+//	                             matching Response(s).
+//	GET    /v1/meta            — default dataset's serving identity: node
+//	                             range, partition position, sketch
+//	                             parameters (what a coordinator dials).
+//	GET    /v1/datasets        — catalog listing: per-dataset version,
+//	                             ref counts, residency, cache stats.
+//	POST   /v1/datasets/{name} — attach or hot-swap a dataset from a
+//	                             server-side sketch file:
+//	                             {"path": "...", "mmap": true}.
+//	DELETE /v1/datasets/{name} — detach a dataset (in-flight queries
+//	                             drain first).
+//	GET    /healthz            — liveness: {"status":"ok"} once serving.
+//	GET    /statsz             — topology, default-dataset metadata,
+//	                             catalog state, index-cache/shard
+//	                             counters, and request counters.
 //
 // Example:
 //
 //	curl -s localhost:8080/v1/query -d '{"closeness":{"nodes":[0,17]}}'
+//	curl -s localhost:8080/v1/query -d '{"dataset":"yesterday","closeness":{"nodes":[0]}}'
+//	curl -s -X POST localhost:8080/v1/datasets/default -d '{"path":"rebuilt.v3.ads","mmap":true}'
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight queries, then closes the catalog (releasing every mapped
+// sketch file).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"adsketch"
 )
 
+// datasetFlags collects repeatable -dataset name=path mappings.
+type datasetFlags []string
+
+func (d *datasetFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *datasetFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*d = append(*d, v)
+	return nil
+}
+
 func main() {
 	fs := flag.NewFlagSet("adsserver", flag.ExitOnError)
-	sketchPath := fs.String("sketches", "", "sketch file to serve: a whole set or one partition (see adstool build -save / adstool split)")
-	workers := fs.String("workers", "", "comma-separated worker base URLs to coordinate (instead of -sketches)")
+	sketchPath := fs.String("sketches", "", "sketch file served as the default dataset: a whole set or one partition (see adstool build -save / adstool split)")
+	workers := fs.String("workers", "", "comma-separated worker base URLs to coordinate as the default dataset (instead of -sketches)")
 	partitions := fs.Int("partitions", 0, "split -sketches into this many in-process shards behind a coordinator (0 = serve unsplit)")
+	var datasets datasetFlags
+	fs.Var(&datasets, "dataset", "additional named dataset as name=path (repeatable); query with {\"dataset\":\"name\", ...}")
 	addr := fs.String("addr", ":8080", "listen address")
 	shards := fs.Int("shards", 0, "index cache shards per engine (0 = auto-size to GOMAXPROCS)")
 	parallel := fs.Int("parallel", 0, "worker goroutines per batch query (0 = GOMAXPROCS)")
-	useMmap := fs.Bool("mmap", false, "mmap -sketches instead of decoding it (near-zero startup; wants a v3 columnar file, see adstool convert)")
+	useMmap := fs.Bool("mmap", false, "mmap sketch files instead of decoding them (near-zero startup; wants v3 columnar files, see adstool convert)")
+	memBudget := fs.Int64("mem-budget", 0, "resident-memory budget in bytes for the catalog; idle file-backed datasets are evicted LRU and reload on demand (0 = unlimited)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries after SIGINT/SIGTERM")
 	fs.Parse(os.Args[1:])
-	if (*sketchPath == "") == (*workers == "") {
-		fmt.Fprintln(os.Stderr, "adsserver: exactly one of -sketches or -workers is required")
+	if *sketchPath == "" && *workers == "" && len(datasets) == 0 {
+		fmt.Fprintln(os.Stderr, "adsserver: at least one of -sketches, -workers, or -dataset is required")
 		fs.Usage()
 		os.Exit(2)
 	}
-	if *workers != "" && *partitions != 0 {
-		fmt.Fprintln(os.Stderr, "adsserver: -partitions splits a local sketch file; it does not apply to -workers")
+	if *sketchPath != "" && *workers != "" {
+		fmt.Fprintln(os.Stderr, "adsserver: -sketches and -workers both name the default dataset; use at most one")
+		os.Exit(2)
+	}
+	if *partitions != 0 && *sketchPath == "" {
+		fmt.Fprintln(os.Stderr, "adsserver: -partitions splits the -sketches file; it applies to neither -workers nor -dataset entries")
 		os.Exit(2)
 	}
 	if *partitions < 0 {
 		fmt.Fprintf(os.Stderr, "adsserver: -partitions %d is invalid; want >= 1 (or 0 to serve unsplit)\n", *partitions)
 		os.Exit(2)
 	}
-
-	var (
-		be   backend
-		mode string
-		info loadInfo
-		err  error
-	)
-	if *workers != "" {
-		if *useMmap {
-			fmt.Fprintln(os.Stderr, "adsserver: -mmap applies to a local -sketches file, not to -workers")
-			os.Exit(2)
-		}
-		be, err = dialWorkers(strings.Split(*workers, ","))
-		mode = "coordinator"
-	} else {
-		be, mode, info, err = loadLocal(*sketchPath, *partitions, *useMmap,
-			adsketch.WithShards(*shards), adsketch.WithQueryParallelism(*parallel))
+	if *useMmap && *sketchPath == "" && len(datasets) == 0 {
+		fmt.Fprintln(os.Stderr, "adsserver: -mmap applies to local sketch files (-sketches / -dataset), not to -workers")
+		os.Exit(2)
 	}
+
+	cat, err := buildCatalog(*sketchPath, *workers, *partitions, *useMmap, datasets, *memBudget,
+		adsketch.WithShards(*shards), adsketch.WithQueryParallelism(*parallel))
 	if err != nil {
 		log.Fatalf("adsserver: %v", err)
 	}
 
-	srv := newServer(be, mode, *sketchPath)
-	srv.setFileInfo(info.version, info.mapped)
-	meta := be.Meta()
-	log.Printf("adsserver: serving %s sketches (%s mode, nodes [%d, %d) of %d, k=%d) on %s",
-		meta.Kind, mode, meta.Lo, meta.Hi, meta.TotalNodes, meta.K, *addr)
+	srv := newServer(cat)
+	cst := cat.Stats()
+	if def := defaultDataset(&cst); def != nil && def.Meta != nil {
+		log.Printf("adsserver: default dataset serves %s sketches (%s mode, nodes [%d, %d) of %d, k=%d)",
+			def.Meta.Kind, def.Mode, def.Meta.Lo, def.Meta.Hi, def.Meta.TotalNodes, def.Meta.K)
+	}
+	log.Printf("adsserver: catalog holds %d dataset(s) %v on %s", len(cat.Datasets()), cat.Datasets(), *addr)
+
 	httpSrv := &http.Server{
 		Addr:         *addr,
 		Handler:      srv.mux(),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("adsserver: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("adsserver: signal received; draining in-flight queries (up to %v)", *drainTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("adsserver: shutdown: %v", err)
+		}
+		// With the listener closed and handlers drained, detaching every
+		// dataset releases the backing sketch files (unmapping any mmap
+		// regions) through the catalog's ref-counted handles.
+		if err := cat.Close(); err != nil {
+			log.Printf("adsserver: closing catalog: %v", err)
+		}
+		log.Printf("adsserver: shutdown complete")
+	}
 }
 
-// loadInfo records how a local sketch file was loaded, for /statsz.
-type loadInfo struct {
-	version int  // codec version of the file
-	mapped  bool // columns view an mmap region
+// buildCatalog assembles the serving catalog: the default dataset from
+// -sketches (optionally partitioned, optionally mmap'd) or -workers, and
+// one named dataset per -dataset name=path.
+func buildCatalog(sketchPath, workers string, partitions int, useMmap bool, datasets []string,
+	memBudget int64, engOpts ...adsketch.EngineOption) (*adsketch.Catalog, error) {
+	cat, err := adsketch.NewCatalog(
+		adsketch.WithMemoryBudget(memBudget),
+		adsketch.WithEngineOptions(engOpts...),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if sketchPath != "" {
+		src := fileSource(sketchPath, useMmap)
+		if partitions > 1 {
+			src = src.WithPartitions(partitions)
+		}
+		if err := cat.Attach(adsketch.DefaultDataset, src); err != nil {
+			return nil, err
+		}
+	}
+	if workers != "" {
+		be, err := dialWorkers(strings.Split(workers, ","))
+		if err != nil {
+			return nil, err
+		}
+		if err := cat.Attach(adsketch.DefaultDataset, adsketch.BackendSource(be)); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range datasets {
+		name, path, _ := strings.Cut(spec, "=")
+		if err := cat.Attach(name, fileSource(path, useMmap)); err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", name, err)
+		}
+	}
+	return cat, nil
 }
 
-// loadLocal builds the backend for a local sketch file: a shard engine
-// for a partition file, a coordinator over split shard engines when
-// -partitions is set, or a plain whole-set engine.  With useMmap the
-// file's columns are mapped instead of decoded (v3 files; other versions
-// fall back to decoding), so a worker serving a prebuilt shard starts in
-// near-constant time; the mapping is held for the process lifetime.
-func loadLocal(path string, partitions int, useMmap bool, opts ...adsketch.EngineOption) (backend, string, loadInfo, error) {
-	open := adsketch.OpenSketchFile
+// fileSource picks the load strategy for a sketch file path.
+func fileSource(path string, useMmap bool) adsketch.Source {
 	if useMmap {
-		open = adsketch.MmapSketchFile
+		return adsketch.MmapSource(path)
 	}
-	sf, err := open(path)
-	if err != nil {
-		return nil, "", loadInfo{}, fmt.Errorf("loading %s: %v", path, err)
-	}
-	info := loadInfo{version: sf.Version(), mapped: sf.Mapped()}
-	if useMmap {
-		log.Printf("adsserver: %s (format v%d) opened with mmap=%v", path, sf.Version(), sf.Mapped())
-	}
-	var set adsketch.SketchSet
-	if s := sf.Set(); s != nil {
-		set = s
-	}
-	part := sf.Partition()
-	if part != nil {
-		if partitions != 0 {
-			return nil, "", info, fmt.Errorf("%s already holds partition %d/%d; -partitions only splits whole sets", path, part.Index(), part.Count())
-		}
-		eng, err := adsketch.NewShardEngine(part, opts...)
-		if err != nil {
-			return nil, "", info, err
-		}
-		return eng, "shard", info, nil
-	}
-	if partitions > 1 {
-		coord, err := adsketch.NewPartitionedEngine(set, partitions, opts...)
-		if err != nil {
-			return nil, "", info, err
-		}
-		return coord, "coordinator", info, nil
-	}
-	eng, err := adsketch.NewEngine(set, opts...)
-	if err != nil {
-		return nil, "", info, err
-	}
-	return eng, "single", info, nil
+	return adsketch.FileSource(path)
 }
 
 // dialWorkers connects to every worker and assembles the coordinator.
-func dialWorkers(urls []string) (backend, error) {
+func dialWorkers(urls []string) (adsketch.ShardBackend, error) {
 	backends := make([]adsketch.ShardBackend, 0, len(urls))
 	for _, u := range urls {
 		u = strings.TrimSpace(u)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -17,15 +18,6 @@ import (
 // maxBodyBytes bounds one request body; a batch of a few thousand
 // queries fits comfortably.
 const maxBodyBytes = 16 << 20
-
-// backend is what the HTTP layer serves: a single-set Engine, a shard
-// Engine over one partition, or a Coordinator over many shards — all
-// answer the same protocol and identify themselves through Meta.
-type backend interface {
-	Meta() adsketch.ShardMeta
-	Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error)
-	DoBatch(ctx context.Context, reqs []adsketch.Request) ([]adsketch.Response, error)
-}
 
 // cacheStatser is the optional backend face for index-cache counters
 // (both Engine and Coordinator provide it; a future backend might not).
@@ -38,42 +30,43 @@ type setInfo interface {
 	Set() adsketch.SketchSet
 }
 
-// server is the HTTP face of one serving backend.  It is deliberately
-// thin: all query semantics live in the adsketch protocol layer, so the
-// handler only decodes, dispatches, encodes, and counts.
+// server is the HTTP face of a dataset catalog.  It is deliberately
+// thin: query semantics live in the adsketch protocol layer and dataset
+// lifecycle in the Catalog, so the handlers only decode, dispatch,
+// encode, and count.  Queries route by Request.Dataset (empty = the
+// catalog's default dataset); the admin endpoints attach, swap, and
+// detach datasets from server-side paths while traffic is live.
 type server struct {
-	be         backend
-	mode       string // "single", "shard", or "coordinator"
-	sketchPath string
-	start      time.Time
-	shardMetas []adsketch.ShardMeta // coordinator mode: per-shard metadata
-
-	fileVersion int  // codec version of the loaded sketch file (0 when not file-backed)
-	mmapped     bool // columns view an mmap region
+	cat   *adsketch.Catalog
+	start time.Time
 
 	queries  atomic.Int64 // protocol requests evaluated (batch items count individually)
 	batches  atomic.Int64 // POST /v1/query calls
 	failures atomic.Int64 // requests answered with an error
 }
 
-func newServer(be backend, mode, sketchPath string) *server {
-	s := &server{be: be, mode: mode, sketchPath: sketchPath, start: time.Now()}
-	if c, ok := be.(*adsketch.Coordinator); ok {
-		s.shardMetas = c.ShardMetas()
-	}
-	return s
+func newServer(cat *adsketch.Catalog) *server {
+	return &server{cat: cat, start: time.Now()}
 }
 
-// setFileInfo records how the sketch file was loaded, for /statsz.
-func (s *server) setFileInfo(version int, mmapped bool) {
-	s.fileVersion = version
-	s.mmapped = mmapped
+// defaultDataset returns the catalog's default dataset from a stats
+// snapshot, or nil when none is attached.
+func defaultDataset(cst *adsketch.CatalogStats) *adsketch.DatasetStats {
+	for i := range cst.Datasets {
+		if cst.Datasets[i].Name == cst.Default {
+			return &cst.Datasets[i]
+		}
+	}
+	return nil
 }
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	mux.HandleFunc("POST /v1/datasets/{name}", s.handleDatasetSwap)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDetach)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
@@ -100,12 +93,19 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// statusFor maps protocol errors to HTTP statuses: client mistakes are
-// 400, queries this sketch set cannot answer are 422, the rest is 500.
+// statusFor maps protocol and catalog errors to HTTP statuses: client
+// mistakes are 400, unknown datasets 404, conflicting attaches 409,
+// queries this sketch set cannot answer 422, the rest is 500.  (A
+// missing backing file is only a client mistake on the admin swap path,
+// which maps it separately; on the query path it is a server-side 500.)
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, adsketch.ErrBadRequest):
+	case errors.Is(err, adsketch.ErrBadRequest), errors.Is(err, adsketch.ErrBadOption):
 		return http.StatusBadRequest
+	case errors.Is(err, adsketch.ErrUnknownDataset):
+		return http.StatusNotFound
+	case errors.Is(err, adsketch.ErrDatasetExists):
+		return http.StatusConflict
 	case errors.Is(err, adsketch.ErrUnsupportedQuery):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -119,6 +119,10 @@ func statusFor(err error) int {
 // object (answered with one Response) or a JSON array of Requests
 // (answered with an array of Responses in the same order; per-request
 // failures are reported in Response.Error without failing the batch).
+// Each request routes to the catalog dataset named by its "dataset"
+// field (empty = the default dataset); a batch pins each referenced
+// dataset once, so its answers never mix two versions across a
+// concurrent swap.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.batches.Add(1)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -140,7 +144,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.queries.Add(int64(len(reqs)))
-		resps, err := s.be.DoBatch(r.Context(), reqs)
+		resps, err := s.cat.DoBatch(r.Context(), reqs)
 		if err != nil {
 			s.failures.Add(1)
 			writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
@@ -161,7 +165,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	resp, err := s.be.Do(r.Context(), req)
+	resp, err := s.cat.Do(r.Context(), req)
 	if err != nil {
 		s.failures.Add(1)
 		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
@@ -170,11 +174,92 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMeta serves GET /v1/meta: the backend's serving identity — node
-// range, partition position, sketch parameters.  A coordinator building
-// its routing table reads this from every worker at startup.
+// handleMeta serves GET /v1/meta: the default dataset's serving identity
+// — node range, partition position, sketch parameters.  A coordinator
+// building its routing table reads this from every worker at startup.
 func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.be.Meta())
+	d, err := s.cat.Acquire("")
+	if err != nil {
+		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+		return
+	}
+	defer d.Release()
+	writeJSON(w, http.StatusOK, d.Backend().Meta())
+}
+
+// handleDatasetList serves GET /v1/datasets: every dataset's name,
+// version, reference counts, residency, and serving identity.
+func (s *server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cat.Stats())
+}
+
+// swapBody is the POST /v1/datasets/{name} payload: a server-side
+// sketch file to publish under the name.
+type swapBody struct {
+	// Path is the sketch file to load, as seen by the server process.
+	Path string `json:"path"`
+	// Mmap maps the file (v3) instead of decoding it.
+	Mmap bool `json:"mmap,omitempty"`
+	// Partitions splits the set into in-process shard engines behind a
+	// coordinator (0 or 1 = serve unsplit).
+	Partitions int `json:"partitions,omitempty"`
+}
+
+// swapResult is the POST /v1/datasets/{name} response.
+type swapResult struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+}
+
+// handleDatasetSwap serves POST /v1/datasets/{name}: attach a new
+// dataset, or atomically publish a new version of an existing one.
+// In-flight queries drain on the old version; the swap never drops a
+// request.
+func (s *server) handleDatasetSwap(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + err.Error()})
+		return
+	}
+	var sb swapBody
+	if err := json.Unmarshal(body, &sb); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding body: " + err.Error()})
+		return
+	}
+	if sb.Path == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: `"path" is required (a sketch file on the server)`})
+		return
+	}
+	src := fileSource(sb.Path, sb.Mmap)
+	if sb.Partitions > 1 {
+		src = src.WithPartitions(sb.Partitions)
+	}
+	version, err := s.cat.Swap(name, src)
+	if err != nil {
+		// Here a missing file is the caller's mistake: they named the
+		// path in this request.
+		status := statusFor(err)
+		if errors.Is(err, os.ErrNotExist) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	log.Printf("adsserver: dataset %q now serves %s (version %d, mmap=%v)", name, sb.Path, version, sb.Mmap)
+	writeJSON(w, http.StatusOK, swapResult{Name: name, Version: version})
+}
+
+// handleDatasetDetach serves DELETE /v1/datasets/{name}.  In-flight
+// queries drain; subsequent queries naming the dataset get 404.
+func (s *server) handleDatasetDetach(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.cat.Detach(name); err != nil {
+		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+		return
+	}
+	log.Printf("adsserver: dataset %q detached", name)
+	writeJSON(w, http.StatusOK, map[string]string{"name": name, "status": "detached"})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -182,16 +267,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // statszBody is the /statsz payload: what is being served, how the
-// index caches are doing, and how much traffic has been answered.
+// index caches are doing, and how much traffic has been answered.  The
+// top-level serving fields describe the default dataset (the pre-catalog
+// shape); Datasets carries every dataset's version, reference counts,
+// residency, and cache counters.
 type statszBody struct {
-	Mode          string               `json:"mode"` // single | shard | coordinator
+	Mode          string               `json:"mode"` // single | shard | coordinator | catalog
 	Sketches      string               `json:"sketches,omitempty"`
-	Kind          string               `json:"kind"`
+	Kind          string               `json:"kind,omitempty"`
 	FormatVersion int                  `json:"format_version"`
-	FileVersion   int                  `json:"file_version,omitempty"` // codec version of the loaded file
-	Mmap          bool                 `json:"mmap,omitempty"`         // columns served from an mmap region
-	Nodes         int                  `json:"nodes"`                  // global node count
-	K             int                  `json:"k"`
+	FileVersion   int                  `json:"file_version,omitempty"` // codec version of the default dataset's file
+	Mmap          bool                 `json:"mmap,omitempty"`         // default dataset served from an mmap region
+	Nodes         int                  `json:"nodes,omitempty"`        // global node count of the default dataset
+	K             int                  `json:"k,omitempty"`
 	UptimeSeconds float64              `json:"uptime_seconds"`
 	Shard         *adsketch.ShardMeta  `json:"shard,omitempty"`  // shard mode: what this worker owns
 	Shards        []adsketch.ShardMeta `json:"shards,omitempty"` // coordinator mode: the routing table
@@ -200,41 +288,67 @@ type statszBody struct {
 
 	Cache adsketch.CacheStats `json:"cache"`
 
+	// The dataset catalog: default routing name, memory budget, and the
+	// per-dataset lifecycle (version, refs, draining, residency, cache).
+	Default       string                  `json:"default_dataset,omitempty"`
+	BudgetBytes   int64                   `json:"budget_bytes,omitempty"`
+	ResidentBytes int64                   `json:"resident_bytes,omitempty"`
+	Datasets      []adsketch.DatasetStats `json:"datasets"`
+
 	Batches  int64 `json:"batches"`
 	Queries  int64 `json:"queries"`
 	Failures int64 `json:"failures"`
 }
 
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	meta := s.be.Meta()
+	cst := s.cat.Stats()
 	body := statszBody{
-		Mode:          s.mode,
-		Sketches:      s.sketchPath,
-		Kind:          meta.Kind,
+		Mode:          "catalog",
 		FormatVersion: adsketch.SketchFormatVersion,
-		FileVersion:   s.fileVersion,
-		Mmap:          s.mmapped,
-		Nodes:         meta.TotalNodes,
-		K:             meta.K,
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Default:       cst.Default,
+		BudgetBytes:   cst.BudgetBytes,
+		ResidentBytes: cst.ResidentBytes,
+		Datasets:      cst.Datasets,
 		Batches:       s.batches.Load(),
 		Queries:       s.queries.Load(),
 		Failures:      s.failures.Load(),
 	}
-	if c, ok := s.be.(cacheStatser); ok {
-		body.Cache = c.CacheStats()
-	}
-	switch s.mode {
-	case "shard":
-		m := meta
-		body.Shard = &m
-	case "coordinator":
-		body.Shards = s.shardMetas
-	}
-	if si, ok := s.be.(setInfo); ok {
-		set := si.Set()
-		body.LocalNodes = set.NumNodes()
-		body.TotalEntries = set.TotalEntries()
+	// The top-level serving fields mirror the default dataset, keeping
+	// the single-set payload shape; a catalog without a default (named
+	// datasets only) reports mode "catalog" and the Datasets list alone.
+	// Everything comes from the stats snapshot — an evicted default is
+	// NOT reloaded just to be described (a monitoring scrape must never
+	// thrash the eviction budget); only a resident one is briefly pinned
+	// for the pieces stats cannot carry (routing table, set counters).
+	if def := defaultDataset(&cst); def != nil {
+		body.Sketches = def.Path
+		body.FileVersion = def.FileVersion
+		body.Mmap = def.Mmap
+		if def.Resident && def.Meta != nil {
+			body.Mode = def.Mode
+			body.Kind = def.Meta.Kind
+			body.Nodes = def.Meta.TotalNodes
+			body.K = def.Meta.K
+			if def.Cache != nil {
+				body.Cache = *def.Cache
+			}
+			if def.Mode == "shard" {
+				body.Shard = def.Meta
+			}
+			if d := s.cat.AcquireResident(""); d != nil {
+				be := d.Backend()
+				if c, ok := be.(*adsketch.Coordinator); ok {
+					body.Shards = c.ShardMetas()
+				}
+				if si, ok := be.(setInfo); ok {
+					set := si.Set()
+					body.LocalNodes = set.NumNodes()
+					body.TotalEntries = set.TotalEntries()
+				}
+				d.Release()
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -15,7 +15,7 @@ import (
 
 // newTestServer builds a small sketch set, round-trips it through a real
 // sketch file (the same artifact flow adsserver uses in production), and
-// serves it from an httptest server.
+// serves it as a catalog's default dataset from an httptest server.
 func newTestServer(t *testing.T) (*httptest.Server, *adsketch.Engine) {
 	t.Helper()
 	g := adsketch.PreferentialAttachment(400, 3, 7)
@@ -47,8 +47,16 @@ func newTestServer(t *testing.T) (*httptest.Server, *adsketch.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, "single", path).mux())
+	cat, err := adsketch.NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Attach(adsketch.DefaultDataset, adsketch.BackendSource(eng)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(cat).mux())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { cat.Close() })
 	return ts, eng
 }
 

@@ -12,6 +12,7 @@
 //	adstool info sketches.v3.ads
 //	adstool query -graph graph.txt -sketches sketches.ads -node 17 -d 3
 //	adstool query -remote http://localhost:8080 -node 17 -d 3
+//	adstool query -remote http://localhost:8080 -dataset nightly -node 17 -d 3
 //	adstool top   -graph graph.txt -k 16 -seed 42 -top 10
 //	adstool influence -graph graph.txt -k 16 -seeds 3 -d 2
 //
@@ -496,14 +497,15 @@ func runQuery(args []string) error {
 	d := fs.Float64("d", 2, "query distance")
 	sketchPath := fs.String("sketches", "", "load sketches from file instead of building")
 	remote := fs.String("remote", "", "query a running adsserver at this base URL instead of evaluating locally")
+	dataset := fs.String("dataset", "", "with -remote: the named catalog dataset to query (empty = the server's default dataset)")
 	fs.Parse(args)
 	if *remote != "" {
-		// Remote mode answers from the server's sketch file; refuse local
+		// Remote mode answers from the server's sketch files; refuse local
 		// graph/build flags rather than silently ignoring them.
 		var conflicting []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "remote", "node", "d":
+			case "remote", "node", "d", "dataset":
 			default:
 				conflicting = append(conflicting, "-"+f.Name)
 			}
@@ -511,6 +513,8 @@ func runQuery(args []string) error {
 		if len(conflicting) > 0 {
 			return fmt.Errorf("-remote queries the server's sketches; %s have no effect (drop them)", strings.Join(conflicting, ", "))
 		}
+	} else if *dataset != "" {
+		return fmt.Errorf("-dataset names a server-side catalog dataset; it requires -remote")
 	}
 	var vs []int32
 	for _, f := range strings.Split(*nodes, ",") {
@@ -530,10 +534,10 @@ func runQuery(args []string) error {
 		sizesQ.Radius, sizesQ.Unbounded = 0, true
 	}
 	reqs := []adsketch.Request{
-		{ID: "sizes", Neighborhood: sizesQ},
-		{ID: "reach", Neighborhood: &adsketch.NeighborhoodQuery{Unbounded: true, Nodes: vs}},
-		{ID: "closeness", Closeness: &adsketch.ClosenessQuery{Nodes: vs}},
-		{ID: "harmonic", Harmonic: &adsketch.HarmonicQuery{Nodes: vs}},
+		{ID: "sizes", Dataset: *dataset, Neighborhood: sizesQ},
+		{ID: "reach", Dataset: *dataset, Neighborhood: &adsketch.NeighborhoodQuery{Unbounded: true, Nodes: vs}},
+		{ID: "closeness", Dataset: *dataset, Closeness: &adsketch.ClosenessQuery{Nodes: vs}},
+		{ID: "harmonic", Dataset: *dataset, Harmonic: &adsketch.HarmonicQuery{Nodes: vs}},
 	}
 	var resps []adsketch.Response
 	if *remote != "" {
@@ -541,7 +545,11 @@ func runQuery(args []string) error {
 		if resps, err = postQueryBatch(*remote, reqs); err != nil {
 			return err
 		}
-		fmt.Printf("remote %s, one request batch:\n", *remote)
+		if *dataset != "" {
+			fmt.Printf("remote %s, dataset %q, one request batch:\n", *remote, *dataset)
+		} else {
+			fmt.Printf("remote %s, one request batch:\n", *remote)
+		}
 	} else {
 		g, err := loadGraph(*path, *directed)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 	"unsafe"
 
 	"adsketch/internal/sketch"
@@ -703,11 +704,32 @@ func minInt64(a, b int64) int64 {
 
 // SketchFile is an opened sketch file: exactly one of a whole set or a
 // partition, plus the backing memory when the file was opened zero-copy.
+//
+// Release of the backing memory is reference-counted, so an mmap'd file
+// can be swapped out from under live traffic without ever unmapping
+// pages a query is still reading: every reader that may outlive the
+// owner brackets its reads with Retain / Release, and Close — the
+// owner's release — only marks the file draining.  The munmap happens
+// when the last reference drops, whichever call that is.
 type SketchFile struct {
 	set     AnySet
 	part    *Partition
 	version int
 	mapped  []byte // non-nil iff the columns view an mmap region
+
+	// refs counts live references: the opener's (dropped by Close) plus
+	// one per outstanding Retain.  The reference that drops it to zero
+	// unmaps.  A non-positive count means fully released.
+	refs   atomic.Int64
+	closed atomic.Bool // the opener's reference has been dropped
+}
+
+// newSketchFile assembles an opened file holding the opener's single
+// reference.
+func newSketchFile(set AnySet, part *Partition, version int, mapped []byte) *SketchFile {
+	s := &SketchFile{set: set, part: part, version: version, mapped: mapped}
+	s.refs.Store(1)
+	return s
 }
 
 // Set returns the whole set, or nil for a partition file.
@@ -721,19 +743,67 @@ func (s *SketchFile) Partition() *Partition { return s.part }
 func (s *SketchFile) Version() int { return s.version }
 
 // Mapped reports whether the columns view an mmap'd region (in which
-// case Close invalidates every sketch and index derived from the file).
+// case the final Close/Release invalidates every sketch and index
+// derived from the file).
 func (s *SketchFile) Mapped() bool { return s.mapped != nil }
 
-// Close releases the mapping, if any.  The sketches, views, and indexes
-// obtained from a mapped file must not be used afterwards.
-func (s *SketchFile) Close() error {
-	if s.mapped == nil {
+// Refs returns the current reference count: the opener's reference
+// (until Close) plus one per outstanding Retain.  Zero means fully
+// released.  It is a monitoring value; do not branch program logic on
+// it — use Retain's return instead.
+func (s *SketchFile) Refs() int64 {
+	if r := s.refs.Load(); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Draining reports whether Close has been called while other references
+// keep the file alive.
+func (s *SketchFile) Draining() bool { return s.closed.Load() && s.refs.Load() > 0 }
+
+// Retain takes an additional reference on the file, keeping its backing
+// memory valid across a concurrent Close, and reports whether it
+// succeeded: false means the last reference already dropped (the mapping
+// may be gone) and the file must not be read.  Every successful Retain
+// must be paired with exactly one Release.
+func (s *SketchFile) Retain() bool {
+	for {
+		r := s.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference.  The call that drops the count to zero
+// unmaps the backing region (if any); after that, every sketch, view,
+// and index derived from the file is invalid.
+func (s *SketchFile) Release() error {
+	if s.refs.Add(-1) != 0 {
 		return nil
 	}
 	m := s.mapped
 	s.mapped = nil
 	s.set, s.part = nil, nil
+	if m == nil {
+		return nil
+	}
 	return munmapFile(m)
+}
+
+// Close drops the opener's reference, marking the file draining: new
+// Retains fail once the count reaches zero, and the backing memory is
+// released by whichever call — this one, or the last outstanding
+// Release — drops the final reference.  Close is idempotent.
+func (s *SketchFile) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return s.Release()
 }
 
 // OpenSketchFile opens a sketch file of any version.  Version-3 files are
@@ -761,7 +831,7 @@ func OpenSketchFile(path string) (*SketchFile, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &SketchFile{set: set, part: part, version: frameEncodeVersion}, nil
+		return newSketchFile(set, part, frameEncodeVersion, nil), nil
 	}
 	// Not a v3 file (or too short to tell): stream-decode from the start;
 	// the reader produces the precise error for garbage input.
@@ -772,7 +842,7 @@ func OpenSketchFile(path string) (*SketchFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SketchFile{set: set, part: part, version: int(binary.LittleEndian.Uint32(head[4:]))}, nil
+	return newSketchFile(set, part, int(binary.LittleEndian.Uint32(head[4:])), nil), nil
 }
 
 // MmapSketchFile opens a version-3 sketch file by mapping it into memory:
@@ -806,7 +876,7 @@ func MmapSketchFile(path string) (*SketchFile, error) {
 		munmapFile(data)
 		return nil, err
 	}
-	return &SketchFile{set: set, part: part, version: frameEncodeVersion, mapped: data}, nil
+	return newSketchFile(set, part, frameEncodeVersion, data), nil
 }
 
 // isFrameFile reports whether the bytes begin a version-3 file.

@@ -55,6 +55,12 @@ type Request struct {
 	// ID is an opaque client tag echoed into the Response, for matching
 	// requests to responses inside a batch.
 	ID string `json:"id,omitempty"`
+	// Dataset names the catalog dataset the query targets; a Catalog
+	// routes by it and dispatches the request with the field cleared.
+	// Empty routes to the default dataset and — because single-set
+	// engines ignore the field and omitempty keeps it off the wire — is
+	// bit-for-bit the pre-catalog wire format.
+	Dataset string `json:"dataset,omitempty"`
 	// Explain asks a partitioned serving tier (Coordinator) to attach
 	// the merge metadata — which shards were consulted — to the
 	// Response.  Single engines ignore it, and without it a coordinator
