@@ -9,17 +9,18 @@ GO ?= go
 # coverage durably improves; never lower it to make a PR pass.
 COVER_BASELINE ?= 74.0
 
-.PHONY: test race bench cover fuzz-smoke memprofile clean
+.PHONY: test race bench cover fuzz-smoke memprofile ingest-smoke clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
 
 # Race coverage spans every layer with concurrency: the facade (engine,
-# coordinator scatter-gather, dataset catalog), the query/cluster/catalog
-# machinery, the parallel sketch builders in core, and the HTTP serving
-# tier (including the hot-swap admin endpoints).
+# coordinator scatter-gather, dataset catalog, streaming ingestor), the
+# query/cluster/catalog machinery, the incremental sketch maintainer,
+# the parallel sketch builders in core, and the HTTP serving tier
+# (including the hot-swap admin and ingest endpoints).
 race:
-	$(GO) test -race ./ ./internal/query/ ./internal/cluster/ ./internal/catalog/ ./internal/core/ ./cmd/adsserver/
+	$(GO) test -race ./ ./internal/query/ ./internal/cluster/ ./internal/catalog/ ./internal/core/ ./internal/ingest/ ./cmd/adsserver/
 
 # One pass over every benchmark (regression smoke, not measurement), then
 # the BenchmarkEngine*/BenchmarkSketchSet* lines rendered as JSON.  The
@@ -46,17 +47,29 @@ HIPBUILD_PRE_FRAMES_NS = 26416967
 HIPBUILD_PRE_FRAMES_ALLOCS = 94836
 ENGINEDO_PRE_FRAMES_NS = 2956
 ENGINEDO_PRE_FRAMES_ALLOCS = 8
+# The catalog routing benchmarks get a second, multi-iteration pass: at
+# -benchtime=1x their numbers are first-request warmup artifacts (11.8µs
+# "routing overhead" that is really cache warming), while 2000 iterations
+# pin the steady state (~1.6µs routed vs ~1.4µs direct, ~200ns routing).
+# The awk below dedupes by benchmark name keeping the LAST occurrence, so
+# the appended rerun overrides the 1x rows in BENCH_engine.json.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . > bench.out || { cat bench.out; exit 1; }
+	$(GO) test -run='^$$' -bench='^BenchmarkCatalogDo(Direct|Batch)?$$' -benchtime=2000x . >> bench.out || { cat bench.out; exit 1; }
 	cat bench.out
 	awk 'BEGIN { print "[" } \
-	  /^Benchmark(Engine|SketchSet|HIPIndex|Catalog)/ { \
-	    if (n++) printf ",\n"; \
-	    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $$1, $$2, $$3; \
-	    for (i = 4; i <= NF; i++) if ($$i == "allocs/op") printf ", \"allocs_per_op\": %s", $$(i-1); \
-	    printf "}" \
+	  /^Benchmark(Engine|SketchSet|HIPIndex|Catalog|Ingest)/ { \
+	    if (!($$1 in row)) order[++m] = $$1; \
+	    row[$$1] = $$0 \
 	  } \
 	  END { \
+	    for (j = 1; j <= m; j++) { \
+	      nf = split(row[order[j]], f, /[ \t]+/); \
+	      if (n++) printf ",\n"; \
+	      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", f[1], f[2], f[3]; \
+	      for (i = 4; i <= nf; i++) if (f[i] == "allocs/op") printf ", \"allocs_per_op\": %s", f[i-1]; \
+	      printf "}" \
+	    } \
 	    printf ",\n  {\"name\": \"BenchmarkSketchSetCodec/before-buffer-reuse\", \"iterations\": 1, \"ns_per_op\": $(CODEC_BASELINE_NS)},\n"; \
 	    printf "  {\"name\": \"BenchmarkSketchSetLoad/v2-decode/before-columnar-frames\", \"iterations\": 5, \"ns_per_op\": $(LOAD_PRE_FRAMES_NS), \"allocs_per_op\": $(LOAD_PRE_FRAMES_ALLOCS)},\n"; \
 	    printf "  {\"name\": \"BenchmarkHIPIndexBuild/before-columnar-frames\", \"iterations\": 5, \"ns_per_op\": $(HIPBUILD_PRE_FRAMES_NS), \"allocs_per_op\": $(HIPBUILD_PRE_FRAMES_ALLOCS)},\n"; \
@@ -90,5 +103,25 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzOpenSketchFile' -fuzztime=5s ./internal/core/
 	$(GO) test -run='^$$' -fuzz='FuzzReadEdgeList' -fuzztime=5s ./internal/graph/
 
+# End-to-end streaming-ingest smoke: start an ingest-enabled adsserver,
+# replay the checked-in SNAP fixture through `adstool ingest` (34 edges,
+# so -freeze-every 16 publishes mid-stream and the final batch freezes
+# explicitly), then verify the published dataset answers queries.
+ingest-smoke:
+	$(GO) build -o adsserver.smoke ./cmd/adsserver
+	$(GO) build -o adstool.smoke ./cmd/adstool
+	@set -e; \
+	./adsserver.smoke -ingest -freeze-every 16 -ingest-k 8 -addr 127.0.0.1:18080 >/dev/null 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT INT TERM; \
+	ok=0; for i in $$(seq 1 50); do \
+	  if ./adstool.smoke ingest -remote http://127.0.0.1:18080 -dataset smoke \
+	       -graph internal/graph/testdata/snap_small.txt -batch 10 2>/dev/null; then ok=1; break; fi; \
+	  sleep 0.2; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "ingest-smoke: server never became ready" >&2; exit 1; }; \
+	./adstool.smoke query -remote http://127.0.0.1:18080 -dataset smoke -node 0 -d 2; \
+	echo "ingest-smoke: OK"
+	rm -f adsserver.smoke adstool.smoke
+
 clean:
-	rm -f bench.out coverage.out engine_do.memprofile adsketch.test
+	rm -f bench.out coverage.out engine_do.memprofile adsketch.test adsserver.smoke adstool.smoke

@@ -429,8 +429,19 @@ func (c *Catalog) DoBatch(ctx context.Context, reqs []Request) ([]Response, erro
 		d   *Dataset
 		err error
 	}
-	pins := make(map[string]*pin)
+	// The overwhelmingly common batch targets a single dataset (usually
+	// the default), so its pin lives in locals and the map materializes
+	// only when a second name appears — the single-dataset path does no
+	// per-batch map allocation or per-request map lookups.
+	var (
+		firstName string
+		first     *pin
+		pins      map[string]*pin
+	)
 	defer func() {
+		if first != nil && first.d != nil {
+			first.d.Release()
+		}
 		for _, p := range pins {
 			if p.d != nil {
 				p.d.Release()
@@ -443,11 +454,24 @@ func (c *Catalog) DoBatch(ctx context.Context, reqs []Request) ([]Response, erro
 			return nil, err
 		}
 		name := c.resolve(reqs[i].Dataset)
-		p := pins[name]
+		var p *pin
+		switch {
+		case first != nil && name == firstName:
+			p = first
+		case pins != nil:
+			p = pins[name]
+		}
 		if p == nil {
 			d, err := c.Acquire(name)
 			p = &pin{d: d, err: err}
-			pins[name] = p
+			if first == nil {
+				firstName, first = name, p
+			} else {
+				if pins == nil {
+					pins = make(map[string]*pin)
+				}
+				pins[name] = p
+			}
 		}
 		if p.err != nil {
 			out[i] = Response{ID: reqs[i].ID, Error: p.err.Error()}

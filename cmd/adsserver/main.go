@@ -52,6 +52,11 @@
 //	                             {"path": "...", "mmap": true}.
 //	DELETE /v1/datasets/{name} — detach a dataset (in-flight queries
 //	                             drain first).
+//	POST   /v1/ingest/{name}   — with -ingest: apply a JSON edge batch
+//	                             to the named streaming dataset, e.g.
+//	                             {"edges":[{"u":0,"v":1}],"freeze":true};
+//	                             frozen versions hot-swap into the
+//	                             catalog every -freeze-every edges.
 //	GET    /healthz            — liveness: {"status":"ok"} once serving.
 //	GET    /statsz             — topology, default-dataset metadata,
 //	                             catalog state, index-cache/shard
@@ -110,10 +115,24 @@ func main() {
 	useMmap := fs.Bool("mmap", false, "mmap sketch files instead of decoding them (near-zero startup; wants v3 columnar files, see adstool convert)")
 	memBudget := fs.Int64("mem-budget", 0, "resident-memory budget in bytes for the catalog; idle file-backed datasets are evicted LRU and reload on demand (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries after SIGINT/SIGTERM")
+	ingestOn := fs.Bool("ingest", false, "enable POST /v1/ingest/{dataset}: accept edge batches, maintain sketches incrementally, publish frozen versions into the catalog")
+	freezeEvery := fs.Int("freeze-every", 1024, "freeze and publish an ingest dataset after this many edges (0 = only on explicit \"freeze\":true)")
+	ingestK := fs.Int("ingest-k", 16, "bottom-k parameter of ingest-created datasets")
+	ingestSeed := fs.Uint64("ingest-seed", 42, "rank seed of ingest-created datasets")
+	ingestDirected := fs.Bool("ingest-directed", false, "treat ingested edges as directed arcs (default: undirected edges)")
+	ingestDir := fs.String("ingest-dir", "", "persist each frozen ingest version as a v3 file under this directory and serve from it (with -mmap, via mmap); empty = publish in memory")
 	fs.Parse(os.Args[1:])
-	if *sketchPath == "" && *workers == "" && len(datasets) == 0 {
-		fmt.Fprintln(os.Stderr, "adsserver: at least one of -sketches, -workers, or -dataset is required")
+	if *sketchPath == "" && *workers == "" && len(datasets) == 0 && !*ingestOn {
+		fmt.Fprintln(os.Stderr, "adsserver: at least one of -sketches, -workers, -dataset, or -ingest is required")
 		fs.Usage()
+		os.Exit(2)
+	}
+	if !*ingestOn && (*ingestDir != "" || *freezeEvery != 1024 || *ingestK != 16 || *ingestSeed != 42 || *ingestDirected) {
+		fmt.Fprintln(os.Stderr, "adsserver: -freeze-every/-ingest-k/-ingest-seed/-ingest-directed/-ingest-dir require -ingest")
+		os.Exit(2)
+	}
+	if *ingestOn && (*freezeEvery < 0 || *ingestK < 2) {
+		fmt.Fprintln(os.Stderr, "adsserver: want -freeze-every >= 0 and -ingest-k >= 2")
 		os.Exit(2)
 	}
 	if *sketchPath != "" && *workers != "" {
@@ -128,8 +147,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adsserver: -partitions %d is invalid; want >= 1 (or 0 to serve unsplit)\n", *partitions)
 		os.Exit(2)
 	}
-	if *useMmap && *sketchPath == "" && len(datasets) == 0 {
-		fmt.Fprintln(os.Stderr, "adsserver: -mmap applies to local sketch files (-sketches / -dataset), not to -workers")
+	if *useMmap && *sketchPath == "" && len(datasets) == 0 && *ingestDir == "" {
+		fmt.Fprintln(os.Stderr, "adsserver: -mmap applies to local sketch files (-sketches / -dataset / -ingest-dir), not to -workers")
 		os.Exit(2)
 	}
 
@@ -140,6 +159,18 @@ func main() {
 	}
 
 	srv := newServer(cat)
+	if *ingestOn {
+		srv.ing = newIngestManager(cat, ingestConfig{
+			freezeEvery: *freezeEvery,
+			k:           *ingestK,
+			seed:        *ingestSeed,
+			directed:    *ingestDirected,
+			dir:         *ingestDir,
+			mmap:        *useMmap,
+		})
+		log.Printf("adsserver: streaming ingest enabled (k=%d seed=%d directed=%v freeze-every=%d dir=%q)",
+			*ingestK, *ingestSeed, *ingestDirected, *freezeEvery, *ingestDir)
+	}
 	cst := cat.Stats()
 	if def := defaultDataset(&cst); def != nil && def.Meta != nil {
 		log.Printf("adsserver: default dataset serves %s sketches (%s mode, nodes [%d, %d) of %d, k=%d)",

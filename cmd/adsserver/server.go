@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -38,11 +39,13 @@ type setInfo interface {
 // detach datasets from server-side paths while traffic is live.
 type server struct {
 	cat   *adsketch.Catalog
+	ing   *ingestManager // nil unless -ingest
 	start time.Time
 
 	queries  atomic.Int64 // protocol requests evaluated (batch items count individually)
 	batches  atomic.Int64 // POST /v1/query calls
 	failures atomic.Int64 // requests answered with an error
+	ingested atomic.Int64 // edges accepted through /v1/ingest
 }
 
 func newServer(cat *adsketch.Catalog) *server {
@@ -67,6 +70,9 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	mux.HandleFunc("POST /v1/datasets/{name}", s.handleDatasetSwap)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDetach)
+	if s.ing != nil {
+		mux.HandleFunc("POST /v1/ingest/{dataset}", s.handleIngest)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
@@ -172,6 +178,69 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleIngest serves POST /v1/ingest/{dataset}: a JSON edge batch —
+// either {"edges":[{"u":0,"v":1,"w":1.5},...],"freeze":true} or a bare
+// array of edges — applied to the dataset's incremental maintainer.
+// The first batch for a name creates its ingestor (empty graph, the
+// -ingest-* parameters); every -freeze-every edges, and on "freeze",
+// the maintained set freezes and hot-swaps into the catalog, so
+// concurrent queries on the dataset never see partial state.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dataset")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.As(err, new(*http.MaxBytesError)) {
+			status = http.StatusRequestEntityTooLarge // split the batch
+		}
+		writeJSON(w, status, errorBody{Error: "reading body: " + err.Error()})
+		return
+	}
+	ib, err := parseIngestBody(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding edge batch: " + err.Error()})
+		return
+	}
+	ing, err := s.ing.get(name)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+		return
+	}
+	edges := make([]adsketch.Edge, len(ib.Edges))
+	for i, e := range ib.Edges {
+		// Omitted "w" (0) means unit length; an explicitly negative weight
+		// is a caller mistake, not a unit edge.
+		if e.W < 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: fmt.Sprintf("edge %d: negative weight %g", i, e.W)})
+			return
+		}
+		edges[i] = adsketch.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	n, err := ing.InsertBatch(edges)
+	s.ingested.Add(int64(n))
+	if err != nil {
+		// Rejected edges (negative IDs, bad weights) are the caller's
+		// mistake; Accepted reports how far the batch got.
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if ib.Freeze {
+		if _, err := ing.Freeze(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+	}
+	st := ing.Stats()
+	writeJSON(w, http.StatusOK, ingestResult{
+		Dataset:  name,
+		Accepted: n,
+		Pending:  st.PendingEdges,
+		Freezes:  st.Freezes,
+		Version:  st.LastVersion,
+	})
 }
 
 // handleMeta serves GET /v1/meta: the default dataset's serving identity
@@ -298,6 +367,12 @@ type statszBody struct {
 	Batches  int64 `json:"batches"`
 	Queries  int64 `json:"queries"`
 	Failures int64 `json:"failures"`
+
+	// The streaming-ingest tier (-ingest): edges accepted and the
+	// per-dataset maintainer snapshots — ingest lag (pending edges and
+	// publish staleness), propagation counters, last published version.
+	IngestedEdges int64                    `json:"ingested_edges,omitempty"`
+	Ingest        []adsketch.IngestorStats `json:"ingest,omitempty"`
 }
 
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -313,6 +388,10 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Batches:       s.batches.Load(),
 		Queries:       s.queries.Load(),
 		Failures:      s.failures.Load(),
+	}
+	if s.ing != nil {
+		body.IngestedEdges = s.ingested.Load()
+		body.Ingest = s.ing.stats()
 	}
 	// The top-level serving fields mirror the default dataset, keeping
 	// the single-set payload shape; a catalog without a default (named

@@ -13,6 +13,7 @@
 //	adstool query -graph graph.txt -sketches sketches.ads -node 17 -d 3
 //	adstool query -remote http://localhost:8080 -node 17 -d 3
 //	adstool query -remote http://localhost:8080 -dataset nightly -node 17 -d 3
+//	adstool ingest -remote http://localhost:8080 -dataset live -graph stream.txt -batch 512
 //	adstool top   -graph graph.txt -k 16 -seed 42 -top 10
 //	adstool influence -graph graph.txt -k 16 -seeds 3 -d 2
 //
@@ -63,6 +64,8 @@ func main() {
 		err = runInfo(args)
 	case "query":
 		err = runQuery(args)
+	case "ingest":
+		err = runIngest(args)
 	case "top":
 		err = runTop(args)
 	case "influence":
@@ -77,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: adstool {gen|stats|build|split|merge|convert|info|query|top|influence} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: adstool {gen|stats|build|split|merge|convert|info|query|ingest|top|influence} [flags]")
 	os.Exit(2)
 }
 
@@ -587,6 +590,116 @@ func runQuery(args []string) error {
 		fmt.Printf("  closeness   %.4e\n", byID["closeness"].Scores[i])
 		fmt.Printf("  harmonic    %.1f\n", byID["harmonic"].Scores[i])
 	}
+	return nil
+}
+
+// runIngest replays an edge-list file (SNAP-style "u v [w]" lines, '#'
+// or '%' comments; "-" reads stdin) against a running adsserver's
+// streaming-ingest endpoint, in batched POSTs to /v1/ingest/{dataset}.
+// The server maintains the dataset's sketches incrementally and
+// hot-swaps a frozen version into its catalog every -freeze-every edges
+// (a server-side setting); -freeze forces one final publish so the tail
+// of the stream is queryable immediately.
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	remote := fs.String("remote", "", "base URL of a running adsserver started with -ingest (required)")
+	dataset := fs.String("dataset", "", "catalog dataset to ingest into (required)")
+	path := fs.String("graph", "-", "edge list to replay; \"-\" reads stdin")
+	batch := fs.Int("batch", 512, "edges per POST")
+	freeze := fs.Bool("freeze", true, "freeze and publish after the final batch")
+	fs.Parse(args)
+	if *remote == "" || *dataset == "" {
+		return fmt.Errorf("ingest: -remote and -dataset are required")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("ingest: -batch %d is invalid; want >= 1", *batch)
+	}
+	var r io.Reader = os.Stdin
+	if *path != "-" {
+		f, err := os.Open(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	url := strings.TrimSuffix(*remote, "/") + "/v1/ingest/" + *dataset
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	type wireEdge struct {
+		U int32   `json:"u"`
+		V int32   `json:"v"`
+		W float64 `json:"w,omitempty"`
+	}
+	type ingestBody struct {
+		Edges  []wireEdge `json:"edges"`
+		Freeze bool       `json:"freeze,omitempty"`
+	}
+	type ingestResult struct {
+		Accepted int   `json:"accepted"`
+		Pending  int64 `json:"pending_edges"`
+		Freezes  int64 `json:"freezes"`
+		Version  int   `json:"version"`
+	}
+	var last ingestResult
+	post := func(b ingestBody) error {
+		payload, err := json.Marshal(b)
+		if err != nil {
+			return err
+		}
+		httpResp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		defer httpResp.Body.Close()
+		out, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+		if err != nil {
+			return err
+		}
+		if httpResp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s: %s", url, httpResp.Status, strings.TrimSpace(string(out)))
+		}
+		return json.Unmarshal(out, &last)
+	}
+
+	start := time.Now()
+	sent, batches := 0, 0
+	buf := make([]wireEdge, 0, *batch)
+	flush := func(final bool) error {
+		if len(buf) == 0 && !(final && *freeze) {
+			return nil
+		}
+		if err := post(ingestBody{Edges: buf, Freeze: final && *freeze}); err != nil {
+			return err
+		}
+		sent += len(buf)
+		batches++
+		buf = buf[:0]
+		return nil
+	}
+	err := graph.ScanEdges(r, func(u, v int32, w float64, hasW bool) error {
+		e := wireEdge{U: u, V: v}
+		if hasW {
+			e.W = w
+		}
+		buf = append(buf, e)
+		if len(buf) >= *batch {
+			return flush(false)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(true); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	rate := float64(sent) / elapsed.Seconds()
+	fmt.Printf("ingested %d edges in %d batch(es) into %q in %v (%.0f edges/s)\n",
+		sent, batches, *dataset, elapsed.Round(time.Millisecond), rate)
+	fmt.Printf("server: %d freeze(s) published, version %d, %d edge(s) pending\n",
+		last.Freezes, last.Version, last.Pending)
 	return nil
 }
 

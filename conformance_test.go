@@ -287,3 +287,51 @@ func TestConformanceCoordinatorPreservesBound(t *testing.T) {
 		}
 	}
 }
+
+// TestConformanceIncrementalParity extends the suite to incrementally
+// maintained sets: streaming every edge of a conformance cell through an
+// empty Ingestor must reproduce the full rebuild's estimates exactly
+// (bit-for-bit Engine output on every node, bounded and unbounded), so
+// every accuracy contract above transfers verbatim to ingest-frozen sets.
+func TestConformanceIncrementalParity(t *testing.T) {
+	const buildSeed = 42
+	for _, family := range []string{"ba", "er"} {
+		t.Run(family, func(t *testing.T) {
+			g := conformanceGraph(family)
+			n := g.NumNodes()
+			set, err := adsketch.Build(g, adsketch.WithK(16), adsketch.WithSeed(buildSeed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ing, err := adsketch.NewEmptyIngestor(g.Directed(), 16, buildSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edges := graphEdges(g)
+			if _, err := ing.InsertBatch(edges); err != nil {
+				t.Fatal(err)
+			}
+			res, err := ing.Freeze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			engFull, err := adsketch.NewEngine(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engInc, err := adsketch.NewEngine(res.Set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range []float64{2, -1} {
+				full := engineEstimates(t, engFull, r, n)
+				inc := engineEstimates(t, engInc, r, n)
+				for v := range full {
+					if full[v] != inc[v] {
+						t.Fatalf("radius %g node %d: incremental %v != rebuild %v", r, v, inc[v], full[v])
+					}
+				}
+			}
+		})
+	}
+}

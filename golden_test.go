@@ -137,6 +137,56 @@ func TestGoldenEstimates(t *testing.T) {
 	check("4-partition coordinator", goldenEvaluate(t, coord.Do))
 }
 
+// TestGoldenIngestReplayParity anchors incremental maintenance to the
+// committed record: streaming every edge of the pinned graph through an
+// empty Ingestor and freezing must answer the whole golden corpus with
+// exactly the committed bytes, not merely agree with a live rebuild.
+func TestGoldenIngestReplayParity(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden update run")
+	}
+	g := adsketch.PreferentialAttachment(200, 3, 7)
+	ing, err := adsketch.NewEmptyIngestor(false, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := graphEdges(g)
+	if n, err := ing.InsertBatch(edges); err != nil || n != len(edges) {
+		t.Fatalf("InsertBatch: n=%d err=%v", n, err)
+	}
+	res, err := ing.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := adsketch.NewEngine(res.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenEvaluate(t, eng.Do)
+
+	payload, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGolden -update ./` to create it)", err)
+	}
+	var want []json.RawMessage
+	if err := json.Unmarshal(payload, &want); err != nil {
+		t.Fatal(err)
+	}
+	reqs := goldenRequests()
+	compact := func(raw json.RawMessage) string {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, raw); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for i := range want {
+		if compact(got[i]) != compact(want[i]) {
+			t.Errorf("ingest-frozen set: %s drifted from golden:\n  got  %s\n  want %s", reqs[i].ID, got[i], want[i])
+		}
+	}
+}
+
 // TestGoldenTopOrder pins the ranking order (not just scores) of both
 // topk metrics: the (score desc, node asc) tie-break is part of the
 // protocol contract the coordinator merge reproduces.

@@ -1,0 +1,324 @@
+package adsketch_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"adsketch"
+)
+
+// graphEdges extracts a graph's logical edge stream (one event per edge,
+// u <= v for undirected graphs, matching WriteEdgeList's dedup).
+func graphEdges(g *adsketch.Graph) []adsketch.Edge {
+	var out []adsketch.Edge
+	selfSeen := make(map[int32]int)
+	g.ForEachArc(func(u, v int32, w float64) {
+		if !g.Directed() {
+			if u > v {
+				return
+			}
+			if u == v {
+				selfSeen[u]++
+				if selfSeen[u]%2 == 0 {
+					return
+				}
+			}
+		}
+		e := adsketch.Edge{U: u, V: v}
+		if g.Weighted() {
+			e.W = w
+		}
+		out = append(out, e)
+	})
+	return out
+}
+
+func serializeSet(t *testing.T, set adsketch.SketchSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := adsketch.WriteSketchSetV3(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIngestorFreezeMatchesRebuild is the acceptance-criteria parity test
+// at the public API: a warm-started ingestor replaying the tail of an
+// edge stream freezes to the byte-identical set a full Build of the final
+// graph produces.
+func TestIngestorFreezeMatchesRebuild(t *testing.T) {
+	g := adsketch.WattsStrogatz(150, 6, 0.1, 3)
+	edges := graphEdges(g)
+	half := len(edges) / 2
+
+	b := adsketch.NewGraphBuilder(g.NumNodes(), false)
+	for _, e := range edges[:half] {
+		b.AddEdge(e.U, e.V)
+	}
+	baseGraph := b.Build()
+	base, err := adsketch.Build(baseGraph, adsketch.WithK(8), adsketch.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := adsketch.NewIngestor(baseGraph, base, adsketch.WithIngestCounters(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ing.InsertBatch(edges[half:]); err != nil || n != len(edges)-half {
+		t.Fatalf("InsertBatch: n=%d err=%v", n, err)
+	}
+	res, err := ing.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := adsketch.Build(g, adsketch.WithK(8), adsketch.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serializeSet(t, res.Set), serializeSet(t, full)) {
+		t.Fatal("frozen set differs from full rebuild")
+	}
+	if res.Nodes != g.NumNodes() || res.Entries != full.TotalEntries() {
+		t.Fatalf("FreezeResult sizes %d/%d, want %d/%d", res.Nodes, res.Entries, g.NumNodes(), full.TotalEntries())
+	}
+	st := ing.Stats()
+	if st.Maintainer.Edges != int64(len(edges)-half) || st.PendingEdges != 0 || st.Freezes != 1 {
+		t.Fatalf("stats after freeze: %+v", st)
+	}
+}
+
+// TestIngestorPublishesThroughCatalog drives the full publish path: edge
+// batches trigger automatic freezes that hot-swap new catalog versions,
+// and queries keep answering from published versions only.
+func TestIngestorPublishesThroughCatalog(t *testing.T) {
+	cat, err := adsketch.NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	ing, err := adsketch.NewEmptyIngestor(false, 8, 7,
+		adsketch.WithPublish(cat, "live"),
+		adsketch.WithFreezeEvery(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := adsketch.NewRandomEdgeSource(200, 100, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ing.Replay(src); err != nil || n != 100 {
+		t.Fatalf("Replay: n=%d err=%v", n, err)
+	}
+	st := ing.Stats()
+	if st.Freezes != 6 { // 100 edges / freeze-every 16
+		t.Fatalf("Freezes = %d, want 6", st.Freezes)
+	}
+	if st.LastVersion != 6 || st.PendingEdges != 100-6*16 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.PublishLagSeconds < 0 {
+		t.Fatalf("PublishLagSeconds = %v after publishing", st.PublishLagSeconds)
+	}
+	resp, err := cat.Do(context.Background(), adsketch.Request{
+		Dataset:      "live",
+		Neighborhood: &adsketch.NeighborhoodQuery{Unbounded: true, Nodes: []int32{0}},
+	})
+	if err != nil || resp.Error != "" {
+		t.Fatalf("query on published dataset: %v %q", err, resp.Error)
+	}
+	// The published version must equal a full rebuild of the ingested
+	// prefix that was frozen (96 edges).
+	res, err := ing.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 7 {
+		t.Fatalf("explicit freeze published version %d, want 7", res.Version)
+	}
+	var edges []adsketch.Edge
+	src2, _ := adsketch.NewRandomEdgeSource(200, 100, false, 5)
+	for {
+		e, ok := src2.Next()
+		if !ok {
+			break
+		}
+		edges = append(edges, e)
+	}
+	maxID := int32(-1)
+	for _, e := range edges {
+		if e.U > maxID {
+			maxID = e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+	}
+	b := adsketch.NewGraphBuilder(int(maxID)+1, false)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	full, err := adsketch.Build(b.Build(), adsketch.WithK(8), adsketch.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serializeSet(t, res.Set), serializeSet(t, full)) {
+		t.Fatal("published set differs from full rebuild of the ingested stream")
+	}
+}
+
+// TestIngestorPublishDir persists each frozen version as a v3 file and
+// serves it (optionally mmapped) from the catalog.
+func TestIngestorPublishDir(t *testing.T) {
+	for _, mmap := range []bool{false, true} {
+		cat, err := adsketch.NewCatalog()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		opts := []adsketch.IngestorOption{
+			adsketch.WithPublish(cat, "filed"),
+			adsketch.WithPublishDir(dir),
+		}
+		if mmap {
+			opts = append(opts, adsketch.WithPublishMmap())
+		}
+		ing, err := adsketch.NewEmptyIngestor(false, 4, 9, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int32(0); i < 20; i++ {
+			if err := ing.Insert(i, (i+1)%20); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := ing.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Path == "" {
+			t.Fatal("FreezeResult.Path empty with WithPublishDir")
+		}
+		if _, err := os.Stat(res.Path); err != nil {
+			t.Fatalf("published file missing: %v", err)
+		}
+		sf, err := adsketch.OpenSketchFile(res.Path)
+		if err != nil {
+			t.Fatalf("published file unreadable: %v", err)
+		}
+		fset, ok := sf.Set().(*adsketch.Set)
+		if !ok {
+			t.Fatalf("published file holds %T, want *adsketch.Set", sf.Set())
+		}
+		if !bytes.Equal(serializeSet(t, fset), serializeSet(t, res.Set)) {
+			t.Fatal("published file differs from the frozen set")
+		}
+		sf.Close()
+		resp, err := cat.Do(context.Background(), adsketch.Request{
+			Dataset:      "filed",
+			Neighborhood: &adsketch.NeighborhoodQuery{Unbounded: true, Nodes: []int32{0}},
+		})
+		if err != nil || resp.Error != "" {
+			t.Fatalf("query on file-published dataset (mmap=%v): %v %q", mmap, err, resp.Error)
+		}
+		for _, ds := range cat.Stats().Datasets {
+			if ds.Name == "filed" && ds.Mmap != mmap {
+				t.Fatalf("dataset mmap=%v, want %v", ds.Mmap, mmap)
+			}
+		}
+		cat.Close()
+	}
+}
+
+// TestIngestorReplayDeterminism: the same seeded stream replayed into two
+// ingestors freezes to identical bytes; a different seed does not.
+func TestIngestorReplayDeterminism(t *testing.T) {
+	freeze := func(seed uint64) []byte {
+		ing, err := adsketch.NewEmptyIngestor(false, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := adsketch.NewRandomEdgeSource(100, 300, true, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ing.Replay(src); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ing.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serializeSet(t, res.Set)
+	}
+	a, b, c := freeze(11), freeze(11), freeze(12)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different frozen sets")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical frozen sets")
+	}
+}
+
+func TestIngestorFreezeInterval(t *testing.T) {
+	ing, err := adsketch.NewEmptyIngestor(false, 4, 2, adsketch.WithFreezeInterval(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 3; i++ {
+		time.Sleep(time.Millisecond)
+		if err := ing.Insert(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := ing.Stats(); st.Freezes < 3 {
+		t.Fatalf("Freezes = %d with a nanosecond interval, want >= 3", st.Freezes)
+	}
+}
+
+func TestIngestorOptionErrors(t *testing.T) {
+	cat, err := adsketch.NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	bad := [][]adsketch.IngestorOption{
+		{adsketch.WithFreezeEvery(-1)},
+		{adsketch.WithFreezeInterval(-time.Second)},
+		{adsketch.WithPublish(nil, "x")},
+		{adsketch.WithPublish(cat, "bad name")},
+		{adsketch.WithPublishDir("")},
+		{adsketch.WithPublishDir(t.TempDir())},                       // dir without publish
+		{adsketch.WithPublish(cat, "x"), adsketch.WithPublishMmap()}, // mmap without dir
+		{adsketch.WithIngestCounters(1)},
+		{nil},
+	}
+	for i, opts := range bad {
+		if _, err := adsketch.NewEmptyIngestor(false, 4, 1, opts...); err == nil {
+			t.Fatalf("option set %d accepted", i)
+		}
+	}
+	// Non-bottom-k sets are rejected.
+	g := adsketch.Cycle(10)
+	beta := make([]float64, 10)
+	for i := range beta {
+		beta[i] = 1
+	}
+	wset, err := adsketch.Build(g, adsketch.WithK(4), adsketch.WithSeed(1),
+		adsketch.WithNodeWeights(beta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adsketch.NewIngestor(g, wset); err == nil {
+		t.Fatal("NewIngestor accepted a weighted set")
+	}
+	kset, err := adsketch.Build(g, adsketch.WithK(4), adsketch.WithSeed(1), adsketch.WithFlavor(adsketch.KMins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adsketch.NewIngestor(g, kset); err == nil {
+		t.Fatal("NewIngestor accepted a k-mins set")
+	}
+}

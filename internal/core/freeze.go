@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+
+	"adsketch/internal/sketch"
+)
+
+// FreezeBottomK assembles externally maintained per-node entry lists into a
+// frozen bottom-k sketch set.  lists[v] must hold node v's entries in
+// canonical (distance, node ID) order and satisfy the bottom-k inclusion
+// condition; the incremental maintainer (package ingest) produces exactly
+// such lists.  The frame layout is identical to BuildSet's, so a frozen set
+// serializes (WriteSketchSetV3) bit-for-bit like a full rebuild that yields
+// the same entries.
+//
+// Only the bottom-k flavor has a single-segment frame that this raw
+// assembly can produce; other flavors return an error.
+func FreezeBottomK(o Options, lists [][]Entry) (*Set, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.Flavor != sketch.BottomK {
+		return nil, fmt.Errorf("core: FreezeBottomK requires the bottom-k flavor, got %v", o.Flavor)
+	}
+	s := &Set{frame: freezeFrame(kindUniform, o, 0, 0, 1, 0, lists)}
+	for v := 0; v < len(lists); v++ {
+		if len(lists[v]) == 0 {
+			return nil, fmt.Errorf("core: FreezeBottomK: node %d has no entries (every node holds itself at distance 0)", v)
+		}
+		if err := s.BottomK(int32(v)).Validate(); err != nil {
+			return nil, fmt.Errorf("core: FreezeBottomK: %w", err)
+		}
+	}
+	return s, nil
+}

@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // ReadEdgeList parses a whitespace-separated edge list: one edge per line as
@@ -19,46 +17,19 @@ func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 		hasW bool
 	}
 	var lines []line
-	maxID := int64(-1)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || text[0] == '#' || text[0] == '%' {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) != 2 && len(fields) != 3 {
-			return nil, fmt.Errorf("graph: line %d: want 'u v [w]', got %q", lineNo, text)
-		}
-		u, err := strconv.ParseInt(fields[0], 10, 32)
-		if err != nil || u < 0 {
-			return nil, fmt.Errorf("graph: line %d: bad source node %q", lineNo, fields[0])
-		}
-		v, err := strconv.ParseInt(fields[1], 10, 32)
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("graph: line %d: bad target node %q", lineNo, fields[1])
-		}
-		ln := line{u: int32(u), v: int32(v)}
-		if len(fields) == 3 {
-			w, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil || w <= 0 {
-				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
-			}
-			ln.w, ln.hasW = w, true
-		}
+	maxID := int32(-1)
+	err := ScanEdges(r, func(u, v int32, w float64, hasW bool) error {
 		if u > maxID {
 			maxID = u
 		}
 		if v > maxID {
 			maxID = v
 		}
-		lines = append(lines, ln)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+		lines = append(lines, line{u: u, v: v, w: w, hasW: hasW})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	b := NewBuilder(int(maxID+1), directed)
 	for _, ln := range lines {

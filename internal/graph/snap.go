@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ScanEdges streams a whitespace- or tab-separated edge list — the format
+// SNAP datasets ship in — calling fn for every edge without materializing
+// the list.  Lines are "u v" or "u v w"; blank lines and lines starting
+// with '#' or '%' are ignored; node IDs must be non-negative integers and
+// explicit weights positive.  fn's hasW reports whether the line carried a
+// weight.  A non-nil error from fn stops the scan and is returned as-is,
+// so callers can batch, bound, or abort a replay.
+func ScanEdges(r io.Reader, fn func(u, v int32, w float64, hasW bool) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return fmt.Errorf("graph: line %d: want 'u v [w]', got %q", lineNo, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil || u < 0 {
+			return fmt.Errorf("graph: line %d: bad source node %q", lineNo, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil || v < 0 {
+			return fmt.Errorf("graph: line %d: bad target node %q", lineNo, fields[1])
+		}
+		w, hasW := 0.0, false
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil || w <= 0 {
+				return fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
+			}
+			hasW = true
+		}
+		if err := fn(int32(u), int32(v), w, hasW); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return nil
+}

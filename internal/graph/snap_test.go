@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScanEdgesBasic(t *testing.T) {
+	in := "# c\n1 2\n\n% c\n3\t4\t2.5\n  5   6  \n"
+	type rec struct {
+		u, v int32
+		w    float64
+		hasW bool
+	}
+	var got []rec
+	err := ScanEdges(strings.NewReader(in), func(u, v int32, w float64, hasW bool) error {
+		got = append(got, rec{u, v, w, hasW})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanEdges: %v", err)
+	}
+	want := []rec{{1, 2, 0, false}, {3, 4, 2.5, true}, {5, 6, 0, false}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanEdgesErrors(t *testing.T) {
+	bad := []string{"1\n", "1 2 3 4\n", "-1 2\n", "1 -2\n", "x 2\n", "1 2 0\n", "1 2 -1\n", "1 2 x\n"}
+	for _, in := range bad {
+		if err := ScanEdges(strings.NewReader(in), func(int32, int32, float64, bool) error { return nil }); err == nil {
+			t.Fatalf("ScanEdges accepted %q", in)
+		}
+	}
+}
+
+func TestScanEdgesCallbackErrorStops(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	err := ScanEdges(strings.NewReader("1 2\n3 4\n5 6\n"), func(int32, int32, float64, bool) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the callback error back, got %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("scan continued after error: %d calls", n)
+	}
+}
+
+// TestScanEdgesSNAPFixture streams the checked-in SNAP-style fixture and
+// cross-checks ReadEdgeList (which is built on the same scanner).
+func TestScanEdgesSNAPFixture(t *testing.T) {
+	path := filepath.Join("testdata", "snap_small.txt")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	defer f.Close()
+	edges, maxID := 0, int32(-1)
+	err = ScanEdges(f, func(u, v int32, w float64, hasW bool) error {
+		edges++
+		if hasW {
+			t.Fatalf("fixture edge (%d,%d) unexpectedly weighted", u, v)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanEdges: %v", err)
+	}
+	if edges != 34 {
+		t.Fatalf("fixture has %d edges, want 34", edges)
+	}
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("reopen fixture: %v", err)
+	}
+	defer f2.Close()
+	g, err := ReadEdgeList(f2, true)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumNodes() != int(maxID)+1 || g.NumEdges() != edges {
+		t.Fatalf("ReadEdgeList: %d nodes / %d edges, scanner saw max ID %d / %d edges",
+			g.NumNodes(), g.NumEdges(), maxID, edges)
+	}
+}

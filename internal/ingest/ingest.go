@@ -1,0 +1,505 @@
+// Package ingest maintains All-Distances Sketches incrementally over an
+// edge stream.  Edge insertions are monotone: a new edge can only shrink
+// distances, so every change to any sketch is the arrival of a better
+// (node, dist, rank) candidate.  The Maintainer keeps a frozen base set
+// (built by core.BuildSet or a previous Freeze) plus a per-node overlay of
+// updated entry lists, and propagates candidates along reverse edges with
+// the same bottom-k win rules the static builders use — so a Freeze is
+// bit-for-bit the set a full rebuild of the final graph would produce.
+//
+// # Candidate propagation
+//
+// Inserting edge (u,v) of length w creates exactly the new paths that pass
+// through it, and every such path reaches targets v reaches.  So the seed
+// candidates at u are {(j, w + d_vj, r_j) : j in ADS(v)}, and an accepted
+// candidate at x re-propagates to each in-neighbor p shifted by the arc
+// length.  Two prunings keep the frontier bounded, both exact:
+//
+//   - No improvement: x already records j at distance <= d.  Every upstream
+//     node then also records (or already rejected) a candidate at least as
+//     good through an earlier path, so the candidate stops.
+//
+//   - Inclusion failure: at least k entries with rank < r_j canonically
+//     precede (d, j) at x.  Those k witnesses shift with the candidate to
+//     every predecessor p — witness (d_i, n_i) < (d, j) implies
+//     (d_i + w', n_i) < (d + w', j), and p's true distances are only
+//     smaller — so j fails everywhere upstream too, and j not in ADS(v)
+//     (the reason it was never seeded) is exactly this condition at v.
+//
+// An accepted entry may evict later entries of the same sketch whose ranks
+// stop winning; evictions never propagate (removal cannot improve anyone
+// downstream, and stale candidates derived from an evicted entry are
+// rejected by the same k witnesses that evicted it).
+//
+// The maintainer supports the bottom-k flavor with full-precision ranks.
+// Rounded (base-b) ranks make rank ties likely, which breaks the strict
+// "rank < threshold" win rule the propagation prunes by; the static
+// builders handle ties with batch reconciliation that has no incremental
+// analogue here.
+package ingest
+
+import (
+	"fmt"
+
+	"adsketch/internal/core"
+	"adsketch/internal/counter"
+	"adsketch/internal/graph"
+	"adsketch/internal/rank"
+	"adsketch/internal/sketch"
+)
+
+// arc is one reverse-adjacency edge: node x has an in-neighbor From at
+// distance W, so a candidate accepted at x propagates to From shifted by W.
+type arc struct {
+	From int32
+	W    float64
+}
+
+// candidate is a pending offer of entry E to node X's sketch.
+type candidate struct {
+	X int32
+	E core.Entry
+}
+
+// Maintainer holds the mutable incremental state: the growable reverse
+// adjacency, the frozen base set, and the overlay of per-node entry lists
+// that differ from the base.  It is not safe for concurrent use; callers
+// (the root Ingestor) serialize access.
+type Maintainer struct {
+	opts     core.Options
+	src      rank.Source
+	directed bool
+
+	n       int
+	in      [][]arc
+	base    *core.Set
+	overlay map[int32][]core.Entry
+
+	queue []candidate
+	heap  kheap
+
+	edges     int64
+	offers    int64
+	accepts   int64
+	evictions int64
+	frontier  int
+
+	counterB float64
+	counters []*counter.Morris
+}
+
+// Option configures a Maintainer.
+type Option func(*Maintainer) error
+
+// WithUpdateCounters enables per-node Morris counters (base b > 1) that
+// approximately count sketch updates per node — cheap ingest-side
+// statistics for spotting hot regions of the graph.  Counter randomness is
+// seeded deterministically from the set seed and the node ID.
+func WithUpdateCounters(b float64) Option {
+	return func(m *Maintainer) error {
+		if !(b > 1) {
+			return fmt.Errorf("ingest: update-counter base %g must be > 1", b)
+		}
+		m.counterB = b
+		return nil
+	}
+}
+
+// New returns a maintainer over the given graph and its built sketch set.
+// The set must have been built from g (same node count) with the bottom-k
+// flavor and full-precision ranks.  g's directedness fixes how future
+// insertions are interpreted.  The maintainer copies the reverse adjacency
+// and never mutates g or base.
+func New(g *graph.Graph, base *core.Set, opts ...Option) (*Maintainer, error) {
+	if g == nil || base == nil {
+		return nil, fmt.Errorf("ingest: nil graph or base set")
+	}
+	o := base.Options()
+	if o.Flavor != sketch.BottomK {
+		return nil, fmt.Errorf("ingest: incremental maintenance supports the bottom-k flavor, set has %v", o.Flavor)
+	}
+	if o.BaseB != 0 {
+		return nil, fmt.Errorf("ingest: incremental maintenance requires full-precision ranks, set has base-%g rounding", o.BaseB)
+	}
+	if g.NumNodes() != base.NumNodes() {
+		return nil, fmt.Errorf("ingest: graph has %d nodes but base set has %d", g.NumNodes(), base.NumNodes())
+	}
+	m := &Maintainer{
+		opts:     o,
+		src:      o.Source(),
+		directed: g.Directed(),
+		n:        g.NumNodes(),
+		in:       make([][]arc, g.NumNodes()),
+		base:     base,
+		overlay:  make(map[int32][]core.Entry),
+		heap:     kheap{k: o.K, v: make([]float64, 0, o.K)},
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("ingest: nil Option")
+		}
+		if err := opt(m); err != nil {
+			return nil, err
+		}
+	}
+	if m.counterB > 1 {
+		m.counters = make([]*counter.Morris, m.n)
+	}
+	// Reverse adjacency: arcs u->v land in in[v].  For undirected graphs
+	// every edge is stored as two arcs, so this also yields the (identical)
+	// neighbor lists.
+	g.ForEachArc(func(u, v int32, w float64) {
+		m.in[v] = append(m.in[v], arc{From: u, W: w})
+	})
+	return m, nil
+}
+
+// NumNodes returns the current node count (grows as insertions name new
+// node IDs).
+func (m *Maintainer) NumNodes() int { return m.n }
+
+// K returns the sketch parameter.
+func (m *Maintainer) K() int { return m.opts.K }
+
+// Options returns the build options shared by the base and every Freeze.
+func (m *Maintainer) Options() core.Options { return m.opts }
+
+// Directed reports how insertions are interpreted.
+func (m *Maintainer) Directed() bool { return m.directed }
+
+// Insert adds an edge of length 1 from u to v (both directions for
+// undirected maintainers) and propagates all sketch updates it causes.
+// Node IDs beyond the current node count grow the node set.
+func (m *Maintainer) Insert(u, v int32) error { return m.InsertWeighted(u, v, 1) }
+
+// InsertWeighted adds an edge with the given positive length.
+func (m *Maintainer) InsertWeighted(u, v int32, w float64) error {
+	if u < 0 || v < 0 {
+		return fmt.Errorf("ingest: edge (%d,%d) has a negative node ID", u, v)
+	}
+	if !(w > 0) {
+		return fmt.Errorf("ingest: edge (%d,%d) has non-positive length %g", u, v, w)
+	}
+	hi := u
+	if v > hi {
+		hi = v
+	}
+	m.grow(int(hi) + 1)
+	m.in[v] = append(m.in[v], arc{From: u, W: w})
+	if !m.directed {
+		m.in[u] = append(m.in[u], arc{From: v, W: w})
+	}
+	m.edges++
+	m.seed(u, v, w)
+	if !m.directed {
+		m.seed(v, u, w)
+	}
+	m.drain()
+	return nil
+}
+
+// grow extends the node set to n nodes: each new node starts isolated,
+// holding only itself at distance 0 with its deterministic rank.
+func (m *Maintainer) grow(n int) {
+	for ; m.n < n; m.n++ {
+		v := int32(m.n)
+		m.in = append(m.in, nil)
+		m.overlay[v] = []core.Entry{{Node: v, Dist: 0, Rank: m.src.Rank(int64(v))}}
+		if m.counters != nil {
+			m.counters = append(m.counters, nil)
+		}
+	}
+}
+
+// seed enqueues the candidates the new arc u<-v creates: every entry of
+// ADS(v) shifted by the arc length (v's own distance-0 entry covers v
+// itself).
+func (m *Maintainer) seed(u, v int32, w float64) {
+	sl, ads := m.viewOf(v)
+	if ads != nil {
+		for i, n := 0, ads.Size(); i < n; i++ {
+			e := ads.EntryAt(i)
+			m.push(candidate{X: u, E: core.Entry{Node: e.Node, Dist: e.Dist + w, Rank: e.Rank}})
+		}
+		return
+	}
+	for _, e := range sl {
+		m.push(candidate{X: u, E: core.Entry{Node: e.Node, Dist: e.Dist + w, Rank: e.Rank}})
+	}
+}
+
+func (m *Maintainer) push(c candidate) {
+	m.queue = append(m.queue, c)
+	if len(m.queue) > m.frontier {
+		m.frontier = len(m.queue)
+	}
+}
+
+// drain processes the candidate worklist to exhaustion.  Order does not
+// affect the result (acceptance depends only on the receiving sketch and
+// the candidate), so a LIFO stack keeps the frontier small.
+func (m *Maintainer) drain() {
+	for len(m.queue) > 0 {
+		c := m.queue[len(m.queue)-1]
+		m.queue = m.queue[:len(m.queue)-1]
+		m.offers++
+		if !m.offer(c.X, c.E) {
+			continue
+		}
+		m.accepts++
+		m.touch(c.X)
+		for _, a := range m.in[c.X] {
+			m.push(candidate{X: a.From, E: core.Entry{Node: c.E.Node, Dist: c.E.Dist + a.W, Rank: c.E.Rank}})
+		}
+	}
+}
+
+// viewOf returns node x's current entries: the overlay slice when the node
+// has pending deltas, else a view of the base set.  Exactly one return is
+// non-nil (new nodes always enter the overlay in grow).
+func (m *Maintainer) viewOf(x int32) ([]core.Entry, *core.ADS) {
+	if sl, ok := m.overlay[x]; ok {
+		return sl, nil
+	}
+	return nil, m.base.BottomK(x)
+}
+
+// before is the canonical (distance, node ID) order of core.
+func before(a, b core.Entry) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Node < b.Node
+}
+
+// offer tests candidate e against node x's sketch, applying it (insert,
+// possibly replacing a worse entry for the same node, possibly evicting
+// later entries whose ranks stop winning) when it wins.  It reports
+// whether the sketch changed.
+func (m *Maintainer) offer(x int32, e core.Entry) bool {
+	sl, ads := m.viewOf(x)
+	size := len(sl)
+	if ads != nil {
+		size = ads.Size()
+	}
+	at := func(i int) core.Entry {
+		if ads != nil {
+			return ads.EntryAt(i)
+		}
+		return sl[i]
+	}
+	// One scan finds the canonical insertion position, the k smallest ranks
+	// among entries preceding e (the inclusion threshold of Lemma 5.1), and
+	// an existing entry for the same node.  Such an entry can only sit at or
+	// after the insertion position: were it before, its distance would be
+	// smaller and the candidate already rejected.
+	k := m.opts.K
+	pos, old := -1, -1
+	h := &m.heap
+	h.reset()
+	for i := 0; i < size; i++ {
+		ent := at(i)
+		if ent.Node == e.Node {
+			if ent.Dist <= e.Dist {
+				return false // no improvement
+			}
+			old = i
+		}
+		if pos < 0 {
+			if before(ent, e) {
+				h.offer(ent.Rank)
+			} else {
+				pos = i
+			}
+		}
+		if pos >= 0 && old >= 0 {
+			break
+		}
+	}
+	if pos < 0 {
+		pos = size
+	}
+	if h.size() >= k && e.Rank >= h.max() {
+		return false // fails inclusion; fails everywhere upstream too
+	}
+	// Accepted: materialize the node in the overlay and apply the change.
+	lst := sl
+	if ads != nil {
+		lst = ads.Entries()
+	}
+	if old >= 0 {
+		lst = append(lst[:old], lst[old+1:]...)
+	}
+	lst = append(lst, core.Entry{})
+	copy(lst[pos+1:], lst[pos:])
+	lst[pos] = e
+	// Re-filter the suffix: continue the threshold scan past the insertion,
+	// dropping entries whose rank no longer beats the k-th smallest
+	// preceding rank.
+	h.offer(e.Rank)
+	out := lst[:pos+1]
+	for i := pos + 1; i < len(lst); i++ {
+		ent := lst[i]
+		if h.size() >= k && ent.Rank >= h.max() {
+			m.evictions++
+			continue
+		}
+		h.offer(ent.Rank)
+		out = append(out, ent)
+	}
+	m.overlay[x] = out
+	return true
+}
+
+// touch bumps node x's Morris update counter, when counters are enabled.
+func (m *Maintainer) touch(x int32) {
+	if m.counters == nil {
+		return
+	}
+	if m.counters[x] == nil {
+		m.counters[x] = counter.New(m.counterB, m.opts.Seed^uint64(x)+1)
+	}
+	m.counters[x].Increment()
+}
+
+// UpdateEstimate returns the Morris estimate of how many sketch updates
+// node x has absorbed since counters were enabled (0 when disabled or
+// never touched).
+func (m *Maintainer) UpdateEstimate(x int32) float64 {
+	if m.counters == nil || x < 0 || int(x) >= len(m.counters) || m.counters[x] == nil {
+		return 0
+	}
+	return m.counters[x].Estimate()
+}
+
+// CounterBits returns the summed storage cost, in bits, of the enabled
+// Morris counters — the quantity the O(log log n) representation keeps
+// small.
+func (m *Maintainer) CounterBits() int {
+	bits := 0
+	for _, c := range m.counters {
+		if c != nil {
+			bits += c.Bits()
+		}
+	}
+	return bits
+}
+
+// Entries returns node x's current entry list (base or overlay) in
+// canonical order.  The slice is a fresh copy.
+func (m *Maintainer) Entries(x int32) []core.Entry {
+	if x < 0 || int(x) >= m.n {
+		return nil
+	}
+	sl, ads := m.viewOf(x)
+	if ads != nil {
+		return ads.Entries()
+	}
+	return append([]core.Entry(nil), sl...)
+}
+
+// Freeze assembles base + overlay into a new frozen sketch set, re-bases
+// the maintainer on it, and clears the overlay.  The returned set is
+// exactly what core.BuildSet would produce for the current graph.
+func (m *Maintainer) Freeze() (*core.Set, error) {
+	lists := make([][]core.Entry, m.n)
+	for v := 0; v < m.n; v++ {
+		if sl, ok := m.overlay[int32(v)]; ok {
+			lists[v] = sl
+		} else {
+			lists[v] = m.base.BottomK(int32(v)).Entries()
+		}
+	}
+	set, err := core.FreezeBottomK(m.opts, lists)
+	if err != nil {
+		return nil, err
+	}
+	m.base = set
+	m.overlay = make(map[int32][]core.Entry)
+	return set, nil
+}
+
+// Stats is a point-in-time snapshot of the maintainer's counters.
+type Stats struct {
+	// Nodes is the current node count.
+	Nodes int `json:"nodes"`
+	// Edges counts every edge ever inserted.
+	Edges int64 `json:"edges"`
+	// Offers counts candidate evaluations; Accepts the subset that changed
+	// a sketch; Evictions the entries dropped by accepted candidates.
+	Offers    int64 `json:"offers"`
+	Accepts   int64 `json:"accepts"`
+	Evictions int64 `json:"evictions"`
+	// FrontierMax is the high-water mark of the propagation worklist.
+	FrontierMax int `json:"frontier_max"`
+	// OverlayNodes / OverlayEntries size the pending deltas not yet frozen.
+	OverlayNodes   int `json:"overlay_nodes"`
+	OverlayEntries int `json:"overlay_entries"`
+	// CounterBits is the summed Morris counter storage (0 when disabled).
+	CounterBits int `json:"counter_bits,omitempty"`
+}
+
+// Stats snapshots the maintainer.
+func (m *Maintainer) Stats() Stats {
+	st := Stats{
+		Nodes:        m.n,
+		Edges:        m.edges,
+		Offers:       m.offers,
+		Accepts:      m.accepts,
+		Evictions:    m.evictions,
+		FrontierMax:  m.frontier,
+		OverlayNodes: len(m.overlay),
+		CounterBits:  m.CounterBits(),
+	}
+	for _, sl := range m.overlay {
+		st.OverlayEntries += len(sl)
+	}
+	return st
+}
+
+// kheap keeps the k smallest ranks offered, exposing their maximum — the
+// same structure core's builders prune by.
+type kheap struct {
+	k int
+	v []float64
+}
+
+func (h *kheap) reset()       { h.v = h.v[:0] }
+func (h *kheap) size() int    { return len(h.v) }
+func (h *kheap) max() float64 { return h.v[0] }
+
+func (h *kheap) offer(x float64) {
+	if len(h.v) < h.k {
+		h.v = append(h.v, x)
+		i := len(h.v) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h.v[p] >= h.v[i] {
+				break
+			}
+			h.v[p], h.v[i] = h.v[i], h.v[p]
+			i = p
+		}
+		return
+	}
+	if x >= h.v[0] {
+		return
+	}
+	h.v[0] = x
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.v) && h.v[l] > h.v[big] {
+			big = l
+		}
+		if r < len(h.v) && h.v[r] > h.v[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.v[i], h.v[big] = h.v[big], h.v[i]
+		i = big
+	}
+}

@@ -1,0 +1,361 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"adsketch/internal/core"
+	"adsketch/internal/graph"
+	"adsketch/internal/sketch"
+)
+
+type edge struct {
+	u, v int32
+	w    float64
+}
+
+// edgesOf extracts the logical edge list of a graph (one entry per edge,
+// u <= v for undirected graphs, mirroring WriteEdgeList's dedup).
+func edgesOf(g *graph.Graph) []edge {
+	var out []edge
+	selfSeen := make(map[int32]int)
+	g.ForEachArc(func(u, v int32, w float64) {
+		if !g.Directed() {
+			if u > v {
+				return
+			}
+			if u == v {
+				selfSeen[u]++
+				if selfSeen[u]%2 == 0 {
+					return
+				}
+			}
+		}
+		out = append(out, edge{u, v, w})
+	})
+	return out
+}
+
+// buildPrefix builds the graph holding the first cnt edges over n nodes.
+func buildPrefix(n int, directed, weighted bool, edges []edge, cnt int) *graph.Graph {
+	b := graph.NewBuilder(n, directed)
+	for _, e := range edges[:cnt] {
+		if weighted {
+			b.AddWeightedEdge(e.u, e.v, e.w)
+		} else {
+			b.AddEdge(e.u, e.v)
+		}
+	}
+	return b.Build()
+}
+
+func mustBuild(t *testing.T, g *graph.Graph, o core.Options) *core.Set {
+	t.Helper()
+	s, err := core.BuildSet(g, o, core.AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatalf("BuildSet: %v", err)
+	}
+	return s
+}
+
+// checkEntriesEqual compares the maintainer's live state against a freshly
+// built reference set, entry by entry.
+func checkEntriesEqual(t *testing.T, m *Maintainer, ref *core.Set, step int) {
+	t.Helper()
+	if m.NumNodes() != ref.NumNodes() {
+		t.Fatalf("step %d: maintainer has %d nodes, rebuild has %d", step, m.NumNodes(), ref.NumNodes())
+	}
+	for v := 0; v < ref.NumNodes(); v++ {
+		got := m.Entries(int32(v))
+		want := ref.BottomK(int32(v)).Entries()
+		if len(got) != len(want) {
+			t.Fatalf("step %d: node %d: got %d entries, want %d\ngot:  %v\nwant: %v",
+				step, v, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: node %d entry %d: got %+v, want %+v", step, v, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// serialize writes a set through the v3 codec.
+func serialize(t *testing.T, s *core.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := core.WriteSketchSetV3(&buf, s); err != nil {
+		t.Fatalf("WriteSketchSetV3: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// replayParity replays the suffix of an edge stream on a maintainer based
+// at the prefix, checking full parity with a rebuild after every insert,
+// and byte parity of the final Freeze.
+func replayParity(t *testing.T, g *graph.Graph, weighted bool, baseCnt int, o core.Options) {
+	t.Helper()
+	edges := edgesOf(g)
+	n := g.NumNodes()
+	baseGraph := buildPrefix(n, g.Directed(), weighted, edges, baseCnt)
+	base := mustBuild(t, baseGraph, o)
+	m, err := New(baseGraph, base, WithUpdateCounters(2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := baseCnt; i < len(edges); i++ {
+		e := edges[i]
+		if weighted {
+			err = m.InsertWeighted(e.u, e.v, e.w)
+		} else {
+			err = m.Insert(e.u, e.v)
+		}
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		ref := mustBuild(t, buildPrefix(n, g.Directed(), weighted, edges, i+1), o)
+		checkEntriesEqual(t, m, ref, i+1)
+	}
+	frozen, err := m.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	full := mustBuild(t, g, o)
+	if got, want := serialize(t, frozen), serialize(t, full); !bytes.Equal(got, want) {
+		t.Fatalf("frozen set is not byte-identical to a full rebuild (%d vs %d bytes)", len(got), len(want))
+	}
+	st := m.Stats()
+	if st.Edges != int64(len(edges)-baseCnt) {
+		t.Fatalf("Stats.Edges = %d, want %d", st.Edges, len(edges)-baseCnt)
+	}
+	if st.Offers < st.Accepts {
+		t.Fatalf("Stats: offers %d < accepts %d", st.Offers, st.Accepts)
+	}
+	if st.OverlayNodes != 0 || st.OverlayEntries != 0 {
+		t.Fatalf("Stats after Freeze: overlay not cleared: %+v", st)
+	}
+}
+
+func TestParityUndirectedUnweighted(t *testing.T) {
+	g := graph.GNP(60, 0.06, false, 7)
+	edges := edgesOf(g)
+	replayParity(t, g, false, len(edges)/2, core.Options{K: 4, Seed: 42})
+}
+
+func TestParityDirected(t *testing.T) {
+	g := graph.GNP(50, 0.07, true, 11)
+	edges := edgesOf(g)
+	replayParity(t, g, false, len(edges)/2, core.Options{K: 3, Seed: 5})
+}
+
+func TestParityWeighted(t *testing.T) {
+	g := graph.WithRandomWeights(graph.GNP(40, 0.09, false, 13), 0.5, 2.5, 99)
+	edges := edgesOf(g)
+	replayParity(t, g, true, len(edges)/2, core.Options{K: 4, Seed: 17})
+}
+
+func TestParityWeightedDirected(t *testing.T) {
+	g := graph.WithRandomWeights(graph.GNP(40, 0.09, true, 21), 0.25, 3, 31)
+	edges := edgesOf(g)
+	replayParity(t, g, true, len(edges)/2, core.Options{K: 2, Seed: 23})
+}
+
+func TestParityEmptyStart(t *testing.T) {
+	// Every edge arrives through the maintainer; nodes spring into
+	// existence as IDs appear.
+	g := graph.PreferentialAttachment(80, 3, 3)
+	replayParity(t, g, false, 0, core.Options{K: 4, Seed: 1})
+}
+
+func TestParityEmptyStartSmallK1(t *testing.T) {
+	g := graph.Cycle(30)
+	replayParity(t, g, false, 0, core.Options{K: 1, Seed: 2})
+}
+
+// TestParityOrderIndependence checks that the final frozen set does not
+// depend on the edge arrival order.
+func TestParityOrderIndependence(t *testing.T) {
+	g := graph.GNP(40, 0.08, false, 3)
+	edges := edgesOf(g)
+	o := core.Options{K: 4, Seed: 9}
+	empty := graph.NewBuilder(0, g.Directed()).Build()
+
+	freezeWith := func(perm []edge) []byte {
+		m, err := New(empty, mustBuild(t, empty, o))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		for _, e := range perm {
+			if err := m.Insert(e.u, e.v); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+		s, err := m.Freeze()
+		if err != nil {
+			t.Fatalf("Freeze: %v", err)
+		}
+		return serialize(t, s)
+	}
+
+	forward := freezeWith(edges)
+	rev := make([]edge, len(edges))
+	for i, e := range edges {
+		rev[len(edges)-1-i] = e
+	}
+	if !bytes.Equal(forward, freezeWith(rev)) {
+		t.Fatal("frozen sets differ between forward and reversed edge order")
+	}
+}
+
+// TestRepeatedFreeze interleaves freezes with inserts: each freeze re-bases
+// the maintainer and parity must survive across the boundary.
+func TestRepeatedFreeze(t *testing.T) {
+	g := graph.GNP(50, 0.07, false, 19)
+	edges := edgesOf(g)
+	o := core.Options{K: 4, Seed: 8}
+	empty := graph.NewBuilder(0, false).Build()
+	m, err := New(empty, mustBuild(t, empty, o))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i, e := range edges {
+		if err := m.Insert(e.u, e.v); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if i%17 == 0 {
+			if _, err := m.Freeze(); err != nil {
+				t.Fatalf("Freeze at %d: %v", i, err)
+			}
+		}
+	}
+	frozen, err := m.Freeze()
+	if err != nil {
+		t.Fatalf("final Freeze: %v", err)
+	}
+	n := m.NumNodes()
+	full := mustBuild(t, buildPrefix(n, false, false, edges, len(edges)), o)
+	if !bytes.Equal(serialize(t, frozen), serialize(t, full)) {
+		t.Fatal("frozen set after interleaved freezes differs from full rebuild")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := graph.Cycle(10)
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("New(nil, nil) succeeded")
+	}
+	kmins := mustBuild(t, g, core.Options{K: 2, Seed: 1, Flavor: sketch.KMins})
+	if _, err := New(g, kmins); err == nil {
+		t.Fatal("New accepted a k-mins set")
+	}
+	baseB := mustBuild(t, g, core.Options{K: 2, Seed: 1, BaseB: 2})
+	if _, err := New(g, baseB); err == nil {
+		t.Fatal("New accepted a base-b set")
+	}
+	smaller := mustBuild(t, graph.Cycle(9), core.Options{K: 2, Seed: 1})
+	if _, err := New(g, smaller); err == nil {
+		t.Fatal("New accepted a node-count mismatch")
+	}
+	if _, err := New(g, mustBuild(t, g, core.Options{K: 2, Seed: 1}), WithUpdateCounters(1)); err == nil {
+		t.Fatal("WithUpdateCounters(1) accepted")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	g := graph.Cycle(5)
+	m, err := New(g, mustBuild(t, g, core.Options{K: 2, Seed: 1}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.Insert(-1, 2); err == nil {
+		t.Fatal("Insert(-1, 2) succeeded")
+	}
+	if err := m.InsertWeighted(0, 1, 0); err == nil {
+		t.Fatal("zero-weight insert succeeded")
+	}
+	if err := m.InsertWeighted(0, 1, -3); err == nil {
+		t.Fatal("negative-weight insert succeeded")
+	}
+}
+
+func TestUpdateCounters(t *testing.T) {
+	g := graph.Star(16)
+	m, err := New(g, mustBuild(t, g, core.Options{K: 3, Seed: 4}), WithUpdateCounters(2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := int32(1); i < 15; i++ {
+		if err := m.Insert(i, i+1); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	st := m.Stats()
+	if st.Accepts == 0 {
+		t.Fatal("no accepted updates on a star augmentation")
+	}
+	total := 0.0
+	for v := int32(0); v < int32(m.NumNodes()); v++ {
+		total += m.UpdateEstimate(v)
+	}
+	if total <= 0 {
+		t.Fatal("Morris update counters all zero after accepted updates")
+	}
+	if st.CounterBits <= 0 {
+		t.Fatal("CounterBits = 0 with counters enabled")
+	}
+	if m.UpdateEstimate(-1) != 0 || m.UpdateEstimate(1<<20) != 0 {
+		t.Fatal("UpdateEstimate out of range should be 0")
+	}
+}
+
+// TestEvictionHappens forces rank-based evictions: a hub insertion that
+// brings many low-rank nodes close to everyone.
+func TestEvictionHappens(t *testing.T) {
+	g := graph.Path(40)
+	m, err := New(g, mustBuild(t, g, core.Options{K: 2, Seed: 6}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Connect the two ends; long-range entries get displaced by closer ones.
+	if err := m.Insert(0, 39); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	for i := int32(0); i < 40; i += 7 {
+		if err := m.Insert(i, (i+20)%40); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if st := m.Stats(); st.Evictions == 0 {
+		t.Skip("no evictions triggered by this stream (rank layout)")
+	}
+	n := m.NumNodes()
+	edges := append(edgesOf(graph.Path(40)),
+		edge{0, 39, 1}, edge{0, 20, 1}, edge{7, 27, 1}, edge{14, 34, 1},
+		edge{21, 1, 1}, edge{28, 8, 1}, edge{35, 15, 1})
+	full := mustBuild(t, buildPrefix(n, false, false, edges, len(edges)), core.Options{K: 2, Seed: 6})
+	frozen, err := m.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if !bytes.Equal(serialize(t, frozen), serialize(t, full)) {
+		t.Fatal("frozen set with evictions differs from full rebuild")
+	}
+}
+
+func TestMultiEdgesAndSelfLoops(t *testing.T) {
+	g := graph.Cycle(12)
+	o := core.Options{K: 3, Seed: 14}
+	m, err := New(g, mustBuild(t, g, o))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	extra := []edge{{3, 3, 1}, {2, 7, 1}, {2, 7, 1}, {5, 5, 1}}
+	for _, e := range extra {
+		if err := m.Insert(e.u, e.v); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	edges := append(edgesOf(g), extra...)
+	full := mustBuild(t, buildPrefix(12, false, false, edges, len(edges)), o)
+	checkEntriesEqual(t, m, full, len(extra))
+}
