@@ -34,7 +34,7 @@ type ingestManager struct {
 	cat *adsketch.Catalog
 
 	mu        sync.Mutex
-	ingestors map[string]*adsketch.Ingestor
+	ingestors map[string]*adsketch.Ingestor // guarded by mu
 }
 
 func newIngestManager(cat *adsketch.Catalog, cfg ingestConfig) *ingestManager {

@@ -362,6 +362,7 @@ func runConvert(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer sf.Close()
 	g, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -400,6 +401,7 @@ func runInfo(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer sf.Close()
 	set := sf.Set()
 	if p := sf.Partition(); p != nil {
 		set = p.Set()

@@ -327,6 +327,8 @@ func kindOf(set SketchSet) string {
 func flavorOf(set SketchSet) string {
 	if s, ok := set.(*Set); ok {
 		switch s.Options().Flavor {
+		case BottomK:
+			return FlavorBottomK
 		case KMins:
 			return FlavorKMins
 		case KPartition:

@@ -48,7 +48,7 @@ func NewRandomEdgeSource(nodes, count int, weighted bool, seed uint64) (EdgeSour
 // unfrozen state.
 type Ingestor struct {
 	mu sync.Mutex
-	m  *ingest.Maintainer
+	m  *ingest.Maintainer // guarded by mu; the maintainer itself is not concurrency-safe
 
 	freezeEvery    int
 	freezeInterval time.Duration
@@ -58,13 +58,13 @@ type Ingestor struct {
 	dir     string
 	mmapPub bool
 
-	pending    int64
-	freezes    int64
-	seq        int64
-	version    int
-	path       string
-	published  time.Time
-	lastFreeze time.Time
+	pending    int64     // guarded by mu
+	freezes    int64     // guarded by mu
+	seq        int64     // guarded by mu
+	version    int       // guarded by mu
+	path       string    // guarded by mu
+	published  time.Time // guarded by mu
+	lastFreeze time.Time // guarded by mu
 }
 
 // ingestorConfig collects the options before the maintainer exists.

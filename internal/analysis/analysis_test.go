@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one import-free source string and runs Check.
+func checkSrc(t *testing.T, src string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := new(types.Config).Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Check(fset, []*ast.File{f}, pkg, info, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// flagCalls reports every call expression; the tests suppress it.
+var flagCalls = &Analyzer{
+	Name: "flagcalls",
+	Doc:  "test analyzer: flags every call",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call flagged")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+func g() int { return 1 }
+func h() int {
+	return g() //adsvet:ignore flagcalls fixture exercises same-line suppression
+}
+`, []*Analyzer{flagCalls})
+	if len(diags) != 0 {
+		t.Fatalf("same-line suppression failed: %v", diags)
+	}
+}
+
+func TestSuppressionLineAbove(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+func g() int { return 1 }
+func h() int {
+	//adsvet:ignore all fixture exercises line-above suppression with the all matcher
+	return g()
+}
+`, []*Analyzer{flagCalls})
+	if len(diags) != 0 {
+		t.Fatalf("line-above suppression failed: %v", diags)
+	}
+}
+
+func TestSuppressionWrongAnalyzer(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+func g() int { return 1 }
+func h() int {
+	return g() //adsvet:ignore otherchecker reason mentioning a different analyzer
+}
+`, []*Analyzer{flagCalls})
+	if len(diags) != 1 {
+		t.Fatalf("directive for another analyzer must not suppress: %v", diags)
+	}
+}
+
+func TestBareDirectiveIsReported(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+func g() int { return 1 }
+func h() int {
+	return g() //adsvet:ignore flagcalls
+}
+`, []*Analyzer{flagCalls})
+	var sawBare, sawCall bool
+	for _, d := range diags {
+		if d.Analyzer == "adsvet" && strings.Contains(d.Message, "needs a reason") {
+			sawBare = true
+		}
+		if d.Analyzer == "flagcalls" {
+			sawCall = true
+		}
+	}
+	if !sawBare {
+		t.Fatalf("reason-less directive not reported: %v", diags)
+	}
+	if !sawCall {
+		t.Fatalf("reason-less directive must not suppress: %v", diags)
+	}
+}
+
+func TestPathMatches(t *testing.T) {
+	if !PathMatches("adsketch/internal/core", "internal/core") {
+		t.Fatal("suffix match failed")
+	}
+	if !PathMatches("internal/core", "internal/core") {
+		t.Fatal("exact match failed")
+	}
+	if PathMatches("adsketch/internal/coremath", "internal/core") {
+		t.Fatal("partial segment must not match")
+	}
+}

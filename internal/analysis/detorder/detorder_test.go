@@ -1,0 +1,15 @@
+package detorder
+
+import (
+	"testing"
+
+	"adsketch/internal/analysis"
+	"adsketch/internal/analysis/analysistest"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{Analyzer},
+		"internal/core",
+		"example/plain",
+	)
+}

@@ -1,0 +1,17 @@
+// Package plain is outside the detorder scope: the same patterns that
+// are flagged in determinism-critical packages are fine here.
+package plain
+
+import "time"
+
+func appendUnsorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}

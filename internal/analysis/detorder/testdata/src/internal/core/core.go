@@ -1,0 +1,96 @@
+// Package core is a detorder fixture standing in for a
+// determinism-critical package (its import path suffix-matches the
+// analyzer scope).
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type frontier struct{ items []int }
+
+func (f *frontier) Push(v int) { f.items = append(f.items, v) }
+
+// appendUnsorted leaks map order into its result.
+func appendUnsorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys in map-iteration order without sorting`
+	}
+	return keys
+}
+
+// collectThenSort is the canonical deterministic idiom: append inside
+// the range, sort before use.
+func collectThenSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// writeInOrder leaks map order into an output stream.
+func writeInOrder(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `map iteration order writes output via WriteString`
+	}
+}
+
+// feedFrontier leaks map order into traversal order.
+func feedFrontier(m map[int]bool, f *frontier) {
+	for k := range m {
+		f.Push(k) // want `map iteration order feeds a frontier via Push`
+	}
+}
+
+// sendInOrder leaks map order through a channel.
+func sendInOrder(m map[int]bool, ch chan int) {
+	for k := range m {
+		ch <- k // want `map iteration order reaches a channel send`
+	}
+}
+
+// accumulate is order-independent: sums commute.
+func accumulate(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localAppend appends to a slice scoped inside the loop body; nothing
+// ordered escapes.
+func localAppend(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// wallClock embeds wall-clock time in a deterministic path.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in determinism-critical package`
+}
+
+// globalRand draws from the shared unseeded source.
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global unseeded source`
+}
+
+// seededRand is reproducible: explicit seed, local source.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func show(v int) { fmt.Sprint(v) }

@@ -1,0 +1,82 @@
+package driver
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestLoadSelf loads and type-checks this very package through the
+// export-data pipeline: go list discovery, gc importer, full types.Info.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load("", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "adsketch/internal/analysis/driver" {
+		t.Fatalf("PkgPath = %q", p.PkgPath)
+	}
+	if len(p.Files) == 0 || p.Pkg == nil || p.TypesInfo == nil {
+		t.Fatal("loaded package is missing syntax or types")
+	}
+	if p.Pkg.Scope().Lookup("Load") == nil {
+		t.Fatal("type-checked package scope is missing Load")
+	}
+	if len(p.TypesInfo.Defs) == 0 || len(p.TypesInfo.Uses) == 0 {
+		t.Fatal("types.Info not populated")
+	}
+}
+
+// TestLoadMultiple resolves several sibling packages in one call,
+// including one whose imports cross into another module package.
+func TestLoadMultiple(t *testing.T) {
+	pkgs, err := Load("", "../detorder", "../refpair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if !strings.HasPrefix(p.PkgPath, "adsketch/internal/analysis/") {
+			t.Fatalf("unexpected PkgPath %q", p.PkgPath)
+		}
+	}
+}
+
+func TestLoadUnknownPattern(t *testing.T) {
+	if _, err := Load("", "./no/such/package"); err == nil {
+		t.Fatal("Load of a nonexistent package must fail")
+	}
+}
+
+func TestStdExports(t *testing.T) {
+	exports, err := StdExports([]string{"sort", "time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"sort", "time"} {
+		if exports[p] == "" {
+			t.Fatalf("no export data recorded for %q", p)
+		}
+	}
+	// Second call must serve from the cache (and still include both).
+	again, err := StdExports([]string{"sort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again["time"] == "" {
+		t.Fatal("cache dropped previously resolved package")
+	}
+}
+
+func TestNewImporterMissingExport(t *testing.T) {
+	imp := NewImporter(token.NewFileSet(), func(path string) (string, error) { return "", nil })
+	if _, err := imp.Import("sort"); err == nil {
+		t.Fatal("import with no export data must fail")
+	}
+}

@@ -1,0 +1,14 @@
+package kindswitch
+
+import (
+	"testing"
+
+	"adsketch/internal/analysis"
+	"adsketch/internal/analysis/analysistest"
+)
+
+func TestKindswitch(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{Analyzer},
+		"example/kinds",
+	)
+}

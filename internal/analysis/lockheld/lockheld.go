@@ -1,0 +1,183 @@
+// Package lockheld enforces the `// guarded by mu` field annotation.
+//
+// Struct fields carrying a `// guarded by <mutexField>` comment (on the
+// field or the line above it) may only be touched by functions that
+// visibly hold the lock.  A function qualifies when it:
+//
+//   - calls <x>.<mutexField>.Lock() or RLock() (or locks a plain
+//     <mutexField> identifier) anywhere in its body,
+//   - is named with the *Locked suffix (the repo's convention for
+//     must-hold-lock helpers),
+//   - documents the contract ("caller holds the lock", "lock held",
+//     "holds mu") in its doc comment, or
+//   - accesses the field through a value it just created locally — a
+//     struct under construction is not yet shared, so constructors
+//     need no lock.
+//
+// The check is per-package: guarded fields are unexported, so every
+// access site is in the declaring package.
+package lockheld
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"adsketch/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "fields annotated `// guarded by mu` may only be accessed in functions that lock " +
+		"the annotated mutex, are *Locked helpers, or document that the caller holds it",
+	Run: run,
+}
+
+var (
+	guardRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
+	// docHeldRE matches doc comments asserting the caller holds the lock.
+	docHeldRE = regexp.MustCompile(`(?is)(caller|holder|holds?|holding)\b.*\b(lock|mu)\b|(?i)\block held\b`)
+)
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps each annotated field object to its guarding
+// mutex field name.
+func collectGuarded(pass *analysis.Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the mutex name from a field's trailing or
+// doc comment, or "" when unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkFunc reports unguarded accesses to annotated fields within one
+// function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	if fd.Doc != nil && docHeldRE.MatchString(fd.Doc.Text()) {
+		return
+	}
+	locked := lockedMutexes(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(sel.Sel)
+		// Fields of instantiated generic types (Registry[T]) are fresh
+		// objects; compare against the generic declaration's field.
+		if v, ok := obj.(*types.Var); ok {
+			obj = v.Origin()
+		}
+		mu, isGuarded := guarded[obj]
+		if !isGuarded || locked[mu] {
+			return true
+		}
+		if locallyConstructed(pass, fd, sel.X) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "access to %s (guarded by %s) without holding %s: lock it, rename the helper with the Locked suffix, or document that the caller holds the lock", sel.Sel.Name, mu, mu)
+		return true
+	})
+}
+
+// lockedMutexes returns the set of mutex field names the body locks via
+// .Lock() or .RLock().
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	locked := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			locked[x.Name] = true // mu.Lock()
+		case *ast.SelectorExpr:
+			locked[x.Sel.Name] = true // r.mu.Lock()
+		}
+		return true
+	})
+	return locked
+}
+
+// locallyConstructed reports whether the accessed base resolves to a
+// variable declared inside the function body itself — a value still
+// private to its constructor.
+func locallyConstructed(pass *analysis.Pass, fd *ast.FuncDecl, base ast.Expr) bool {
+	for {
+		switch x := base.(type) {
+		case *ast.SelectorExpr:
+			base = x.X
+			continue
+		case *ast.ParenExpr:
+			base = x.X
+			continue
+		case *ast.StarExpr:
+			base = x.X
+			continue
+		case *ast.Ident:
+			obj := pass.TypesInfo.ObjectOf(x)
+			return obj != nil && fd.Body.Pos() <= obj.Pos() && obj.Pos() <= fd.Body.End()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package lockheld
+
+import (
+	"testing"
+
+	"adsketch/internal/analysis"
+	"adsketch/internal/analysis/analysistest"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{Analyzer},
+		"example/locks",
+	)
+}

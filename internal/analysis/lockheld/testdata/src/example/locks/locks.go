@@ -1,0 +1,56 @@
+// Package locks is a lockheld fixture: a registry with mutex-guarded
+// fields and the access patterns the analyzer must tell apart.
+package locks
+
+import "sync"
+
+type entry struct{ version int }
+
+type registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry // guarded by mu
+	clock   int               // guarded by mu
+	name    string            // unguarded: no annotation
+}
+
+// newRegistry constructs the value before it is shared: no lock needed.
+func newRegistry() *registry {
+	r := &registry{entries: make(map[string]*entry)}
+	r.clock = 1
+	return r
+}
+
+// Install locks before touching guarded state.
+func (r *registry) Install(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock++
+	r.entries[name] = &entry{version: r.clock}
+}
+
+// Size forgets the lock.
+func (r *registry) Size() int {
+	return len(r.entries) // want `access to entries \(guarded by mu\) without holding mu`
+}
+
+// bumpUnlocked touches guarded state with no lock and no contract.
+func (r *registry) bumpUnlocked() {
+	r.clock++ // want `access to clock \(guarded by mu\) without holding mu`
+}
+
+// retireLocked follows the *Locked naming convention: callers lock.
+func (r *registry) retireLocked(name string) {
+	delete(r.entries, name)
+}
+
+// drain assumes the caller holds the lock.
+func (r *registry) drain() {
+	for name := range r.entries {
+		delete(r.entries, name)
+	}
+}
+
+// Name reads an unguarded field: no lock required.
+func (r *registry) Name() string {
+	return r.name
+}

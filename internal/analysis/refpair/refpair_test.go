@@ -1,0 +1,14 @@
+package refpair
+
+import (
+	"testing"
+
+	"adsketch/internal/analysis"
+	"adsketch/internal/analysis/analysistest"
+)
+
+func TestRefpair(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{Analyzer},
+		"example/refs",
+	)
+}

@@ -1,0 +1,69 @@
+// Package codec is a wireformat fixture: the file name puts it in
+// scope.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+)
+
+type frameHdr struct {
+	Magic uint32
+	Count uint32
+}
+
+type payload struct {
+	A, B uint64
+}
+
+// reflectWrite uses the reflection-based encoder.
+func reflectWrite(w io.Writer, h frameHdr) error {
+	return binary.Write(w, binary.LittleEndian, h) // want `reflection-based binary.Write`
+}
+
+// reflectRead uses the reflection-based decoder.
+func reflectRead(r io.Reader, h *frameHdr) error {
+	return binary.Read(r, binary.LittleEndian, h) // want `reflection-based binary.Read`
+}
+
+// wrongOrder writes big-endian onto a little-endian wire.
+func wrongOrder(buf []byte, v uint32) {
+	binary.BigEndian.PutUint32(buf, v) // want `binary.BigEndian in wire-format code`
+}
+
+// hostOrder depends on the host byte order.
+func hostOrder(buf []byte, v uint32) {
+	binary.NativeEndian.PutUint32(buf, v) // want `binary.NativeEndian in wire-format code`
+}
+
+// probeOrder is the sanctioned probe: the suppression documents why.
+func probeOrder(buf []byte, v uint32) {
+	//adsvet:ignore wireformat byte-order probe comparing host order against LE, not wire encoding
+	binary.NativeEndian.PutUint32(buf, v)
+}
+
+// unkeyedHeader initializes a wire header positionally.
+func unkeyedHeader() frameHdr {
+	return frameHdr{0xAD5, 2} // want `unkeyed fields in wire-header literal frameHdr`
+}
+
+// keyedHeader is the required form.
+func keyedHeader() frameHdr {
+	return frameHdr{Magic: 0xAD5, Count: 2}
+}
+
+// explicitEncode is the v3 idiom: explicit offsets, explicit LE.
+func explicitEncode(h frameHdr) []byte {
+	var buf bytes.Buffer
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[0:4], h.Magic)
+	binary.LittleEndian.PutUint32(tmp[4:8], h.Count)
+	buf.Write(tmp[:])
+	return buf.Bytes()
+}
+
+// unkeyedPlain is fine: payload is not a wire-header type.
+func unkeyedPlain() payload {
+	return payload{1, 2}
+}

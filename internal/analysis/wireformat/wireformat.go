@@ -1,0 +1,105 @@
+// Package wireformat guards the on-disk and on-wire byte layout.
+//
+// The v3 codec rewrite (PR 4) replaced reflection-based encoding/binary
+// calls with explicit little-endian column writes for a 5.6× decode win,
+// and every sketch file since is byte-addressed by that layout.  In
+// codec/serialization/protocol files this analyzer flags:
+//
+//   - binary.Write / binary.Read — reflection-based, slow, and layout
+//     depends on struct declaration order rather than explicit offsets;
+//   - binary.BigEndian / binary.NativeEndian — the wire format is
+//     little-endian by definition; NativeEndian silently flips on
+//     big-endian hosts (a deliberate byte-order probe suppresses with
+//     //adsvet:ignore wireformat <reason>);
+//   - unkeyed (positional) literals of wire-header structs (type names
+//     ending in Hdr/Header) — inserting a header field would silently
+//     shift every later field into the wrong slot.
+package wireformat
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"adsketch/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wireformat",
+	Doc: "in codec/serialize/protocol files, forbid reflection-based binary.Write/Read and " +
+		"non-little-endian byte orders, and require keyed wire-header struct literals",
+	Run: run,
+}
+
+// fileInScope reports whether a file participates in wire encoding,
+// judged by its name.
+func fileInScope(filename string) bool {
+	base := strings.ToLower(filepath.Base(filename))
+	for _, kw := range []string{"codec", "serialize", "protocol", "wire", "encode", "decode"} {
+		if strings.Contains(base, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// headerTypeRE matches wire-header struct type names.
+var headerTypeRE = regexp.MustCompile(`(?i)(hdr|header)$`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if !fileInScope(filename) || pass.InTestFile(f.Pos()) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.ObjectOf(n.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/binary" {
+				return true
+			}
+			switch obj.Name() {
+			case "Write", "Read":
+				pass.Reportf(n.Pos(), "reflection-based binary.%s in wire-format code: encode fields explicitly with binary.LittleEndian (the v3 codec idiom)", obj.Name())
+			case "BigEndian", "NativeEndian":
+				pass.Reportf(n.Pos(), "binary.%s in wire-format code: the sketch wire format is explicitly little-endian; use binary.LittleEndian", obj.Name())
+			}
+		case *ast.CompositeLit:
+			checkHeaderLit(pass, n)
+		}
+		return true
+	})
+}
+
+// checkHeaderLit flags positional fields in a wire-header literal.
+func checkHeaderLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !headerTypeRE.MatchString(named.Obj().Name()) {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, e := range lit.Elts {
+		if _, ok := e.(*ast.KeyValueExpr); !ok {
+			pass.Reportf(lit.Pos(), "unkeyed fields in wire-header literal %s: positional initialization silently misassigns fields when the header layout changes — use field: value", named.Obj().Name())
+			return
+		}
+	}
+}

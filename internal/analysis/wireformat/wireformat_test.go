@@ -1,0 +1,14 @@
+package wireformat
+
+import (
+	"testing"
+
+	"adsketch/internal/analysis"
+	"adsketch/internal/analysis/analysistest"
+)
+
+func TestWireformat(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{Analyzer},
+		"example/codec",
+	)
+}

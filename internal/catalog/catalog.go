@@ -99,10 +99,10 @@ type Stats struct {
 // zero value is not usable; construct with New.
 type Registry[T any] struct {
 	mu       sync.Mutex
-	budget   int64 // resident-cost budget in bytes; 0 = unlimited
-	entries  map[string]*entry[T]
-	clock    int64
-	resident atomic.Int64 // summed cost of materialized versions (incl. draining)
+	budget   int64                // resident-cost budget in bytes; 0 = unlimited
+	entries  map[string]*entry[T] // guarded by mu
+	clock    int64                // guarded by mu; LRU tick, bumped on pin
+	resident atomic.Int64         // summed cost of materialized versions (incl. draining)
 	// evictable counts resident current versions the budget could evict
 	// (reloadable, non-zero cost).  The unpin fast path reads it so an
 	// over-budget registry whose mass is all unevictable — in-memory or

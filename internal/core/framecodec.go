@@ -53,6 +53,7 @@ const (
 // format does; when false the zero-copy column views fall back to a
 // decoding copy.
 var nativeLittleEndian = func() bool {
+	//adsvet:ignore wireformat byte-order probe comparing the host order against LE; all wire writes go through binary.LittleEndian
 	return binary.NativeEndian.Uint16([]byte{0x34, 0x12}) == 0x1234
 }()
 
