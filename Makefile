@@ -9,7 +9,7 @@ GO ?= go
 # coverage durably improves; never lower it to make a PR pass.
 COVER_BASELINE ?= 75.0
 
-.PHONY: test race analyze bench cover fuzz-smoke memprofile ingest-smoke clean
+.PHONY: test race analyze bench cover fuzz-smoke memprofile ingest-smoke load-smoke clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -62,15 +62,18 @@ HIPBUILD_PRE_FRAMES_NS = 26416967
 HIPBUILD_PRE_FRAMES_ALLOCS = 94836
 ENGINEDO_PRE_FRAMES_NS = 2956
 ENGINEDO_PRE_FRAMES_ALLOCS = 8
-# The catalog routing benchmarks get a second, multi-iteration pass: at
-# -benchtime=1x their numbers are first-request warmup artifacts (11.8µs
-# "routing overhead" that is really cache warming), while 2000 iterations
-# pin the steady state (~1.6µs routed vs ~1.4µs direct, ~200ns routing).
-# The awk below dedupes by benchmark name keeping the LAST occurrence, so
-# the appended rerun overrides the 1x rows in BENCH_engine.json.
+# Every benchmark that lands in BENCH_engine.json gets a second,
+# multi-iteration pass: at -benchtime=1x the numbers are first-request
+# warmup artifacts (cold caches, first-touch page faults, one-shot
+# allocations), not steady state.  The reruns are tiered by per-op cost
+# so the target stays a smoke (fast ops 2000x, medium 100x, heavy 5x).
+# The awk below dedupes by benchmark name keeping the LAST occurrence,
+# so the rerun rows override the 1x rows in BENCH_engine.json.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . > bench.out || { cat bench.out; exit 1; }
-	$(GO) test -run='^$$' -bench='^BenchmarkCatalogDo(Direct|Batch)?$$' -benchtime=2000x . >> bench.out || { cat bench.out; exit 1; }
+	$(GO) test -run='^$$' -bench='^(BenchmarkEngineClosenessCached|BenchmarkEngineTopCloseness|BenchmarkEngineDoJSON|BenchmarkEngineDoAllocs|BenchmarkHIPIndexQuery|BenchmarkCatalogDo(Direct|Batch)?|BenchmarkCatalogSwap|BenchmarkIngestInsert)$$' -benchtime=2000x . >> bench.out || { cat bench.out; exit 1; }
+	$(GO) test -run='^$$' -bench='^(BenchmarkSketchSetLoad|BenchmarkHIPIndexBuild|BenchmarkIngestInsertBatch$$|BenchmarkIngestFreezePublish$$)' -benchtime=100x . >> bench.out || { cat bench.out; exit 1; }
+	$(GO) test -run='^$$' -bench='^(BenchmarkEngineClosenessBatch|BenchmarkSketchSetCodec)$$' -benchtime=5x . >> bench.out || { cat bench.out; exit 1; }
 	cat bench.out
 	awk 'BEGIN { print "[" } \
 	  /^Benchmark(Engine|SketchSet|HIPIndex|Catalog|Ingest)/ { \
@@ -138,5 +141,53 @@ ingest-smoke:
 	echo "ingest-smoke: OK"
 	rm -f adsserver.smoke adstool.smoke
 
+# End-to-end failure-semantics smoke: two fault-injectable workers behind
+# a scatter-gather coordinator, driven by adsload's SLO gate.  Proves the
+# PR 8 acceptance criteria on a live topology:
+#   1. healthy topology passes a zero-error gate;
+#   2. killing a worker mid-run under the partial policy keeps the
+#      coordinator at zero errors (degraded, flagged answers instead);
+#   3. those degraded answers ARE flagged (a partial-intolerant gate on
+#      the same scenario must fail);
+#   4. the default fail policy surfaces the outage as errors (a lenient
+#      error-rate gate on the fail-policy scenario must fail).
+# Scenario files pin the worker fault endpoint to 127.0.0.1:18092.
+load-smoke:
+	$(GO) build -o adsserver.smoke ./cmd/adsserver
+	$(GO) build -o adstool.smoke ./cmd/adstool
+	$(GO) build -o adsload.smoke ./cmd/adsload
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$w1 $$w2 $$coord 2>/dev/null; rm -rf $$tmp' EXIT INT TERM; \
+	./adstool.smoke gen -type ba -n 2000 -m 3 -seed 7 > $$tmp/graph.txt; \
+	./adstool.smoke build -graph $$tmp/graph.txt -k 8 -seed 42 -save $$tmp/whole.ads >/dev/null; \
+	./adstool.smoke split -sketches $$tmp/whole.ads -partitions 2 -out $$tmp/part >/dev/null; \
+	./adsserver.smoke -sketches $$tmp/part.p0of2.ads -fault-inject -addr 127.0.0.1:18091 >/dev/null 2>&1 & w1=$$!; \
+	./adsserver.smoke -sketches $$tmp/part.p1of2.ads -fault-inject -addr 127.0.0.1:18092 >/dev/null 2>&1 & w2=$$!; \
+	./adsserver.smoke -workers http://127.0.0.1:18091,http://127.0.0.1:18092 \
+	  -shard-retries 1 -retry-backoff 5ms -shard-timeout 5s \
+	  -addr 127.0.0.1:18090 >/dev/null 2>&1 & coord=$$!; \
+	ok=0; for i in $$(seq 1 50); do \
+	  if ./adsload.smoke -target http://127.0.0.1:18090 -rps 50 -duration 100ms >/dev/null 2>&1; then ok=1; break; fi; \
+	  sleep 0.2; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "load-smoke: coordinator never became ready" >&2; exit 1; }; \
+	echo "load-smoke: [1/4] healthy topology, zero-error gate"; \
+	./adsload.smoke -target http://127.0.0.1:18090 -rps 150 -duration 2s \
+	  -gate -slo-error-rate 0 -slo-p99 5s -slo-min-done 100; \
+	echo "load-smoke: [2/4] dead worker mid-run, partial policy stays zero-error"; \
+	./adsload.smoke -target http://127.0.0.1:18090 -scenario cmd/adsload/testdata/smoke_deadworker.json \
+	  -gate -slo-error-rate 0 -slo-p99 5s -slo-min-done 50 -slo-max-partial -1; \
+	echo "load-smoke: [3/4] the degraded answers were flagged (strict gate must fail)"; \
+	if ./adsload.smoke -target http://127.0.0.1:18090 -scenario cmd/adsload/testdata/smoke_deadworker.json \
+	  -gate -slo-error-rate 0 -slo-max-partial 0 >/dev/null; then \
+	  echo "load-smoke: expected the partial-intolerant gate to fail" >&2; exit 1; fi; \
+	echo "load-smoke: [4/4] fail policy surfaces the outage (lenient gate must fail)"; \
+	if ./adsload.smoke -target http://127.0.0.1:18090 -scenario cmd/adsload/testdata/smoke_failpolicy.json \
+	  -gate -slo-error-rate 0.05 -slo-min-done 1 >/dev/null; then \
+	  echo "load-smoke: expected the fail-policy gate to fail" >&2; exit 1; fi; \
+	echo "load-smoke: OK"
+	rm -f adsserver.smoke adstool.smoke adsload.smoke
+
 clean:
-	rm -f bench.out coverage.out engine_do.memprofile adsketch.test adsserver.smoke adstool.smoke adsvet.bin
+	rm -f bench.out coverage.out engine_do.memprofile adsketch.test adsserver.smoke adstool.smoke adsload.smoke adsvet.bin

@@ -2,8 +2,12 @@ package adsketch
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"adsketch/internal/cluster"
 	"adsketch/internal/core"
@@ -86,13 +90,148 @@ var (
 	_ ShardBackend = (*Coordinator)(nil)
 )
 
+// ErrShardUnavailable reports that a shard backend could not be reached:
+// it is down, ejected by health checks, or exhausted its retry budget.
+// Servers should map it to HTTP 503.  Under the "partial" failure policy
+// a coordinator degrades around it instead of failing the query.
+var ErrShardUnavailable = errors.New("adsketch: shard unavailable")
+
+// coordConfig is the failure-semantics configuration of a Coordinator.
+type coordConfig struct {
+	timeout time.Duration // per-attempt shard deadline; 0 = none
+	retries int           // extra attempt rounds over a replica group
+	backoff time.Duration // base sleep before a retry, doubled per attempt
+	hedge   time.Duration // hedged replica request delay; 0 = failover only
+}
+
+func defaultCoordConfig() coordConfig {
+	return coordConfig{backoff: 25 * time.Millisecond}
+}
+
+// CoordinatorOption configures the failure semantics of a Coordinator:
+// per-shard deadlines, bounded retries with backoff, and hedged replica
+// requests.  The zero configuration reproduces the historical behavior
+// (no deadline, no retry, no hedging), so results are byte-identical
+// whenever no fault occurs.
+type CoordinatorOption func(*coordConfig) error
+
+// WithShardTimeout bounds every individual shard attempt: an attempt
+// that has not answered within d fails with context.DeadlineExceeded and
+// becomes eligible for retry or replica failover.  0 disables the bound.
+func WithShardTimeout(d time.Duration) CoordinatorOption {
+	return func(c *coordConfig) error {
+		if d < 0 {
+			return fmt.Errorf("%w: WithShardTimeout(%v), want >= 0", ErrBadOption, d)
+		}
+		c.timeout = d
+		return nil
+	}
+}
+
+// WithShardRetries grants n extra rounds over a partition's replica
+// group after the first: with retries 1 and two replicas, a shard call
+// attempts primary, replica, then (after backoff) primary and replica
+// again.  Retries apply only to transient failures — bad requests and
+// unsupported queries fail immediately.
+func WithShardRetries(n int) CoordinatorOption {
+	return func(c *coordConfig) error {
+		if n < 0 {
+			return fmt.Errorf("%w: WithShardRetries(%d), want >= 0", ErrBadOption, n)
+		}
+		c.retries = n
+		return nil
+	}
+}
+
+// WithRetryBackoff sets the base sleep inserted before each retried
+// attempt; it doubles per attempt (capped at 1s).  The default is 25ms.
+func WithRetryBackoff(d time.Duration) CoordinatorOption {
+	return func(c *coordConfig) error {
+		if d < 0 {
+			return fmt.Errorf("%w: WithRetryBackoff(%v), want >= 0", ErrBadOption, d)
+		}
+		c.backoff = d
+		return nil
+	}
+}
+
+// WithHedgeDelay arms hedged requests on partitions that have replicas:
+// when the primary has not answered within d, the same request is
+// launched on a replica concurrently and the first success wins.  0 (the
+// default) disables hedging; replicas then serve only as sequential
+// failover targets after the primary fails.
+func WithHedgeDelay(d time.Duration) CoordinatorOption {
+	return func(c *coordConfig) error {
+		if d < 0 {
+			return fmt.Errorf("%w: WithHedgeDelay(%v), want >= 0", ErrBadOption, d)
+		}
+		c.hedge = d
+		return nil
+	}
+}
+
+// shardCounters is the per-partition failure-semantics telemetry.  All
+// fields are atomics; a Coordinator is read under full query concurrency.
+type shardCounters struct {
+	calls     atomic.Int64 // shard calls issued (one per scatter leg)
+	errors    atomic.Int64 // individual failed attempts
+	failures  atomic.Int64 // calls that exhausted every attempt
+	retries   atomic.Int64 // attempts beyond the first within one chain
+	hedges    atomic.Int64 // hedged replica requests launched
+	hedgeWins atomic.Int64 // hedged requests that produced the answer
+	timeouts  atomic.Int64 // attempts cut by the per-shard deadline
+}
+
+// ShardCallStats is one partition's failure-semantics counters.
+type ShardCallStats struct {
+	Partition int   `json:"partition"`
+	Replicas  int   `json:"replicas"`
+	Calls     int64 `json:"calls"`
+	Errors    int64 `json:"errors,omitempty"`
+	Failures  int64 `json:"failures,omitempty"`
+	Retries   int64 `json:"retries,omitempty"`
+	Hedges    int64 `json:"hedges,omitempty"`
+	HedgeWins int64 `json:"hedge_wins,omitempty"`
+	Timeouts  int64 `json:"timeouts,omitempty"`
+}
+
+// CoordinatorStats is the coordinator's failure-semantics telemetry:
+// per-partition call, error, retry, and hedge counters (what /statsz
+// reports as "scatter" in adsserver's coordinator mode).
+type CoordinatorStats struct {
+	Shards []ShardCallStats `json:"shards"`
+}
+
+// Stats snapshots the per-partition call/error/retry/hedge counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	out := CoordinatorStats{Shards: make([]ShardCallStats, len(c.groups))}
+	for i := range c.groups {
+		st := &c.stats[i]
+		out.Shards[i] = ShardCallStats{
+			Partition: c.shards[i].Meta().Index,
+			Replicas:  len(c.groups[i]) - 1,
+			Calls:     st.calls.Load(),
+			Errors:    st.errors.Load(),
+			Failures:  st.failures.Load(),
+			Retries:   st.retries.Load(),
+			Hedges:    st.hedges.Load(),
+			HedgeWins: st.hedgeWins.Load(),
+			Timeouts:  st.timeouts.Load(),
+		}
+	}
+	return out
+}
+
 // Coordinator serves the wire protocol over a complete set of shard
 // backends, scattering each query to the shards that own its nodes and
 // gathering the partial responses into the single-set answer.  It is
 // safe for concurrent use when its backends are (both *Engine and the
 // adsserver HTTP shard are).
 type Coordinator struct {
-	shards []ShardBackend
+	shards []ShardBackend   // per-partition primaries (groups[i][0])
+	groups [][]ShardBackend // per-partition replica groups, primary first
+	stats  []shardCounters  // per-partition failure telemetry
+	cfg    coordConfig
 	router *cluster.Router
 	total  int
 	k      int
@@ -103,10 +242,48 @@ type Coordinator struct {
 // NewCoordinator builds a coordinator over a complete split: one backend
 // per partition, covering every node exactly once, with equal sketch
 // parameters.  Backends may be local engines, remote workers, or nested
-// coordinators, in any order.
-func NewCoordinator(backends []ShardBackend) (*Coordinator, error) {
-	if len(backends) == 0 {
+// coordinators, in any order.  Options configure the failure semantics
+// (per-shard timeouts, bounded retries with backoff); for replicated
+// partitions and hedged requests see NewReplicatedCoordinator, of which
+// this is the single-replica form.
+func NewCoordinator(backends []ShardBackend, opts ...CoordinatorOption) (*Coordinator, error) {
+	groups := make([][]ShardBackend, len(backends))
+	for i, b := range backends {
+		groups[i] = []ShardBackend{b}
+	}
+	return NewReplicatedCoordinator(groups, opts...)
+}
+
+// NewReplicatedCoordinator builds a coordinator over replica groups: one
+// group per partition, each holding that partition's primary backend
+// first and any number of replicas after it.  Every backend in a group
+// must serve the identical shard (same node range, split position, and
+// sketch parameters).  Replicas are sequential failover targets when the
+// primary fails its attempts, and — with WithHedgeDelay — hedged
+// concurrent targets when the primary is merely slow.
+func NewReplicatedCoordinator(groups [][]ShardBackend, opts ...CoordinatorOption) (*Coordinator, error) {
+	cfg := defaultCoordConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(groups) == 0 {
 		return nil, fmt.Errorf("%w: NewCoordinator with no shard backends", ErrBadOption)
+	}
+	backends := make([]ShardBackend, len(groups))
+	for i, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("%w: partition %d has no backends", ErrBadOption, i)
+		}
+		prim := g[0].Meta()
+		for r, b := range g[1:] {
+			if b.Meta() != prim {
+				return nil, fmt.Errorf("%w: partition %d replica %d serves %+v, primary %+v",
+					ErrBadOption, i, r+1, b.Meta(), prim)
+			}
+		}
+		backends[i] = g[0]
 	}
 	first := backends[0].Meta()
 	ranges := make([]cluster.Range, len(backends))
@@ -125,6 +302,9 @@ func NewCoordinator(backends []ShardBackend) (*Coordinator, error) {
 	}
 	return &Coordinator{
 		shards: backends,
+		groups: groups,
+		stats:  make([]shardCounters, len(groups)),
+		cfg:    cfg,
 		router: router,
 		total:  first.TotalNodes,
 		k:      first.K,
@@ -203,7 +383,11 @@ func (c *Coordinator) Do(ctx context.Context, req Request) (Response, error) {
 	if err := q.validate(); err != nil {
 		return Response{}, err
 	}
-	resp, err := q.scatter(ctx, c)
+	partial, err := req.partialPolicy()
+	if err != nil {
+		return Response{}, err
+	}
+	resp, err := q.scatter(ctx, c, partial)
 	if err != nil {
 		return Response{}, err
 	}
@@ -241,14 +425,18 @@ func (c *Coordinator) allShardsMeta() *MergeMeta {
 }
 
 // fetchMeta records the shards owning the given nodes, in routing
-// order — the merge metadata of a pairwise sketch scatter.
-func (c *Coordinator) fetchMeta(nodes []int32) *MergeMeta {
+// order — the merge metadata of a pairwise sketch scatter.  Its callers
+// have already validated every node against the router's cover, so an
+// Owner failure here is a violated invariant, not a condition to skip:
+// it is surfaced, never swallowed (swallowing made Explain metadata
+// silently undercount partials).
+func (c *Coordinator) fetchMeta(nodes []int32) (*MergeMeta, error) {
 	m := &MergeMeta{}
 	seen := make(map[int]bool)
 	for _, v := range nodes {
 		shard, err := c.router.Owner(v)
 		if err != nil {
-			continue
+			return nil, fmt.Errorf("cluster invariant violated: validated node %d has no owning shard: %w", v, err)
 		}
 		m.Partials++
 		if idx := c.shards[shard].Meta().Index; !seen[idx] {
@@ -256,7 +444,7 @@ func (c *Coordinator) fetchMeta(nodes []int32) *MergeMeta {
 			m.Shards = append(m.Shards, idx)
 		}
 	}
-	return m
+	return m, nil
 }
 
 // shardErr tags a backend error with the shard's partition index.
@@ -264,10 +452,224 @@ func (c *Coordinator) shardErr(shard int, err error) error {
 	return fmt.Errorf("shard %d: %w", c.shards[shard].Meta().Index, err)
 }
 
+// retryableShardErr classifies a failed shard attempt: deterministic
+// protocol rejections fail immediately (a retry would just repeat them),
+// everything else — transport failures, timeouts, ejected shards — is
+// transient and worth another attempt or a replica.
+func retryableShardErr(err error) bool {
+	switch {
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, ErrUnsupportedQuery),
+		errors.Is(err, ErrBadOption),
+		errors.Is(err, ErrUnknownDataset),
+		errors.Is(err, ErrDatasetExists):
+		return false
+	}
+	return true
+}
+
+// attemptShard makes one attempt against one backend under the
+// per-attempt deadline, maintaining the error/timeout counters.
+func attemptShard[T any](ctx context.Context, c *Coordinator, part int, be ShardBackend,
+	invoke func(context.Context, ShardBackend) (T, error)) (T, error) {
+	actx := ctx
+	if c.cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.cfg.timeout)
+		defer cancel()
+	}
+	v, err := invoke(actx, be)
+	if err != nil {
+		st := &c.stats[part]
+		st.errors.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			st.timeouts.Add(1)
+			err = fmt.Errorf("attempt exceeded the %v shard deadline: %w", c.cfg.timeout, err)
+		}
+	}
+	return v, err
+}
+
+// chainShard tries the given backends sequentially — every backend in
+// order, then cfg.retries more rounds with exponential backoff between
+// failed attempts — returning the first success or the first error
+// observed once the budget is spent.  Deterministic protocol errors and
+// parent-context cancellation stop the chain immediately.
+func chainShard[T any](ctx context.Context, c *Coordinator, part int, backends []ShardBackend,
+	invoke func(context.Context, ShardBackend) (T, error)) (T, error) {
+	var zero T
+	var firstErr error
+	st := &c.stats[part]
+	attempt := 0
+	for round := 0; round <= c.cfg.retries; round++ {
+		for _, be := range backends {
+			if attempt > 0 {
+				st.retries.Add(1)
+				if d := backoffDelay(c.cfg.backoff, attempt); d > 0 {
+					t := time.NewTimer(d)
+					select {
+					case <-ctx.Done():
+						t.Stop()
+						return zero, firstOf(firstErr, ctx.Err())
+					case <-t.C:
+					}
+				}
+			}
+			attempt++
+			v, err := attemptShard(ctx, c, part, be, invoke)
+			if err == nil {
+				return v, nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			if !retryableShardErr(err) {
+				return zero, err
+			}
+			if ctx.Err() != nil {
+				return zero, firstErr
+			}
+		}
+	}
+	return zero, firstErr
+}
+
+// backoffDelay is the sleep before retry attempt n (1-based beyond the
+// first attempt): base doubled per attempt, capped at 1s.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << (attempt - 1)
+	if d > time.Second || d <= 0 { // <= 0 guards shift overflow
+		d = time.Second
+	}
+	return d
+}
+
+func firstOf(err, fallback error) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}
+
+// shardCall is every scatter leg's entry point: it calls partition
+// part's replica group under the coordinator's failure semantics —
+// per-attempt deadline, bounded retries with backoff, sequential replica
+// failover, and (when WithHedgeDelay armed it) a hedged concurrent
+// replica request racing a slow primary.
+func shardCall[T any](ctx context.Context, c *Coordinator, part int,
+	invoke func(context.Context, ShardBackend) (T, error)) (T, error) {
+	st := &c.stats[part]
+	st.calls.Add(1)
+	group := c.groups[part]
+	var v T
+	var err error
+	if c.cfg.hedge > 0 && len(group) > 1 {
+		v, err = hedgedCall(ctx, c, part, invoke)
+	} else {
+		v, err = chainShard(ctx, c, part, group, invoke)
+	}
+	if err != nil {
+		st.failures.Add(1)
+	}
+	return v, err
+}
+
+// hedgedCall races the primary chain against a delayed replica chain:
+// the replica launches when the primary has not answered within the
+// hedge delay (or immediately, as failover, when the primary chain
+// fails first), and the first success wins.  Both chains share the
+// parent context; the loser is cancelled.
+func hedgedCall[T any](ctx context.Context, c *Coordinator, part int,
+	invoke func(context.Context, ShardBackend) (T, error)) (T, error) {
+	group := c.groups[part]
+	st := &c.stats[part]
+	type result struct {
+		v      T
+		err    error
+		hedged bool
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2) // buffered: the losing chain must not leak
+	run := func(backends []ShardBackend, hedged bool) {
+		v, err := chainShard(cctx, c, part, backends, invoke)
+		ch <- result{v, err, hedged}
+	}
+	go run(group[:1], false)
+	timer := time.NewTimer(c.cfg.hedge)
+	defer timer.Stop()
+	pending := 1
+	launched := false
+	launch := func() {
+		launched = true
+		pending++
+		st.hedges.Add(1)
+		go run(group[1:], true)
+	}
+	var firstErr error
+	for pending > 0 {
+		var r result
+		if launched {
+			r = <-ch
+		} else {
+			select {
+			case r = <-ch:
+			case <-timer.C:
+				launch()
+				continue
+			}
+		}
+		pending--
+		if r.err == nil {
+			if r.hedged {
+				st.hedgeWins.Add(1)
+			}
+			return r.v, nil
+		}
+		if firstErr == nil {
+			firstErr = r.err
+		}
+		// The primary chain failed before the hedge fired: launch the
+		// replica chain immediately as failover rather than waiting out
+		// the timer.
+		if !launched && ctx.Err() == nil {
+			launch()
+		}
+	}
+	var zero T
+	return zero, firstErr
+}
+
+// doShard answers one request on partition part under the failure
+// semantics (timeout, retries, replicas, hedging).
+func (c *Coordinator) doShard(ctx context.Context, part int, req Request) (Response, error) {
+	return shardCall(ctx, c, part, func(ctx context.Context, be ShardBackend) (Response, error) {
+		return be.Do(ctx, req)
+	})
+}
+
+// doShardBatch answers one request batch on partition part under the
+// failure semantics.  Protocol queries are read-only, so a retried or
+// hedged batch is safe to repeat.
+func (c *Coordinator) doShardBatch(ctx context.Context, part int, reqs []Request) ([]Response, error) {
+	return shardCall(ctx, c, part, func(ctx context.Context, be ShardBackend) ([]Response, error) {
+		return be.DoBatch(ctx, reqs)
+	})
+}
+
 // scatterScores fans a per-node query out to the shards owning its
 // nodes (mk builds the per-shard request from a node subset) and merges
-// the partial score vectors back into request order.
-func (c *Coordinator) scatterScores(ctx context.Context, nodes []int32, mk func([]int32) Request) (Response, error) {
+// the partial score vectors back into request order.  Under the
+// "partial" policy a failed shard degrades the answer instead of
+// failing it: its nodes' scores stay 0 and are listed in
+// Response.Missing, Response.Partial is set, and the merge metadata
+// names the failed partitions.  When every shard answers, the fault
+// path is never taken and the response is byte-identical to the fail
+// policy's.
+func (c *Coordinator) scatterScores(ctx context.Context, nodes []int32, partialPolicy bool, mk func([]int32) Request) (Response, error) {
 	if err := query.CheckNodes(c.total, nodes); err != nil {
 		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -276,8 +678,26 @@ func (c *Coordinator) scatterScores(ctx context.Context, nodes []int32, mk func(
 		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	partial := make([][]float64, len(subs))
-	err = cluster.Scatter(ctx, len(subs), func(i int) error {
-		resp, err := c.shards[subs[i].Shard].Do(ctx, mk(subs[i].Nodes))
+	if !partialPolicy {
+		err = cluster.Scatter(ctx, len(subs), func(i int) error {
+			resp, err := c.doShard(ctx, subs[i].Shard, mk(subs[i].Nodes))
+			if err != nil {
+				return c.shardErr(subs[i].Shard, err)
+			}
+			partial[i] = resp.Scores
+			return nil
+		})
+		if err != nil {
+			return Response{}, err
+		}
+		scores, err := cluster.MergeScores(len(nodes), subs, partial)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Scores: scores, Merge: c.mergeMeta(subs)}, nil
+	}
+	errs, err := cluster.ScatterAll(ctx, len(subs), func(i int) error {
+		resp, err := c.doShard(ctx, subs[i].Shard, mk(subs[i].Nodes))
 		if err != nil {
 			return c.shardErr(subs[i].Shard, err)
 		}
@@ -285,21 +705,62 @@ func (c *Coordinator) scatterScores(ctx context.Context, nodes []int32, mk func(
 		return nil
 	})
 	if err != nil {
-		return Response{}, err
+		return Response{}, err // the whole scatter was cancelled
 	}
-	scores, err := cluster.MergeScores(len(nodes), subs, partial)
+	ok := make([]bool, len(subs))
+	var failed []int
+	var firstErr error
+	for i, e := range errs {
+		ok[i] = e == nil
+		if e != nil {
+			failed = append(failed, c.shards[subs[i].Shard].Meta().Index)
+			if firstErr == nil {
+				firstErr = e
+			}
+		}
+	}
+	if len(failed) == len(subs) {
+		// Nothing answered; a fully-degraded response would be all noise.
+		return Response{}, firstErr
+	}
+	scores, missingPos, err := cluster.MergeScoresPartial(len(nodes), subs, partial, ok)
 	if err != nil {
 		return Response{}, err
 	}
-	return Response{Scores: scores, Merge: c.mergeMeta(subs)}, nil
+	var missing []int32 // nil (omitted on the wire) when nothing failed
+	for _, pos := range missingPos {
+		missing = append(missing, nodes[pos])
+	}
+	meta := c.mergeMeta(subs)
+	meta.Partials -= len(failed)
+	sort.Ints(failed)
+	meta.Failed = failed
+	return Response{Scores: scores, Missing: missing, Partial: len(failed) > 0, Merge: meta}, nil
 }
 
 // scatterTopK fans a topk query to every shard and merges the per-shard
-// rankings into the global top-k.
-func (c *Coordinator) scatterTopK(ctx context.Context, q *TopKQuery) (Response, error) {
+// rankings into the global top-k.  Under the "partial" policy the
+// rankings of the shards that answered still merge — the answer may
+// miss members owned by a failed shard, so it is flagged Partial and
+// the merge metadata names the failed partitions.
+func (c *Coordinator) scatterTopK(ctx context.Context, q *TopKQuery, partialPolicy bool) (Response, error) {
 	lists := make([][]Ranked, len(c.shards))
-	err := cluster.Scatter(ctx, len(c.shards), func(i int) error {
-		resp, err := c.shards[i].Do(ctx, Request{TopK: q})
+	if !partialPolicy {
+		err := cluster.Scatter(ctx, len(c.shards), func(i int) error {
+			resp, err := c.doShard(ctx, i, Request{TopK: q})
+			if err != nil {
+				return c.shardErr(i, err)
+			}
+			lists[i] = resp.Ranking
+			return nil
+		})
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Ranking: cluster.MergeTopK(q.K, lists), Merge: c.allShardsMeta()}, nil
+	}
+	errs, err := cluster.ScatterAll(ctx, len(c.shards), func(i int) error {
+		resp, err := c.doShard(ctx, i, Request{TopK: q})
 		if err != nil {
 			return c.shardErr(i, err)
 		}
@@ -309,7 +770,25 @@ func (c *Coordinator) scatterTopK(ctx context.Context, q *TopKQuery) (Response, 
 	if err != nil {
 		return Response{}, err
 	}
-	return Response{Ranking: cluster.MergeTopK(q.K, lists), Merge: c.allShardsMeta()}, nil
+	var failed []int
+	var firstErr error
+	for i, e := range errs {
+		if e != nil {
+			lists[i] = nil
+			failed = append(failed, c.shards[i].Meta().Index)
+			if firstErr == nil {
+				firstErr = e
+			}
+		}
+	}
+	if len(failed) == len(c.shards) {
+		return Response{}, firstErr
+	}
+	meta := c.allShardsMeta()
+	meta.Partials -= len(failed)
+	sort.Ints(failed)
+	meta.Failed = failed
+	return Response{Ranking: cluster.MergeTopK(q.K, lists), Partial: len(failed) > 0, Merge: meta}, nil
 }
 
 // requireCoordinated gates the cross-sketch queries (jaccard, influence,
@@ -344,7 +823,7 @@ func (c *Coordinator) fetchSketches(ctx context.Context, nodes []int32) (map[int
 		for j, v := range subs[i].Nodes {
 			reqs[j] = Request{Sketch: &SketchQuery{Node: v}}
 		}
-		resps, err := c.shards[subs[i].Shard].DoBatch(ctx, reqs)
+		resps, err := c.doShardBatch(ctx, subs[i].Shard, reqs)
 		if err != nil {
 			return c.shardErr(subs[i].Shard, err)
 		}

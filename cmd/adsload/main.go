@@ -1,0 +1,253 @@
+// adsload drives an adsserver with an open-loop query load and reports
+// latency percentiles, error rates, and degraded-answer counts — the
+// proving harness for the coordinator's failure semantics.
+//
+//	# eyeball a healthy topology
+//	adsload -target http://localhost:8080 -rps 200 -duration 10s
+//
+//	# multi-seed run with an explicit query blend and the partial policy
+//	adsload -target http://localhost:8080 -seeds 42,123,456 \
+//	        -mix closeness=6,topk=2,neighborhood=2 -policy partial
+//
+//	# declarative fault rehearsal (workers must run -fault-inject)
+//	adsload -target http://localhost:8080 -scenario deadworker.json
+//
+//	# CI release gate: non-zero exit when any seed violates the SLO
+//	adsload -target http://localhost:8080 -gate -slo-p99 250ms \
+//	        -slo-error-rate 0.001 -slo-min-done 100 -slo-max-partial 0
+//
+// The request stream is a pure function of (seed, mix, node count), so
+// a failing run reproduces exactly.  Arrivals are open loop: a slow
+// topology sees queueing and shed arrivals, not a throttled generator.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"adsketch"
+	"adsketch/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// httpDoer answers the wire protocol by posting to a remote adsserver.
+type httpDoer struct {
+	base   string
+	client *http.Client
+}
+
+func (d *httpDoer) Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := d.client.Do(hreq)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	defer hresp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return adsketch.Response{}, fmt.Errorf("server returned %d: %s", hresp.StatusCode, bytes.TrimSpace(payload))
+	}
+	var resp adsketch.Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return adsketch.Response{}, fmt.Errorf("decoding response: %v", err)
+	}
+	return resp, nil
+}
+
+// fetchNodes reads the target's global node count off /v1/meta.
+func (d *httpDoer) fetchNodes(ctx context.Context) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.base+"/v1/meta", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("fetching %s/v1/meta: %w", d.base, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s/v1/meta returned %d: %s", d.base, resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	var meta adsketch.ShardMeta
+	if err := json.Unmarshal(payload, &meta); err != nil {
+		return 0, fmt.Errorf("decoding /v1/meta: %v", err)
+	}
+	if meta.TotalNodes <= 0 {
+		return 0, fmt.Errorf("%s/v1/meta reports %d nodes", d.base, meta.TotalNodes)
+	}
+	return meta.TotalNodes, nil
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	var seeds []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds given")
+	}
+	return seeds, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adsload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", "", "adsserver base URL to load (required)")
+	rps := fs.Float64("rps", 200, "open-loop arrival rate, requests per second")
+	duration := fs.Duration("duration", 5*time.Second, "how long to keep arriving (per seed)")
+	mixFlag := fs.String("mix", "", "query blend as kind=weight,... (closeness|topk|neighborhood|jaccard|sketch); empty = closeness=6,topk=2,neighborhood=2")
+	seedsFlag := fs.String("seeds", "42", "comma-separated stream seeds; each seed is one full run")
+	policy := fs.String("policy", "", "Request.Policy for every query: \"\"|fail|partial")
+	dataset := fs.String("dataset", "", "catalog dataset to query (empty = the default dataset)")
+	inflight := fs.Int("inflight", 512, "in-flight request cap; arrivals beyond it are shed and counted against the error rate")
+	scenarioPath := fs.String("scenario", "", "declarative fault scenario JSON; overrides -rps/-mix/-policy/-duration with its phases")
+	jsonOut := fs.Bool("json", false, "emit one JSON result per line instead of the human summary")
+	gate := fs.Bool("gate", false, "evaluate the -slo-* thresholds and exit 1 on any violation")
+	sloP99 := fs.Duration("slo-p99", 0, "gate: p99 latency ceiling (0 = unchecked)")
+	sloErrRate := fs.Float64("slo-error-rate", 0.001, "gate: max failed+shed fraction of arrivals (negative = unchecked)")
+	sloMinDone := fs.Int("slo-min-done", 1, "gate: completed-request floor per run")
+	sloMaxPartial := fs.Int("slo-max-partial", 0, "gate: max degraded (partial) answers per run (negative = unchecked)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *target == "" {
+		fmt.Fprintln(stderr, "adsload: -target is required")
+		fs.Usage()
+		return 2
+	}
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "adsload: %v\n", err)
+		return 2
+	}
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "adsload: %v\n", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d := &httpDoer{base: strings.TrimSuffix(*target, "/"), client: &http.Client{Timeout: 60 * time.Second}}
+	nodes, err := d.fetchNodes(ctx)
+	if err != nil {
+		fmt.Fprintf(stderr, "adsload: %v\n", err)
+		return 1
+	}
+
+	var scenario *loadgen.Scenario
+	if *scenarioPath != "" {
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "adsload: %v\n", err)
+			return 2
+		}
+		sc, err := loadgen.ParseScenario(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "adsload: %v\n", err)
+			return 2
+		}
+		scenario = &sc
+	}
+
+	slo := loadgen.SLO{
+		MaxErrorRate: *sloErrRate,
+		MaxP99:       *sloP99,
+		MinDone:      *sloMinDone,
+		MaxPartial:   *sloMaxPartial,
+	}
+
+	base := loadgen.Config{
+		RPS: *rps, Duration: *duration, Mix: mix, Nodes: nodes,
+		Policy: *policy, Dataset: *dataset, InFlight: *inflight,
+	}
+	violations := 0
+	for _, seed := range seeds {
+		var results []loadgen.Result
+		var runErr error
+		if scenario != nil {
+			results, runErr = loadgen.RunScenario(ctx, d, *scenario, base, seed)
+		} else {
+			cfg := base
+			cfg.Seed = seed
+			var res loadgen.Result
+			res, runErr = loadgen.Run(ctx, d, cfg)
+			results = []loadgen.Result{res}
+		}
+		for _, res := range results {
+			report(stdout, res, *jsonOut)
+			if *gate {
+				for _, v := range slo.Check(res) {
+					violations++
+					fmt.Fprintf(stdout, "GATE VIOLATION seed=%d %s: %s\n", res.Seed, res.Name, v)
+				}
+			}
+		}
+		if runErr != nil {
+			fmt.Fprintf(stderr, "adsload: seed %d: %v\n", seed, runErr)
+			return 1
+		}
+	}
+	if *gate {
+		if violations > 0 {
+			fmt.Fprintf(stdout, "GATE FAIL: %d violation(s)\n", violations)
+			return 1
+		}
+		fmt.Fprintln(stdout, "GATE PASS")
+	}
+	return 0
+}
+
+// report prints one run result.
+func report(w io.Writer, r loadgen.Result, asJSON bool) {
+	if asJSON {
+		b, _ := json.Marshal(r)
+		fmt.Fprintln(w, string(b))
+		return
+	}
+	label := r.Name
+	if label == "" {
+		label = "run"
+	}
+	fmt.Fprintf(w, "%-28s seed=%-6d sent=%-6d done=%-6d errors=%-4d shed=%-4d partial=%-4d p50=%-10v p95=%-10v p99=%-10v max=%v\n",
+		label, r.Seed, r.Sent, r.Done, r.Errors, r.Shed, r.Partial,
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"adsketch"
+)
+
+// serveEngine exposes a real engine over the two endpoints adsload
+// touches, with switchable fault state — a stand-in for an adsserver
+// worker without importing another main package.
+func serveEngine(t *testing.T) (*httptest.Server, *atomic.Bool, *atomic.Bool) {
+	t.Helper()
+	g := adsketch.PreferentialAttachment(400, 3, 7)
+	set, err := adsketch.Build(g, adsketch.WithK(8), adsketch.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dead, degrade atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/meta", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(eng.Meta())
+	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"injected outage"}`))
+			return
+		}
+		var req adsketch.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		resp, err := eng.Do(r.Context(), req)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		if degrade.Load() {
+			resp.Partial = true
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &dead, &degrade
+}
+
+func TestGatePassesHealthyTopology(t *testing.T) {
+	ts, _, _ := serveEngine(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-target", ts.URL, "-rps", "500", "-duration", "300ms",
+		"-seeds", "42,123,456",
+		"-gate", "-slo-p99", "5s", "-slo-error-rate", "0", "-slo-min-done", "10",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("healthy gate exited %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "GATE PASS") {
+		t.Errorf("no GATE PASS in output:\n%s", out.String())
+	}
+	// Three seeds means three result lines.
+	if n := strings.Count(out.String(), "seed="); n < 3 {
+		t.Errorf("want >= 3 per-seed reports, got %d:\n%s", n, out.String())
+	}
+}
+
+func TestGateFailsFaultedTopology(t *testing.T) {
+	ts, dead, _ := serveEngine(t)
+	dead.Store(true)
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-target", ts.URL, "-rps", "500", "-duration", "200ms",
+		"-gate", "-slo-error-rate", "0.01", "-slo-min-done", "1",
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("faulted gate exited %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "GATE FAIL") || !strings.Contains(out.String(), "error rate") {
+		t.Errorf("violations not reported:\n%s", out.String())
+	}
+}
+
+func TestGateCatchesDegradedAnswers(t *testing.T) {
+	ts, _, degrade := serveEngine(t)
+	degrade.Store(true)
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-target", ts.URL, "-rps", "500", "-duration", "200ms", "-policy", "partial",
+		"-gate", "-slo-error-rate", "0", "-slo-max-partial", "0",
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("degraded gate exited %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "degraded") {
+		t.Errorf("partial violation not reported:\n%s", out.String())
+	}
+	// The same run with partials tolerated passes.
+	out.Reset()
+	code = run([]string{
+		"-target", ts.URL, "-rps", "500", "-duration", "200ms", "-policy", "partial",
+		"-gate", "-slo-error-rate", "0", "-slo-max-partial", "-1",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("tolerant gate exited %d\nstdout: %s", code, out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	ts, _, _ := serveEngine(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-target", ts.URL, "-rps", "500", "-duration", "100ms", "-json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var res struct {
+		Seed uint64 `json:"seed"`
+		Done int    `json:"done"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("non-JSON output %q: %v", out.String(), err)
+	}
+	if res.Seed != 42 || res.Done == 0 {
+		t.Errorf("result: %+v", res)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{}, &out, &errOut); code != 2 {
+		t.Errorf("missing -target exited %d", code)
+	}
+	if code := run([]string{"-target", "http://x", "-seeds", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("bad seeds exited %d", code)
+	}
+	if code := run([]string{"-target", "http://x", "-mix", "pagerank=1"}, &out, &errOut); code != 2 {
+		t.Errorf("bad mix exited %d", code)
+	}
+}

@@ -160,11 +160,11 @@ func TestMmapWorkerParity(t *testing.T) {
 		}
 	}
 
-	memCoord, err := dialWorkers(memURLs)
+	memCoord, _, err := dialWorkers(memURLs, clusterDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-	mmapCoord, err := dialWorkers(mmapURLs)
+	mmapCoord, _, err := dialWorkers(mmapURLs, clusterDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func serveFile(t *testing.T, path string, partitions int) (*httptest.Server, str
 // serveFileMmap is serveFile with the -mmap flag.
 func serveFileMmap(t *testing.T, path string, partitions int, useMmap bool) (*httptest.Server, string) {
 	t.Helper()
-	cat, err := buildCatalog(path, "", partitions, useMmap, nil, 0)
+	cat, _, err := buildCatalog(path, "", partitions, useMmap, nil, 0, clusterDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func TestDistributedCoordinatorParity(t *testing.T) {
 		}
 		workerURLs = append(workerURLs, w.URL)
 	}
-	coordBE, err := dialWorkers(workerURLs)
+	coordBE, _, err := dialWorkers(workerURLs, clusterDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}

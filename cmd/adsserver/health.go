@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"adsketch"
+)
+
+// ejectAfter is how many consecutive probe failures eject a worker.  One
+// blip (a dropped connection, a long GC pause) should not take a healthy
+// worker out of rotation; two in a row is a pattern.
+const ejectAfter = 2
+
+// probedShard wraps a remote worker with health state.  While the
+// worker is ejected, calls fail immediately with ErrShardUnavailable
+// instead of waiting out a connection timeout — the coordinator's retry
+// chain then falls through to the partition's replica (if any) without
+// burning the query's latency budget, and the partial-failure policy
+// sees a clean, classified error.
+type probedShard struct {
+	*httpShard
+
+	healthy atomic.Bool  // false = ejected from rotation
+	fails   atomic.Int32 // consecutive probe failures
+	ejects  atomic.Int64 // lifetime eject transitions
+}
+
+func newProbedShard(s *httpShard) *probedShard {
+	p := &probedShard{httpShard: s}
+	p.healthy.Store(true)
+	return p
+}
+
+func (p *probedShard) unavailable() error {
+	return fmt.Errorf("worker %s is ejected (failed %d health probes): %w",
+		p.base, p.fails.Load(), adsketch.ErrShardUnavailable)
+}
+
+func (p *probedShard) Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error) {
+	if !p.healthy.Load() {
+		return adsketch.Response{}, p.unavailable()
+	}
+	return p.httpShard.Do(ctx, req)
+}
+
+func (p *probedShard) DoBatch(ctx context.Context, reqs []adsketch.Request) ([]adsketch.Response, error) {
+	if !p.healthy.Load() {
+		return nil, p.unavailable()
+	}
+	return p.httpShard.DoBatch(ctx, reqs)
+}
+
+// observe folds one probe result into the shard's health state and
+// reports whether the state flipped.
+func (p *probedShard) observe(err error) (flipped bool) {
+	if err == nil {
+		p.fails.Store(0)
+		return p.healthy.CompareAndSwap(false, true)
+	}
+	if p.fails.Add(1) >= ejectAfter && p.healthy.CompareAndSwap(true, false) {
+		p.ejects.Add(1)
+		return true
+	}
+	return false
+}
+
+// prober polls every worker's /healthz on a fixed interval, ejecting
+// workers that fail ejectAfter consecutive probes and readmitting them
+// on the first success.
+type prober struct {
+	shards   []*probedShard
+	interval time.Duration
+	client   *http.Client
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func startProber(shards []*probedShard, interval time.Duration) *prober {
+	p := &prober{
+		shards:   shards,
+		interval: interval,
+		client:   &http.Client{Timeout: interval},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *prober) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probeAll()
+		}
+	}
+}
+
+// probeAll checks every worker once and applies eject/readmit
+// transitions.  It is the prober's tick body, exposed for tests.
+func (p *prober) probeAll() {
+	for _, s := range p.shards {
+		err := p.probe(s.base)
+		if s.observe(err) {
+			if err != nil {
+				log.Printf("adsserver: worker %s ejected: %v", s.base, err)
+			} else {
+				log.Printf("adsserver: worker %s readmitted", s.base)
+			}
+		}
+	}
+}
+
+// probe performs one /healthz check against a worker base URL.
+func (p *prober) probe(base string) error {
+	resp, err := p.client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %s", resp.Status)
+	}
+	return nil
+}
+
+func (p *prober) halt() {
+	close(p.stop)
+	<-p.done
+}
+
+// workerHealth is the /statsz view of one worker's probe state.
+type workerHealth struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Fails     int32  `json:"consecutive_fails,omitempty"`
+	Ejections int64  `json:"ejections,omitempty"`
+}
+
+func (p *prober) health() []workerHealth {
+	out := make([]workerHealth, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = workerHealth{
+			URL:       s.base,
+			Healthy:   s.healthy.Load(),
+			Fails:     s.fails.Load(),
+			Ejections: s.ejects.Load(),
+		}
+	}
+	return out
+}

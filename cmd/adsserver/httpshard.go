@@ -27,28 +27,96 @@ type httpShard struct {
 
 var _ adsketch.ShardBackend = (*httpShard)(nil)
 
-// dialShard connects to a worker and reads its serving identity.
-func dialShard(base string) (*httpShard, error) {
+// clusterConfig carries the coordinator-mode tuning knobs: how to dial
+// workers, how the coordinator treats a slow or failing shard, and
+// whether to health-probe the topology.
+type clusterConfig struct {
+	dialTimeout   time.Duration // per-attempt budget for a worker's /v1/meta
+	dialRetries   int           // extra dial attempts per worker
+	dialBackoff   time.Duration // delay before the first dial retry (doubles per attempt)
+	shardTimeout  time.Duration // per-attempt shard call deadline (0 = none)
+	shardRetries  int           // extra rounds through a partition's replica chain
+	retryBackoff  time.Duration // delay before the first shard retry
+	hedgeDelay    time.Duration // hedge a second replica after this wait (0 = off)
+	probeInterval time.Duration // /healthz polling interval (0 = no probing)
+}
+
+// clusterDefaults is the production posture: bounded dials, a generous
+// per-shard deadline with one retry, hedging off (it needs replicas and
+// an explicit latency target), probing off (opt in via -probe-interval).
+func clusterDefaults() clusterConfig {
+	return clusterConfig{
+		dialTimeout:  5 * time.Second,
+		dialRetries:  2,
+		dialBackoff:  250 * time.Millisecond,
+		shardTimeout: 15 * time.Second,
+		shardRetries: 1,
+		retryBackoff: 50 * time.Millisecond,
+	}
+}
+
+func (c clusterConfig) coordinatorOptions() []adsketch.CoordinatorOption {
+	return []adsketch.CoordinatorOption{
+		adsketch.WithShardTimeout(c.shardTimeout),
+		adsketch.WithShardRetries(c.shardRetries),
+		adsketch.WithRetryBackoff(c.retryBackoff),
+		adsketch.WithHedgeDelay(c.hedgeDelay),
+	}
+}
+
+// dialShard connects to a worker and reads its serving identity, with a
+// per-attempt timeout and bounded retries — a worker that is still
+// binding its listener gets a grace period, while a wrong URL fails in
+// seconds instead of wedging startup on a default TCP timeout.
+func dialShard(base string, cfg clusterConfig) (*httpShard, error) {
 	s := &httpShard{
 		base:   strings.TrimSuffix(base, "/"),
 		client: &http.Client{Timeout: 60 * time.Second},
 	}
-	resp, err := s.client.Get(s.base + "/v1/meta")
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = s.fetchMeta(cfg.dialTimeout); err == nil {
+			return s, nil
+		}
+		if attempt >= cfg.dialRetries {
+			return nil, err
+		}
+		delay := cfg.dialBackoff << attempt
+		if max := time.Second; delay > max || delay <= 0 {
+			delay = max
+		}
+		time.Sleep(delay)
+	}
+}
+
+// fetchMeta performs one /v1/meta attempt under its own deadline.
+func (s *httpShard) fetchMeta(timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/meta", nil)
 	if err != nil {
-		return nil, fmt.Errorf("dialing shard %s: %w", base, err)
+		return fmt.Errorf("dialing shard %s: %w", s.base, err)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dialing shard %s: %w", s.base, err)
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return nil, fmt.Errorf("dialing shard %s: %w", base, err)
+		return fmt.Errorf("dialing shard %s: %w", s.base, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dialing shard %s: %s: %s", base, resp.Status, strings.TrimSpace(string(payload)))
+		return fmt.Errorf("dialing shard %s: %s: %s", s.base, resp.Status, strings.TrimSpace(string(payload)))
 	}
 	if err := json.Unmarshal(payload, &s.meta); err != nil {
-		return nil, fmt.Errorf("dialing shard %s: decoding /v1/meta: %v", base, err)
+		return fmt.Errorf("dialing shard %s: decoding /v1/meta: %v", s.base, err)
 	}
-	return s, nil
+	return nil
 }
 
 func (s *httpShard) Meta() adsketch.ShardMeta { return s.meta }
@@ -87,8 +155,18 @@ func shardStatusErr(status int, payload []byte) error {
 	switch status {
 	case http.StatusBadRequest:
 		return fmt.Errorf("%w: %s", adsketch.ErrBadRequest, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", adsketch.ErrUnknownDataset, msg)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", adsketch.ErrDatasetExists, msg)
 	case http.StatusUnprocessableEntity:
 		return fmt.Errorf("%w: %s", adsketch.ErrUnsupportedQuery, msg)
+	case http.StatusServiceUnavailable:
+		// The worker is alive but cannot answer right now (draining,
+		// injected fault, its own downstream ejected).  Classified
+		// unavailable so the coordinator retries or fails over instead of
+		// treating it as a deterministic protocol error.
+		return fmt.Errorf("%w: worker returned 503: %s", adsketch.ErrShardUnavailable, msg)
 	default:
 		return fmt.Errorf("worker returned %d: %s", status, msg)
 	}

@@ -105,7 +105,7 @@ func (d *datasetFlags) Set(v string) error {
 func main() {
 	fs := flag.NewFlagSet("adsserver", flag.ExitOnError)
 	sketchPath := fs.String("sketches", "", "sketch file served as the default dataset: a whole set or one partition (see adstool build -save / adstool split)")
-	workers := fs.String("workers", "", "comma-separated worker base URLs to coordinate as the default dataset (instead of -sketches)")
+	workers := fs.String("workers", "", "comma-separated worker base URLs to coordinate as the default dataset (instead of -sketches); join replicas of one partition with '|', e.g. http://a:8081|http://b:8081,http://a:8082")
 	partitions := fs.Int("partitions", 0, "split -sketches into this many in-process shards behind a coordinator (0 = serve unsplit)")
 	var datasets datasetFlags
 	fs.Var(&datasets, "dataset", "additional named dataset as name=path (repeatable); query with {\"dataset\":\"name\", ...}")
@@ -121,6 +121,15 @@ func main() {
 	ingestSeed := fs.Uint64("ingest-seed", 42, "rank seed of ingest-created datasets")
 	ingestDirected := fs.Bool("ingest-directed", false, "treat ingested edges as directed arcs (default: undirected edges)")
 	ingestDir := fs.String("ingest-dir", "", "persist each frozen ingest version as a v3 file under this directory and serve from it (with -mmap, via mmap); empty = publish in memory")
+	ccfg := clusterDefaults()
+	fs.DurationVar(&ccfg.dialTimeout, "dial-timeout", ccfg.dialTimeout, "per-attempt budget for fetching a worker's /v1/meta at startup")
+	fs.IntVar(&ccfg.dialRetries, "dial-retries", ccfg.dialRetries, "extra dial attempts per worker before giving up")
+	fs.DurationVar(&ccfg.shardTimeout, "shard-timeout", ccfg.shardTimeout, "per-attempt deadline the coordinator puts on each worker call (0 = none)")
+	fs.IntVar(&ccfg.shardRetries, "shard-retries", ccfg.shardRetries, "extra retry rounds through a partition's replica chain on transient errors")
+	fs.DurationVar(&ccfg.retryBackoff, "retry-backoff", ccfg.retryBackoff, "delay before the first shard retry (doubles per attempt, capped at 1s)")
+	fs.DurationVar(&ccfg.hedgeDelay, "hedge-delay", ccfg.hedgeDelay, "send a hedged request to a partition replica after this wait (0 = off; needs '|' replicas in -workers)")
+	fs.DurationVar(&ccfg.probeInterval, "probe-interval", ccfg.probeInterval, "poll every worker's /healthz on this interval, ejecting dead workers from rotation (0 = off)")
+	faultInject := fs.Bool("fault-inject", false, "expose POST /debugz/fault to inject latency or unavailability into this server (load-testing only; never enable in production)")
 	fs.Parse(os.Args[1:])
 	if *sketchPath == "" && *workers == "" && len(datasets) == 0 && !*ingestOn {
 		fmt.Fprintln(os.Stderr, "adsserver: at least one of -sketches, -workers, -dataset, or -ingest is required")
@@ -151,14 +160,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adsserver: -mmap applies to local sketch files (-sketches / -dataset / -ingest-dir), not to -workers")
 		os.Exit(2)
 	}
+	if ccfg.dialTimeout < 0 || ccfg.dialRetries < 0 || ccfg.probeInterval < 0 {
+		fmt.Fprintln(os.Stderr, "adsserver: -dial-timeout, -dial-retries, and -probe-interval must be >= 0")
+		os.Exit(2)
+	}
+	if *workers == "" && (ccfg.hedgeDelay != 0 || ccfg.probeInterval != 0) {
+		fmt.Fprintln(os.Stderr, "adsserver: -hedge-delay and -probe-interval apply to the -workers topology")
+		os.Exit(2)
+	}
 
-	cat, err := buildCatalog(*sketchPath, *workers, *partitions, *useMmap, datasets, *memBudget,
+	cat, pr, err := buildCatalog(*sketchPath, *workers, *partitions, *useMmap, datasets, *memBudget, ccfg,
 		adsketch.WithShards(*shards), adsketch.WithQueryParallelism(*parallel))
 	if err != nil {
 		log.Fatalf("adsserver: %v", err)
 	}
+	if pr != nil {
+		defer pr.halt()
+		log.Printf("adsserver: health-probing %d worker(s) every %v", len(pr.shards), ccfg.probeInterval)
+	}
 
 	srv := newServer(cat)
+	srv.prober = pr
+	if *faultInject {
+		srv.faultInject = true
+		log.Printf("adsserver: fault injection enabled at POST /debugz/fault")
+	}
 	if *ingestOn {
 		srv.ing = newIngestManager(cat, ingestConfig{
 			freezeEvery: *freezeEvery,
@@ -211,15 +237,16 @@ func main() {
 
 // buildCatalog assembles the serving catalog: the default dataset from
 // -sketches (optionally partitioned, optionally mmap'd) or -workers, and
-// one named dataset per -dataset name=path.
+// one named dataset per -dataset name=path.  The returned prober is
+// non-nil only for a -workers topology with -probe-interval set.
 func buildCatalog(sketchPath, workers string, partitions int, useMmap bool, datasets []string,
-	memBudget int64, engOpts ...adsketch.EngineOption) (*adsketch.Catalog, error) {
+	memBudget int64, ccfg clusterConfig, engOpts ...adsketch.EngineOption) (*adsketch.Catalog, *prober, error) {
 	cat, err := adsketch.NewCatalog(
 		adsketch.WithMemoryBudget(memBudget),
 		adsketch.WithEngineOptions(engOpts...),
 	)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if sketchPath != "" {
 		src := fileSource(sketchPath, useMmap)
@@ -227,25 +254,27 @@ func buildCatalog(sketchPath, workers string, partitions int, useMmap bool, data
 			src = src.WithPartitions(partitions)
 		}
 		if err := cat.Attach(adsketch.DefaultDataset, src); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	var pr *prober
 	if workers != "" {
-		be, err := dialWorkers(strings.Split(workers, ","))
+		be, workerProber, err := dialWorkers(strings.Split(workers, ","), ccfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := cat.Attach(adsketch.DefaultDataset, adsketch.BackendSource(be)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		pr = workerProber
 	}
 	for _, spec := range datasets {
 		name, path, _ := strings.Cut(spec, "=")
 		if err := cat.Attach(name, fileSource(path, useMmap)); err != nil {
-			return nil, fmt.Errorf("dataset %q: %w", name, err)
+			return nil, nil, fmt.Errorf("dataset %q: %w", name, err)
 		}
 	}
-	return cat, nil
+	return cat, pr, nil
 }
 
 // fileSource picks the load strategy for a sketch file path.
@@ -257,20 +286,45 @@ func fileSource(path string, useMmap bool) adsketch.Source {
 }
 
 // dialWorkers connects to every worker and assembles the coordinator.
-func dialWorkers(urls []string) (adsketch.ShardBackend, error) {
-	backends := make([]adsketch.ShardBackend, 0, len(urls))
-	for _, u := range urls {
-		u = strings.TrimSpace(u)
-		if u == "" {
-			continue
+// Each comma-separated element names one partition; '|' inside an
+// element joins the partition's replicas (first URL is the primary).
+// With cfg.probeInterval set, every worker is health-probed and dead
+// ones are ejected from rotation until they answer /healthz again.
+func dialWorkers(specs []string, cfg clusterConfig) (adsketch.ShardBackend, *prober, error) {
+	groups := make([][]adsketch.ShardBackend, 0, len(specs))
+	var probed []*probedShard
+	for _, spec := range specs {
+		var group []adsketch.ShardBackend
+		for _, u := range strings.Split(spec, "|") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			s, err := dialShard(u, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			role := "replica"
+			if len(group) == 0 {
+				role = "primary"
+			}
+			log.Printf("adsserver: worker %s serves partition %d/%d (nodes [%d, %d) of %d, %s)",
+				u, s.meta.Index, s.meta.Count, s.meta.Lo, s.meta.Hi, s.meta.TotalNodes, role)
+			p := newProbedShard(s)
+			probed = append(probed, p)
+			group = append(group, p)
 		}
-		s, err := dialShard(u)
-		if err != nil {
-			return nil, err
+		if len(group) > 0 {
+			groups = append(groups, group)
 		}
-		log.Printf("adsserver: worker %s serves partition %d/%d (nodes [%d, %d) of %d)",
-			u, s.meta.Index, s.meta.Count, s.meta.Lo, s.meta.Hi, s.meta.TotalNodes)
-		backends = append(backends, s)
 	}
-	return adsketch.NewCoordinator(backends)
+	be, err := adsketch.NewReplicatedCoordinator(groups, cfg.coordinatorOptions()...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pr *prober
+	if cfg.probeInterval > 0 {
+		pr = startProber(probed, cfg.probeInterval)
+	}
+	return be, pr, nil
 }

@@ -38,14 +38,24 @@ type setInfo interface {
 // catalog's default dataset); the admin endpoints attach, swap, and
 // detach datasets from server-side paths while traffic is live.
 type server struct {
-	cat   *adsketch.Catalog
-	ing   *ingestManager // nil unless -ingest
-	start time.Time
+	cat    *adsketch.Catalog
+	ing    *ingestManager // nil unless -ingest
+	prober *prober        // nil unless -workers with -probe-interval
+	start  time.Time
 
 	queries  atomic.Int64 // protocol requests evaluated (batch items count individually)
 	batches  atomic.Int64 // POST /v1/query calls
 	failures atomic.Int64 // requests answered with an error
 	ingested atomic.Int64 // edges accepted through /v1/ingest
+
+	// Fault injection (-fault-inject): a load harness flips these through
+	// POST /debugz/fault to rehearse a slow or dead worker without
+	// touching the process.  While dead, /healthz and /v1/query answer
+	// 503, so an upstream coordinator's prober ejects this worker and its
+	// partial-failure policy sees a cleanly classified outage.
+	faultInject  bool         // the endpoint is exposed at all
+	faultDead    atomic.Bool  // answer 503 to queries and health probes
+	faultLatency atomic.Int64 // added per-query latency, milliseconds
 }
 
 func newServer(cat *adsketch.Catalog) *server {
@@ -72,6 +82,10 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDetach)
 	if s.ing != nil {
 		mux.HandleFunc("POST /v1/ingest/{dataset}", s.handleIngest)
+	}
+	if s.faultInject {
+		mux.HandleFunc("POST /debugz/fault", s.handleFault)
+		mux.HandleFunc("GET /debugz/fault", s.handleFaultGet)
 	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -114,7 +128,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, adsketch.ErrUnsupportedQuery):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, adsketch.ErrShardUnavailable),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -131,6 +146,11 @@ func statusFor(err error) int {
 // concurrent swap.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.batches.Add(1)
+	if err := s.injectFault(r.Context()); err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		s.failures.Add(1)
@@ -332,7 +352,73 @@ func (s *server) handleDatasetDetach(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.faultDead.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "dead (injected fault)"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// injectFault applies the configured fault to one query: an injected
+// outage fails immediately; injected latency sleeps (honoring the
+// request's own deadline) before the query proceeds.
+func (s *server) injectFault(ctx context.Context) error {
+	if !s.faultInject {
+		return nil
+	}
+	if s.faultDead.Load() {
+		return errors.New("injected fault: worker is dead")
+	}
+	if ms := s.faultLatency.Load(); ms > 0 {
+		t := time.NewTimer(time.Duration(ms) * time.Millisecond)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return nil
+}
+
+// faultBody is the POST /debugz/fault payload; it replaces the whole
+// fault state, so {} clears every fault.
+type faultBody struct {
+	// Dead makes /v1/query and /healthz answer 503 until cleared.
+	Dead bool `json:"dead"`
+	// LatencyMS delays every query by this many milliseconds.
+	LatencyMS int64 `json:"latency_ms"`
+}
+
+// handleFault serves POST /debugz/fault (behind -fault-inject): the
+// load harness's lever for rehearsing a slow or dead worker in place.
+func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + err.Error()})
+		return
+	}
+	var fb faultBody
+	if err := json.Unmarshal(body, &fb); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding body: " + err.Error()})
+		return
+	}
+	if fb.LatencyMS < 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "latency_ms must be >= 0"})
+		return
+	}
+	s.faultDead.Store(fb.Dead)
+	s.faultLatency.Store(fb.LatencyMS)
+	log.Printf("adsserver: fault state set: dead=%v latency=%dms", fb.Dead, fb.LatencyMS)
+	writeJSON(w, http.StatusOK, fb)
+}
+
+// handleFaultGet reports the current fault state.
+func (s *server) handleFaultGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, faultBody{
+		Dead:      s.faultDead.Load(),
+		LatencyMS: s.faultLatency.Load(),
+	})
 }
 
 // statszBody is the /statsz payload: what is being served, how the
@@ -352,8 +438,14 @@ type statszBody struct {
 	UptimeSeconds float64              `json:"uptime_seconds"`
 	Shard         *adsketch.ShardMeta  `json:"shard,omitempty"`  // shard mode: what this worker owns
 	Shards        []adsketch.ShardMeta `json:"shards,omitempty"` // coordinator mode: the routing table
-	LocalNodes    int                  `json:"local_nodes,omitempty"`
-	TotalEntries  int                  `json:"total_entries,omitempty"`
+
+	// Coordinator-mode failure handling: per-partition call, error,
+	// retry, and hedge counters, and (with -probe-interval) every
+	// worker's probe state.
+	Scatter      []adsketch.ShardCallStats `json:"scatter,omitempty"`
+	Workers      []workerHealth            `json:"workers,omitempty"`
+	LocalNodes   int                       `json:"local_nodes,omitempty"`
+	TotalEntries int                       `json:"total_entries,omitempty"`
 
 	Cache adsketch.CacheStats `json:"cache"`
 
@@ -393,6 +485,9 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		body.IngestedEdges = s.ingested.Load()
 		body.Ingest = s.ing.stats()
 	}
+	if s.prober != nil {
+		body.Workers = s.prober.health()
+	}
 	// The top-level serving fields mirror the default dataset, keeping
 	// the single-set payload shape; a catalog without a default (named
 	// datasets only) reports mode "catalog" and the Datasets list alone.
@@ -419,6 +514,7 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 				be := d.Backend()
 				if c, ok := be.(*adsketch.Coordinator); ok {
 					body.Shards = c.ShardMetas()
+					body.Scatter = c.Stats().Shards
 				}
 				if si, ok := be.(setInfo); ok {
 					set := si.Set()

@@ -27,3 +27,32 @@ import (
 func Scatter(ctx context.Context, n int, fn func(i int) error) error {
 	return query.ForEach(ctx, 0, n, fn)
 }
+
+// ScatterAll runs fn(i) for every shard index in [0, n) concurrently and
+// waits for all of them: unlike Scatter, one shard's failure does not
+// stop the others.  It returns the per-index errors (nil entries for the
+// shards that succeeded) so the caller can apply a partial-failure
+// policy — degrade around the failed shards, or surface the first error.
+// Only context cancellation aborts the fan-out early, reported in the
+// second return; the per-index slice then marks the unvisited shards
+// with the context error too, so no entry is silently nil.
+func ScatterAll(ctx context.Context, n int, fn func(i int) error) ([]error, error) {
+	errs := make([]error, n)
+	visited := make([]bool, n)
+	err := query.ForEach(ctx, 0, n, func(i int) error {
+		visited[i] = true
+		errs[i] = fn(i)
+		return nil
+	})
+	if err != nil {
+		// Cancellation won the race: every shard not reached reports the
+		// context error rather than a misleading success.
+		for i := range errs {
+			if !visited[i] {
+				errs[i] = err
+			}
+		}
+		return errs, err
+	}
+	return errs, nil
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -158,6 +159,106 @@ func TestMergeTopKMatchesSingleSelection(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("trial %d (n=%d, k=%d, shards=%d): merged %v, want %v", trial, n, k, nshards, got, want)
 		}
+	}
+}
+
+func TestScatterAllCollectsEveryError(t *testing.T) {
+	sentinel := errors.New("shard down")
+	errs, err := ScatterAll(context.Background(), 8, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("%w: %d", sentinel, i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if want := i%3 == 0; (e != nil) != want {
+			t.Errorf("errs[%d] = %v, want error: %v", i, e, want)
+		}
+		if e != nil && !errors.Is(e, sentinel) {
+			t.Errorf("errs[%d] = %v, want %v", i, e, sentinel)
+		}
+	}
+
+	// One shard's failure must not stop the others: every index runs.
+	visited := make([]bool, 16)
+	if _, err := ScatterAll(context.Background(), 16, func(i int) error {
+		visited[i] = true
+		return sentinel
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range visited {
+		if !v {
+			t.Errorf("shard %d not visited after sibling failures", i)
+		}
+	}
+}
+
+func TestScatterAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs, err := ScatterAll(ctx, 4, func(int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ScatterAll error = %v", err)
+	}
+	for i, e := range errs {
+		if e == nil {
+			t.Errorf("errs[%d] = nil after cancellation; unvisited shards must not report success", i)
+		}
+	}
+}
+
+func TestMergeScoresPartial(t *testing.T) {
+	r, err := NewRouter(ranges(0, 5, 10), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []int32{7, 2, 9, 0}
+	subs, err := r.Plan(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := make([][]float64, len(subs))
+	ok := make([]bool, len(subs))
+	for i, sub := range subs {
+		ok[i] = true
+		for _, v := range sub.Nodes {
+			partial[i] = append(partial[i], float64(v)*10)
+		}
+	}
+
+	// All shards ok: exactly MergeScores, no missing positions.
+	got, missing, err := MergeScoresPartial(len(nodes), subs, partial, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{70, 20, 90, 0}; !reflect.DeepEqual(got, want) || missing != nil {
+		t.Errorf("full MergeScoresPartial = %v (missing %v), want %v (missing none)", got, missing, want)
+	}
+
+	// Shard 0 (nodes 7, 9 at positions 0, 2) failed: its positions stay
+	// zero and are reported, the survivors land in request order.
+	ok[0] = false
+	partial[0] = nil
+	got, missing, err = MergeScoresPartial(len(nodes), subs, partial, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0, 20, 0, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("degraded scores = %v, want %v", got, want)
+	}
+	if want := []int{0, 2}; !reflect.DeepEqual(missing, want) {
+		t.Errorf("missing positions = %v, want %v", missing, want)
+	}
+
+	// A surviving shard with the wrong cardinality still fails loudly.
+	ok[0] = true
+	partial[0] = []float64{1}
+	if _, _, err := MergeScoresPartial(len(nodes), subs, partial, ok); err == nil {
+		t.Error("short surviving partial merged successfully")
 	}
 }
 

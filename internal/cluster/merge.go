@@ -30,6 +30,34 @@ func MergeScores(n int, subs []Sub, partial [][]float64) ([]float64, error) {
 	return out, nil
 }
 
+// MergeScoresPartial gathers the surviving per-shard score vectors of a
+// degraded scatter back into request order.  ok[i] reports whether
+// subs[i] answered; the positions of a failed shard's nodes stay 0 and
+// are returned in missing (original request positions, ascending).  With
+// every shard ok it is exactly MergeScores.
+func MergeScoresPartial(n int, subs []Sub, partial [][]float64, ok []bool) (scores []float64, missing []int, err error) {
+	scores = make([]float64, n)
+	filled := 0
+	for i, sub := range subs {
+		if !ok[i] {
+			missing = append(missing, sub.Pos...)
+			continue
+		}
+		if len(partial[i]) != len(sub.Nodes) {
+			return nil, nil, fmt.Errorf("cluster: shard %d returned %d scores for %d nodes", sub.Shard, len(partial[i]), len(sub.Nodes))
+		}
+		for j, pos := range sub.Pos {
+			scores[pos] = partial[i][j]
+			filled++
+		}
+	}
+	if filled+len(missing) != n {
+		return nil, nil, fmt.Errorf("cluster: merged %d of %d scores (%d missing)", filled, n, len(missing))
+	}
+	sort.Ints(missing)
+	return scores, missing, nil
+}
+
 // MergeTopK merges per-shard top-k rankings into the global top-k, in
 // ranking order: descending score, ties broken by ascending node ID —
 // the exact order of the single-set bounded-heap selection.  Each shard

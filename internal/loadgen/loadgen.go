@@ -1,0 +1,341 @@
+// Package loadgen drives an adsketch serving topology with an open-loop
+// query load: arrivals fire on a fixed schedule regardless of how fast
+// completions come back, so a slow or dead shard shows up as queueing
+// and tail latency (exactly as it would for production clients) instead
+// of silently throttling the generator.  On top of the generator sit
+// declarative fault scenarios (phases that inject latency, outages, or
+// catalog swaps into a running topology) and SLO gates that turn a run
+// into a pass/fail release check.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"adsketch"
+)
+
+// Doer answers one wire-protocol request: Engine, Coordinator, Catalog,
+// or (in cmd/adsload) an HTTP client posting to a remote server.
+type Doer interface {
+	Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error)
+}
+
+// MixEntry weights one query kind in the generated stream.
+type MixEntry struct {
+	Kind   string
+	Weight float64
+}
+
+// The query kinds a Mix may name.
+const (
+	KindCloseness    = "closeness"
+	KindTopK         = "topk"
+	KindNeighborhood = "neighborhood"
+	KindJaccard      = "jaccard"
+	KindSketch       = "sketch"
+)
+
+// Mix is a weighted query blend, in a fixed order so the same seed
+// always draws the same stream.
+type Mix []MixEntry
+
+// DefaultMix approximates a read-heavy serving workload: mostly
+// per-node scores, some rankings, a little of everything else.
+func DefaultMix() Mix {
+	return Mix{
+		{KindCloseness, 6},
+		{KindTopK, 2},
+		{KindNeighborhood, 2},
+	}
+}
+
+// ParseMix reads a "kind=weight,kind=weight" flag value.
+func ParseMix(s string) (Mix, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultMix(), nil
+	}
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		kind, w, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix entry %q: want kind=weight", part)
+		}
+		weight, err := strconv.ParseFloat(w, 64)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("loadgen: mix entry %q: bad weight", part)
+		}
+		switch kind {
+		case KindCloseness, KindTopK, KindNeighborhood, KindJaccard, KindSketch:
+		default:
+			return nil, fmt.Errorf("loadgen: mix entry %q: unknown kind (want %s|%s|%s|%s|%s)",
+				part, KindCloseness, KindTopK, KindNeighborhood, KindJaccard, KindSketch)
+		}
+		m = append(m, MixEntry{Kind: kind, Weight: weight})
+	}
+	return m, m.validate()
+}
+
+func (m Mix) validate() error {
+	total := 0.0
+	for _, e := range m {
+		total += e.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("loadgen: mix has no positive weight")
+	}
+	return nil
+}
+
+// draw picks a kind proportionally to the weights.
+func (m Mix) draw(rng *rand.Rand) string {
+	total := 0.0
+	for _, e := range m {
+		total += e.Weight
+	}
+	x := rng.Float64() * total
+	for _, e := range m {
+		if x < e.Weight {
+			return e.Kind
+		}
+		x -= e.Weight
+	}
+	return m[len(m)-1].Kind
+}
+
+// Config shapes one load run.
+type Config struct {
+	RPS      float64       // arrival rate (open loop)
+	Duration time.Duration // how long to keep arriving
+	Seed     uint64        // the stream is a pure function of (Seed, Mix, Nodes)
+	Mix      Mix           // nil = DefaultMix
+	Nodes    int           // global node-ID space for generated queries
+	Policy   string        // Request.Policy for every query ("" = fail)
+	Dataset  string        // Request.Dataset ("" = default dataset)
+	InFlight int           // concurrent-request cap; arrivals beyond it are shed (0 = 512)
+}
+
+func (c *Config) normalize() error {
+	if c.RPS <= 0 {
+		return fmt.Errorf("loadgen: rps must be > 0")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration must be > 0")
+	}
+	if c.Nodes <= 0 {
+		return fmt.Errorf("loadgen: node space unknown; set Config.Nodes")
+	}
+	if c.Mix == nil {
+		c.Mix = DefaultMix()
+	}
+	if err := c.Mix.validate(); err != nil {
+		return err
+	}
+	if c.InFlight <= 0 {
+		c.InFlight = 512
+	}
+	return nil
+}
+
+// genRequest draws the next query of the stream.  Everything about the
+// request comes from rng, so a (seed, mix, nodes) triple names one
+// reproducible stream on any machine.
+func genRequest(rng *rand.Rand, cfg *Config) adsketch.Request {
+	node := func() int32 { return int32(rng.Intn(cfg.Nodes)) }
+	req := adsketch.Request{Policy: cfg.Policy, Dataset: cfg.Dataset}
+	switch cfg.Mix.draw(rng) {
+	case KindCloseness:
+		nodes := make([]int32, 1+rng.Intn(4))
+		for i := range nodes {
+			nodes[i] = node()
+		}
+		req.Closeness = &adsketch.ClosenessQuery{Nodes: nodes}
+	case KindTopK:
+		req.TopK = &adsketch.TopKQuery{Metric: adsketch.MetricCloseness, K: 5 + rng.Intn(16)}
+	case KindNeighborhood:
+		req.Neighborhood = &adsketch.NeighborhoodQuery{
+			Radius: float64(1 + rng.Intn(3)), Nodes: []int32{node(), node()},
+		}
+	case KindJaccard:
+		req.Jaccard = &adsketch.JaccardQuery{A: node(), RadiusA: 2, B: node(), RadiusB: 2}
+	case KindSketch:
+		req.Sketch = &adsketch.SketchQuery{Node: node()}
+	}
+	return req
+}
+
+// Summary condenses a latency distribution.
+type Summary struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	P50   time.Duration `json:"p50"`
+	P95   time.Duration `json:"p95"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+// summarize computes the percentile summary of raw samples.
+func summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  total / time.Duration(len(sorted)),
+		P50:   quantile(sorted, 0.50),
+		P95:   quantile(sorted, 0.95),
+		P99:   quantile(sorted, 0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// quantile reads the q-th quantile (nearest-rank) off sorted samples.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}
+
+// Result is the outcome of one load run.
+type Result struct {
+	Name    string        `json:"name,omitempty"` // phase or scenario label
+	Seed    uint64        `json:"seed"`
+	Sent    int           `json:"sent"`    // arrivals issued
+	Shed    int           `json:"shed"`    // arrivals dropped at the in-flight cap
+	Done    int           `json:"done"`    // completions (ok or error)
+	Errors  int           `json:"errors"`  // completions that failed
+	Partial int           `json:"partial"` // degraded (Response.Partial) answers
+	Elapsed time.Duration `json:"elapsed"` // wall clock including drain
+	Latency Summary       `json:"latency"` // completed-request latency
+}
+
+// ErrorRate is the failed fraction of completed requests; shed arrivals
+// count as failures too — an open-loop generator that cannot keep its
+// in-flight budget is itself a signal the topology is underwater.
+func (r Result) ErrorRate() float64 {
+	total := r.Done + r.Shed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Errors+r.Shed) / float64(total)
+}
+
+// Run drives one open-loop load run against d.  Arrivals fire every
+// 1/RPS regardless of completions; each runs on its own goroutine up to
+// the in-flight cap, beyond which arrivals are shed (and counted).  The
+// request stream is deterministic in cfg.Seed; completion interleaving
+// of course is not.
+func Run(ctx context.Context, d Doer, cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+
+	res := Result{Seed: cfg.Seed}
+	var (
+		mu      sync.Mutex
+		samples []time.Duration
+		wg      sync.WaitGroup
+	)
+	sem := make(chan struct{}, cfg.InFlight)
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.Duration)
+	defer deadline.Stop()
+
+arrivals:
+	for {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case <-deadline.C:
+			break arrivals
+		case <-ticker.C:
+			req := genRequest(rng, &cfg)
+			res.Sent++
+			select {
+			case sem <- struct{}{}:
+			default:
+				res.Shed++
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				resp, err := d.Do(ctx, req)
+				lat := time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				res.Done++
+				samples = append(samples, lat)
+				if err != nil {
+					res.Errors++
+				} else if resp.Partial {
+					res.Partial++
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Latency = summarize(samples)
+	return res, ctx.Err()
+}
+
+// SLO is a release gate over one Result.  The rate and count ceilings
+// treat zero as a strict "none allowed" and negative as unchecked; the
+// other dimensions are unchecked at their zero value.
+type SLO struct {
+	MaxErrorRate float64       // failed+shed fraction of arrivals, [0, 1] (< 0 = unchecked)
+	MaxP99       time.Duration // tail-latency ceiling (0 = unchecked)
+	MinDone      int           // completed-request floor (catches a gate passing on an idle run)
+	MaxPartial   int           // degraded-answer ceiling (< 0 = unchecked; 0 = none allowed)
+}
+
+// Check returns the violated clauses, empty when the result passes.
+func (s SLO) Check(r Result) []string {
+	var v []string
+	if rate := r.ErrorRate(); s.MaxErrorRate >= 0 && rate > s.MaxErrorRate {
+		v = append(v, fmt.Sprintf("error rate %.4f > %.4f (%d errors, %d shed of %d)",
+			rate, s.MaxErrorRate, r.Errors, r.Shed, r.Done+r.Shed))
+	}
+	if s.MaxP99 > 0 && r.Latency.P99 > s.MaxP99 {
+		v = append(v, fmt.Sprintf("p99 %v > %v", r.Latency.P99, s.MaxP99))
+	}
+	if s.MinDone > 0 && r.Done < s.MinDone {
+		v = append(v, fmt.Sprintf("only %d requests completed, want >= %d", r.Done, s.MinDone))
+	}
+	if s.MaxPartial >= 0 && r.Partial > s.MaxPartial {
+		v = append(v, fmt.Sprintf("%d degraded (partial) answers > %d", r.Partial, s.MaxPartial))
+	}
+	return v
+}

@@ -1,0 +1,344 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adsketch"
+)
+
+// recordingDoer captures the request stream and answers instantly.
+type recordingDoer struct {
+	mu   sync.Mutex
+	reqs []adsketch.Request
+
+	fail    func(adsketch.Request) error // optional per-request failure
+	partial bool                         // flag every answer degraded
+	delay   time.Duration
+}
+
+func (d *recordingDoer) Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error) {
+	d.mu.Lock()
+	d.reqs = append(d.reqs, req)
+	d.mu.Unlock()
+	if d.delay > 0 {
+		select {
+		case <-ctx.Done():
+			return adsketch.Response{}, ctx.Err()
+		case <-time.After(d.delay):
+		}
+	}
+	if d.fail != nil {
+		if err := d.fail(req); err != nil {
+			return adsketch.Response{}, err
+		}
+	}
+	return adsketch.Response{Partial: d.partial}, nil
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	s := summarize(samples)
+	if s.Count != 100 || s.Max != 100*time.Millisecond {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.P50 != 50*time.Millisecond || s.P95 != 95*time.Millisecond || s.P99 != 99*time.Millisecond {
+		t.Errorf("percentiles: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if empty := summarize(nil); empty != (Summary{}) {
+		t.Errorf("empty summary: %+v", empty)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("closeness=6,topk=2, neighborhood=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Mix{{KindCloseness, 6}, {KindTopK, 2}, {KindNeighborhood, 1}}
+	if !reflect.DeepEqual(m, want) {
+		t.Errorf("mix = %+v", m)
+	}
+	if m, err := ParseMix(""); err != nil || !reflect.DeepEqual(m, DefaultMix()) {
+		t.Errorf("empty mix: %v, %v", m, err)
+	}
+	for _, bad := range []string{"closeness", "closeness=x", "closeness=-1", "pagerank=1", "closeness=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// The stream must be a pure function of the seed: two runs with the
+// same seed draw identical requests, a different seed draws different
+// ones.
+func TestRunDeterministicStream(t *testing.T) {
+	run := func(seed uint64) []adsketch.Request {
+		d := &recordingDoer{}
+		cfg := Config{RPS: 2000, Duration: 100 * time.Millisecond, Seed: seed, Nodes: 400,
+			Mix: Mix{{KindCloseness, 1}, {KindJaccard, 1}, {KindSketch, 1}}}
+		if _, err := Run(context.Background(), d, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return d.reqs
+	}
+	a, b := run(42), run(42)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		t.Fatal("no requests generated")
+	}
+	// Completion order is racy but the arrival loop generates in
+	// sequence; compare as multisets via JSON keys.
+	key := func(reqs []adsketch.Request) map[string]int {
+		m := make(map[string]int)
+		for _, r := range reqs {
+			b, _ := json.Marshal(r)
+			m[string(b)]++
+		}
+		return m
+	}
+	ka, kb := key(a[:n]), key(b[:n])
+	same := 0
+	for k, c := range ka {
+		if kb[k] == c {
+			same += c
+		}
+	}
+	if same < n*9/10 {
+		t.Errorf("same-seed streams differ: %d/%d requests match", same, n)
+	}
+	kc := key(run(7)[:1])
+	for k := range kc {
+		if _, clash := ka[k]; clash && len(ka) > 3 {
+			// A single overlapping request is fine; identical streams are not.
+			break
+		}
+	}
+}
+
+func TestRunCountsOutcomes(t *testing.T) {
+	boom := errors.New("boom")
+	d := &recordingDoer{
+		partial: true,
+		fail: func(req adsketch.Request) error {
+			if req.TopK != nil {
+				return boom
+			}
+			return nil
+		},
+	}
+	cfg := Config{RPS: 2000, Duration: 100 * time.Millisecond, Seed: 42, Nodes: 400,
+		Mix: Mix{{KindCloseness, 1}, {KindTopK, 1}}}
+	res, err := Run(context.Background(), d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Done != res.Sent-res.Shed {
+		t.Fatalf("accounting: %+v", res)
+	}
+	if res.Errors == 0 || res.Partial == 0 {
+		t.Errorf("outcome counts: %+v", res)
+	}
+	if res.Errors+res.Partial > res.Done {
+		t.Errorf("an answer counted twice: %+v", res)
+	}
+	if res.Latency.Count != res.Done {
+		t.Errorf("latency samples %d != done %d", res.Latency.Count, res.Done)
+	}
+}
+
+// Open loop: a slow backend must not throttle arrivals — excess
+// arrivals shed at the in-flight cap instead of stretching the run.
+func TestRunOpenLoopSheds(t *testing.T) {
+	d := &recordingDoer{delay: time.Second}
+	cfg := Config{RPS: 1000, Duration: 150 * time.Millisecond, Seed: 1, Nodes: 10, InFlight: 4}
+	start := time.Now()
+	res, err := Run(context.Background(), d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Errorf("no arrivals shed at a 4-deep cap against a 1s backend: %+v", res)
+	}
+	if res.ErrorRate() == 0 {
+		t.Error("shed arrivals not reflected in the error rate")
+	}
+	// The run drains in-flight requests (~1s) but must not serve the
+	// full arrival backlog sequentially.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("open-loop run took %v", elapsed)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	d := &recordingDoer{}
+	for _, cfg := range []Config{
+		{RPS: 0, Duration: time.Second, Nodes: 10},
+		{RPS: 10, Duration: 0, Nodes: 10},
+		{RPS: 10, Duration: time.Second, Nodes: 0},
+		{RPS: 10, Duration: time.Second, Nodes: 10, Mix: Mix{{KindTopK, 0}}},
+	} {
+		if _, err := Run(context.Background(), d, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	good := Result{Sent: 100, Done: 100, Latency: Summary{Count: 100, P99: 20 * time.Millisecond}}
+	slo := SLO{MaxErrorRate: 0.01, MaxP99: 100 * time.Millisecond, MinDone: 50, MaxPartial: 0}
+	if v := slo.Check(good); len(v) != 0 {
+		t.Errorf("clean result violates: %v", v)
+	}
+	bad := Result{Sent: 100, Done: 90, Shed: 10, Errors: 5, Partial: 3,
+		Latency: Summary{Count: 90, P99: 500 * time.Millisecond}}
+	v := slo.Check(bad)
+	if len(v) != 3 {
+		t.Errorf("want 3 violations (error rate, p99, partial): %v", v)
+	}
+	if v := (SLO{MinDone: 95, MaxErrorRate: -1, MaxPartial: -1}).Check(bad); len(v) != 1 ||
+		!strings.Contains(v[0], "completed") {
+		t.Errorf("MinDone violation: %v", v)
+	}
+	// Unchecked dimensions stay silent.
+	loose := SLO{MaxErrorRate: -1, MaxPartial: -1}
+	if v := loose.Check(bad); len(v) != 0 {
+		t.Errorf("unchecked SLO violates: %v", v)
+	}
+}
+
+func TestScenarioParse(t *testing.T) {
+	doc := `{
+		"name": "dead-worker",
+		"rps": 200,
+		"policy": "partial",
+		"phases": [
+			{"name": "warmup", "duration_ms": 500},
+			{"name": "inject", "duration_ms": 1000,
+			 "inject": [{"target": "http://w1", "dead": true}]},
+			{"name": "recovery", "duration_ms": 500,
+			 "inject": [{"target": "http://w1"}]}
+		]
+	}`
+	sc, err := ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "dead-worker" || len(sc.Phases) != 3 || !sc.Phases[1].Inject[0].Dead {
+		t.Errorf("scenario: %+v", sc)
+	}
+	for _, bad := range []string{
+		`{"name":"x","rps":0,"phases":[{"name":"a","duration_ms":1}]}`,
+		`{"name":"x","rps":10,"phases":[]}`,
+		`{"name":"x","rps":10,"phases":[{"name":"a","duration_ms":0}]}`,
+		`{"name":"x","rps":10,"phases":[{"name":"a","duration_ms":1,"inject":[{"dead":true}]}]}`,
+		`{"name":"x","rps":10,"phases":[{"name":"a","duration_ms":1,"inject":[{"target":"t","swap":{"dataset":"d"}}]}]}`,
+		`{"name":"x","rps":10,"typo":1,"phases":[{"name":"a","duration_ms":1}]}`,
+	} {
+		if _, err := ParseScenario([]byte(bad)); err == nil {
+			t.Errorf("scenario %s accepted", bad)
+		}
+	}
+}
+
+func TestRunScenarioAppliesInjects(t *testing.T) {
+	var mu sync.Mutex
+	var posts []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body map[string]any
+		json.NewDecoder(r.Body).Decode(&body)
+		b, _ := json.Marshal(body)
+		mu.Lock()
+		posts = append(posts, r.Method+" "+r.URL.Path+" "+string(b))
+		mu.Unlock()
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	dead := true
+	_ = dead
+	sc := Scenario{
+		Name: "swap-midburst",
+		RPS:  500,
+		Phases: []Phase{
+			{Name: "warmup", DurationMS: 50},
+			{Name: "faulted", DurationMS: 50, Inject: []Inject{{Target: ts.URL, Dead: true, LatencyMS: 5}}},
+			{Name: "swapped", DurationMS: 50, Inject: []Inject{
+				{Target: ts.URL}, // clear fault
+				{Target: ts.URL, Swap: &Swap{Dataset: "default", Path: "/tmp/x.ads", Mmap: true}},
+			}},
+		},
+	}
+	d := &recordingDoer{}
+	results, err := RunScenario(context.Background(), d, sc, Config{Nodes: 100}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results: %+v", results)
+	}
+	for i, want := range []string{"swap-midburst/warmup", "swap-midburst/faulted", "swap-midburst/swapped"} {
+		if results[i].Name != want {
+			t.Errorf("phase %d named %q, want %q", i, results[i].Name, want)
+		}
+		if results[i].Done == 0 {
+			t.Errorf("phase %d completed nothing", i)
+		}
+	}
+	wantPosts := []string{
+		`POST /debugz/fault {"dead":true,"latency_ms":5}`,
+		`POST /debugz/fault {"dead":false,"latency_ms":0}`,
+		`POST /v1/datasets/default {"mmap":true,"partitions":0,"path":"/tmp/x.ads"}`,
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(posts, wantPosts) {
+		t.Errorf("injected posts:\n  got  %q\n  want %q", posts, wantPosts)
+	}
+
+	// A failing inject aborts the scenario with partial results.
+	ts.Close()
+	_, err = RunScenario(context.Background(), d, sc, Config{Nodes: 100}, 42)
+	if err == nil || !strings.Contains(err.Error(), "inject") {
+		t.Errorf("dead inject target: %v", err)
+	}
+}
+
+// Against a real engine, a healthy run passes a sane SLO and every
+// answer is exact (no partials, no errors).
+func TestRunAgainstEngine(t *testing.T) {
+	g := adsketch.PreferentialAttachment(400, 3, 7)
+	set, err := adsketch.Build(g, adsketch.WithK(8), adsketch.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), eng, Config{
+		RPS: 2000, Duration: 200 * time.Millisecond, Seed: 42, Nodes: set.NumNodes(),
+		Mix: Mix{{KindCloseness, 4}, {KindTopK, 1}, {KindNeighborhood, 2}, {KindJaccard, 1}, {KindSketch, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := SLO{MaxErrorRate: 0, MaxP99: 5 * time.Second, MinDone: 10, MaxPartial: 0}
+	if v := slo.Check(res); len(v) != 0 {
+		t.Errorf("healthy engine violates SLO: %v (result %+v)", v, res)
+	}
+}

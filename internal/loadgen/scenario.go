@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Scenario is a declarative fault-rehearsal script: a sequence of load
+// phases, each optionally flipping fault state on a worker or swapping
+// a dataset in the catalog mid-burst.  The generator keeps arriving at
+// the same open-loop rate across phase boundaries, so the phases carve
+// one continuous run into labeled windows (warmup, inject, recovery)
+// whose results gate independently.
+type Scenario struct {
+	Name   string  `json:"name"`
+	RPS    float64 `json:"rps"`
+	Mix    string  `json:"mix,omitempty"`    // ParseMix syntax; empty = default
+	Policy string  `json:"policy,omitempty"` // Request.Policy for every query
+	Phases []Phase `json:"phases"`
+}
+
+// Phase is one window of a scenario.
+type Phase struct {
+	Name       string   `json:"name"`
+	DurationMS int64    `json:"duration_ms"`
+	RPS        float64  `json:"rps,omitempty"`    // override the scenario rate
+	Policy     *string  `json:"policy,omitempty"` // override the scenario policy
+	Inject     []Inject `json:"inject,omitempty"` // applied before the phase's first arrival
+}
+
+// Inject is one fault action against a live server: fault state through
+// POST /debugz/fault (the worker must run with -fault-inject), or a
+// catalog swap through POST /v1/datasets/{name}.  A fault inject with
+// neither dead nor latency set clears the target's fault state.
+type Inject struct {
+	Target    string `json:"target"` // server base URL
+	Dead      bool   `json:"dead,omitempty"`
+	LatencyMS int64  `json:"latency_ms,omitempty"`
+	Swap      *Swap  `json:"swap,omitempty"`
+}
+
+// Swap publishes a sketch file under a dataset name on the target.
+type Swap struct {
+	Dataset    string `json:"dataset"`
+	Path       string `json:"path"` // server-side path
+	Mmap       bool   `json:"mmap,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
+}
+
+// ParseScenario decodes and validates a scenario document.
+func ParseScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("loadgen: decoding scenario: %w", err)
+	}
+	if sc.RPS <= 0 {
+		return Scenario{}, fmt.Errorf("loadgen: scenario %q: rps must be > 0", sc.Name)
+	}
+	if len(sc.Phases) == 0 {
+		return Scenario{}, fmt.Errorf("loadgen: scenario %q has no phases", sc.Name)
+	}
+	if _, err := ParseMix(sc.Mix); err != nil {
+		return Scenario{}, err
+	}
+	for i, p := range sc.Phases {
+		if p.DurationMS <= 0 {
+			return Scenario{}, fmt.Errorf("loadgen: scenario %q phase %d (%s): duration_ms must be > 0", sc.Name, i, p.Name)
+		}
+		for j, inj := range p.Inject {
+			if inj.Target == "" {
+				return Scenario{}, fmt.Errorf("loadgen: scenario %q phase %d inject %d: target is required", sc.Name, i, j)
+			}
+			if inj.Swap != nil && (inj.Swap.Dataset == "" || inj.Swap.Path == "") {
+				return Scenario{}, fmt.Errorf("loadgen: scenario %q phase %d inject %d: swap wants dataset and path", sc.Name, i, j)
+			}
+		}
+	}
+	return sc, nil
+}
+
+// injectClient posts fault and swap actions; overridable in tests.
+var injectClient = &http.Client{Timeout: 10 * time.Second}
+
+// apply executes one inject action.
+func (inj Inject) apply(ctx context.Context) error {
+	var url string
+	var body []byte
+	if inj.Swap != nil {
+		url = inj.Target + "/v1/datasets/" + inj.Swap.Dataset
+		body, _ = json.Marshal(map[string]any{
+			"path": inj.Swap.Path, "mmap": inj.Swap.Mmap, "partitions": inj.Swap.Partitions,
+		})
+	} else {
+		url = inj.Target + "/debugz/fault"
+		body, _ = json.Marshal(map[string]any{"dead": inj.Dead, "latency_ms": inj.LatencyMS})
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := injectClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: inject %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("loadgen: inject %s: %s: %s", url, resp.Status, bytes.TrimSpace(payload))
+	}
+	return nil
+}
+
+// RunScenario executes every phase in order under one seed, returning
+// one Result per phase (labeled scenario/phase).  Fault injects apply
+// before their phase's first arrival; the last phase's faults are NOT
+// cleaned up automatically — a recovery phase that clears them is part
+// of a well-formed scenario, and leaving them lets a harness assert on
+// the faulted end state.
+func RunScenario(ctx context.Context, d Doer, sc Scenario, base Config, seed uint64) ([]Result, error) {
+	mix, err := ParseMix(sc.Mix)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(sc.Phases))
+	for i, p := range sc.Phases {
+		for _, inj := range p.Inject {
+			if err := inj.apply(ctx); err != nil {
+				return results, err
+			}
+		}
+		cfg := base
+		cfg.Mix = mix
+		cfg.RPS = sc.RPS
+		if p.RPS > 0 {
+			cfg.RPS = p.RPS
+		}
+		cfg.Policy = sc.Policy
+		if p.Policy != nil {
+			cfg.Policy = *p.Policy
+		}
+		cfg.Duration = time.Duration(p.DurationMS) * time.Millisecond
+		// Each phase draws a distinct, reproducible stream: the phase
+		// index keeps streams apart, the run seed keeps them repeatable.
+		cfg.Seed = seed + uint64(i)*1_000_003
+		res, err := Run(ctx, d, cfg)
+		res.Name = sc.Name + "/" + p.Name
+		results = append(results, res)
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -45,9 +45,27 @@ type Query interface {
 	evaluate(ctx context.Context, e *Engine) (Response, error)
 	// scatter answers the query on a coordinator by shard fan-out and
 	// partial-response merge, bit-for-bit equal to evaluate on the
-	// unpartitioned set.
-	scatter(ctx context.Context, c *Coordinator) (Response, error)
+	// unpartitioned set.  partial selects the degraded-answer failure
+	// policy (PolicyPartial) for the query kinds that support it.
+	scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error)
 }
+
+// Per-query partial-failure policies (Request.Policy) of a partitioned
+// serving tier.  They only matter when a shard fails mid-query: with no
+// fault, both policies produce byte-identical responses.
+const (
+	// PolicyFail (the default, also selected by an empty Policy) fails
+	// the whole query when any consulted shard fails, with a typed error
+	// naming the shard.
+	PolicyFail = "fail"
+	// PolicyPartial degrades instead: per-node and topk queries answer
+	// from the shards that responded, flag the Response as Partial, zero
+	// the scores of the unreachable nodes (listing them in Missing), and
+	// name the failed partitions in the Explain merge metadata.  The
+	// pairwise coordinated queries (jaccard, influence, distance_bound,
+	// sketch) need every consulted sketch and keep fail semantics.
+	PolicyPartial = "partial"
+)
 
 // Request is the transport envelope of one query: exactly one of the
 // query fields must be set.  The zero value is invalid.
@@ -66,6 +84,11 @@ type Request struct {
 	// Response.  Single engines ignore it, and without it a coordinator
 	// response is byte-identical to the single-set one.
 	Explain bool `json:"explain,omitempty"`
+	// Policy is the partial-failure policy of a partitioned serving
+	// tier: PolicyFail (the default; an empty value means the same) or
+	// PolicyPartial.  Single engines validate and otherwise ignore it;
+	// with no shard fault the policies answer byte-identically.
+	Policy string `json:"policy,omitempty"`
 
 	Closeness        *ClosenessQuery        `json:"closeness,omitempty"`
 	Harmonic         *HarmonicQuery         `json:"harmonic,omitempty"`
@@ -120,6 +143,13 @@ type Response struct {
 	// Error reports a per-request failure inside a DoBatch; empty on
 	// success.
 	Error string `json:"error,omitempty"`
+	// Partial marks a degraded answer: the query ran under PolicyPartial
+	// and at least one consulted shard failed, so the payload covers
+	// only the shards that responded.  Never set on a fault-free query.
+	Partial bool `json:"partial,omitempty"`
+	// Missing lists the queried nodes whose owning shard failed under
+	// PolicyPartial; their positions in Scores are zero-filled.
+	Missing []int32 `json:"missing,omitempty"`
 
 	// Scores holds one estimate per queried node, in request order.
 	Scores []float64 `json:"scores,omitempty"`
@@ -149,6 +179,23 @@ type MergeMeta struct {
 	Shards []int `json:"shards"`
 	// Partials is the number of partial responses merged.
 	Partials int `json:"partials"`
+	// Failed lists the partition indexes that were consulted but did
+	// not answer, ascending; only a PolicyPartial query that degraded
+	// sets it (a PolicyFail query fails instead of recording).
+	Failed []int `json:"failed,omitempty"`
+}
+
+// partialPolicy resolves Request.Policy, rejecting unknown values with
+// an error matching ErrBadRequest.
+func (r *Request) partialPolicy() (bool, error) {
+	switch r.Policy {
+	case "", PolicyFail:
+		return false, nil
+	case PolicyPartial:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: unknown policy %q, want %q or %q", ErrBadRequest, r.Policy, PolicyFail, PolicyPartial)
+	}
 }
 
 // SketchEntry is one transported ADS entry: a sampled node, its distance
@@ -181,8 +228,8 @@ func (q *ClosenessQuery) evaluate(ctx context.Context, e *Engine) (Response, err
 	return Response{Scores: scores}, nil
 }
 
-func (q *ClosenessQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
-	return c.scatterScores(ctx, q.Nodes, func(sub []int32) Request {
+func (q *ClosenessQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
+	return c.scatterScores(ctx, q.Nodes, partial, func(sub []int32) Request {
 		return Request{Closeness: &ClosenessQuery{Nodes: sub}}
 	})
 }
@@ -205,8 +252,8 @@ func (q *HarmonicQuery) evaluate(ctx context.Context, e *Engine) (Response, erro
 	return Response{Scores: scores}, nil
 }
 
-func (q *HarmonicQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
-	return c.scatterScores(ctx, q.Nodes, func(sub []int32) Request {
+func (q *HarmonicQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
+	return c.scatterScores(ctx, q.Nodes, partial, func(sub []int32) Request {
 		return Request{Harmonic: &HarmonicQuery{Nodes: sub}}
 	})
 }
@@ -242,8 +289,8 @@ func (q *NeighborhoodQuery) evaluate(ctx context.Context, e *Engine) (Response, 
 	return Response{Scores: scores}, nil
 }
 
-func (q *NeighborhoodQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
-	return c.scatterScores(ctx, q.Nodes, func(sub []int32) Request {
+func (q *NeighborhoodQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
+	return c.scatterScores(ctx, q.Nodes, partial, func(sub []int32) Request {
 		return Request{Neighborhood: &NeighborhoodQuery{Radius: q.Radius, Unbounded: q.Unbounded, Nodes: sub}}
 	})
 }
@@ -287,10 +334,10 @@ func (q *TopKQuery) evaluate(ctx context.Context, e *Engine) (Response, error) {
 	return Response{Ranking: ranking}, nil
 }
 
-func (q *TopKQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+func (q *TopKQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
 	// Every shard returns its own top-min(K, owned); the union contains
 	// every global top-K member, so the bounded merge is exhaustive.
-	return c.scatterTopK(ctx, q)
+	return c.scatterTopK(ctx, q, partial)
 }
 
 // Kernels accepted by CentralityKernelQuery, the query-time α of the
@@ -356,8 +403,8 @@ func (q *CentralityKernelQuery) evaluate(ctx context.Context, e *Engine) (Respon
 	return Response{Scores: scores}, nil
 }
 
-func (q *CentralityKernelQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
-	return c.scatterScores(ctx, q.Nodes, func(sub []int32) Request {
+func (q *CentralityKernelQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
+	return c.scatterScores(ctx, q.Nodes, partial, func(sub []int32) Request {
 		return Request{CentralityKernel: &CentralityKernelQuery{Kernel: q.Kernel, Radius: q.Radius, Nodes: sub}}
 	})
 }
@@ -399,16 +446,21 @@ func (q *JaccardQuery) evaluate(ctx context.Context, e *Engine) (Response, error
 	return Response{Value: scalar(core.NeighborhoodJaccard(a, q.RadiusA, b, q.RadiusB))}, nil
 }
 
-func (q *JaccardQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+func (q *JaccardQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
 	// Pairwise scatter: the endpoints may live on different shards, so
 	// fetch both sketches (concurrently, per owning shard) and evaluate
-	// at the coordinator.
+	// at the coordinator.  Both endpoints are required, so the partial
+	// policy cannot apply: a missing sketch fails the query.
 	byNode, err := c.fetchSketches(ctx, []int32{q.A, q.B})
 	if err != nil {
 		return Response{}, err
 	}
+	meta, err := c.fetchMeta([]int32{q.A, q.B})
+	if err != nil {
+		return Response{}, err
+	}
 	value := core.NeighborhoodJaccard(byNode[q.A], q.RadiusA, byNode[q.B], q.RadiusB)
-	return Response{Value: scalar(value), Merge: c.fetchMeta([]int32{q.A, q.B})}, nil
+	return Response{Value: scalar(value), Merge: meta}, nil
 }
 
 // InfluenceQuery covers the timed-influence primitives on coordinated
@@ -482,7 +534,7 @@ func (q *InfluenceQuery) evaluate(ctx context.Context, e *Engine) (Response, err
 	return Response{Seeds: seeds, Value: scalar(cov)}, nil
 }
 
-func (q *InfluenceQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+func (q *InfluenceQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
 	if err := c.requireCoordinated(); err != nil {
 		return Response{}, err
 	}
@@ -491,12 +543,16 @@ func (q *InfluenceQuery) scatter(ctx context.Context, c *Coordinator) (Response,
 		if err != nil {
 			return Response{}, err
 		}
+		meta, err := c.fetchMeta(q.Seeds)
+		if err != nil {
+			return Response{}, err
+		}
 		sketches := make([]*core.ADS, len(q.Seeds))
 		for i, s := range q.Seeds {
 			sketches[i] = byNode[s]
 		}
 		cov := core.UnionNeighborhoodSketches(c.k, sketches, q.Radius)
-		return Response{Seeds: q.Seeds, Value: scalar(cov), Merge: c.fetchMeta(q.Seeds)}, nil
+		return Response{Seeds: q.Seeds, Value: scalar(cov), Merge: meta}, nil
 	}
 	// Global greedy selection: fetch every candidate's sketch (the whole
 	// node space when no candidate list is given — an O(n)-sketch
@@ -513,9 +569,13 @@ func (q *InfluenceQuery) scatter(ctx context.Context, c *Coordinator) (Response,
 	if err != nil {
 		return Response{}, err
 	}
+	meta, err := c.fetchMeta(candidates)
+	if err != nil {
+		return Response{}, err
+	}
 	seeds, cov := core.GreedyInfluenceSketches(c.k, func(v int32) *core.ADS { return byNode[v] },
 		candidates, q.NumSeeds, q.Radius)
-	return Response{Seeds: seeds, Value: scalar(cov), Merge: c.fetchMeta(candidates)}, nil
+	return Response{Seeds: seeds, Value: scalar(cov), Merge: meta}, nil
 }
 
 // DistanceBoundQuery asks for the 2-hop-cover-style upper bound on
@@ -550,13 +610,17 @@ func (q *DistanceBoundQuery) evaluate(ctx context.Context, e *Engine) (Response,
 	return Response{Value: scalar(bound)}, nil
 }
 
-func (q *DistanceBoundQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+func (q *DistanceBoundQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
 	byNode, err := c.fetchSketches(ctx, []int32{q.A, q.B})
 	if err != nil {
 		return Response{}, err
 	}
+	meta, err := c.fetchMeta([]int32{q.A, q.B})
+	if err != nil {
+		return Response{}, err
+	}
 	bound := core.DistanceUpperBound(byNode[q.A], byNode[q.B])
-	resp := Response{Merge: c.fetchMeta([]int32{q.A, q.B})}
+	resp := Response{Merge: meta}
 	if math.IsInf(bound, 1) {
 		resp.Unreachable = true
 		return resp, nil
@@ -591,7 +655,7 @@ func (q *SketchQuery) evaluate(ctx context.Context, e *Engine) (Response, error)
 	return Response{Entries: entries}, nil
 }
 
-func (q *SketchQuery) scatter(ctx context.Context, c *Coordinator) (Response, error) {
+func (q *SketchQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
 	if err := c.requireCoordinated(); err != nil {
 		return Response{}, err
 	}
@@ -602,11 +666,15 @@ func (q *SketchQuery) scatter(ctx context.Context, c *Coordinator) (Response, er
 	if err != nil {
 		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	resp, err := c.shards[shard].Do(ctx, Request{Sketch: q})
+	resp, err := c.doShard(ctx, shard, Request{Sketch: q})
 	if err != nil {
 		return Response{}, c.shardErr(shard, err)
 	}
-	return Response{Entries: resp.Entries, Merge: c.fetchMeta([]int32{q.Node})}, nil
+	meta, err := c.fetchMeta([]int32{q.Node})
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Entries: resp.Entries, Merge: meta}, nil
 }
 
 // uniformSet returns the engine's set as a uniform-rank *Set, or an
@@ -647,6 +715,11 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 		return Response{}, err
 	}
 	if err := q.validate(); err != nil {
+		return Response{}, err
+	}
+	// A single engine has no shards to lose, so the policy cannot change
+	// its answers — but an unknown value is still a malformed request.
+	if _, err := req.partialPolicy(); err != nil {
 		return Response{}, err
 	}
 	resp, err := q.evaluate(ctx, e)
