@@ -9,7 +9,7 @@ GO ?= go
 # coverage durably improves; never lower it to make a PR pass.
 COVER_BASELINE ?= 75.0
 
-.PHONY: test race analyze bench cover fuzz-smoke memprofile ingest-smoke load-smoke clean
+.PHONY: test race analyze bench cover fuzz-smoke memprofile ingest-smoke load-smoke wire-smoke clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -71,12 +71,13 @@ ENGINEDO_PRE_FRAMES_ALLOCS = 8
 # so the rerun rows override the 1x rows in BENCH_engine.json.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . > bench.out || { cat bench.out; exit 1; }
-	$(GO) test -run='^$$' -bench='^(BenchmarkEngineClosenessCached|BenchmarkEngineTopCloseness|BenchmarkEngineDoJSON|BenchmarkEngineDoAllocs|BenchmarkHIPIndexQuery|BenchmarkCatalogDo(Direct|Batch)?|BenchmarkCatalogSwap|BenchmarkIngestInsert)$$' -benchtime=2000x . >> bench.out || { cat bench.out; exit 1; }
+	$(GO) test -run='^$$' -bench='^(BenchmarkEngineClosenessCached|BenchmarkEngineTopCloseness|BenchmarkEngineDoJSON|BenchmarkEngineDoWire|BenchmarkEngineWireEncode|BenchmarkEngineWireDecode|BenchmarkEngineDoAllocs|BenchmarkHIPIndexQuery|BenchmarkCatalogDo(Direct|Batch)?|BenchmarkCatalogSwap|BenchmarkIngestInsert)$$' -benchtime=2000x . >> bench.out || { cat bench.out; exit 1; }
 	$(GO) test -run='^$$' -bench='^(BenchmarkSketchSetLoad|BenchmarkHIPIndexBuild|BenchmarkIngestInsertBatch$$|BenchmarkIngestFreezePublish$$)' -benchtime=100x . >> bench.out || { cat bench.out; exit 1; }
 	$(GO) test -run='^$$' -bench='^(BenchmarkEngineClosenessBatch|BenchmarkSketchSetCodec)$$' -benchtime=5x . >> bench.out || { cat bench.out; exit 1; }
+	$(GO) test -run='^$$' -bench='^(BenchmarkHTTPShardRoundtrip|BenchmarkCoordinatorScatterFrame)$$' -benchtime=100x ./cmd/adsserver >> bench.out || { cat bench.out; exit 1; }
 	cat bench.out
 	awk 'BEGIN { print "[" } \
-	  /^Benchmark(Engine|SketchSet|HIPIndex|Catalog|Ingest)/ { \
+	  /^Benchmark(Engine|SketchSet|HIPIndex|Catalog|Ingest|HTTPShard|Coordinator)/ { \
 	    if (!($$1 in row)) order[++m] = $$1; \
 	    row[$$1] = $$0 \
 	  } \
@@ -113,13 +114,15 @@ cover:
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit !(t+0 >= b+0) }' || { \
 	  echo "coverage $$total% fell below the $(COVER_BASELINE)% baseline" >&2; exit 1; }
 
-# A few seconds of coverage-guided fuzzing on the codec and graph-IO
-# parsers — enough to catch decoder regressions fast.
+# A few seconds of coverage-guided fuzzing on the codec, wire-protocol,
+# and graph-IO parsers — enough to catch decoder regressions fast.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzReadSketchSet' -fuzztime=5s ./internal/core/
 	$(GO) test -run='^$$' -fuzz='FuzzReadSet$$' -fuzztime=5s ./internal/core/
 	$(GO) test -run='^$$' -fuzz='FuzzOpenSketchFile' -fuzztime=5s ./internal/core/
 	$(GO) test -run='^$$' -fuzz='FuzzReadEdgeList' -fuzztime=5s ./internal/graph/
+	$(GO) test -run='^$$' -fuzz='FuzzDecodeRequest' -fuzztime=5s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz='FuzzDecodeResponse' -fuzztime=5s ./internal/wire/
 
 # End-to-end streaming-ingest smoke: start an ingest-enabled adsserver,
 # replay the checked-in SNAP fixture through `adstool ingest` (34 edges,
@@ -172,22 +175,57 @@ load-smoke:
 	  sleep 0.2; \
 	done; \
 	[ "$$ok" = 1 ] || { echo "load-smoke: coordinator never became ready" >&2; exit 1; }; \
-	echo "load-smoke: [1/4] healthy topology, zero-error gate"; \
+	echo "load-smoke: [1/6] healthy topology, zero-error gate"; \
 	./adsload.smoke -target http://127.0.0.1:18090 -rps 150 -duration 2s \
 	  -gate -slo-error-rate 0 -slo-p99 5s -slo-min-done 100; \
-	echo "load-smoke: [2/4] dead worker mid-run, partial policy stays zero-error"; \
-	./adsload.smoke -target http://127.0.0.1:18090 -scenario cmd/adsload/testdata/smoke_deadworker.json \
+	echo "load-smoke: [2/6] dead worker mid-run, partial policy stays zero-error (json)"; \
+	./adsload.smoke -target http://127.0.0.1:18090 -proto json -scenario cmd/adsload/testdata/smoke_deadworker.json \
 	  -gate -slo-error-rate 0 -slo-p99 5s -slo-min-done 50 -slo-max-partial -1; \
-	echo "load-smoke: [3/4] the degraded answers were flagged (strict gate must fail)"; \
-	if ./adsload.smoke -target http://127.0.0.1:18090 -scenario cmd/adsload/testdata/smoke_deadworker.json \
+	echo "load-smoke: [3/6] same dead-worker scenario over binary frames, same gate outcome"; \
+	./adsload.smoke -target http://127.0.0.1:18090 -proto binary -scenario cmd/adsload/testdata/smoke_deadworker.json \
+	  -gate -slo-error-rate 0 -slo-p99 5s -slo-min-done 50 -slo-max-partial -1; \
+	echo "load-smoke: [4/6] the degraded answers were flagged under json (strict gate must fail)"; \
+	if ./adsload.smoke -target http://127.0.0.1:18090 -proto json -scenario cmd/adsload/testdata/smoke_deadworker.json \
 	  -gate -slo-error-rate 0 -slo-max-partial 0 >/dev/null; then \
 	  echo "load-smoke: expected the partial-intolerant gate to fail" >&2; exit 1; fi; \
-	echo "load-smoke: [4/4] fail policy surfaces the outage (lenient gate must fail)"; \
+	echo "load-smoke: [5/6] ... and under binary, identically"; \
+	if ./adsload.smoke -target http://127.0.0.1:18090 -proto binary -scenario cmd/adsload/testdata/smoke_deadworker.json \
+	  -gate -slo-error-rate 0 -slo-max-partial 0 >/dev/null; then \
+	  echo "load-smoke: expected the partial-intolerant gate to fail over binary" >&2; exit 1; fi; \
+	echo "load-smoke: [6/6] fail policy surfaces the outage (lenient gate must fail)"; \
 	if ./adsload.smoke -target http://127.0.0.1:18090 -scenario cmd/adsload/testdata/smoke_failpolicy.json \
 	  -gate -slo-error-rate 0.05 -slo-min-done 1 >/dev/null; then \
 	  echo "load-smoke: expected the fail-policy gate to fail" >&2; exit 1; fi; \
 	echo "load-smoke: OK"
 	rm -f adsserver.smoke adstool.smoke adsload.smoke
 
+# Wire-to-wire latency gate for the binary protocol: a single-worker
+# topology served in-process (adsload -inproc), every request paying the
+# full frame encode/decode on both legs, a cache-hitting single-node mix
+# (closeness1).  In-process rather than loopback TCP because on small CI
+# machines the kernel's loopback round trip alone dwarfs the 100µs
+# budget — the gate pins the serving path the binary protocol owns,
+# while load-smoke keeps covering the real HTTP topology.  The JSON run
+# afterwards lands in the same artifact as the comparison row; the p50/
+# p95/p99 JSON lines are kept in wire_smoke.json for CI to upload.
+wire-smoke:
+	$(GO) build -o adstool.smoke ./cmd/adstool
+	$(GO) build -o adsload.smoke ./cmd/adsload
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf $$tmp' EXIT INT TERM; \
+	./adstool.smoke gen -type ba -n 2000 -m 3 -seed 7 > $$tmp/graph.txt; \
+	./adstool.smoke build -graph $$tmp/graph.txt -k 8 -seed 42 -save $$tmp/whole.ads >/dev/null; \
+	./adsload.smoke -inproc $$tmp/whole.ads -proto binary -mix closeness1=1 -rps 2000 -duration 1s >/dev/null; \
+	echo "wire-smoke: binary frames, cached single-node queries, p99 < 100us gate"; \
+	./adsload.smoke -inproc $$tmp/whole.ads -proto binary -mix closeness1=1 -rps 2000 -duration 3s \
+	  -json -gate -slo-p99 100us -slo-error-rate 0 -slo-min-done 1000 | tee $$tmp/wire.out; \
+	echo "wire-smoke: same mix over the JSON transport, for the comparison row"; \
+	./adsload.smoke -inproc $$tmp/whole.ads -proto json -mix closeness1=1 -rps 2000 -duration 3s -json \
+	  | tee -a $$tmp/wire.out; \
+	grep '^{' $$tmp/wire.out > wire_smoke.json; \
+	echo "wire-smoke: OK (histograms in wire_smoke.json)"
+	rm -f adstool.smoke adsload.smoke
+
 clean:
-	rm -f bench.out coverage.out engine_do.memprofile adsketch.test adsserver.smoke adstool.smoke adsload.smoke adsvet.bin
+	rm -f bench.out coverage.out engine_do.memprofile adsketch.test adsserver.smoke adstool.smoke adsload.smoke adsvet.bin wire_smoke.json

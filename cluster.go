@@ -402,8 +402,186 @@ func (c *Coordinator) Do(ctx context.Context, req Request) (Response, error) {
 // DoBatch answers a batch of protocol requests with the semantics of
 // Engine.DoBatch: per-request failures are reported inline, and the call
 // fails only when ctx is done.
+//
+// Unlike the sequential per-request loop, DoBatch plans the whole batch
+// first and sends each shard ONE multi-request frame covering every
+// sub-request the batch routes to it (the wire DoBatch array form), so a
+// scatter costs one round trip per shard instead of one per (request,
+// shard) pair.  The merges go through the same helpers as the unbatched
+// scatters, so every response is byte-identical to what c.Do would have
+// produced.  The pairwise coordinated kinds (jaccard, influence,
+// distance_bound, sketch) keep the per-request path: their fan-out is
+// data-dependent sketch fetching, not a per-shard sub-request.
 func (c *Coordinator) DoBatch(ctx context.Context, reqs []Request) ([]Response, error) {
-	return doBatch(ctx, reqs, c.Do)
+	if len(reqs) < 2 {
+		return doBatch(ctx, reqs, c.Do)
+	}
+	return c.doBatchScatter(ctx, reqs)
+}
+
+// batchPlan is one request's routing inside a batched scatter.
+type batchPlan struct {
+	err     error      // pre-scatter failure (validation, routing)
+	do      bool       // answer via c.Do (pairwise kinds)
+	score   scoreQuery // set for the per-node-scores family
+	topk    *TopKQuery // set for topk
+	partial bool       // resolved failure policy
+	subs    []cluster.Sub
+	slots   []int // per sub (score) or per shard (topk): index into that shard's frame
+}
+
+func (c *Coordinator) doBatchScatter(ctx context.Context, reqs []Request) ([]Response, error) {
+	// Plan: validate each request and append its sub-requests to the
+	// owning shards' frames, remembering each sub's slot.
+	plans := make([]batchPlan, len(reqs))
+	perShard := make([][]Request, len(c.shards))
+	for i := range reqs {
+		p := &plans[i]
+		q, err := reqs[i].Query()
+		if err != nil {
+			p.err = err
+			continue
+		}
+		if err := q.validate(); err != nil {
+			p.err = err
+			continue
+		}
+		if p.partial, err = reqs[i].partialPolicy(); err != nil {
+			p.err = err
+			continue
+		}
+		switch q := q.(type) {
+		case scoreQuery:
+			if p.subs, err = c.planScoreSubs(q.scoreNodes()); err != nil {
+				p.err = err
+				continue
+			}
+			p.score = q
+			p.slots = make([]int, len(p.subs))
+			for j, sub := range p.subs {
+				p.slots[j] = len(perShard[sub.Shard])
+				perShard[sub.Shard] = append(perShard[sub.Shard], q.subRequest(sub.Nodes))
+			}
+		case *TopKQuery:
+			p.topk = q
+			p.slots = make([]int, len(c.shards))
+			for s := range c.shards {
+				p.slots[s] = len(perShard[s])
+				perShard[s] = append(perShard[s], Request{TopK: q})
+			}
+		default:
+			p.do = true
+		}
+	}
+
+	// Scatter: one batched call per shard that has work, concurrently,
+	// under the usual failure semantics (timeout, retries, replicas,
+	// hedging).  A shard-level failure is recorded, not fatal — which
+	// requests it fails, and how, is a per-request policy decision.
+	shardResps := make([][]Response, len(c.shards))
+	shardErrs := make([]error, len(c.shards))
+	var active []int
+	for s := range perShard {
+		if len(perShard[s]) > 0 {
+			active = append(active, s)
+		}
+	}
+	if len(active) > 0 {
+		errs, err := cluster.ScatterAll(ctx, len(active), func(j int) error {
+			s := active[j]
+			resps, err := c.doShardBatch(ctx, s, perShard[s])
+			if err != nil {
+				return c.shardErr(s, err)
+			}
+			if len(resps) != len(perShard[s]) {
+				return c.shardErr(s, fmt.Errorf("worker answered %d of %d batched requests", len(resps), len(perShard[s])))
+			}
+			shardResps[s] = resps
+			return nil
+		})
+		if err != nil {
+			return nil, err // the whole scatter was cancelled
+		}
+		for j, e := range errs {
+			shardErrs[active[j]] = e
+		}
+	}
+
+	// Merge: reassemble each request's response from its slots, through
+	// the same merge helpers as the unbatched scatters.
+	out := make([]Response, len(reqs))
+	for i := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p := &plans[i]
+		var resp Response
+		var err error
+		switch {
+		case p.err != nil:
+			err = p.err
+		case p.do:
+			resp, err = c.Do(ctx, reqs[i])
+		case p.score != nil:
+			nodes := p.score.scoreNodes()
+			cols := make([][]float64, len(p.subs))
+			errs := make([]error, len(p.subs))
+			for j, sub := range p.subs {
+				cols[j], errs[j] = batchSlot(c, sub.Shard, p.slots[j], shardResps, shardErrs, Response.scoreCol)
+			}
+			if resp, err = c.mergeScoreScatter(nodes, p.subs, cols, errs, p.partial); err == nil {
+				c.finalizeBatched(&resp, &reqs[i], p.score)
+			}
+		default:
+			lists := make([][]Ranked, len(c.shards))
+			errs := make([]error, len(c.shards))
+			for s := range c.shards {
+				lists[s], errs[s] = batchSlot(c, s, p.slots[s], shardResps, shardErrs, Response.rankingCol)
+			}
+			if resp, err = c.mergeTopKScatter(p.topk, lists, errs, p.partial); err == nil {
+				c.finalizeBatched(&resp, &reqs[i], p.topk)
+			}
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			out[i] = Response{ID: reqs[i].ID, Error: err.Error()}
+			continue
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// scoreCol and rankingCol pick a merge column off a shard response.
+func (r Response) scoreCol() []float64  { return r.Scores }
+func (r Response) rankingCol() []Ranked { return r.Ranking }
+
+// batchSlot extracts one sub-request's payload column from its shard's
+// batched response, reconstructing the error the unbatched scatter
+// would have seen: a shard-level failure keeps its shardErr wrapping,
+// and a per-request failure the worker reported inline gets the same
+// "shard N:" tag the single-request hop gives it.
+func batchSlot[T any](c *Coordinator, shard, slot int, shardResps [][]Response, shardErrs []error, col func(Response) T) (T, error) {
+	var zero T
+	if err := shardErrs[shard]; err != nil {
+		return zero, err
+	}
+	resp := shardResps[shard][slot]
+	if resp.Error != "" {
+		return zero, fmt.Errorf("shard %d: %s", c.shards[shard].Meta().Index, resp.Error)
+	}
+	return col(resp), nil
+}
+
+// finalizeBatched applies c.Do's response envelope to a batched merge.
+func (c *Coordinator) finalizeBatched(resp *Response, req *Request, q Query) {
+	if !req.Explain {
+		resp.Merge = nil
+	}
+	resp.ID = req.ID
+	resp.Kind = q.kind()
 }
 
 // mergeMeta records which shards a scatter consulted.
@@ -669,48 +847,68 @@ func (c *Coordinator) doShardBatch(ctx context.Context, part int, reqs []Request
 // names the failed partitions.  When every shard answers, the fault
 // path is never taken and the response is byte-identical to the fail
 // policy's.
-func (c *Coordinator) scatterScores(ctx context.Context, nodes []int32, partialPolicy bool, mk func([]int32) Request) (Response, error) {
-	if err := query.CheckNodes(c.total, nodes); err != nil {
-		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
-	subs, err := c.router.Plan(nodes)
+func (c *Coordinator) scatterScores(ctx context.Context, q scoreQuery, partialPolicy bool) (Response, error) {
+	nodes := q.scoreNodes()
+	subs, err := c.planScoreSubs(nodes)
 	if err != nil {
-		return Response{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return Response{}, err
 	}
-	partial := make([][]float64, len(subs))
+	cols := make([][]float64, len(subs))
 	if !partialPolicy {
 		err = cluster.Scatter(ctx, len(subs), func(i int) error {
-			resp, err := c.doShard(ctx, subs[i].Shard, mk(subs[i].Nodes))
+			resp, err := c.doShard(ctx, subs[i].Shard, q.subRequest(subs[i].Nodes))
 			if err != nil {
 				return c.shardErr(subs[i].Shard, err)
 			}
-			partial[i] = resp.Scores
+			cols[i] = resp.Scores
 			return nil
 		})
 		if err != nil {
 			return Response{}, err
 		}
-		scores, err := cluster.MergeScores(len(nodes), subs, partial)
-		if err != nil {
-			return Response{}, err
-		}
-		return Response{Scores: scores, Merge: c.mergeMeta(subs)}, nil
+		return c.mergeScoreScatter(nodes, subs, cols, nil, false)
 	}
 	errs, err := cluster.ScatterAll(ctx, len(subs), func(i int) error {
-		resp, err := c.doShard(ctx, subs[i].Shard, mk(subs[i].Nodes))
+		resp, err := c.doShard(ctx, subs[i].Shard, q.subRequest(subs[i].Nodes))
 		if err != nil {
 			return c.shardErr(subs[i].Shard, err)
 		}
-		partial[i] = resp.Scores
+		cols[i] = resp.Scores
 		return nil
 	})
 	if err != nil {
 		return Response{}, err // the whole scatter was cancelled
 	}
+	return c.mergeScoreScatter(nodes, subs, cols, errs, true)
+}
+
+// planScoreSubs validates a score query's nodes and routes them to their
+// owning shards.
+func (c *Coordinator) planScoreSubs(nodes []int32) ([]cluster.Sub, error) {
+	if err := query.CheckNodes(c.total, nodes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	subs, err := c.router.Plan(nodes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return subs, nil
+}
+
+// mergeScoreScatter splices the per-sub score columns of one scatter
+// back into request order under the failure policy.  errs[i] reports sub
+// i's outcome; a nil errs means every sub answered.  Both scatterScores
+// and the batched fan-out of DoBatch merge through here, which is what
+// keeps a batched query byte-identical to the unbatched one.
+func (c *Coordinator) mergeScoreScatter(nodes []int32, subs []cluster.Sub, cols [][]float64, errs []error, partialPolicy bool) (Response, error) {
 	ok := make([]bool, len(subs))
 	var failed []int
 	var firstErr error
-	for i, e := range errs {
+	for i := range subs {
+		var e error
+		if errs != nil {
+			e = errs[i]
+		}
 		ok[i] = e == nil
 		if e != nil {
 			failed = append(failed, c.shards[subs[i].Shard].Meta().Index)
@@ -719,11 +917,21 @@ func (c *Coordinator) scatterScores(ctx context.Context, nodes []int32, partialP
 			}
 		}
 	}
+	if !partialPolicy {
+		if firstErr != nil {
+			return Response{}, firstErr
+		}
+		scores, err := cluster.MergeScores(len(nodes), subs, cols)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Scores: scores, Merge: c.mergeMeta(subs)}, nil
+	}
 	if len(failed) == len(subs) {
 		// Nothing answered; a fully-degraded response would be all noise.
 		return Response{}, firstErr
 	}
-	scores, missingPos, err := cluster.MergeScoresPartial(len(nodes), subs, partial, ok)
+	scores, missingPos, err := cluster.MergeScoresPartial(len(nodes), subs, cols, ok)
 	if err != nil {
 		return Response{}, err
 	}
@@ -757,7 +965,7 @@ func (c *Coordinator) scatterTopK(ctx context.Context, q *TopKQuery, partialPoli
 		if err != nil {
 			return Response{}, err
 		}
-		return Response{Ranking: cluster.MergeTopK(q.K, lists), Merge: c.allShardsMeta()}, nil
+		return c.mergeTopKScatter(q, lists, nil, false)
 	}
 	errs, err := cluster.ScatterAll(ctx, len(c.shards), func(i int) error {
 		resp, err := c.doShard(ctx, i, Request{TopK: q})
@@ -770,9 +978,19 @@ func (c *Coordinator) scatterTopK(ctx context.Context, q *TopKQuery, partialPoli
 	if err != nil {
 		return Response{}, err
 	}
+	return c.mergeTopKScatter(q, lists, errs, true)
+}
+
+// mergeTopKScatter merges per-shard rankings under the failure policy;
+// the shared merge of scatterTopK and the batched fan-out of DoBatch.
+func (c *Coordinator) mergeTopKScatter(q *TopKQuery, lists [][]Ranked, errs []error, partialPolicy bool) (Response, error) {
 	var failed []int
 	var firstErr error
-	for i, e := range errs {
+	for i := range lists {
+		var e error
+		if errs != nil {
+			e = errs[i]
+		}
 		if e != nil {
 			lists[i] = nil
 			failed = append(failed, c.shards[i].Meta().Index)
@@ -780,6 +998,12 @@ func (c *Coordinator) scatterTopK(ctx context.Context, q *TopKQuery, partialPoli
 				firstErr = e
 			}
 		}
+	}
+	if !partialPolicy {
+		if firstErr != nil {
+			return Response{}, firstErr
+		}
+		return Response{Ranking: cluster.MergeTopK(q.K, lists), Merge: c.allShardsMeta()}, nil
 	}
 	if len(failed) == len(c.shards) {
 		return Response{}, firstErr

@@ -38,28 +38,41 @@ import (
 
 	"adsketch"
 	"adsketch/internal/loadgen"
+	"adsketch/internal/wire"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// httpDoer answers the wire protocol by posting to a remote adsserver.
+// httpDoer answers the wire protocol by posting to a remote adsserver,
+// as JSON or as binary frames (-proto binary).
 type httpDoer struct {
 	base   string
 	client *http.Client
+	binary bool
 }
 
 func (d *httpDoer) Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return adsketch.Response{}, err
+	contentType := "application/json"
+	var body []byte
+	var frame *wire.Buf
+	if d.binary {
+		frame = wire.Get()
+		defer frame.Free()
+		wire.EncodeRequest(frame, &req)
+		body, contentType = frame.B, wire.ContentType
+	} else {
+		var err error
+		if body, err = json.Marshal(req); err != nil {
+			return adsketch.Response{}, err
+		}
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+"/v1/query", bytes.NewReader(body))
 	if err != nil {
 		return adsketch.Response{}, err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Content-Type", contentType)
 	hresp, err := d.client.Do(hreq)
 	if err != nil {
 		return adsketch.Response{}, err
@@ -70,13 +83,87 @@ func (d *httpDoer) Do(ctx context.Context, req adsketch.Request) (adsketch.Respo
 		return adsketch.Response{}, err
 	}
 	if hresp.StatusCode != http.StatusOK {
+		// Failures are JSON over both protocols.
 		return adsketch.Response{}, fmt.Errorf("server returned %d: %s", hresp.StatusCode, bytes.TrimSpace(payload))
+	}
+	if d.binary {
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			return adsketch.Response{}, fmt.Errorf("decoding response frame: %v", err)
+		}
+		return resp, nil
 	}
 	var resp adsketch.Response
 	if err := json.Unmarshal(payload, &resp); err != nil {
 		return adsketch.Response{}, fmt.Errorf("decoding response: %v", err)
 	}
 	return resp, nil
+}
+
+// inprocDoer serves a sketch set in-process, still paying the full wire
+// cost on both legs — encode, decode, dispatch, encode, decode — so a
+// run measures the serving path itself rather than loopback TCP.  This
+// is the wire-to-wire latency mode the binary-protocol gate runs on.
+type inprocDoer struct {
+	eng    *adsketch.Engine
+	binary bool
+}
+
+func (d *inprocDoer) Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error) {
+	if d.binary {
+		buf := wire.Get()
+		defer buf.Free()
+		wire.EncodeRequest(buf, &req)
+		decoded, err := wire.DecodeRequest(buf.B)
+		if err != nil {
+			return adsketch.Response{}, err
+		}
+		resp, err := d.eng.Do(ctx, decoded)
+		if err != nil {
+			return adsketch.Response{}, err
+		}
+		wire.EncodeResponse(buf, &resp)
+		return wire.DecodeResponse(buf.B)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	var decoded adsketch.Request
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		return adsketch.Response{}, err
+	}
+	resp, err := d.eng.Do(ctx, decoded)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	var out adsketch.Response
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return adsketch.Response{}, err
+	}
+	return out, nil
+}
+
+// loadInproc builds the in-process doer off a sketch file.
+func loadInproc(path string, binary bool) (*inprocDoer, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	set, err := adsketch.ReadSketchSet(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading %s: %v", path, err)
+	}
+	eng, err := adsketch.NewEngine(set)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &inprocDoer{eng: eng, binary: binary}, set.NumNodes(), nil
 }
 
 // fetchNodes reads the target's global node count off /v1/meta.
@@ -129,10 +216,12 @@ func parseSeeds(s string) ([]uint64, error) {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("adsload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	target := fs.String("target", "", "adsserver base URL to load (required)")
+	target := fs.String("target", "", "adsserver base URL to load (required unless -inproc)")
+	inproc := fs.String("inproc", "", "serve this sketch file in-process instead of dialing -target: wire-to-wire latency mode, no TCP in the loop")
 	rps := fs.Float64("rps", 200, "open-loop arrival rate, requests per second")
 	duration := fs.Duration("duration", 5*time.Second, "how long to keep arriving (per seed)")
-	mixFlag := fs.String("mix", "", "query blend as kind=weight,... (closeness|topk|neighborhood|jaccard|sketch); empty = closeness=6,topk=2,neighborhood=2")
+	mixFlag := fs.String("mix", "", "query blend as kind=weight,... (closeness|closeness1|topk|neighborhood|jaccard|sketch); empty = closeness=6,topk=2,neighborhood=2")
+	proto := fs.String("proto", "json", "wire format for /v1/query: json or binary")
 	seedsFlag := fs.String("seeds", "42", "comma-separated stream seeds; each seed is one full run")
 	policy := fs.String("policy", "", "Request.Policy for every query: \"\"|fail|partial")
 	dataset := fs.String("dataset", "", "catalog dataset to query (empty = the default dataset)")
@@ -147,9 +236,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *target == "" {
-		fmt.Fprintln(stderr, "adsload: -target is required")
+	if (*target == "") == (*inproc == "") {
+		fmt.Fprintln(stderr, "adsload: exactly one of -target or -inproc is required")
 		fs.Usage()
+		return 2
+	}
+	if *inproc != "" && *scenarioPath != "" {
+		fmt.Fprintln(stderr, "adsload: -scenario drives fault endpoints over HTTP and needs -target")
+		return 2
+	}
+	if *proto != "json" && *proto != "binary" {
+		fmt.Fprintf(stderr, "adsload: -proto must be json or binary, got %q\n", *proto)
 		return 2
 	}
 	seeds, err := parseSeeds(*seedsFlag)
@@ -166,11 +263,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	d := &httpDoer{base: strings.TrimSuffix(*target, "/"), client: &http.Client{Timeout: 60 * time.Second}}
-	nodes, err := d.fetchNodes(ctx)
-	if err != nil {
-		fmt.Fprintf(stderr, "adsload: %v\n", err)
-		return 1
+	var d loadgen.Doer
+	var nodes int
+	if *inproc != "" {
+		var err error
+		if d, nodes, err = loadInproc(*inproc, *proto == "binary"); err != nil {
+			fmt.Fprintf(stderr, "adsload: %v\n", err)
+			return 1
+		}
+	} else {
+		h := &httpDoer{
+			base:   strings.TrimSuffix(*target, "/"),
+			client: &http.Client{Timeout: 60 * time.Second},
+			binary: *proto == "binary",
+		}
+		var err error
+		if nodes, err = h.fetchNodes(ctx); err != nil {
+			fmt.Fprintf(stderr, "adsload: %v\n", err)
+			return 1
+		}
+		d = h
 	}
 
 	var scenario *loadgen.Scenario

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"adsketch"
+	"adsketch/internal/wire"
 )
 
 // serveEngine exposes a real engine over the two endpoints adsload
@@ -37,8 +39,19 @@ func serveEngine(t *testing.T) (*httptest.Server, *atomic.Bool, *atomic.Bool) {
 			w.Write([]byte(`{"error":"injected outage"}`))
 			return
 		}
+		binary := r.Header.Get("Content-Type") == wire.ContentType
 		var req adsketch.Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if binary {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			if req, err = wire.DecodeRequest(body); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+		} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			w.WriteHeader(http.StatusBadRequest)
 			return
 		}
@@ -50,6 +63,14 @@ func serveEngine(t *testing.T) (*httptest.Server, *atomic.Bool, *atomic.Bool) {
 		}
 		if degrade.Load() {
 			resp.Partial = true
+		}
+		if binary {
+			buf := wire.Get()
+			defer buf.Free()
+			wire.EncodeResponse(buf, &resp)
+			w.Header().Set("Content-Type", wire.ContentType)
+			w.Write(buf.B)
+			return
 		}
 		json.NewEncoder(w).Encode(resp)
 	})
@@ -148,5 +169,37 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if code := run([]string{"-target", "http://x", "-mix", "pagerank=1"}, &out, &errOut); code != 2 {
 		t.Errorf("bad mix exited %d", code)
+	}
+	if code := run([]string{"-target", "http://x", "-proto", "grpc"}, &out, &errOut); code != 2 {
+		t.Errorf("bad proto exited %d", code)
+	}
+}
+
+// TestProtocolGateParity: the same healthy topology must pass the same
+// gate under -proto json and -proto binary — the transport cannot
+// change a gate outcome.
+func TestProtocolGateParity(t *testing.T) {
+	ts, _, degrade := serveEngine(t)
+	gate := func(proto string, extra ...string) int {
+		t.Helper()
+		var out, errOut bytes.Buffer
+		args := append([]string{
+			"-target", ts.URL, "-rps", "500", "-duration", "200ms",
+			"-proto", proto, "-mix", "closeness1=3,closeness=2,topk=1",
+			"-gate", "-slo-p99", "5s", "-slo-error-rate", "0", "-slo-min-done", "10",
+		}, extra...)
+		code := run(args, &out, &errOut)
+		if code != 0 && !strings.Contains(out.String(), "GATE") {
+			t.Fatalf("-proto %s run failed outright\nstdout: %s\nstderr: %s", proto, out.String(), errOut.String())
+		}
+		return code
+	}
+	if j, b := gate("json"), gate("binary"); j != 0 || b != 0 {
+		t.Errorf("healthy gate outcomes differ or fail: json %d, binary %d", j, b)
+	}
+	degrade.Store(true)
+	if j, b := gate("json", "-policy", "partial", "-slo-max-partial", "0"),
+		gate("binary", "-policy", "partial", "-slo-max-partial", "0"); j != 1 || b != 1 {
+		t.Errorf("degraded gate outcomes differ: json %d, binary %d (want both 1)", j, b)
 	}
 }

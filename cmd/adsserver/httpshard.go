@@ -11,7 +11,12 @@ import (
 	"time"
 
 	"adsketch"
+	"adsketch/internal/wire"
 )
+
+// maxShardRespBytes caps how much of a worker response the coordinator
+// will read; a larger payload is cut off and surfaces as a decode error.
+const maxShardRespBytes = 64 << 20
 
 // httpShard is an adsketch.ShardBackend over a remote adsserver worker:
 // the coordinator half of the distributed scatter-gather topology.  The
@@ -19,13 +24,31 @@ import (
 // is fetched once from /v1/meta at dial time; queries go through
 // /v1/query exactly as any other client's would, so a worker needs no
 // coordinator-specific surface.
+//
+// The wire format is negotiated at dial: a worker whose /v1/meta
+// advertises the binary framing (Ads-Protocols) gets binary frames,
+// anything else — including every pre-binary worker build — gets JSON.
 type httpShard struct {
 	base   string
 	meta   adsketch.ShardMeta
 	client *http.Client
+	binary bool // negotiated at dial; false = JSON fallback
 }
 
 var _ adsketch.ShardBackend = (*httpShard)(nil)
+
+// shardTransport is shared by every worker client: one keep-alive
+// connection pool sized for scatter fan-out concurrency instead of
+// net/http's 2-idle-conns-per-host default, which would re-handshake on
+// nearly every scattered call.
+var shardTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	t.IdleConnTimeout = 90 * time.Second
+	t.DisableKeepAlives = false
+	return t
+}()
 
 // clusterConfig carries the coordinator-mode tuning knobs: how to dial
 // workers, how the coordinator treats a slow or failing shard, and
@@ -39,11 +62,13 @@ type clusterConfig struct {
 	retryBackoff  time.Duration // delay before the first shard retry
 	hedgeDelay    time.Duration // hedge a second replica after this wait (0 = off)
 	probeInterval time.Duration // /healthz polling interval (0 = no probing)
+	workerProto   string        // "auto" (binary when advertised) or "json" (force fallback)
 }
 
 // clusterDefaults is the production posture: bounded dials, a generous
 // per-shard deadline with one retry, hedging off (it needs replicas and
-// an explicit latency target), probing off (opt in via -probe-interval).
+// an explicit latency target), probing off (opt in via -probe-interval),
+// binary framing wherever workers advertise it.
 func clusterDefaults() clusterConfig {
 	return clusterConfig{
 		dialTimeout:  5 * time.Second,
@@ -52,6 +77,7 @@ func clusterDefaults() clusterConfig {
 		shardTimeout: 15 * time.Second,
 		shardRetries: 1,
 		retryBackoff: 50 * time.Millisecond,
+		workerProto:  "auto",
 	}
 }
 
@@ -71,11 +97,11 @@ func (c clusterConfig) coordinatorOptions() []adsketch.CoordinatorOption {
 func dialShard(base string, cfg clusterConfig) (*httpShard, error) {
 	s := &httpShard{
 		base:   strings.TrimSuffix(base, "/"),
-		client: &http.Client{Timeout: 60 * time.Second},
+		client: &http.Client{Timeout: 60 * time.Second, Transport: shardTransport},
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
-		if err = s.fetchMeta(cfg.dialTimeout); err == nil {
+		if err = s.fetchMeta(cfg.dialTimeout, cfg.workerProto != "json"); err == nil {
 			return s, nil
 		}
 		if attempt >= cfg.dialRetries {
@@ -89,8 +115,10 @@ func dialShard(base string, cfg clusterConfig) (*httpShard, error) {
 	}
 }
 
-// fetchMeta performs one /v1/meta attempt under its own deadline.
-func (s *httpShard) fetchMeta(timeout time.Duration) error {
+// fetchMeta performs one /v1/meta attempt under its own deadline and,
+// when allowed, negotiates the binary framing off the worker's protocol
+// advertisement.
+func (s *httpShard) fetchMeta(timeout time.Duration, allowBinary bool) error {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -116,31 +144,37 @@ func (s *httpShard) fetchMeta(timeout time.Duration) error {
 	if err := json.Unmarshal(payload, &s.meta); err != nil {
 		return fmt.Errorf("dialing shard %s: decoding /v1/meta: %v", s.base, err)
 	}
+	s.binary = allowBinary && strings.Contains(resp.Header.Get(protoHeader), wire.ContentType)
 	return nil
 }
 
 func (s *httpShard) Meta() adsketch.ShardMeta { return s.meta }
 
-// post sends one /v1/query body and returns the raw response payload.
-func (s *httpShard) post(ctx context.Context, body []byte) ([]byte, error) {
+// post sends one /v1/query body and fills out with the response
+// payload.  out is a pooled buffer the caller owns; its capacity is
+// reused across calls instead of io.ReadAll's fresh allocation, and the
+// read is capped at maxShardRespBytes (an oversized payload is cut off
+// there and fails decoding).
+func (s *httpShard) post(ctx context.Context, contentType string, body []byte, out *wire.Buf) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/v1/query", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	resp, err := s.client.Do(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	payload, err := wire.ReadAll(out.B[:0], io.LimitReader(resp.Body, maxShardRespBytes))
+	out.B = payload
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, shardStatusErr(resp.StatusCode, payload)
+		return shardStatusErr(resp.StatusCode, payload)
 	}
-	return payload, nil
+	return nil
 }
 
 // shardStatusErr converts a worker's HTTP error back into the protocol's
@@ -173,32 +207,60 @@ func shardStatusErr(status int, payload []byte) error {
 }
 
 func (s *httpShard) Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error) {
+	out := wire.Get()
+	defer out.Free()
+	if s.binary {
+		frame := wire.Get()
+		defer frame.Free()
+		wire.EncodeRequest(frame, &req)
+		if err := s.post(ctx, wire.ContentType, frame.B, out); err != nil {
+			return adsketch.Response{}, err
+		}
+		resp, err := wire.DecodeResponse(out.B)
+		if err != nil {
+			return adsketch.Response{}, fmt.Errorf("decoding worker response: %v", err)
+		}
+		return resp, nil
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return adsketch.Response{}, err
 	}
-	payload, err := s.post(ctx, body)
-	if err != nil {
+	if err := s.post(ctx, "application/json", body, out); err != nil {
 		return adsketch.Response{}, err
 	}
 	var resp adsketch.Response
-	if err := json.Unmarshal(payload, &resp); err != nil {
+	if err := json.Unmarshal(out.B, &resp); err != nil {
 		return adsketch.Response{}, fmt.Errorf("decoding worker response: %v", err)
 	}
 	return resp, nil
 }
 
 func (s *httpShard) DoBatch(ctx context.Context, reqs []adsketch.Request) ([]adsketch.Response, error) {
+	out := wire.Get()
+	defer out.Free()
+	if s.binary {
+		frame := wire.Get()
+		defer frame.Free()
+		wire.EncodeRequests(frame, reqs)
+		if err := s.post(ctx, wire.ContentType, frame.B, out); err != nil {
+			return nil, err
+		}
+		resps, _, err := wire.DecodeResponses(out.B)
+		if err != nil {
+			return nil, fmt.Errorf("decoding worker batch response: %v", err)
+		}
+		return resps, nil
+	}
 	body, err := json.Marshal(reqs)
 	if err != nil {
 		return nil, err
 	}
-	payload, err := s.post(ctx, body)
-	if err != nil {
+	if err := s.post(ctx, "application/json", body, out); err != nil {
 		return nil, err
 	}
 	var resps []adsketch.Response
-	if err := json.Unmarshal(payload, &resps); err != nil {
+	if err := json.Unmarshal(out.B, &resps); err != nil {
 		return nil, fmt.Errorf("decoding worker batch response: %v", err)
 	}
 	return resps, nil

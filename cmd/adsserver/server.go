@@ -8,17 +8,37 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"mime"
 	"net/http"
 	"os"
 	"sync/atomic"
 	"time"
 
 	"adsketch"
+	"adsketch/internal/wire"
 )
 
 // maxBodyBytes bounds one request body; a batch of a few thousand
 // queries fits comfortably.
 const maxBodyBytes = 16 << 20
+
+// protoHeader is the response header /v1/meta uses to advertise the
+// transports this server speaks on /v1/query.  A coordinator dialing a
+// worker switches to the binary framing when the advertisement names it;
+// old workers never send the header, so negotiation degrades to JSON.
+const protoHeader = "Ads-Protocols"
+
+// advertisedProtocols lists the /v1/query content types this build
+// accepts, preferred first.
+const advertisedProtocols = wire.ContentType + ", application/json"
+
+// isBinaryContentType reports whether a request body is the binary wire
+// framing (parameters like charset are ignored; anything else — JSON,
+// empty, malformed — takes the JSON path, keeping curl the easy case).
+func isBinaryContentType(ct string) bool {
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == wire.ContentType
+}
 
 // cacheStatser is the optional backend face for index-cache counters
 // (both Engine and Coordinator provide it; a future backend might not).
@@ -151,7 +171,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	buf := wire.Get()
+	defer buf.Free()
+	body, err := wire.ReadAll(buf.B, http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	buf.B = body // keep the grown capacity pooled
 	if err != nil {
 		s.failures.Add(1)
 		status := http.StatusBadRequest
@@ -159,6 +182,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestEntityTooLarge // split the batch
 		}
 		writeJSON(w, status, errorBody{Error: "reading body: " + err.Error()})
+		return
+	}
+	// The response speaks whatever the request spoke: binary frames get
+	// binary answers, everything else stays JSON.  Errors are always
+	// JSON (with their HTTP status), so a confused client sees a
+	// readable message, not an opaque frame.
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		s.serveQueryBinary(w, r.Context(), body)
 		return
 	}
 	trimmed := bytes.TrimLeft(body, " \t\r\n")
@@ -198,6 +229,49 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveQueryBinary answers one binary-framed /v1/query body: a single
+// frame mirrors the single-object JSON form, a batch frame the array
+// form.  Success is a binary frame; failure is a JSON errorBody with
+// the usual status mapping.
+func (s *server) serveQueryBinary(w http.ResponseWriter, ctx context.Context, body []byte) {
+	reqs, batch, err := wire.DecodeRequests(body)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request frame: " + err.Error()})
+		return
+	}
+	s.queries.Add(int64(len(reqs)))
+	out := wire.Get()
+	defer out.Free()
+	if batch {
+		resps, err := s.cat.DoBatch(ctx, reqs)
+		if err != nil {
+			s.failures.Add(1)
+			writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+			return
+		}
+		for i := range resps {
+			if resps[i].Error != "" {
+				s.failures.Add(1)
+			}
+		}
+		wire.EncodeResponses(out, resps)
+	} else {
+		resp, err := s.cat.Do(ctx, reqs[0])
+		if err != nil {
+			s.failures.Add(1)
+			writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+			return
+		}
+		wire.EncodeResponse(out, &resp)
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(out.B); err != nil {
+		log.Printf("adsserver: writing binary response: %v", err)
+	}
 }
 
 // handleIngest serves POST /v1/ingest/{dataset}: a JSON edge batch —
@@ -273,6 +347,9 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer d.Release()
+	// Advertise the query transports so a dialing coordinator can
+	// negotiate the binary framing; JSON-only builds never send this.
+	w.Header().Set(protoHeader, advertisedProtocols)
 	writeJSON(w, http.StatusOK, d.Backend().Meta())
 }
 

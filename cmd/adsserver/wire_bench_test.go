@@ -1,0 +1,161 @@
+package main
+
+// Transport benchmarks over real HTTP loopback: what one coordinator
+// hop costs under each wire format, and what the batched frame saves a
+// scatter over per-request fan-out.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"adsketch"
+)
+
+var benchTopoOnce struct {
+	sync.Once
+	err     error
+	workers []*httptest.Server // one per partition
+	whole   *httptest.Server   // unsplit single server
+}
+
+// benchTopology builds a 2000-node set once and serves it as a single
+// worker plus a 2-partition split, the topology every transport
+// benchmark dials.  Servers leak until the process exits — fine for a
+// benchmark binary.
+func benchTopology(b *testing.B) (whole *httptest.Server, workers []*httptest.Server) {
+	b.Helper()
+	benchTopoOnce.Do(func() {
+		g := adsketch.PreferentialAttachment(2000, 3, 7)
+		set, err := adsketch.Build(g, adsketch.WithK(8), adsketch.WithSeed(42))
+		if err != nil {
+			benchTopoOnce.err = err
+			return
+		}
+		serve := func(be adsketch.ShardBackend) (*httptest.Server, error) {
+			cat, err := adsketch.NewCatalog()
+			if err != nil {
+				return nil, err
+			}
+			if err := cat.Attach(adsketch.DefaultDataset, adsketch.BackendSource(be)); err != nil {
+				return nil, err
+			}
+			return httptest.NewServer(newServer(cat).mux()), nil
+		}
+		eng, err := adsketch.NewEngine(set)
+		if err != nil {
+			benchTopoOnce.err = err
+			return
+		}
+		if benchTopoOnce.whole, err = serve(eng); err != nil {
+			benchTopoOnce.err = err
+			return
+		}
+		parts, err := adsketch.SplitSketchSet(set, 2)
+		if err != nil {
+			benchTopoOnce.err = err
+			return
+		}
+		for _, p := range parts {
+			se, err := adsketch.NewShardEngine(p)
+			if err != nil {
+				benchTopoOnce.err = err
+				return
+			}
+			ts, err := serve(se)
+			if err != nil {
+				benchTopoOnce.err = err
+				return
+			}
+			benchTopoOnce.workers = append(benchTopoOnce.workers, ts)
+		}
+	})
+	if benchTopoOnce.err != nil {
+		b.Fatal(benchTopoOnce.err)
+	}
+	return benchTopoOnce.whole, benchTopoOnce.workers
+}
+
+// BenchmarkHTTPShardRoundtrip: one coordinator-to-worker hop, JSON
+// fallback vs negotiated binary framing, same request.
+func BenchmarkHTTPShardRoundtrip(b *testing.B) {
+	whole, _ := benchTopology(b)
+	req := adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{0, 17, 123, 999}}}
+	ctx := context.Background()
+	run := func(b *testing.B, s *httpShard) {
+		b.Helper()
+		if _, err := s.Do(ctx, req); err != nil { // warm the connection
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Do(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("json", func(b *testing.B) {
+		cfg := clusterDefaults()
+		cfg.workerProto = "json"
+		s, err := dialShard(whole.URL, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, s)
+	})
+	b.Run("binary", func(b *testing.B) {
+		s, err := dialShard(whole.URL, clusterDefaults())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.binary {
+			b.Fatal("worker did not negotiate binary framing")
+		}
+		run(b, s)
+	})
+}
+
+// BenchmarkCoordinatorScatterFrame: an 8-query batch through a real
+// 2-worker coordinator — per-request fan-out vs the single batched
+// frame per shard that DoBatch sends.
+func BenchmarkCoordinatorScatterFrame(b *testing.B) {
+	_, workers := benchTopology(b)
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.URL
+	}
+	coordBE, _, err := dialWorkers(urls, clusterDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reqs []adsketch.Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, adsketch.Request{
+			Closeness: &adsketch.ClosenessQuery{Nodes: []int32{int32(i * 250), int32(i*250 + 1)}},
+		})
+	}
+	ctx := context.Background()
+	if _, err := coordBE.DoBatch(ctx, reqs); err != nil { // warm connections
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				if _, err := coordBE.Do(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("framed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coordBE.DoBatch(ctx, reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

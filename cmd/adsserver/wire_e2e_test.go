@@ -1,0 +1,330 @@
+package main
+
+// End-to-end tests of the binary wire protocol over real HTTP: a
+// binary client must get byte-identical answers to a JSON client, the
+// coordinator must negotiate binary framing with workers that advertise
+// it, and — the mixed-version guarantee — fall back to JSON against
+// workers that don't, without changing a single answer.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"adsketch"
+	"adsketch/internal/wire"
+)
+
+// postRaw sends one /v1/query body and returns status, content type and
+// payload.
+func postRaw(t *testing.T, baseURL, contentType string, body []byte) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/query", contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), payload
+}
+
+// TestBinaryEndpointParity: the same corpus posted as JSON and as a
+// binary frame must decode to identical responses, single and batch,
+// and the server must advertise the protocol on /v1/meta.
+func TestBinaryEndpointParity(t *testing.T) {
+	whole, _, _ := buildSplitFiles(t)
+	ts, _ := serveFile(t, whole, 0)
+
+	meta, err := http.Get(ts.URL + "/v1/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.Body.Close()
+	if adv := meta.Header.Get(protoHeader); !strings.Contains(adv, wire.ContentType) {
+		t.Fatalf("/v1/meta %s = %q, want it to advertise %q", protoHeader, adv, wire.ContentType)
+	}
+
+	reqs := e2eRequests()
+
+	// Batch parity.
+	jsonBody, err := json.Marshal(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, ctype, jsonPayload := postRaw(t, ts.URL, "application/json", jsonBody)
+	if status != http.StatusOK {
+		t.Fatalf("JSON batch: status %d: %s", status, jsonPayload)
+	}
+	var want []adsketch.Response
+	if err := json.Unmarshal(jsonPayload, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := wire.Get()
+	defer buf.Free()
+	wire.EncodeRequests(buf, reqs)
+	status, ctype, binPayload := postRaw(t, ts.URL, wire.ContentType, buf.B)
+	if status != http.StatusOK {
+		t.Fatalf("binary batch: status %d: %s", status, binPayload)
+	}
+	if ctype != wire.ContentType {
+		t.Fatalf("binary batch response Content-Type = %q, want %q", ctype, wire.ContentType)
+	}
+	got, batch, err := wire.DecodeResponses(binPayload)
+	if err != nil {
+		t.Fatalf("decoding binary batch response: %v", err)
+	}
+	if !batch {
+		t.Fatal("batch request answered with a single-response frame")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d binary responses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		wantJSON, _ := json.Marshal(want[i])
+		gotJSON, _ := json.Marshal(got[i])
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("request %s: binary differs from JSON:\n  binary %s\n  json   %s", reqs[i].ID, gotJSON, wantJSON)
+		}
+	}
+
+	// Single-request parity.
+	for _, req := range reqs {
+		one, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, _, jsonOne := postRaw(t, ts.URL, "application/json", one)
+		if status != http.StatusOK {
+			t.Fatalf("JSON %s: status %d: %s", req.ID, status, jsonOne)
+		}
+		var wantOne adsketch.Response
+		if err := json.Unmarshal(jsonOne, &wantOne); err != nil {
+			t.Fatal(err)
+		}
+		wire.EncodeRequest(buf, &req)
+		status, ctype, binOne := postRaw(t, ts.URL, wire.ContentType, buf.B)
+		if status != http.StatusOK {
+			t.Fatalf("binary %s: status %d: %s", req.ID, status, binOne)
+		}
+		if ctype != wire.ContentType {
+			t.Fatalf("binary %s: response Content-Type = %q", req.ID, ctype)
+		}
+		gotOne, err := wire.DecodeResponse(binOne)
+		if err != nil {
+			t.Fatalf("decoding binary %s: %v", req.ID, err)
+		}
+		wantJSON, _ := json.Marshal(wantOne)
+		gotJSON, _ := json.Marshal(gotOne)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("request %s: binary differs from JSON:\n  binary %s\n  json   %s", req.ID, gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestBinaryEndpointErrorsStayJSON: a malformed binary frame is a JSON
+// errorBody with an HTTP status, never a binary frame — so any client
+// can always parse a failure.
+func TestBinaryEndpointErrorsStayJSON(t *testing.T) {
+	whole, _, _ := buildSplitFiles(t)
+	ts, _ := serveFile(t, whole, 0)
+
+	status, ctype, payload := postRaw(t, ts.URL, wire.ContentType, []byte("not a frame"))
+	if status != http.StatusBadRequest {
+		t.Fatalf("garbage frame: status %d, want 400", status)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("garbage frame error Content-Type = %q, want JSON", ctype)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(payload, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("garbage frame error body %q not a JSON errorBody (%v)", payload, err)
+	}
+
+	// A well-formed frame carrying an invalid request errors with the
+	// same status and message as its JSON twin.
+	bad := adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{-1}}}
+	buf := wire.Get()
+	defer buf.Free()
+	wire.EncodeRequest(buf, &bad)
+	binStatus, binCtype, binPayload := postRaw(t, ts.URL, wire.ContentType, buf.B)
+	jsonBody, _ := json.Marshal(bad)
+	jsonStatus, _, jsonPayload := postRaw(t, ts.URL, "application/json", jsonBody)
+	if binStatus != jsonStatus {
+		t.Fatalf("invalid request: binary status %d, json status %d", binStatus, jsonStatus)
+	}
+	if !strings.HasPrefix(binCtype, "application/json") {
+		t.Fatalf("invalid request error Content-Type = %q, want JSON", binCtype)
+	}
+	if !bytes.Equal(binPayload, jsonPayload) {
+		t.Errorf("invalid request error bodies differ:\n  binary %s\n  json   %s", binPayload, jsonPayload)
+	}
+}
+
+// TestShardProtocolNegotiation: dialing a binary-capable worker under
+// the default config negotiates binary framing; -worker-proto json
+// forces the fallback; both transports answer identically.
+func TestShardProtocolNegotiation(t *testing.T) {
+	_, parts, _ := buildSplitFiles(t)
+	worker, _ := serveFile(t, parts[0], 0)
+
+	auto, err := dialShard(worker.URL, clusterDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.binary {
+		t.Fatal("dial against an advertising worker did not negotiate binary framing")
+	}
+	jcfg := clusterDefaults()
+	jcfg.workerProto = "json"
+	forced, err := dialShard(worker.URL, jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.binary {
+		t.Fatal("-worker-proto json still negotiated binary framing")
+	}
+
+	ctx := context.Background()
+	req := adsketch.Request{ID: "own", Closeness: &adsketch.ClosenessQuery{Nodes: []int32{auto.meta.Lo}}}
+	a, err := auto.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := forced.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aJSON, _ := json.Marshal(a)
+	jJSON, _ := json.Marshal(j)
+	if !bytes.Equal(aJSON, jJSON) {
+		t.Errorf("binary shard call differs from JSON:\n  binary %s\n  json   %s", aJSON, jJSON)
+	}
+
+	batch := []adsketch.Request{req, {ID: "sk", Sketch: &adsketch.SketchQuery{Node: auto.meta.Lo}}}
+	ab, err := auto.DoBatch(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := forced.DoBatch(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abJSON, _ := json.Marshal(ab)
+	jbJSON, _ := json.Marshal(jb)
+	if !bytes.Equal(abJSON, jbJSON) {
+		t.Errorf("binary shard batch differs from JSON:\n  binary %s\n  json   %s", abJSON, jbJSON)
+	}
+}
+
+// legacyWorker fronts a real worker with a proxy that behaves like a
+// pre-binary build: no protocol advertisement on /v1/meta, and a 400
+// for any binary-framed body.  The returned counter observes how many
+// binary requests leaked through the negotiation.
+func legacyWorker(t *testing.T, worker *httptest.Server) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	target, err := url.Parse(worker.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(target)
+	rp.ModifyResponse = func(resp *http.Response) error {
+		resp.Header.Del(protoHeader)
+		return nil
+	}
+	var binaryHits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isBinaryContentType(r.Header.Get("Content-Type")) {
+			binaryHits.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: invalid character"})
+			return
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &binaryHits
+}
+
+// TestMixedVersionFallback: a binary-capable coordinator dialing
+// JSON-only workers must negotiate down to JSON and keep answering
+// byte-identically to a single server — no binary frame may ever reach
+// the legacy workers.
+func TestMixedVersionFallback(t *testing.T) {
+	whole, parts, _ := buildSplitFiles(t)
+	single, _ := serveFile(t, whole, 0)
+
+	var legacyURLs []string
+	var counters []*atomic.Int64
+	for _, p := range parts {
+		w, mode := serveFile(t, p, 0)
+		if mode != "shard" {
+			t.Fatalf("partition served in %q mode", mode)
+		}
+		legacy, hits := legacyWorker(t, w)
+		legacyURLs = append(legacyURLs, legacy.URL)
+		counters = append(counters, hits)
+	}
+	coordBE, _, err := dialWorkers(legacyURLs, clusterDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := serveBackend(t, coordBE)
+
+	body, err := json.Marshal(e2eRequests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, wantPayload := postRaw(t, single.URL, "application/json", body)
+	if status != http.StatusOK {
+		t.Fatalf("single server: status %d: %s", status, wantPayload)
+	}
+	status, _, gotPayload := postRaw(t, coord.URL, "application/json", body)
+	if status != http.StatusOK {
+		t.Fatalf("coordinator over legacy workers: status %d: %s", status, gotPayload)
+	}
+	if !bytes.Equal(gotPayload, wantPayload) {
+		t.Errorf("coordinator over legacy workers differs from single server:\n  coordinator %s\n  single      %s",
+			gotPayload, wantPayload)
+	}
+
+	// The client side of the coordinator may also speak binary — the
+	// fallback is per-hop, not end-to-end.
+	buf := wire.Get()
+	defer buf.Free()
+	wire.EncodeRequests(buf, e2eRequests())
+	status, ctype, binPayload := postRaw(t, coord.URL, wire.ContentType, buf.B)
+	if status != http.StatusOK {
+		t.Fatalf("binary client over legacy workers: status %d: %s", status, binPayload)
+	}
+	if ctype != wire.ContentType {
+		t.Fatalf("binary client response Content-Type = %q", ctype)
+	}
+	resps, _, err := wire.DecodeResponses(binPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reenc, err := json.Marshal(resps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc, bytes.TrimSpace(wantPayload)) {
+		t.Errorf("binary client answers over legacy workers differ:\n  binary %s\n  single %s", reenc, wantPayload)
+	}
+
+	for i, hits := range counters {
+		if n := hits.Load(); n != 0 {
+			t.Errorf("legacy worker %d received %d binary-framed requests; negotiation leaked", i, n)
+		}
+	}
+}

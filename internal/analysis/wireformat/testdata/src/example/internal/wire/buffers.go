@@ -1,0 +1,16 @@
+// buffers.go is the clean counterpart: the package-wide scope flags
+// nothing when the code follows the codec idiom.
+package wire
+
+import "encoding/binary"
+
+func appendHeader(dst []byte, h frameHdr) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[0:4], h.Magic)
+	binary.LittleEndian.PutUint32(tmp[4:8], h.Count)
+	return append(dst, tmp[:]...)
+}
+
+func keyedPooledHeader() frameHdr {
+	return frameHdr{Magic: 0xAD5, Count: 2}
+}

@@ -14,6 +14,11 @@
 //   - unkeyed (positional) literals of wire-header structs (type names
 //     ending in Hdr/Header) — inserting a header field would silently
 //     shift every later field into the wrong slot.
+//
+// Scope is per file, judged by filename keywords (codec, serialize,
+// protocol, wire, encode, decode) — except in a package whose import
+// path ends in internal/wire, where every file is in scope: that
+// package is the binary protocol itself.
 package wireformat
 
 import (
@@ -45,13 +50,22 @@ func fileInScope(filename string) bool {
 	return false
 }
 
+// pkgInScope reports whether every file of the package is wire-format
+// code regardless of filename: internal/wire is the binary protocol
+// itself, so a helper split out under an innocuous name (pool.go,
+// buffers.go) must not silently drop out of the invariant.
+func pkgInScope(pkg *types.Package) bool {
+	return pkg != nil && strings.HasSuffix(pkg.Path(), "internal/wire")
+}
+
 // headerTypeRE matches wire-header struct type names.
 var headerTypeRE = regexp.MustCompile(`(?i)(hdr|header)$`)
 
 func run(pass *analysis.Pass) error {
+	wholePkg := pkgInScope(pass.Pkg)
 	for _, f := range pass.Files {
 		filename := pass.Fset.Position(f.Pos()).Filename
-		if !fileInScope(filename) || pass.InTestFile(f.Pos()) {
+		if (!wholePkg && !fileInScope(filename)) || pass.InTestFile(f.Pos()) {
 			continue
 		}
 		checkFile(pass, f)

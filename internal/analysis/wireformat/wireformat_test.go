@@ -10,5 +10,6 @@ import (
 func TestWireformat(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{Analyzer},
 		"example/codec",
+		"example/internal/wire",
 	)
 }

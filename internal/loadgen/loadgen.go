@@ -37,6 +37,7 @@ type MixEntry struct {
 // The query kinds a Mix may name.
 const (
 	KindCloseness    = "closeness"
+	KindCloseness1   = "closeness1" // single node, drawn from a small set: the cache-hit path
 	KindTopK         = "topk"
 	KindNeighborhood = "neighborhood"
 	KindJaccard      = "jaccard"
@@ -73,10 +74,10 @@ func ParseMix(s string) (Mix, error) {
 			return nil, fmt.Errorf("loadgen: mix entry %q: bad weight", part)
 		}
 		switch kind {
-		case KindCloseness, KindTopK, KindNeighborhood, KindJaccard, KindSketch:
+		case KindCloseness, KindCloseness1, KindTopK, KindNeighborhood, KindJaccard, KindSketch:
 		default:
-			return nil, fmt.Errorf("loadgen: mix entry %q: unknown kind (want %s|%s|%s|%s|%s)",
-				part, KindCloseness, KindTopK, KindNeighborhood, KindJaccard, KindSketch)
+			return nil, fmt.Errorf("loadgen: mix entry %q: unknown kind (want %s|%s|%s|%s|%s|%s)",
+				part, KindCloseness, KindCloseness1, KindTopK, KindNeighborhood, KindJaccard, KindSketch)
 		}
 		m = append(m, MixEntry{Kind: kind, Weight: weight})
 	}
@@ -157,6 +158,11 @@ func genRequest(rng *rand.Rand, cfg *Config) adsketch.Request {
 			nodes[i] = node()
 		}
 		req.Closeness = &adsketch.ClosenessQuery{Nodes: nodes}
+	case KindCloseness1:
+		// One node out of a 16-node working set: after warmup every
+		// draw is a score-cache hit, isolating the wire cost of the
+		// serving path (the latency floor the binary protocol gates on).
+		req.Closeness = &adsketch.ClosenessQuery{Nodes: []int32{int32(rng.Intn(min(16, cfg.Nodes)))}}
 	case KindTopK:
 		req.TopK = &adsketch.TopKQuery{Metric: adsketch.MetricCloseness, K: 5 + rng.Intn(16)}
 	case KindNeighborhood:

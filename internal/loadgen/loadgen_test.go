@@ -342,3 +342,29 @@ func TestRunAgainstEngine(t *testing.T) {
 		t.Errorf("healthy engine violates SLO: %v (result %+v)", v, res)
 	}
 }
+
+// closeness1 draws single-node queries from a 16-node working set, so a
+// warmed score cache answers every one of them — the latency-floor mix
+// the wire-protocol gate runs.
+func TestCloseness1WorkingSet(t *testing.T) {
+	m, err := ParseMix("closeness1=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &recordingDoer{}
+	cfg := Config{RPS: 2000, Duration: 100 * time.Millisecond, Seed: 7, Nodes: 400, Mix: m}
+	if _, err := Run(context.Background(), d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.reqs) == 0 {
+		t.Fatal("no requests generated")
+	}
+	for _, req := range d.reqs {
+		if req.Closeness == nil || len(req.Closeness.Nodes) != 1 {
+			t.Fatalf("closeness1 drew %+v, want one closeness node", req)
+		}
+		if n := req.Closeness.Nodes[0]; n < 0 || n >= 16 {
+			t.Fatalf("closeness1 drew node %d outside the 16-node working set", n)
+		}
+	}
+}

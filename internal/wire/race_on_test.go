@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector instruments this build;
+// its write barriers add allocations that fixed alloc-cap tests must
+// not count against the real decode path.
+const raceEnabled = true

@@ -1,0 +1,847 @@
+// Package wire implements the binary framing of the adsketch query
+// protocol: the same Request/Response structs the JSON transport
+// carries, encoded as a fixed little-endian frame with raw columns and
+// no reflection, negotiated on /v1/query by the content type
+// application/x-ads-binary.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "ADSW"
+//	4       1     version (currently 1)
+//	5       1     message type (1 = request, 2 = response)
+//	6       1     flags (bit 0: batch frame)
+//	7       1     reserved, must be 0
+//	8       4     message count (1 unless the batch flag is set)
+//	12      4     body length in bytes (everything after the header)
+//	16      ...   count messages, each a u32 length prefix + body
+//
+// A single frame (batch flag clear) carries exactly one message and
+// answers one query; a batch frame mirrors the JSON array form of
+// /v1/query and carries zero or more.  Message bodies encode struct
+// fields in declaration order: strings as u32 length + bytes, slices as
+// a u32 count + raw elements, float64s as their IEEE-754 bits.  Fields
+// whose JSON tag says omitempty collapse empty to absent exactly as the
+// JSON round trip does, and the remaining nilable slices (for example
+// ClosenessQuery.Nodes) spend the count ^uint32(0) on nil so that a
+// decoded value is byte-for-byte what the JSON transport would have
+// produced.
+//
+// Encoding appends into pooled buffers (Get/Free) and allocates nothing
+// at steady state; decoding validates every count against the bytes
+// actually present before allocating, so corrupt or truncated frames
+// fail fast with a bounded allocation footprint and never panic.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"adsketch"
+)
+
+// ContentType is the negotiated media type of binary frames on
+// /v1/query.  JSON stays the default for requests that do not send it.
+const ContentType = "application/x-ads-binary"
+
+// Version is the frame version this package speaks.  Decoders reject
+// other versions so a mixed-version topology falls back to JSON instead
+// of misreading bytes.
+const Version = 1
+
+const (
+	frameMagic0 = 'A'
+	frameMagic1 = 'D'
+	frameMagic2 = 'S'
+	frameMagic3 = 'W'
+
+	frameHdrSize = 16
+
+	typeRequest  = 1
+	typeResponse = 2
+
+	flagBatch = 1 << 0
+
+	// nilCount marks a nil slice in the fields where the JSON shape
+	// distinguishes nil from empty (no omitempty tag).
+	nilCount = ^uint32(0)
+)
+
+// Request query-field bits, in Request declaration order.
+const (
+	maskCloseness = 1 << iota
+	maskHarmonic
+	maskNeighborhood
+	maskTopK
+	maskCentralityKernel
+	maskJaccard
+	maskInfluence
+	maskDistanceBound
+	maskSketch
+
+	maskKnown = 1<<9 - 1
+)
+
+// Request envelope flag bits.
+const reqFlagExplain = 1 << 0
+
+// Response flag bits.
+const (
+	respFlagPartial = 1 << iota
+	respFlagUnreachable
+	respFlagValue
+	respFlagMerge
+
+	respFlagKnown = 1<<4 - 1
+)
+
+// maxPooled caps the capacity a buffer may keep when returned to the
+// pool; oversized one-off payloads are dropped for the GC instead of
+// pinning memory forever.
+const maxPooled = 1 << 20
+
+// Buf is a pooled byte buffer.  Encode* replaces B with one complete
+// frame; callers hand B to the transport and Free it afterwards.
+type Buf struct {
+	B []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return new(Buf) }}
+
+// Get returns a pooled buffer with zero length and warm capacity.
+func Get() *Buf {
+	return bufPool.Get().(*Buf)
+}
+
+// Free returns b to the pool.  B's contents must no longer be referenced.
+func (b *Buf) Free() {
+	if b == nil {
+		return
+	}
+	if cap(b.B) > maxPooled {
+		b.B = nil
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
+}
+
+// ReadAll appends r's contents to dst until EOF and returns the filled
+// slice: io.ReadAll over a caller-owned (pooled) buffer instead of a
+// fresh allocation per call.  Callers bound r themselves (MaxBytesReader
+// or LimitReader); the returned slice aliases dst's array when it fits.
+func ReadAll(dst []byte, r io.Reader) ([]byte, error) {
+	if cap(dst)-len(dst) == 0 {
+		dst = append(dst, 0)[:len(dst)]
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// appendU16 and friends are the raw little-endian columns; the codec
+// never goes through reflection (encoding/binary.Write) and never emits
+// big-endian.
+func appendU16(dst []byte, v uint16) []byte {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// appendI32sNil encodes a []int32 whose JSON field has no omitempty:
+// nil and empty survive the round trip distinctly.
+func appendI32sNil(dst []byte, vs []int32) []byte {
+	if vs == nil {
+		return appendU32(dst, nilCount)
+	}
+	dst = appendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = appendU32(dst, uint32(v))
+	}
+	return dst
+}
+
+// appendI32sOmit encodes a []int32 whose JSON field says omitempty:
+// empty and nil both decode to nil, exactly like the JSON round trip.
+func appendI32sOmit(dst []byte, vs []int32) []byte {
+	dst = appendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = appendU32(dst, uint32(v))
+	}
+	return dst
+}
+
+func appendF64sOmit(dst []byte, vs []float64) []byte {
+	dst = appendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+// appendIntsNil mirrors appendI32sNil for []int (MergeMeta.Shards).
+func appendIntsNil(dst []byte, vs []int) []byte {
+	if vs == nil {
+		return appendU32(dst, nilCount)
+	}
+	dst = appendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = appendU64(dst, uint64(int64(v)))
+	}
+	return dst
+}
+
+func appendIntsOmit(dst []byte, vs []int) []byte {
+	dst = appendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = appendU64(dst, uint64(int64(v)))
+	}
+	return dst
+}
+
+// beginFrame appends a frame header to an empty buffer; endFrame patches
+// the body length once the messages are in place.
+func beginFrame(dst []byte, msgType, flags byte, count uint32) []byte {
+	dst = append(dst, frameMagic0, frameMagic1, frameMagic2, frameMagic3,
+		Version, msgType, flags, 0)
+	dst = appendU32(dst, count)
+	return appendU32(dst, 0) // body length, patched by endFrame
+}
+
+func endFrame(dst []byte) []byte {
+	binary.LittleEndian.PutUint32(dst[12:frameHdrSize], uint32(len(dst)-frameHdrSize))
+	return dst
+}
+
+// beginMessage reserves the u32 length prefix of one message and returns
+// its offset for endMessage to patch.
+func beginMessage(dst []byte) ([]byte, int) {
+	dst = appendU32(dst, 0)
+	return dst, len(dst)
+}
+
+func endMessage(dst []byte, bodyOff int) []byte {
+	binary.LittleEndian.PutUint32(dst[bodyOff-4:bodyOff], uint32(len(dst)-bodyOff))
+	return dst
+}
+
+// EncodeRequest replaces b's contents with a single-message request
+// frame.  It allocates nothing once b's capacity is warm.
+func EncodeRequest(b *Buf, req *adsketch.Request) {
+	dst := beginFrame(b.B[:0], typeRequest, 0, 1)
+	dst, off := beginMessage(dst)
+	dst = appendRequestBody(dst, req)
+	b.B = endFrame(endMessage(dst, off))
+}
+
+// EncodeRequests replaces b's contents with a batch request frame — the
+// binary mirror of the JSON array form of /v1/query.
+func EncodeRequests(b *Buf, reqs []adsketch.Request) {
+	dst := beginFrame(b.B[:0], typeRequest, flagBatch, uint32(len(reqs)))
+	for i := range reqs {
+		var off int
+		dst, off = beginMessage(dst)
+		dst = appendRequestBody(dst, &reqs[i])
+		dst = endMessage(dst, off)
+	}
+	b.B = endFrame(dst)
+}
+
+// EncodeResponse replaces b's contents with a single-message response
+// frame.
+func EncodeResponse(b *Buf, resp *adsketch.Response) {
+	dst := beginFrame(b.B[:0], typeResponse, 0, 1)
+	dst, off := beginMessage(dst)
+	dst = appendResponseBody(dst, resp)
+	b.B = endFrame(endMessage(dst, off))
+}
+
+// EncodeResponses replaces b's contents with a batch response frame.
+func EncodeResponses(b *Buf, resps []adsketch.Response) {
+	dst := beginFrame(b.B[:0], typeResponse, flagBatch, uint32(len(resps)))
+	for i := range resps {
+		var off int
+		dst, off = beginMessage(dst)
+		dst = appendResponseBody(dst, &resps[i])
+		dst = endMessage(dst, off)
+	}
+	b.B = endFrame(dst)
+}
+
+func appendRequestBody(dst []byte, r *adsketch.Request) []byte {
+	var mask uint16
+	if r.Closeness != nil {
+		mask |= maskCloseness
+	}
+	if r.Harmonic != nil {
+		mask |= maskHarmonic
+	}
+	if r.Neighborhood != nil {
+		mask |= maskNeighborhood
+	}
+	if r.TopK != nil {
+		mask |= maskTopK
+	}
+	if r.CentralityKernel != nil {
+		mask |= maskCentralityKernel
+	}
+	if r.Jaccard != nil {
+		mask |= maskJaccard
+	}
+	if r.Influence != nil {
+		mask |= maskInfluence
+	}
+	if r.DistanceBound != nil {
+		mask |= maskDistanceBound
+	}
+	if r.Sketch != nil {
+		mask |= maskSketch
+	}
+	dst = appendU16(dst, mask)
+	var flags byte
+	if r.Explain {
+		flags |= reqFlagExplain
+	}
+	dst = append(dst, flags)
+	dst = appendStr(dst, r.ID)
+	dst = appendStr(dst, r.Dataset)
+	dst = appendStr(dst, r.Policy)
+	if q := r.Closeness; q != nil {
+		dst = appendI32sNil(dst, q.Nodes)
+	}
+	if q := r.Harmonic; q != nil {
+		dst = appendI32sNil(dst, q.Nodes)
+	}
+	if q := r.Neighborhood; q != nil {
+		dst = appendF64(dst, q.Radius)
+		dst = appendBool(dst, q.Unbounded)
+		dst = appendI32sNil(dst, q.Nodes)
+	}
+	if q := r.TopK; q != nil {
+		dst = appendStr(dst, q.Metric)
+		dst = appendU64(dst, uint64(int64(q.K)))
+	}
+	if q := r.CentralityKernel; q != nil {
+		dst = appendStr(dst, q.Kernel)
+		dst = appendF64(dst, q.Radius)
+		dst = appendI32sNil(dst, q.Nodes)
+	}
+	if q := r.Jaccard; q != nil {
+		dst = appendU32(dst, uint32(q.A))
+		dst = appendF64(dst, q.RadiusA)
+		dst = appendU32(dst, uint32(q.B))
+		dst = appendF64(dst, q.RadiusB)
+	}
+	if q := r.Influence; q != nil {
+		dst = appendI32sOmit(dst, q.Seeds)
+		dst = appendU64(dst, uint64(int64(q.NumSeeds)))
+		dst = appendI32sOmit(dst, q.Candidates)
+		dst = appendF64(dst, q.Radius)
+	}
+	if q := r.DistanceBound; q != nil {
+		dst = appendU32(dst, uint32(q.A))
+		dst = appendU32(dst, uint32(q.B))
+	}
+	if q := r.Sketch; q != nil {
+		dst = appendU32(dst, uint32(q.Node))
+	}
+	return dst
+}
+
+func appendResponseBody(dst []byte, r *adsketch.Response) []byte {
+	var flags byte
+	if r.Partial {
+		flags |= respFlagPartial
+	}
+	if r.Unreachable {
+		flags |= respFlagUnreachable
+	}
+	if r.Value != nil {
+		flags |= respFlagValue
+	}
+	if r.Merge != nil {
+		flags |= respFlagMerge
+	}
+	dst = append(dst, flags)
+	dst = appendStr(dst, r.ID)
+	dst = appendStr(dst, r.Kind)
+	dst = appendStr(dst, r.Error)
+	dst = appendI32sOmit(dst, r.Missing)
+	dst = appendF64sOmit(dst, r.Scores)
+	dst = appendU32(dst, uint32(len(r.Ranking)))
+	for _, rk := range r.Ranking {
+		dst = appendU32(dst, uint32(rk.Node))
+		dst = appendF64(dst, rk.Score)
+	}
+	if r.Value != nil {
+		dst = appendF64(dst, *r.Value)
+	}
+	dst = appendI32sOmit(dst, r.Seeds)
+	dst = appendU32(dst, uint32(len(r.Entries)))
+	for _, en := range r.Entries {
+		dst = appendU32(dst, uint32(en.Node))
+		dst = appendF64(dst, en.Dist)
+		dst = appendF64(dst, en.Rank)
+	}
+	if m := r.Merge; m != nil {
+		dst = appendIntsNil(dst, m.Shards)
+		dst = appendU64(dst, uint64(int64(m.Partials)))
+		dst = appendIntsOmit(dst, m.Failed)
+	}
+	return dst
+}
+
+// reader is the bounds-checked decode cursor: the first failure latches
+// err and every later read is a no-op, so decode paths read linearly and
+// check once at the end.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// take claims n bytes, or latches an error when fewer remain.
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail("truncated frame: need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u8() byte {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *reader) u16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (r *reader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *reader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *reader) i32() int32    { return int32(r.u32()) }
+func (r *reader) i64() int64    { return int64(r.u64()) }
+func (r *reader) f64() float64  { return math.Float64frombits(r.u64()) }
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+// count reads a u32 element count and verifies the remaining bytes can
+// actually hold count elements of elemSize bytes, so a corrupt length
+// can never trigger a giant allocation.
+func (r *reader) count(elemSize int, what string) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n)*int64(elemSize) > int64(len(r.b)-r.off) {
+		r.fail("corrupt frame: %s count %d exceeds %d remaining bytes", what, n, len(r.b)-r.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) str(what string) string {
+	n := r.count(1, what)
+	if n == 0 {
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// i32sNil decodes the nilable []int32 shape written by appendI32sNil.
+func (r *reader) i32sNil(what string) []int32 {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b)-r.off >= 4 && binary.LittleEndian.Uint32(r.b[r.off:]) == nilCount {
+		r.off += 4
+		return nil
+	}
+	n := r.count(4, what)
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = r.i32()
+	}
+	return vs
+}
+
+// i32sOmit decodes the omitempty []int32 shape: zero elements decode to
+// nil, matching the JSON round trip.
+func (r *reader) i32sOmit(what string) []int32 {
+	n := r.count(4, what)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = r.i32()
+	}
+	return vs
+}
+
+func (r *reader) f64sOmit(what string) []float64 {
+	n := r.count(8, what)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = r.f64()
+	}
+	return vs
+}
+
+func (r *reader) intsNil(what string) []int {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b)-r.off >= 4 && binary.LittleEndian.Uint32(r.b[r.off:]) == nilCount {
+		r.off += 4
+		return nil
+	}
+	n := r.count(8, what)
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = int(r.i64())
+	}
+	return vs
+}
+
+func (r *reader) intsOmit(what string) []int {
+	n := r.count(8, what)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = int(r.i64())
+	}
+	return vs
+}
+
+// parseFrame validates the header and returns the message count, batch
+// flag, and body.
+func parseFrame(data []byte, wantType byte) (count int, batch bool, body []byte, err error) {
+	if len(data) < frameHdrSize {
+		return 0, false, nil, fmt.Errorf("wire: frame too short: %d bytes, header needs %d", len(data), frameHdrSize)
+	}
+	if data[0] != frameMagic0 || data[1] != frameMagic1 || data[2] != frameMagic2 || data[3] != frameMagic3 {
+		return 0, false, nil, fmt.Errorf("wire: bad magic %q", data[:4])
+	}
+	if data[4] != Version {
+		return 0, false, nil, fmt.Errorf("wire: unsupported frame version %d, this side speaks %d", data[4], Version)
+	}
+	if data[5] != wantType {
+		return 0, false, nil, fmt.Errorf("wire: frame type %d, want %d", data[5], wantType)
+	}
+	if data[6]&^byte(flagBatch) != 0 {
+		return 0, false, nil, fmt.Errorf("wire: unknown frame flags %#x", data[6])
+	}
+	if data[7] != 0 {
+		return 0, false, nil, fmt.Errorf("wire: nonzero reserved byte %#x", data[7])
+	}
+	batch = data[6]&flagBatch != 0
+	n := binary.LittleEndian.Uint32(data[8:12])
+	bodyLen := binary.LittleEndian.Uint32(data[12:16])
+	if int64(bodyLen) != int64(len(data)-frameHdrSize) {
+		return 0, false, nil, fmt.Errorf("wire: body length %d, frame carries %d bytes", bodyLen, len(data)-frameHdrSize)
+	}
+	if !batch && n != 1 {
+		return 0, false, nil, fmt.Errorf("wire: single frame with message count %d", n)
+	}
+	// Each message spends at least its 4-byte length prefix, bounding
+	// the count a corrupt header can claim.
+	if int64(n)*4 > int64(bodyLen) {
+		return 0, false, nil, fmt.Errorf("wire: corrupt frame: %d messages in a %d-byte body", n, bodyLen)
+	}
+	return int(n), batch, data[frameHdrSize:], nil
+}
+
+// message claims the next length-prefixed message off the reader.
+func (r *reader) message() *reader {
+	n := r.count(1, "message length")
+	return &reader{b: r.take(n), err: r.err}
+}
+
+// finish verifies the cursor consumed its bytes exactly.
+func (r *reader) finish(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %s carries %d trailing bytes", what, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// DecodeRequests decodes a request frame of either form, reporting
+// whether it was the batch form (the binary mirror of a JSON array).
+func DecodeRequests(data []byte) ([]adsketch.Request, bool, error) {
+	n, batch, body, err := parseFrame(data, typeRequest)
+	if err != nil {
+		return nil, false, err
+	}
+	r := &reader{b: body}
+	reqs := make([]adsketch.Request, n)
+	for i := range reqs {
+		m := r.message()
+		if reqs[i], err = decodeRequestBody(m); err != nil {
+			return nil, batch, err
+		}
+	}
+	if err := r.finish("request frame"); err != nil {
+		return nil, batch, err
+	}
+	return reqs, batch, nil
+}
+
+// DecodeRequest decodes a single-message request frame.  It is the
+// serving hot path, so it skips DecodeRequests' slice and decodes the
+// one message in place.
+func DecodeRequest(data []byte) (adsketch.Request, error) {
+	_, batch, body, err := parseFrame(data, typeRequest)
+	if err != nil {
+		return adsketch.Request{}, err
+	}
+	if batch {
+		return adsketch.Request{}, fmt.Errorf("wire: batch frame where a single request was expected")
+	}
+	r := reader{b: body}
+	req, err := decodeRequestBody(r.message())
+	if err != nil {
+		return adsketch.Request{}, err
+	}
+	if err := r.finish("request frame"); err != nil {
+		return adsketch.Request{}, err
+	}
+	return req, nil
+}
+
+// DecodeResponses decodes a response frame of either form.
+func DecodeResponses(data []byte) ([]adsketch.Response, bool, error) {
+	n, batch, body, err := parseFrame(data, typeResponse)
+	if err != nil {
+		return nil, false, err
+	}
+	r := &reader{b: body}
+	resps := make([]adsketch.Response, n)
+	for i := range resps {
+		m := r.message()
+		if resps[i], err = decodeResponseBody(m); err != nil {
+			return nil, batch, err
+		}
+	}
+	if err := r.finish("response frame"); err != nil {
+		return nil, batch, err
+	}
+	return resps, batch, nil
+}
+
+// DecodeResponse decodes a single-message response frame; like
+// DecodeRequest it avoids the batch path's slice.
+func DecodeResponse(data []byte) (adsketch.Response, error) {
+	_, batch, body, err := parseFrame(data, typeResponse)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	if batch {
+		return adsketch.Response{}, fmt.Errorf("wire: batch frame where a single response was expected")
+	}
+	r := reader{b: body}
+	resp, err := decodeResponseBody(r.message())
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	if err := r.finish("response frame"); err != nil {
+		return adsketch.Response{}, err
+	}
+	return resp, nil
+}
+
+func decodeRequestBody(r *reader) (adsketch.Request, error) {
+	var req adsketch.Request
+	mask := r.u16()
+	if r.err == nil && mask&^uint16(maskKnown) != 0 {
+		r.fail("unknown request query bits %#x", mask&^uint16(maskKnown))
+	}
+	flags := r.u8()
+	if r.err == nil && flags&^byte(reqFlagExplain) != 0 {
+		r.fail("unknown request flags %#x", flags)
+	}
+	req.Explain = flags&reqFlagExplain != 0
+	req.ID = r.str("request id")
+	req.Dataset = r.str("request dataset")
+	req.Policy = r.str("request policy")
+	if mask&maskCloseness != 0 {
+		req.Closeness = &adsketch.ClosenessQuery{Nodes: r.i32sNil("closeness nodes")}
+	}
+	if mask&maskHarmonic != 0 {
+		req.Harmonic = &adsketch.HarmonicQuery{Nodes: r.i32sNil("harmonic nodes")}
+	}
+	if mask&maskNeighborhood != 0 {
+		req.Neighborhood = &adsketch.NeighborhoodQuery{
+			Radius:    r.f64(),
+			Unbounded: r.boolean(),
+			Nodes:     r.i32sNil("neighborhood nodes"),
+		}
+	}
+	if mask&maskTopK != 0 {
+		req.TopK = &adsketch.TopKQuery{
+			Metric: r.str("topk metric"),
+			K:      int(r.i64()),
+		}
+	}
+	if mask&maskCentralityKernel != 0 {
+		req.CentralityKernel = &adsketch.CentralityKernelQuery{
+			Kernel: r.str("centrality kernel"),
+			Radius: r.f64(),
+			Nodes:  r.i32sNil("centrality_kernel nodes"),
+		}
+	}
+	if mask&maskJaccard != 0 {
+		req.Jaccard = &adsketch.JaccardQuery{
+			A:       r.i32(),
+			RadiusA: r.f64(),
+			B:       r.i32(),
+			RadiusB: r.f64(),
+		}
+	}
+	if mask&maskInfluence != 0 {
+		req.Influence = &adsketch.InfluenceQuery{
+			Seeds:      r.i32sOmit("influence seeds"),
+			NumSeeds:   int(r.i64()),
+			Candidates: r.i32sOmit("influence candidates"),
+			Radius:     r.f64(),
+		}
+	}
+	if mask&maskDistanceBound != 0 {
+		req.DistanceBound = &adsketch.DistanceBoundQuery{A: r.i32(), B: r.i32()}
+	}
+	if mask&maskSketch != 0 {
+		req.Sketch = &adsketch.SketchQuery{Node: r.i32()}
+	}
+	if err := r.finish("request message"); err != nil {
+		return adsketch.Request{}, err
+	}
+	return req, nil
+}
+
+func decodeResponseBody(r *reader) (adsketch.Response, error) {
+	var resp adsketch.Response
+	flags := r.u8()
+	if r.err == nil && flags&^byte(respFlagKnown) != 0 {
+		r.fail("unknown response flags %#x", flags)
+	}
+	resp.Partial = flags&respFlagPartial != 0
+	resp.Unreachable = flags&respFlagUnreachable != 0
+	resp.ID = r.str("response id")
+	resp.Kind = r.str("response kind")
+	resp.Error = r.str("response error")
+	resp.Missing = r.i32sOmit("response missing")
+	resp.Scores = r.f64sOmit("response scores")
+	if n := r.count(12, "response ranking"); n > 0 {
+		resp.Ranking = make([]adsketch.Ranked, n)
+		for i := range resp.Ranking {
+			resp.Ranking[i] = adsketch.Ranked{Node: r.i32(), Score: r.f64()}
+		}
+	}
+	if flags&respFlagValue != 0 {
+		v := r.f64()
+		if r.err == nil {
+			resp.Value = &v
+		}
+	}
+	resp.Seeds = r.i32sOmit("response seeds")
+	if n := r.count(20, "response entries"); n > 0 {
+		resp.Entries = make([]adsketch.SketchEntry, n)
+		for i := range resp.Entries {
+			resp.Entries[i] = adsketch.SketchEntry{Node: r.i32(), Dist: r.f64(), Rank: r.f64()}
+		}
+	}
+	if flags&respFlagMerge != 0 {
+		m := &adsketch.MergeMeta{
+			Shards:   r.intsNil("merge shards"),
+			Partials: int(r.i64()),
+			Failed:   r.intsOmit("merge failed"),
+		}
+		if r.err == nil {
+			resp.Merge = m
+		}
+	}
+	if err := r.finish("response message"); err != nil {
+		return adsketch.Response{}, err
+	}
+	return resp, nil
+}

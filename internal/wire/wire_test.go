@@ -1,0 +1,342 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"adsketch"
+)
+
+func scalar(v float64) *float64 { return &v }
+
+// requestCorpus covers every query kind plus the nil/empty slice edge
+// cases the JSON shape distinguishes (or deliberately collapses).
+func requestCorpus() []adsketch.Request {
+	return []adsketch.Request{
+		{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{0, 17, 123}}},
+		{ID: "a", Dataset: "web", Policy: "partial", Explain: true,
+			Closeness: &adsketch.ClosenessQuery{Nodes: nil}},
+		{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{}}},
+		{Harmonic: &adsketch.HarmonicQuery{Nodes: []int32{5}}},
+		{Neighborhood: &adsketch.NeighborhoodQuery{Radius: 2.5, Nodes: []int32{1, 2}}},
+		{Neighborhood: &adsketch.NeighborhoodQuery{Unbounded: true, Nodes: []int32{}}},
+		{TopK: &adsketch.TopKQuery{Metric: "closeness", K: 10}},
+		{TopK: &adsketch.TopKQuery{Metric: "harmonic", K: -3}},
+		{CentralityKernel: &adsketch.CentralityKernelQuery{Kernel: "threshold", Radius: 3, Nodes: []int32{9}}},
+		{CentralityKernel: &adsketch.CentralityKernelQuery{Kernel: "exponential", Nodes: nil}},
+		{Jaccard: &adsketch.JaccardQuery{A: 1, RadiusA: 2, B: 3, RadiusB: 4.25}},
+		{Influence: &adsketch.InfluenceQuery{Seeds: []int32{1, 2}, Radius: 2}},
+		{Influence: &adsketch.InfluenceQuery{NumSeeds: 3, Candidates: []int32{4, 5, 6}, Radius: 1}},
+		{Influence: &adsketch.InfluenceQuery{NumSeeds: 2, Radius: 0}},
+		{DistanceBound: &adsketch.DistanceBoundQuery{A: 7, B: 8}},
+		{Sketch: &adsketch.SketchQuery{Node: 42}},
+		{ID: "empty"}, // no query set: still frames and round-trips
+	}
+}
+
+func responseCorpus() []adsketch.Response {
+	return []adsketch.Response{
+		{ID: "a", Kind: "closeness", Scores: []float64{1.5, 0, math.Inf(1)}},
+		{Kind: "closeness", Partial: true, Missing: []int32{3, 4},
+			Scores: []float64{0, 0, 2.25},
+			Merge:  &adsketch.MergeMeta{Shards: []int{0, 1}, Partials: 1, Failed: []int{1}}},
+		{Kind: "topk", Ranking: []adsketch.Ranked{{Node: 3, Score: 9.5}, {Node: 1, Score: 2}}},
+		{Kind: "jaccard", Value: scalar(0.75)},
+		{Kind: "jaccard", Value: scalar(0)}, // genuine zero must survive
+		{Kind: "distance_bound", Unreachable: true},
+		{Kind: "influence", Seeds: []int32{2, 9}, Value: scalar(17)},
+		{Kind: "sketch", Entries: []adsketch.SketchEntry{{Node: 1, Dist: 0.5, Rank: 0.25}}},
+		{Kind: "closeness", Merge: &adsketch.MergeMeta{Shards: nil, Partials: 2}},
+		{ID: "b", Error: "shard 1: boom"},
+		{},
+	}
+}
+
+// jsonRoundTripReq is what the JSON transport would deliver: the parity
+// oracle for the binary codec's nil/empty semantics.
+func jsonRoundTripReq(t *testing.T, req adsketch.Request) adsketch.Request {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	var out adsketch.Request
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("json.Unmarshal: %v", err)
+	}
+	return out
+}
+
+func jsonRoundTripResp(t *testing.T, resp adsketch.Response) adsketch.Response {
+	t.Helper()
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	var out adsketch.Response
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("json.Unmarshal: %v", err)
+	}
+	return out
+}
+
+func TestRequestRoundTripMatchesJSON(t *testing.T) {
+	for i, req := range requestCorpus() {
+		buf := Get()
+		EncodeRequest(buf, &req)
+		got, err := DecodeRequest(buf.B)
+		buf.Free()
+		if err != nil {
+			t.Fatalf("request %d: DecodeRequest: %v", i, err)
+		}
+		want := jsonRoundTripReq(t, req)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("request %d: binary round trip = %+v, JSON round trip = %+v", i, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTripMatchesJSON(t *testing.T) {
+	for i, resp := range responseCorpus() {
+		if i == 0 {
+			continue // Inf score cannot ride JSON; checked separately below
+		}
+		buf := Get()
+		EncodeResponse(buf, &resp)
+		got, err := DecodeResponse(buf.B)
+		buf.Free()
+		if err != nil {
+			t.Fatalf("response %d: DecodeResponse: %v", i, err)
+		}
+		want := jsonRoundTripResp(t, resp)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("response %d: binary round trip = %+v, JSON round trip = %+v", i, got, want)
+		}
+	}
+}
+
+// Binary frames carry every float64 bit pattern, including the ±Inf
+// JSON would reject.
+func TestResponseCarriesNonFinite(t *testing.T) {
+	resp := adsketch.Response{Scores: []float64{math.Inf(1), math.Inf(-1)}}
+	buf := Get()
+	defer buf.Free()
+	EncodeResponse(buf, &resp)
+	got, err := DecodeResponse(buf.B)
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if !math.IsInf(got.Scores[0], 1) || !math.IsInf(got.Scores[1], -1) {
+		t.Fatalf("non-finite scores lost: %v", got.Scores)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	reqs := requestCorpus()
+	buf := Get()
+	defer buf.Free()
+	EncodeRequests(buf, reqs)
+	got, batch, err := DecodeRequests(buf.B)
+	if err != nil {
+		t.Fatalf("DecodeRequests: %v", err)
+	}
+	if !batch {
+		t.Fatal("batch frame decoded as single")
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("decoded %d requests, want %d", len(got), len(reqs))
+	}
+	for i := range got {
+		want := jsonRoundTripReq(t, reqs[i])
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("request %d: %+v, want %+v", i, got[i], want)
+		}
+	}
+
+	// Zero-request batches are legal (the JSON array form accepts []).
+	EncodeRequests(buf, nil)
+	got, batch, err = DecodeRequests(buf.B)
+	if err != nil || !batch || len(got) != 0 {
+		t.Fatalf("empty batch: got %v batch=%v err=%v", got, batch, err)
+	}
+
+	// A batch frame is not a single frame.
+	EncodeRequests(buf, reqs[:1])
+	if _, err := DecodeRequest(buf.B); err == nil {
+		t.Fatal("DecodeRequest accepted a batch frame")
+	}
+}
+
+func TestResponseBatchRoundTrip(t *testing.T) {
+	resps := responseCorpus()
+	buf := Get()
+	defer buf.Free()
+	EncodeResponses(buf, resps)
+	got, batch, err := DecodeResponses(buf.B)
+	if err != nil {
+		t.Fatalf("DecodeResponses: %v", err)
+	}
+	if !batch || len(got) != len(resps) {
+		t.Fatalf("batch=%v len=%d, want true/%d", batch, len(got), len(resps))
+	}
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	buf := Get()
+	defer buf.Free()
+	req := adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{1, 2, 3}}}
+	EncodeRequest(buf, &req)
+	good := append([]byte(nil), buf.B...)
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   good[:8],
+		"truncated body": good[:len(good)-3],
+		"trailing junk":  append(append([]byte(nil), good...), 0xFF),
+	}
+	for i := range good {
+		// Flip one byte at every offset; none may panic, and header
+		// corruption must error.
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xA5
+		cases["bitflip"] = mut
+		for name, data := range cases {
+			if _, _, err := DecodeRequests(data); err == nil && name != "bitflip" {
+				t.Errorf("%s: decode accepted corrupt frame", name)
+			}
+		}
+		delete(cases, "bitflip")
+	}
+
+	// Wrong frame type: a response frame is not a request frame.
+	var rbuf Buf
+	EncodeResponse(&rbuf, &adsketch.Response{Kind: "x"})
+	if _, _, err := DecodeRequests(rbuf.B); err == nil {
+		t.Error("request decoder accepted a response frame")
+	}
+	if _, _, err := DecodeResponses(good); err == nil {
+		t.Error("response decoder accepted a request frame")
+	}
+
+	// Future versions are rejected, not misread.
+	mut := append([]byte(nil), good...)
+	mut[4] = Version + 1
+	if _, _, err := DecodeRequests(mut); err == nil {
+		t.Error("decoder accepted an unknown frame version")
+	}
+}
+
+// A corrupt count field may not trigger a giant allocation: the decoder
+// checks claimed counts against the bytes actually present first.
+func TestDecodeAllocationCap(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; cap is checked in the regular run")
+	}
+	buf := Get()
+	defer buf.Free()
+	req := adsketch.Request{Closeness: &adsketch.ClosenessQuery{Nodes: []int32{1}}}
+	EncodeRequest(buf, &req)
+	// The nodes count sits after the message length (4), mask (2),
+	// flags (1), and three empty strings (12): claim 2^31 elements.
+	mut := append([]byte(nil), buf.B...)
+	off := frameHdrSize + 4 + 2 + 1 + 12
+	mut[off], mut[off+1], mut[off+2], mut[off+3] = 0, 0, 0, 0x40
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := DecodeRequests(mut); err == nil {
+			t.Fatal("decode accepted a frame claiming 2^30 nodes")
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("corrupt-frame decode did %.1f allocs/op, want <= 8", allocs)
+	}
+}
+
+// The encode path must be allocation-free once the pooled buffer is
+// warm — that is the whole point of the binary hot path.
+func TestEncodeSteadyStateAllocs(t *testing.T) {
+	req := adsketch.Request{Neighborhood: &adsketch.NeighborhoodQuery{
+		Radius: 3, Nodes: []int32{0, 17, 123, 999, 7777},
+	}}
+	resp := adsketch.Response{Kind: "neighborhood", Scores: []float64{1, 2, 3, 4, 5}}
+	buf := Get()
+	defer buf.Free()
+	EncodeRequest(buf, &req) // warm the capacity
+	if allocs := testing.AllocsPerRun(100, func() { EncodeRequest(buf, &req) }); allocs != 0 {
+		t.Errorf("EncodeRequest: %.1f allocs/op at steady state, want 0", allocs)
+	}
+	EncodeResponse(buf, &resp)
+	if allocs := testing.AllocsPerRun(100, func() { EncodeResponse(buf, &resp) }); allocs != 0 {
+		t.Errorf("EncodeResponse: %.1f allocs/op at steady state, want 0", allocs)
+	}
+}
+
+// Pool discipline: oversized buffers are not retained.
+func TestPoolDropsOversizedBuffers(t *testing.T) {
+	b := Get()
+	b.B = make([]byte, maxPooled+1)
+	b.Free()
+	if b.B != nil {
+		t.Fatal("Free kept an oversized buffer")
+	}
+}
+
+func FuzzDecodeRequest(f *testing.F) {
+	for _, req := range requestCorpus() {
+		var buf Buf
+		EncodeRequest(&buf, &req)
+		f.Add(append([]byte(nil), buf.B...))
+	}
+	var batch Buf
+	EncodeRequests(&batch, requestCorpus())
+	f.Add(append([]byte(nil), batch.B...))
+	f.Add([]byte("ADSW"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, _, err := DecodeRequests(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode into a fixed point: the
+		// codec has one canonical byte form per message.  (Bytes, not
+		// DeepEqual — fuzzed frames may carry NaN payloads.)
+		var buf1, buf2 Buf
+		EncodeRequests(&buf1, reqs)
+		again, _, err := DecodeRequests(buf1.B)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frame failed: %v", err)
+		}
+		EncodeRequests(&buf2, again)
+		if !bytes.Equal(buf1.B, buf2.B) {
+			t.Fatalf("re-encode is not a fixed point:\n%x\n%x", buf1.B, buf2.B)
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	for _, resp := range responseCorpus() {
+		var buf Buf
+		EncodeResponse(&buf, &resp)
+		f.Add(append([]byte(nil), buf.B...))
+	}
+	var batch Buf
+	EncodeResponses(&batch, responseCorpus())
+	f.Add(append([]byte(nil), batch.B...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resps, _, err := DecodeResponses(data)
+		if err != nil {
+			return
+		}
+		var buf1, buf2 Buf
+		EncodeResponses(&buf1, resps)
+		again, _, err := DecodeResponses(buf1.B)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frame failed: %v", err)
+		}
+		EncodeResponses(&buf2, again)
+		if !bytes.Equal(buf1.B, buf2.B) {
+			t.Fatalf("re-encode is not a fixed point:\n%x\n%x", buf1.B, buf2.B)
+		}
+	})
+}

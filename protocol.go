@@ -50,6 +50,21 @@ type Query interface {
 	scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error)
 }
 
+// scoreQuery is the per-node-scores family of the protocol (closeness,
+// harmonic, neighborhood, centrality_kernel): queries a coordinator
+// answers by routing node subsets to their owning shards and splicing
+// the score columns back together.  Exposing the routed nodes and the
+// per-shard sub-request lets scatterScores and the batched fan-out of
+// Coordinator.DoBatch share one merge, so a batched query is
+// byte-for-bit the unbatched one.
+type scoreQuery interface {
+	Query
+	// scoreNodes is the queried node list, in request order.
+	scoreNodes() []int32
+	// subRequest builds the same query over one shard's node subset.
+	subRequest(sub []int32) Request
+}
+
 // Per-query partial-failure policies (Request.Policy) of a partitioned
 // serving tier.  They only matter when a shard fails mid-query: with no
 // fault, both policies produce byte-identical responses.
@@ -228,10 +243,14 @@ func (q *ClosenessQuery) evaluate(ctx context.Context, e *Engine) (Response, err
 	return Response{Scores: scores}, nil
 }
 
+func (q *ClosenessQuery) scoreNodes() []int32 { return q.Nodes }
+
+func (q *ClosenessQuery) subRequest(sub []int32) Request {
+	return Request{Closeness: &ClosenessQuery{Nodes: sub}}
+}
+
 func (q *ClosenessQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
-	return c.scatterScores(ctx, q.Nodes, partial, func(sub []int32) Request {
-		return Request{Closeness: &ClosenessQuery{Nodes: sub}}
-	})
+	return c.scatterScores(ctx, q, partial)
 }
 
 // HarmonicQuery asks for the HIP estimate of the harmonic centrality
@@ -252,10 +271,14 @@ func (q *HarmonicQuery) evaluate(ctx context.Context, e *Engine) (Response, erro
 	return Response{Scores: scores}, nil
 }
 
+func (q *HarmonicQuery) scoreNodes() []int32 { return q.Nodes }
+
+func (q *HarmonicQuery) subRequest(sub []int32) Request {
+	return Request{Harmonic: &HarmonicQuery{Nodes: sub}}
+}
+
 func (q *HarmonicQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
-	return c.scatterScores(ctx, q.Nodes, partial, func(sub []int32) Request {
-		return Request{Harmonic: &HarmonicQuery{Nodes: sub}}
-	})
+	return c.scatterScores(ctx, q, partial)
 }
 
 // NeighborhoodQuery asks for the HIP estimate of n_d(v) = |N_d(v)| (the
@@ -289,10 +312,14 @@ func (q *NeighborhoodQuery) evaluate(ctx context.Context, e *Engine) (Response, 
 	return Response{Scores: scores}, nil
 }
 
+func (q *NeighborhoodQuery) scoreNodes() []int32 { return q.Nodes }
+
+func (q *NeighborhoodQuery) subRequest(sub []int32) Request {
+	return Request{Neighborhood: &NeighborhoodQuery{Radius: q.Radius, Unbounded: q.Unbounded, Nodes: sub}}
+}
+
 func (q *NeighborhoodQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
-	return c.scatterScores(ctx, q.Nodes, partial, func(sub []int32) Request {
-		return Request{Neighborhood: &NeighborhoodQuery{Radius: q.Radius, Unbounded: q.Unbounded, Nodes: sub}}
-	})
+	return c.scatterScores(ctx, q, partial)
 }
 
 // Metrics accepted by TopKQuery.
@@ -403,10 +430,14 @@ func (q *CentralityKernelQuery) evaluate(ctx context.Context, e *Engine) (Respon
 	return Response{Scores: scores}, nil
 }
 
+func (q *CentralityKernelQuery) scoreNodes() []int32 { return q.Nodes }
+
+func (q *CentralityKernelQuery) subRequest(sub []int32) Request {
+	return Request{CentralityKernel: &CentralityKernelQuery{Kernel: q.Kernel, Radius: q.Radius, Nodes: sub}}
+}
+
 func (q *CentralityKernelQuery) scatter(ctx context.Context, c *Coordinator, partial bool) (Response, error) {
-	return c.scatterScores(ctx, q.Nodes, partial, func(sub []int32) Request {
-		return Request{CentralityKernel: &CentralityKernelQuery{Kernel: q.Kernel, Radius: q.Radius, Nodes: sub}}
-	})
+	return c.scatterScores(ctx, q, partial)
 }
 
 // JaccardQuery asks for the estimated Jaccard similarity of the

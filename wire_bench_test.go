@@ -1,0 +1,83 @@
+package adsketch_test
+
+// Binary wire-protocol benchmarks, twins of BenchmarkEngineDoJSON: the
+// request the server pays for over each transport.  The acceptance bar
+// for the codec is EngineDoWire at most a third of EngineDoJSON, with a
+// zero-allocation encode path.
+
+import (
+	"context"
+	"testing"
+
+	"adsketch"
+	"adsketch/internal/wire"
+)
+
+// benchWireRequest is the same query BenchmarkEngineDoJSON serves.
+func benchWireRequest() adsketch.Request {
+	return adsketch.Request{
+		Neighborhood: &adsketch.NeighborhoodQuery{Radius: 3, Nodes: []int32{0, 17, 123, 999, 7777}},
+	}
+}
+
+// BenchmarkEngineDoWire: the full binary wire cost of one request —
+// frame decode, dispatch, evaluate, frame encode — as adsserver pays it
+// on the binary path.
+func BenchmarkEngineDoWire(b *testing.B) {
+	_, eng := benchEngine(b)
+	req := benchWireRequest()
+	in := wire.Get()
+	defer in.Free()
+	wire.EncodeRequest(in, &req)
+	out := wire.Get()
+	defer out.Free()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decoded, err := wire.DecodeRequest(in.B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := eng.Do(ctx, decoded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire.EncodeResponse(out, &resp)
+	}
+}
+
+// BenchmarkEngineWireEncode: the response-encode half alone.  With the
+// pooled buffer warm this must run allocation-free — the criterion the
+// zero-copy serving path is pinned on.
+func BenchmarkEngineWireEncode(b *testing.B) {
+	_, eng := benchEngine(b)
+	resp, err := eng.Do(context.Background(), benchWireRequest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := wire.Get()
+	defer out.Free()
+	wire.EncodeResponse(out, &resp) // warm the buffer to steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire.EncodeResponse(out, &resp)
+	}
+}
+
+// BenchmarkEngineWireDecode: the request-decode half alone, for the
+// trajectory record.
+func BenchmarkEngineWireDecode(b *testing.B) {
+	req := benchWireRequest()
+	in := wire.Get()
+	defer in.Free()
+	wire.EncodeRequest(in, &req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeRequest(in.B); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

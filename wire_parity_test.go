@@ -1,0 +1,268 @@
+package adsketch_test
+
+// Cross-protocol parity: the binary wire codec must be a transparent
+// transport.  Every query kind under every failure policy has to decode
+// to the exact Response the JSON transport produces — against a solo
+// engine, through a coordinator, and through the coordinator's batched
+// fan-out, including when shards are failing.
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"adsketch"
+	"adsketch/internal/wire"
+)
+
+// doer is the query surface both Engine and Coordinator expose.
+type doer interface {
+	Do(ctx context.Context, req adsketch.Request) (adsketch.Response, error)
+}
+
+// viaJSON runs one request through a JSON round trip on both legs, the
+// way an HTTP client and server marshal it.
+func viaJSON(t *testing.T, ctx context.Context, d doer, req adsketch.Request) (adsketch.Response, error) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded adsketch.Request
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := d.Do(ctx, decoded)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final adsketch.Response
+	if err := json.Unmarshal(out, &final); err != nil {
+		t.Fatal(err)
+	}
+	return final, nil
+}
+
+// viaWire runs the same request through binary frames on both legs.
+func viaWire(t *testing.T, ctx context.Context, d doer, req adsketch.Request) (adsketch.Response, error) {
+	t.Helper()
+	buf := wire.Get()
+	defer buf.Free()
+	wire.EncodeRequest(buf, &req)
+	decoded, err := wire.DecodeRequest(buf.B)
+	if err != nil {
+		t.Fatalf("decoding request frame: %v", err)
+	}
+	resp, err := d.Do(ctx, decoded)
+	if err != nil {
+		return adsketch.Response{}, err
+	}
+	wire.EncodeResponse(buf, &resp)
+	final, err := wire.DecodeResponse(buf.B)
+	if err != nil {
+		t.Fatalf("decoding response frame: %v", err)
+	}
+	return final, nil
+}
+
+// wireParityCorpus is parityRequests plus Explain variants, which carry
+// the merge metadata the binary response frame must also preserve.
+func wireParityCorpus() []adsketch.Request {
+	reqs := parityRequests()
+	reqs = append(reqs,
+		adsketch.Request{ID: "clx", Explain: true, Closeness: &adsketch.ClosenessQuery{Nodes: []int32{0, 250, 399}}},
+		adsketch.Request{ID: "tkx", Explain: true, TopK: &adsketch.TopKQuery{Metric: adsketch.MetricCloseness, K: 5}},
+	)
+	return reqs
+}
+
+// The acceptance criterion: every query kind under every policy decodes
+// byte-identically over JSON and binary, solo and coordinated.
+func TestWireTransportParityAllKinds(t *testing.T) {
+	eng, coord := buildCluster(t)
+	ctx := context.Background()
+	backends := []struct {
+		name string
+		d    doer
+	}{{"engine", eng}, {"coordinator", coord}}
+	for _, req := range wireParityCorpus() {
+		for _, policy := range []string{"", "fail", "partial"} {
+			req := req
+			req.Policy = policy
+			name := req.ID
+			if policy != "" {
+				name += "/" + policy
+			}
+			t.Run(name, func(t *testing.T) {
+				for _, be := range backends {
+					want, jsonErr := viaJSON(t, ctx, be.d, req)
+					got, wireErr := viaWire(t, ctx, be.d, req)
+					if (jsonErr == nil) != (wireErr == nil) {
+						t.Fatalf("%s: transport changed the outcome: json err %v, wire err %v", be.name, jsonErr, wireErr)
+					}
+					if jsonErr != nil {
+						if jsonErr.Error() != wireErr.Error() {
+							t.Fatalf("%s: error text differs:\n  json %v\n  wire %v", be.name, jsonErr, wireErr)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s: decoded responses differ:\n  json %+v\n  wire %+v", be.name, want, got)
+					}
+					wantJSON, _ := json.Marshal(want)
+					gotJSON, _ := json.Marshal(got)
+					if string(wantJSON) != string(gotJSON) {
+						t.Errorf("%s: re-marshaled responses differ:\n  json %s\n  wire %s", be.name, wantJSON, gotJSON)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Malformed requests must fail identically over both transports: the
+// codec may not mask or alter a validation error.
+func TestWireTransportErrorParity(t *testing.T) {
+	eng, coord := buildCluster(t)
+	ctx := context.Background()
+	bad := []adsketch.Request{
+		{ID: "none"}, // no query set
+		{ID: "two", Closeness: &adsketch.ClosenessQuery{Nodes: []int32{1}}, Sketch: &adsketch.SketchQuery{Node: 1}},
+		{ID: "oob", Closeness: &adsketch.ClosenessQuery{Nodes: []int32{-1}}},
+		{ID: "pol", Policy: "bogus", Closeness: &adsketch.ClosenessQuery{Nodes: []int32{1}}},
+		{ID: "rad", Neighborhood: &adsketch.NeighborhoodQuery{Radius: -2, Nodes: []int32{1}}},
+	}
+	for _, req := range bad {
+		for _, d := range []doer{eng, coord} {
+			_, jsonErr := viaJSON(t, ctx, d, req)
+			_, wireErr := viaWire(t, ctx, d, req)
+			if jsonErr == nil || wireErr == nil {
+				t.Fatalf("%s: expected errors, got json %v, wire %v", req.ID, jsonErr, wireErr)
+			}
+			if jsonErr.Error() != wireErr.Error() {
+				t.Errorf("%s: error text differs:\n  json %v\n  wire %v", req.ID, jsonErr, wireErr)
+			}
+		}
+	}
+}
+
+// The batched frame path: a whole corpus in one multi-request frame
+// through DoBatch must decode identically to the JSON batch.
+func TestWireBatchTransportParity(t *testing.T) {
+	_, coord := buildCluster(t)
+	ctx := context.Background()
+	reqs := wireParityCorpus()
+	for i := range reqs {
+		reqs[i].Policy = []string{"", "fail", "partial"}[i%3]
+	}
+	reqs = append(reqs, adsketch.Request{ID: "bad", Closeness: &adsketch.ClosenessQuery{Nodes: []int32{-7}}})
+
+	// JSON leg.
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonReqs []adsketch.Request
+	if err := json.Unmarshal(body, &jsonReqs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := coord.DoBatch(ctx, jsonReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantResps []adsketch.Response
+	if err := json.Unmarshal(wantBody, &wantResps); err != nil {
+		t.Fatal(err)
+	}
+
+	// Binary leg.
+	buf := wire.Get()
+	defer buf.Free()
+	wire.EncodeRequests(buf, reqs)
+	wireReqs, batch, err := wire.DecodeRequests(buf.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch {
+		t.Fatal("multi-request frame decoded without the batch flag")
+	}
+	got, err := coord.DoBatch(ctx, wireReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire.EncodeResponses(buf, got)
+	gotResps, _, err := wire.DecodeResponses(buf.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(gotResps) != len(wantResps) {
+		t.Fatalf("%d responses, want %d", len(gotResps), len(wantResps))
+	}
+	for i := range wantResps {
+		wantJSON, _ := json.Marshal(wantResps[i])
+		gotJSON, _ := json.Marshal(gotResps[i])
+		if string(wantJSON) != string(gotJSON) {
+			t.Errorf("request %s: batched responses differ:\n  json %s\n  wire %s", reqs[i].ID, wantJSON, gotJSON)
+		}
+	}
+}
+
+// The batched scatter must degrade exactly like the per-request path: a
+// dead shard produces the same per-slot errors and the same partial
+// responses DoBatch-of-Do would.
+func TestBatchedScatterFailureParity(t *testing.T) {
+	_, set, _ := buildEngine(t)
+	wrapped, faults := wrapFaulty(shardEngines(t, set, 4))
+	coord, err := adsketch.NewCoordinator(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults[1].kill()
+
+	var reqs []adsketch.Request
+	for _, base := range parityRequests() {
+		for _, policy := range []string{"fail", "partial"} {
+			r := base
+			r.ID = base.ID + "-" + policy
+			r.Policy = policy
+			reqs = append(reqs, r)
+		}
+	}
+	reqs = append(reqs, adsketch.Request{ID: "bad", Closeness: &adsketch.ClosenessQuery{Nodes: []int32{99999}}})
+
+	ctx := context.Background()
+	want := make([]adsketch.Response, len(reqs))
+	for i, r := range reqs {
+		resp, err := coord.Do(ctx, r)
+		if err != nil {
+			want[i] = adsketch.Response{ID: r.ID, Error: err.Error()}
+			continue
+		}
+		want[i] = resp
+	}
+	got, err := coord.DoBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d responses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		wantJSON, _ := json.Marshal(want[i])
+		gotJSON, _ := json.Marshal(got[i])
+		if string(wantJSON) != string(gotJSON) {
+			t.Errorf("request %s: batched scatter differs from per-request path:\n  batched %s\n  single  %s",
+				reqs[i].ID, gotJSON, wantJSON)
+		}
+	}
+}
