@@ -9,7 +9,7 @@ GO ?= go
 # coverage durably improves; never lower it to make a PR pass.
 COVER_BASELINE ?= 75.0
 
-.PHONY: test race analyze bench cover fuzz-smoke memprofile ingest-smoke load-smoke wire-smoke clean
+.PHONY: test race analyze bench cover fuzz-smoke memprofile ingest-smoke load-smoke wire-smoke distbuild-smoke clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -75,9 +75,10 @@ bench:
 	$(GO) test -run='^$$' -bench='^(BenchmarkSketchSetLoad|BenchmarkHIPIndexBuild|BenchmarkIngestInsertBatch$$|BenchmarkIngestFreezePublish$$)' -benchtime=100x . >> bench.out || { cat bench.out; exit 1; }
 	$(GO) test -run='^$$' -bench='^(BenchmarkEngineClosenessBatch|BenchmarkSketchSetCodec)$$' -benchtime=5x . >> bench.out || { cat bench.out; exit 1; }
 	$(GO) test -run='^$$' -bench='^(BenchmarkHTTPShardRoundtrip|BenchmarkCoordinatorScatterFrame)$$' -benchtime=100x ./cmd/adsserver >> bench.out || { cat bench.out; exit 1; }
+	$(GO) test -run='^$$' -bench='^BenchmarkDistBuild(1Worker|4Workers)$$' -benchtime=5x ./internal/distbuild >> bench.out || { cat bench.out; exit 1; }
 	cat bench.out
 	awk 'BEGIN { print "[" } \
-	  /^Benchmark(Engine|SketchSet|HIPIndex|Catalog|Ingest|HTTPShard|Coordinator)/ { \
+	  /^Benchmark(Engine|SketchSet|HIPIndex|Catalog|Ingest|HTTPShard|Coordinator|DistBuild)/ { \
 	    if (!($$1 in row)) order[++m] = $$1; \
 	    row[$$1] = $$0 \
 	  } \
@@ -123,6 +124,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzReadEdgeList' -fuzztime=5s ./internal/graph/
 	$(GO) test -run='^$$' -fuzz='FuzzDecodeRequest' -fuzztime=5s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz='FuzzDecodeResponse' -fuzztime=5s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz='FuzzDecodeFrontierFrame' -fuzztime=5s ./internal/wire/
 
 # End-to-end streaming-ingest smoke: start an ingest-enabled adsserver,
 # replay the checked-in SNAP fixture through `adstool ingest` (34 edges,
@@ -226,6 +228,63 @@ wire-smoke:
 	grep '^{' $$tmp/wire.out > wire_smoke.json; \
 	echo "wire-smoke: OK (histograms in wire_smoke.json)"
 	rm -f adstool.smoke adsload.smoke
+
+# End-to-end distributed-build smoke: four adsserver -buildworker
+# processes build the SNAP fixture over the wire transport for every
+# sketch kind (uniform, weighted, approx).  Each kind's partition files
+# must be byte-identical to a single-process `adstool build -save` split
+# with `adstool split -v3`; each kind's partitions are then served
+# behind a scatter-gather coordinator and must answer a query.
+distbuild-smoke:
+	$(GO) build -o adsserver.smoke ./cmd/adsserver
+	$(GO) build -o adstool.smoke ./cmd/adstool
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$bw $$sv 2>/dev/null || true; rm -rf $$tmp' EXIT INT TERM; \
+	cp internal/graph/testdata/snap_small.txt $$tmp/graph.txt; \
+	n=$$(./adstool.smoke stats -graph $$tmp/graph.txt | awk '/^nodes/ { print $$2 }'); \
+	weights=$$(seq $$n | awk '{ printf (NR > 1 ? "," : "") "%g", 0.5 + (NR - 1) % 3 }'); \
+	bw=""; sv=""; urls=""; \
+	for i in 1 2 3 4; do \
+	  ./adsserver.smoke -buildworker -addr 127.0.0.1:1810$$i >/dev/null 2>&1 & bw="$$bw $$!"; \
+	  urls="$$urls,http://127.0.0.1:1810$$i"; \
+	done; urls=$${urls#,}; \
+	ok=0; for t in $$(seq 1 50); do \
+	  if ./adstool.smoke build -graph $$tmp/graph.txt -k 8 -seed 42 \
+	       -workers $$urls -out $$tmp/dist_uniform 2>/dev/null; then ok=1; break; fi; \
+	  sleep 0.2; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "distbuild-smoke: build workers never became ready" >&2; exit 1; }; \
+	./adstool.smoke build -graph $$tmp/graph.txt -k 8 -seed 42 -weights $$weights \
+	  -workers $$urls -out $$tmp/dist_weighted; \
+	./adstool.smoke build -graph $$tmp/graph.txt -k 8 -seed 42 -eps 0.25 \
+	  -workers $$urls -out $$tmp/dist_approx; \
+	kill $$bw 2>/dev/null || true; bw=""; \
+	./adstool.smoke build -graph $$tmp/graph.txt -k 8 -seed 42 -save $$tmp/whole_uniform.ads >/dev/null; \
+	./adstool.smoke build -graph $$tmp/graph.txt -k 8 -seed 42 -weights $$weights -save $$tmp/whole_weighted.ads >/dev/null; \
+	./adstool.smoke build -graph $$tmp/graph.txt -k 8 -seed 42 -eps 0.25 -save $$tmp/whole_approx.ads >/dev/null; \
+	for kind in uniform weighted approx; do \
+	  ./adstool.smoke split -sketches $$tmp/whole_$$kind.ads -partitions 4 -out $$tmp/ref_$$kind -v3 >/dev/null; \
+	  for i in 0 1 2 3; do \
+	    cmp $$tmp/ref_$$kind.p$${i}of4.ads $$tmp/dist_$$kind.p$${i}of4.ads || { \
+	      echo "distbuild-smoke: $$kind partition $$i differs from the single-process split" >&2; exit 1; }; \
+	  done; \
+	  echo "distbuild-smoke: $$kind partitions byte-identical; serving them"; \
+	  surls=""; \
+	  for i in 0 1 2 3; do \
+	    ./adsserver.smoke -sketches $$tmp/dist_$$kind.p$${i}of4.ads -addr 127.0.0.1:1811$$i >/dev/null 2>&1 & sv="$$sv $$!"; \
+	    surls="$$surls,http://127.0.0.1:1811$$i"; \
+	  done; surls=$${surls#,}; \
+	  ./adsserver.smoke -workers $$surls -addr 127.0.0.1:18119 >/dev/null 2>&1 & sv="$$sv $$!"; \
+	  ok=0; for t in $$(seq 1 50); do \
+	    if ./adstool.smoke query -remote http://127.0.0.1:18119 -node 1 -d 2 2>/dev/null; then ok=1; break; fi; \
+	    sleep 0.2; \
+	  done; \
+	  kill $$sv 2>/dev/null || true; sv=""; \
+	  [ "$$ok" = 1 ] || { echo "distbuild-smoke: $$kind coordinator never answered" >&2; exit 1; }; \
+	done; \
+	echo "distbuild-smoke: OK"
+	rm -f adsserver.smoke adstool.smoke
 
 clean:
 	rm -f bench.out coverage.out engine_do.memprofile adsketch.test adsserver.smoke adstool.smoke adsload.smoke adsvet.bin wire_smoke.json

@@ -57,6 +57,13 @@
 //	                             {"edges":[{"u":0,"v":1}],"freeze":true};
 //	                             frozen versions hot-swap into the
 //	                             catalog every -freeze-every edges.
+//	POST   /v1/build/{init,step,freeze}
+//	                           — with -buildworker: act as one partition
+//	                             of a distributed sketch construction;
+//	                             the driver (adstool build -workers ...)
+//	                             assigns a node range, exchanges frontier
+//	                             candidates each round, and collects the
+//	                             frozen partition file.
 //	GET    /healthz            — liveness: {"status":"ok"} once serving.
 //	GET    /statsz             — topology, default-dataset metadata,
 //	                             catalog state, index-cache/shard
@@ -86,6 +93,7 @@ import (
 	"time"
 
 	"adsketch"
+	"adsketch/internal/distbuild"
 )
 
 // datasetFlags collects repeatable -dataset name=path mappings.
@@ -131,13 +139,14 @@ func main() {
 	fs.DurationVar(&ccfg.probeInterval, "probe-interval", ccfg.probeInterval, "poll every worker's /healthz on this interval, ejecting dead workers from rotation (0 = off)")
 	fs.StringVar(&ccfg.workerProto, "worker-proto", ccfg.workerProto, "wire format for worker calls: auto (binary frames when the worker advertises them) or json (force the fallback)")
 	faultInject := fs.Bool("fault-inject", false, "expose POST /debugz/fault to inject latency or unavailability into this server (load-testing only; never enable in production)")
+	buildWorker := fs.Bool("buildworker", false, "enable the distributed-build worker endpoints POST /v1/build/{init,step,freeze}; a build driver (adstool build -workers ...) configures this process with its partition of an edge list and drives the construction rounds")
 	fs.Parse(os.Args[1:])
 	if ccfg.workerProto != "auto" && ccfg.workerProto != "json" {
 		fmt.Fprintln(os.Stderr, "adsserver: -worker-proto must be auto or json")
 		os.Exit(2)
 	}
-	if *sketchPath == "" && *workers == "" && len(datasets) == 0 && !*ingestOn {
-		fmt.Fprintln(os.Stderr, "adsserver: at least one of -sketches, -workers, -dataset, or -ingest is required")
+	if *sketchPath == "" && *workers == "" && len(datasets) == 0 && !*ingestOn && !*buildWorker {
+		fmt.Fprintln(os.Stderr, "adsserver: at least one of -sketches, -workers, -dataset, -ingest, or -buildworker is required")
 		fs.Usage()
 		os.Exit(2)
 	}
@@ -189,6 +198,10 @@ func main() {
 	if *faultInject {
 		srv.faultInject = true
 		log.Printf("adsserver: fault injection enabled at POST /debugz/fault")
+	}
+	if *buildWorker {
+		srv.build = distbuild.NewWorkerHandler()
+		log.Printf("adsserver: distributed-build worker endpoints enabled at POST /v1/build/{init,step,freeze}")
 	}
 	if *ingestOn {
 		srv.ing = newIngestManager(cat, ingestConfig{

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"adsketch"
+	"adsketch/internal/distbuild"
 	"adsketch/internal/wire"
 )
 
@@ -59,8 +60,9 @@ type setInfo interface {
 // detach datasets from server-side paths while traffic is live.
 type server struct {
 	cat    *adsketch.Catalog
-	ing    *ingestManager // nil unless -ingest
-	prober *prober        // nil unless -workers with -probe-interval
+	ing    *ingestManager           // nil unless -ingest
+	prober *prober                  // nil unless -workers with -probe-interval
+	build  *distbuild.WorkerHandler // nil unless -buildworker
 	start  time.Time
 
 	queries  atomic.Int64 // protocol requests evaluated (batch items count individually)
@@ -102,6 +104,9 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDetach)
 	if s.ing != nil {
 		mux.HandleFunc("POST /v1/ingest/{dataset}", s.handleIngest)
+	}
+	if s.build != nil {
+		s.build.Register(mux)
 	}
 	if s.faultInject {
 		mux.HandleFunc("POST /debugz/fault", s.handleFault)

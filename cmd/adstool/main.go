@@ -216,7 +216,16 @@ func runBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	path, directed, opts := buildFlags(fs)
 	save := fs.String("save", "", "write the sketch set to this file")
+	dist := fs.Int("dist", 0, "distributed build across this many in-process partition workers; writes one partition file per worker under -out")
+	workers := fs.String("workers", "", "comma-separated adsserver -buildworker base URLs; distributed build with one remote worker per partition, edge list read from each worker's own filesystem")
+	out := fs.String("out", "", "output prefix of distributed-build partition files (<out>.p<i>of<P>.ads); required with -dist/-workers")
 	fs.Parse(args)
+	if *dist != 0 || *workers != "" {
+		return runDistBuild(fs, *path, *directed, *dist, *workers, *out)
+	}
+	if *out != "" {
+		return fmt.Errorf("build: -out applies to distributed builds (-dist/-workers); use -save for a whole-set build")
+	}
 	g, err := loadGraph(*path, *directed)
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 func TestDetorder(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{Analyzer},
 		"internal/core",
+		"internal/distbuild",
 		"example/plain",
 	)
 }

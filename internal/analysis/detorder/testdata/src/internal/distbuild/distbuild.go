@@ -1,0 +1,80 @@
+// Package distbuild is a detorder fixture standing in for the
+// distributed-build package (its import path suffix-matches the
+// analyzer scope).  Byte-parity with the single-process build depends
+// on candidates moving between partitions in canonical order, so map
+// iteration must never decide what a worker emits.
+package distbuild
+
+import (
+	"sort"
+	"time"
+)
+
+type candidate struct {
+	Target int32
+	Node   int32
+	Dist   float64
+}
+
+// groupByOwnerMap buckets an outbox with a map and drains it in range
+// order — the exchange would deliver candidates in a different order
+// every run.
+func groupByOwnerMap(outbox map[int][]candidate) []candidate {
+	var flat []candidate
+	for _, group := range outbox {
+		flat = append(flat, group...) // want `appends to flat in map-iteration order without sorting`
+	}
+	return flat
+}
+
+// groupThenSort drains the same map but restores the canonical
+// (dist, target, node) order before anything consumes it.
+func groupThenSort(outbox map[int][]candidate) []candidate {
+	var flat []candidate
+	for _, group := range outbox {
+		flat = append(flat, group...)
+	}
+	sort.Slice(flat, func(i, j int) bool {
+		a, b := flat[i], flat[j]
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Node < b.Node
+	})
+	return flat
+}
+
+// groupByOwnerSlice is the idiom the real package uses: partition-indexed
+// slices never depend on map order at all.
+func groupByOwnerSlice(parts int, owner func(candidate) int, cands []candidate) [][]candidate {
+	out := make([][]candidate, parts)
+	for _, c := range cands {
+		p := owner(c)
+		out[p] = append(out[p], c)
+	}
+	return out
+}
+
+// exchangeFromMap feeds a round barrier straight from a map range.
+func exchangeFromMap(inboxes map[int][]candidate, deliver chan []candidate) {
+	for _, inbox := range inboxes {
+		deliver <- inbox // want `map iteration order reaches a channel send`
+	}
+}
+
+// roundStamp would make two runs of the same build diverge.
+func roundStamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in determinism-critical package`
+}
+
+// tallyStats is order-independent: counter sums commute.
+func tallyStats(perWorker map[int]int64) int64 {
+	var total int64
+	for _, n := range perWorker {
+		total += n
+	}
+	return total
+}

@@ -55,6 +55,25 @@ func NewRouter(ranges []Range, total int) (*Router, error) {
 	return &Router{ranges: kept, total: total}, nil
 }
 
+// SplitRanges returns the canonical parts-way split of [0, total):
+// partition i owns nodes [i·total/parts, (i+1)·total/parts), with Shard
+// set to the partition index.  These are exactly the ranges
+// core.SplitSketchSet produces, so routers, partition files, and the
+// distributed builder all agree on node ownership by construction.
+func SplitRanges(total, parts int) ([]Range, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("cluster: cannot split into %d ranges, want >= 1", parts)
+	}
+	if parts > total {
+		return nil, fmt.Errorf("cluster: cannot split %d nodes into %d ranges", total, parts)
+	}
+	out := make([]Range, parts)
+	for i := 0; i < parts; i++ {
+		out[i] = Range{Shard: i, Lo: int32(i * total / parts), Hi: int32((i + 1) * total / parts)}
+	}
+	return out, nil
+}
+
 // Total returns the global node count.
 func (r *Router) Total() int { return r.total }
 

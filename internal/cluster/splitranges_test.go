@@ -1,0 +1,47 @@
+package cluster
+
+import "testing"
+
+// TestSplitRangesTileAndMatchSplitSketchSet pins that SplitRanges
+// produces a valid router tiling and the same i·n/P arithmetic
+// core.SplitSketchSet uses.
+func TestSplitRangesTile(t *testing.T) {
+	for _, tc := range []struct{ total, parts int }{
+		{1, 1}, {7, 3}, {20, 4}, {20, 7}, {1000, 16},
+	} {
+		ranges, err := SplitRanges(tc.total, tc.parts)
+		if err != nil {
+			t.Fatalf("SplitRanges(%d, %d): %v", tc.total, tc.parts, err)
+		}
+		r, err := NewRouter(ranges, tc.total)
+		if err != nil {
+			t.Fatalf("SplitRanges(%d, %d) does not tile: %v", tc.total, tc.parts, err)
+		}
+		for i, rg := range ranges {
+			if rg.Shard != i {
+				t.Fatalf("range %d has shard %d", i, rg.Shard)
+			}
+			if want := int32(i * tc.total / tc.parts); rg.Lo != want {
+				t.Fatalf("range %d starts at %d, want %d", i, rg.Lo, want)
+			}
+		}
+		for v := 0; v < tc.total; v++ {
+			owner, err := r.Owner(int32(v))
+			if err != nil {
+				t.Fatalf("Owner(%d): %v", v, err)
+			}
+			if rg := ranges[owner]; int32(v) < rg.Lo || int32(v) >= rg.Hi {
+				t.Fatalf("Owner(%d) = %d, whose range is [%d, %d)", v, owner, rg.Lo, rg.Hi)
+			}
+		}
+	}
+}
+
+func TestSplitRangesErrors(t *testing.T) {
+	if _, err := SplitRanges(10, 0); err == nil {
+		t.Fatal("SplitRanges(10, 0) succeeded")
+	}
+	if _, err := SplitRanges(3, 4); err == nil {
+		t.Fatal("SplitRanges(3, 4) succeeded")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"adsketch/internal/graph"
+	"adsketch/internal/sketch"
+)
+
+// frameLists pulls per-node entry lists (and the parallel β column when
+// present) back out of a frozen frame's node range [lo, hi) — the raw
+// material a distributed worker would have maintained for that range.
+func frameLists(f *Frame, lo, hi int) (lists [][]Entry, betas [][]float64) {
+	for v := lo; v < hi; v++ {
+		a, b := f.off[v], f.off[v+1]
+		var l []Entry
+		var bl []float64
+		for i := a; i < b; i++ {
+			l = append(l, Entry{Node: f.node[i], Dist: f.dist[i], Rank: f.rank[i]})
+			if f.beta != nil {
+				bl = append(bl, f.beta[i])
+			}
+		}
+		lists = append(lists, l)
+		betas = append(betas, bl)
+	}
+	return lists, betas
+}
+
+// TestFreezePartitionByteParity pins the central distributed-build
+// invariant: freezing a node range's entry lists directly into a
+// partition serializes byte-identically to building the whole set and
+// slicing it with SplitSketchSet.
+func TestFreezePartitionByteParity(t *testing.T) {
+	g := graph.GNP(60, 0.08, false, 7)
+	wg := graph.WithRandomWeights(g, 0.25, 4.0, 11)
+	beta := make([]float64, 60)
+	for i := range beta {
+		beta[i] = 0.5 + float64(i%7)
+	}
+
+	uni, err := BuildSet(g, Options{K: 8, Flavor: sketch.BottomK, Seed: 42}, AlgoPrunedDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtd, err := BuildWeightedSet(wg, 8, 42, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apx, err := BuildApproxSet(g, 8, 42, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		set   AnySet
+		frame *Frame
+		make  func(index, count int, lists [][]Entry, betas [][]float64) (*Partition, error)
+	}{
+		{"uniform", uni, uni.frame, func(index, count int, lists [][]Entry, _ [][]float64) (*Partition, error) {
+			return FreezePartitionBottomK(uni.Options(), index, count, 60, lists)
+		}},
+		{"weighted", wtd, wtd.frame, func(index, count int, lists [][]Entry, betas [][]float64) (*Partition, error) {
+			return FreezePartitionWeighted(8, ExponentialWeights, index, count, 60, lists, betas)
+		}},
+		{"approx", apx, apx.frame, func(index, count int, lists [][]Entry, _ [][]float64) (*Partition, error) {
+			return FreezePartitionApprox(8, 0.25, index, count, 60, lists)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, count := range []int{1, 3, 4} {
+				parts, err := SplitSketchSet(tc.set, count)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for index, want := range parts {
+					lists, betas := frameLists(tc.frame, int(want.Lo()), int(want.Hi()))
+					got, err := tc.make(index, count, lists, betas)
+					if err != nil {
+						t.Fatalf("count=%d index=%d: %v", count, index, err)
+					}
+					var wb, gb bytes.Buffer
+					if _, err := WritePartitionV3(&wb, want); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := WritePartitionV3(&gb, got); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(wb.Bytes(), gb.Bytes()) {
+						t.Fatalf("count=%d index=%d: frozen partition bytes differ from SplitSketchSet slice (%d vs %d bytes)",
+							count, index, gb.Len(), wb.Len())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFreezePartitionRejects covers the validation edges: bad ranges,
+// wrong list counts, and malformed entry lists.
+func TestFreezePartitionRejects(t *testing.T) {
+	o := Options{K: 2, Flavor: sketch.BottomK, Seed: 1}
+	good := [][]Entry{{{Node: 0, Dist: 0, Rank: 0.5}}}
+	if _, err := FreezePartitionBottomK(o, 0, 0, 4, good); err == nil {
+		t.Error("count=0 accepted")
+	}
+	if _, err := FreezePartitionBottomK(o, 2, 2, 4, good); err == nil {
+		t.Error("index out of range accepted")
+	}
+	if _, err := FreezePartitionBottomK(o, 0, 2, 4, good); err == nil {
+		t.Error("wrong list count accepted (1 list for a 2-node range)")
+	}
+	if _, err := FreezePartitionApprox(2, -0.5, 0, 4, 4, good); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	bad := [][]Entry{{{Node: 3, Dist: 1, Rank: 0.5}}} // node 0's list must start with itself
+	if _, err := FreezePartitionApprox(2, 0.1, 0, 4, 4, bad); err == nil {
+		t.Error("list not starting with owner accepted")
+	}
+	if _, err := FreezePartitionWeighted(2, ExponentialWeights, 0, 4, 4, good, [][]float64{}); err == nil {
+		t.Error("mismatched beta list count accepted")
+	}
+}

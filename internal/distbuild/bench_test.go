@@ -1,0 +1,50 @@
+package distbuild
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adsketch/internal/graph"
+)
+
+func benchDistBuild(b *testing.B, parts int) {
+	g := graph.PreferentialAttachment(2000, 3, 7)
+	path := filepath.Join(b.TempDir(), "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	spec := Spec{
+		Path: path, Directed: g.Directed(), N: g.NumNodes(),
+		K: 16, Seed: testSeed, Kind: KindUniform, Parts: parts,
+	}
+	b.ResetTimer()
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		exs, err := NewLocalExchangers(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res, err = Run(context.Background(), exs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Rounds), "rounds")
+	b.ReportMetric(float64(res.Candidates), "candidates")
+}
+
+// BenchmarkDistBuild1Worker is the single-partition baseline: all the
+// BSP machinery with no real parallelism or exchange fan-out.
+func BenchmarkDistBuild1Worker(b *testing.B) { benchDistBuild(b, 1) }
+
+// BenchmarkDistBuild4Workers runs the same build across 4 in-process
+// partitions, exchanging candidates at every round barrier.
+func BenchmarkDistBuild4Workers(b *testing.B) { benchDistBuild(b, 4) }

@@ -16,6 +16,22 @@ import (
 // weight.  A non-nil error from fn stops the scan and is returned as-is,
 // so callers can batch, bound, or abort a replay.
 func ScanEdges(r io.Reader, fn func(u, v int32, w float64, hasW bool) error) error {
+	return ScanEdgesFiltered(r, nil, fn)
+}
+
+// KeepFunc selects edges during a filtered scan.  It sees each edge's
+// endpoints exactly as the line spells them (u before v) and reports
+// whether fn should receive the edge.
+type KeepFunc func(u, v int32) bool
+
+// ScanEdgesFiltered is ScanEdges restricted to the edges keep accepts
+// (nil keeps everything).  Lines are parsed and validated either way, so
+// a malformed line fails the scan regardless of the filter; only fn is
+// skipped.  A partitioned build worker uses this to stream just the
+// edges incident to its node range — the union of the workers' filtered
+// streams is the full stream, each edge delivered exactly once as long
+// as the keep predicates tile the edge set.
+func ScanEdgesFiltered(r io.Reader, keep KeepFunc, fn func(u, v int32, w float64, hasW bool) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -44,6 +60,9 @@ func ScanEdges(r io.Reader, fn func(u, v int32, w float64, hasW bool) error) err
 				return fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
 			}
 			hasW = true
+		}
+		if keep != nil && !keep(int32(u), int32(v)) {
+			continue
 		}
 		if err := fn(int32(u), int32(v), w, hasW); err != nil {
 			return err

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+type scannedEdge struct {
+	u, v int32
+	w    float64
+	hasW bool
+}
+
+func scanAll(t *testing.T, input string, keep KeepFunc) []scannedEdge {
+	t.Helper()
+	var out []scannedEdge
+	err := ScanEdgesFiltered(strings.NewReader(input), keep, func(u, v int32, w float64, hasW bool) error {
+		out = append(out, scannedEdge{u, v, w, hasW})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanEdgesFiltered: %v", err)
+	}
+	return out
+}
+
+// TestScanEdgesFilteredUnion proves that filtered streams whose keep
+// predicates tile the edge set reassemble the full stream with every
+// edge delivered exactly once — the property a partitioned build relies
+// on when each worker scans only its own slice of the edge list.
+func TestScanEdgesFilteredUnion(t *testing.T) {
+	data, err := os.ReadFile("testdata/snap_small.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := string(data) + "7 7\n3 9 2.5\n" // self-loop and a weighted line
+	full := scanAll(t, input, nil)
+	if len(full) == 0 {
+		t.Fatal("fixture scanned to zero edges")
+	}
+
+	for _, parts := range []int{1, 2, 4, 7} {
+		counts := make(map[scannedEdge]int)
+		for _, e := range full {
+			counts[e]++
+		}
+		got := 0
+		for p := 0; p < parts; p++ {
+			p := p
+			sub := scanAll(t, input, func(u, v int32) bool { return int(v)%parts == p })
+			for _, e := range sub {
+				if int(e.v)%parts != p {
+					t.Fatalf("parts=%d: partition %d received edge %v outside its filter", parts, p, e)
+				}
+				counts[e]--
+				got++
+			}
+		}
+		if got != len(full) {
+			t.Fatalf("parts=%d: union of filtered streams has %d edges, full stream %d", parts, got, len(full))
+		}
+		for e, c := range counts {
+			if c != 0 {
+				t.Fatalf("parts=%d: edge %v delivered %d extra time(s)", parts, e, -c)
+			}
+		}
+	}
+}
+
+// TestScanEdgesFilteredSkipsOnlyFn pins that the filter skips delivery,
+// not validation: a malformed line fails the scan even when the filter
+// would have dropped it, so every worker sees the same good-or-bad
+// verdict for a file.
+func TestScanEdgesFilteredSkipsOnlyFn(t *testing.T) {
+	input := "0 1\nbogus line here x\n2 3\n"
+	err := ScanEdgesFiltered(strings.NewReader(input), func(u, v int32) bool { return false }, func(u, v int32, w float64, hasW bool) error {
+		return fmt.Errorf("fn must not run with a reject-all filter")
+	})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want a line-2 parse error despite the reject-all filter, got %v", err)
+	}
+}
+
+// TestScanEdgesNilFilterIsFullStream pins ScanEdges == filtered scan
+// with a nil keep.
+func TestScanEdgesNilFilterIsFullStream(t *testing.T) {
+	input := "0 1\n1 2 0.5\n# comment\n\n2 0\n"
+	var a, b []scannedEdge
+	if err := ScanEdges(strings.NewReader(input), func(u, v int32, w float64, hasW bool) error {
+		a = append(a, scannedEdge{u, v, w, hasW})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b = scanAll(t, input, nil)
+	if len(a) != len(b) {
+		t.Fatalf("ScanEdges saw %d edges, nil-filtered scan %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
